@@ -1,0 +1,240 @@
+// Command tileflow-exp regenerates the paper's evaluation tables and
+// figures (Sec 7). Run with -list to see the experiment ids, or -exp all.
+//
+// Example:
+//
+//	tileflow-exp -exp fig8ab,fig10 -quick
+//	tileflow-exp -exp all > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/experiments"
+)
+
+type experiment struct {
+	id, desc string
+	run      func(cfg experiments.Config) (string, error)
+}
+
+var registry = []experiment{
+	{"fig8ab", "validation vs the polyhedron model (matmul sweep)", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.Fig8ab(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig8cd", "validation vs the cycle-level accelerator (attention sweep)", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.Fig8cd(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig9a", "tiling-factor tuning traces (Bert-S, Edge)", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.Fig9a(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig9b", "3D-space exploration traces, attention (Edge)", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.Fig9b(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig9c", "3D-space exploration traces, conv chains (Cloud)", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.Fig9c(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig10", "self-attention dataflow comparison on Edge", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.RunAttentionComparison(cfg, arch.Edge())
+		if err != nil {
+			return "", err
+		}
+		rows, err := experiments.Fig10dBreakdown(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render() + experiments.RenderBreakdown(rows), nil
+	}},
+	{"fig11", "self-attention dataflow comparison on Cloud", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.RunAttentionComparison(cfg, arch.Cloud())
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig12", "convolution chain comparison on Cloud", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.RunConvComparison(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig13", "energy breakdown vs L1 capacity (FLAT-RGran, Edge)", func(cfg experiments.Config) (string, error) {
+		rows, err := experiments.Fig13(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig13(rows), nil
+	}},
+	{"fig14", "L1 bandwidth sensitivity (conv chains, Edge)", func(cfg experiments.Config) (string, error) {
+		traces, err := experiments.Fig14(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig14(traces), nil
+	}},
+	{"tab6", "PE-array-size sweep (Bert-B, Edge)", func(cfg experiments.Config) (string, error) {
+		rows, err := experiments.Table6(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable6(rows), nil
+	}},
+	{"tab7", "FLAT granularities vs TileFlow (T5 batch 128, Cloud)", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.Table7(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable7(r), nil
+	}},
+	{"tab8", "long-sequence attention on the A100-like spec", func(cfg experiments.Config) (string, error) {
+		rows, err := experiments.Table8(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable8(rows), nil
+	}},
+	{"ablation", "design-choice ablations: wrap-around retention, inter-tile binding", func(cfg experiments.Config) (string, error) {
+		r, err := experiments.Ablation(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	csvDir := flag.String("csv", "", "also write plottable CSV series to this directory")
+	quick := flag.Bool("quick", false, "trim workload lists and budgets for a fast pass")
+	rounds := flag.Int("rounds", 0, "MCTS rounds per dataflow tuning (0 = default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	cfg := experiments.Config{Quick: *quick, Rounds: *rounds, Seed: *seed}
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		out, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tileflow-exp: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%s) [%.1fs] ====\n%s\n", e.id, e.desc, time.Since(start).Seconds(), out)
+		if *csvDir != "" {
+			if err := exportCSV(e.id, cfg, *csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "tileflow-exp: csv %s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "tileflow-exp: no experiments matched; use -list")
+		os.Exit(1)
+	}
+}
+
+// exportCSV re-runs an experiment's data path and writes its plottable
+// series (experiments are deterministic under a fixed seed, so re-running
+// yields the rendered numbers).
+func exportCSV(id string, cfg experiments.Config, dir string) error {
+	switch id {
+	case "fig8ab":
+		r, err := experiments.Fig8ab(cfg)
+		if err != nil {
+			return err
+		}
+		return r.CSV(dir)
+	case "fig8cd":
+		r, err := experiments.Fig8cd(cfg)
+		if err != nil {
+			return err
+		}
+		return r.CSV(dir)
+	case "fig9a":
+		r, err := experiments.Fig9a(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.TracesCSV(dir, "fig9a", r.Traces)
+	case "fig9b":
+		r, err := experiments.Fig9b(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.TracesCSV(dir, "fig9b", r.Traces)
+	case "fig9c":
+		r, err := experiments.Fig9c(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.TracesCSV(dir, "fig9c", r.Traces)
+	case "fig10":
+		r, err := experiments.RunAttentionComparison(cfg, arch.Edge())
+		if err != nil {
+			return err
+		}
+		return experiments.PointsCSV(dir, "fig10", r.Points)
+	case "fig11":
+		r, err := experiments.RunAttentionComparison(cfg, arch.Cloud())
+		if err != nil {
+			return err
+		}
+		return experiments.PointsCSV(dir, "fig11", r.Points)
+	case "fig12":
+		r, err := experiments.RunConvComparison(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.PointsCSV(dir, "fig12", r.Points)
+	case "fig14":
+		traces, err := experiments.Fig14(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.BandwidthCSV(dir, traces)
+	}
+	return nil // tables render fine as text
+}

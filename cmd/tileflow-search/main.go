@@ -1,0 +1,121 @@
+// Command tileflow-search explores the full 3D fusion-dataflow design space
+// (compute ordering × resource binding × loop tiling) for a workload with
+// the Sec 6 mapper: a genetic algorithm over ordering/binding encodings
+// with MCTS tiling-factor search per candidate.
+//
+// Example:
+//
+//	tileflow-search -arch edge -workload attention:Bert-S -pop 20 -gens 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/notation"
+	"repro/internal/workload"
+)
+
+func main() {
+	archName := flag.String("arch", "edge", "accelerator: edge, cloud, validation, a100")
+	archFile := flag.String("arch-file", "", "load a custom accelerator spec from a file (see arch.ParseSpec format)")
+	workloadName := flag.String("workload", "attention:Bert-S", "workload: attention:<name> or conv:<name>")
+	pop := flag.Int("pop", 20, "GA population size")
+	gens := flag.Int("gens", 20, "GA generations")
+	tileRounds := flag.Int("tile-rounds", 60, "MCTS rounds per candidate")
+	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "parallel evaluations (0 = NumCPU)")
+	printTree := flag.Bool("tree", false, "print the winning analysis tree")
+	flag.Parse()
+
+	var spec *arch.Spec
+	var err error
+	if *archFile != "" {
+		src, rerr := os.ReadFile(*archFile)
+		fatalIf(rerr)
+		spec, err = arch.ParseSpec(string(src))
+	} else {
+		spec, err = pickArch(*archName)
+	}
+	fatalIf(err)
+	g, err := pickGraph(*workloadName)
+	fatalIf(err)
+
+	s := &mapper.TreeSearch{
+		G: g, Spec: spec,
+		Population: *pop, Generations: *gens, TileRounds: *tileRounds,
+		Parallel: *parallel, Seed: *seed,
+	}
+	fmt.Printf("exploring 3D space for %s on %s (%d x %d x %d evaluations)...\n",
+		g.Name, spec.Name, *pop, *gens, *tileRounds)
+	res := s.Run()
+	if res.Best == nil {
+		fatalIf(fmt.Errorf("no valid dataflow found"))
+	}
+	fmt.Printf("best cycles: %.4g\n", res.Best.Cycles)
+	fmt.Printf("encoding:    %s\n", res.Encoding)
+	fmt.Printf("factors:     %v\n", res.Best.Factors)
+	fmt.Println("convergence (best-so-far cycles per generation):")
+	for i, c := range res.Trace {
+		fmt.Printf("  gen %2d: %.4g\n", i+1, c)
+	}
+	if *printTree {
+		gd := mapper.NewGeneratedDataflow("best", g, spec, res.Encoding)
+		root, err := gd.Build(res.Best.Factors)
+		fatalIf(err)
+		fmt.Print(root.String())
+		fmt.Println("tile-centric notation:")
+		fmt.Print(notation.Print(root))
+		if _, err := core.Evaluate(root, g, spec, core.Options{}); err != nil {
+			fmt.Println("note:", err)
+		}
+	}
+}
+
+func pickArch(name string) (*arch.Spec, error) {
+	switch strings.ToLower(name) {
+	case "edge":
+		return arch.Edge(), nil
+	case "cloud":
+		return arch.Cloud(), nil
+	case "validation":
+		return arch.Validation(), nil
+	case "a100":
+		return arch.A100Like(), nil
+	}
+	return nil, fmt.Errorf("unknown arch %q", name)
+}
+
+func pickGraph(wl string) (*workload.Graph, error) {
+	kind, name, ok := strings.Cut(wl, ":")
+	if !ok {
+		return nil, fmt.Errorf("workload must be attention:<name> or conv:<name>")
+	}
+	switch kind {
+	case "attention":
+		shape, ok := workload.AttentionShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown attention shape %q", name)
+		}
+		return workload.Attention(shape), nil
+	case "conv":
+		shape, ok := workload.ConvChainShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown conv chain %q", name)
+		}
+		return workload.ConvChain(shape), nil
+	}
+	return nil, fmt.Errorf("unknown workload kind %q", kind)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tileflow-search:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,204 @@
+// Command tileflow evaluates one fusion dataflow for one workload on one
+// accelerator with TileFlow's tree-based analysis, optionally tuning its
+// tiling factors with the MCTS mapper first.
+//
+// Examples:
+//
+//	tileflow -arch edge -workload attention:Bert-S -dataflow FLAT-RGran -tune 200
+//	tileflow -arch cloud -workload conv:CC1 -dataflow TileFlow -tree
+//	tileflow -arch cloud -workload attention:T5 -dataflow Layerwise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/mapper"
+	"repro/internal/notation"
+	"repro/internal/workload"
+)
+
+func main() {
+	archName := flag.String("arch", "edge", "accelerator: edge, cloud, validation, a100")
+	archFile := flag.String("arch-file", "", "load a custom accelerator spec from a file (see arch.ParseSpec format)")
+	workloadName := flag.String("workload", "attention:Bert-S", "workload: attention:<Table2 name>, conv:<Table3 name>")
+	dataflowName := flag.String("dataflow", "FLAT-RGran", "dataflow: Layerwise, Uni-pipe, FLAT-{M,B,H,R}Gran, Chimera, TileFlow, Fused-Layer, ISOS")
+	tune := flag.Int("tune", 0, "MCTS rounds to tune tiling factors (0 = defaults)")
+	seed := flag.Int64("seed", 1, "search seed")
+	printTree := flag.Bool("tree", false, "print the analysis tree")
+	printNotation := flag.Bool("notation", false, "print the tile-centric notation")
+	notationFile := flag.String("notation-file", "", "evaluate a dataflow written in the tile-centric DSL instead of a named template")
+	explain := flag.Bool("explain", false, "print a per-tile profile (fills, updates, latency bound)")
+	skipCapacity := flag.Bool("skip-capacity", false, "ignore buffer capacity limits")
+	flag.Parse()
+
+	var spec *arch.Spec
+	var err error
+	if *archFile != "" {
+		src, rerr := os.ReadFile(*archFile)
+		fatalIf(rerr)
+		spec, err = arch.ParseSpec(string(src))
+	} else {
+		spec, err = pickArch(*archName)
+	}
+	fatalIf(err)
+
+	opts := core.Options{SkipCapacityCheck: *skipCapacity}
+	var root *core.Node
+	var g *workload.Graph
+	var dfName string
+	if *notationFile != "" {
+		src, err := os.ReadFile(*notationFile)
+		fatalIf(err)
+		g, err = pickGraph(*workloadName)
+		fatalIf(err)
+		root, err = notation.Parse(string(src), g)
+		fatalIf(err)
+		dfName = *notationFile
+	} else {
+		df, err := pickDataflow(*dataflowName, *workloadName, spec)
+		fatalIf(err)
+		g = df.Graph()
+		dfName = df.Name()
+		factors := df.DefaultFactors()
+		if *tune > 0 {
+			ev := mapper.Tune(df, spec, opts, *tune, *seed)
+			if ev == nil {
+				fatalIf(fmt.Errorf("no valid mapping found for %s", df.Name()))
+			}
+			factors = ev.Factors
+			fmt.Printf("tuned factors: %v\n", factors)
+		}
+		root, err = df.Build(factors)
+		fatalIf(err)
+	}
+	if *printTree {
+		fmt.Print(root.String())
+	}
+	if *printNotation {
+		fmt.Print(notation.Print(root))
+	}
+	if *explain {
+		reports, err := core.Explain(root, g, spec, opts)
+		fatalIf(err)
+		fmt.Print(core.RenderReports(reports))
+	}
+	res, err := core.Evaluate(root, g, spec, opts)
+	fatalIf(err)
+
+	fmt.Printf("workload:       %s\n", g.Name)
+	fmt.Printf("dataflow:       %s on %s\n", dfName, spec.Name)
+	fmt.Printf("cycles:         %.4g (%.3f ms @ %.2f GHz)\n", res.Cycles, res.Cycles/(spec.FreqGHz*1e9)*1e3, spec.FreqGHz)
+	fmt.Printf("compute-bound:  %.4g cycles\n", res.ComputeCycles)
+	fmt.Printf("DRAM traffic:   %.4g words\n", res.DRAMTraffic())
+	fmt.Printf("on-chip DM:     %.4g words\n", res.OnChipTraffic())
+	for i, dm := range res.DM {
+		fmt.Printf("  %-5s fill=%.4g read=%.4g update=%.4g\n", spec.Levels[i].Name, dm.Fill, dm.Read, dm.Update)
+	}
+	fmt.Printf("energy:         %.4g pJ (%s)\n", res.EnergyPJ(), res.Energy.String())
+	fmt.Printf("PEs used:       %d / %d, sub-core utilization %.1f%%\n", res.PEsUsed, res.TotalPEs, 100*res.Utilization)
+	for i, f := range res.FootprintWords {
+		if i == spec.DRAMLevel() {
+			continue
+		}
+		fmt.Printf("footprint %-5s %d KB / %d KB\n", spec.Levels[i].Name, f*int64(spec.WordBytes)/1024, spec.Levels[i].CapacityBytes/1024)
+	}
+}
+
+func pickArch(name string) (*arch.Spec, error) {
+	switch strings.ToLower(name) {
+	case "edge":
+		return arch.Edge(), nil
+	case "cloud":
+		return arch.Cloud(), nil
+	case "validation":
+		return arch.Validation(), nil
+	case "a100":
+		return arch.A100Like(), nil
+	}
+	return nil, fmt.Errorf("unknown arch %q", name)
+}
+
+func pickGraph(wl string) (*workload.Graph, error) {
+	kind, name, ok := strings.Cut(wl, ":")
+	if !ok {
+		return nil, fmt.Errorf("workload must be attention:<name> or conv:<name>")
+	}
+	switch kind {
+	case "attention":
+		shape, ok := workload.AttentionShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown attention shape %q", name)
+		}
+		return workload.Attention(shape), nil
+	case "conv":
+		shape, ok := workload.ConvChainShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown conv chain %q", name)
+		}
+		return workload.ConvChain(shape), nil
+	}
+	return nil, fmt.Errorf("unknown workload kind %q", kind)
+}
+
+func pickDataflow(df, wl string, spec *arch.Spec) (dataflows.Dataflow, error) {
+	kind, name, ok := strings.Cut(wl, ":")
+	if !ok {
+		return nil, fmt.Errorf("workload must be attention:<name> or conv:<name>")
+	}
+	switch kind {
+	case "attention":
+		shape, ok := workload.AttentionShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown attention shape %q (Table 2 names)", name)
+		}
+		switch df {
+		case "Layerwise":
+			return dataflows.LayerwiseAttention(shape, spec), nil
+		case "Uni-pipe":
+			return dataflows.UniPipe(shape, spec), nil
+		case "FLAT-MGran":
+			return dataflows.FLATMGran(shape, spec), nil
+		case "FLAT-BGran":
+			return dataflows.FLATBGran(shape, spec), nil
+		case "FLAT-HGran":
+			return dataflows.FLATHGran(shape, spec), nil
+		case "FLAT-RGran":
+			return dataflows.FLATRGran(shape, spec), nil
+		case "Chimera":
+			return dataflows.Chimera(shape, spec), nil
+		case "TileFlow":
+			return dataflows.TileFlowAttention(shape, spec), nil
+		}
+		return nil, fmt.Errorf("unknown attention dataflow %q", df)
+	case "conv":
+		shape, ok := workload.ConvChainShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown conv chain %q (Table 3 names)", name)
+		}
+		switch df {
+		case "Layerwise":
+			return dataflows.LayerwiseConv(shape, spec), nil
+		case "Fused-Layer":
+			return dataflows.FusedLayer(shape, spec), nil
+		case "ISOS":
+			return dataflows.ISOS(shape, spec), nil
+		case "TileFlow":
+			return dataflows.TileFlowConv(shape, spec), nil
+		}
+		return nil, fmt.Errorf("unknown conv dataflow %q", df)
+	}
+	return nil, fmt.Errorf("unknown workload kind %q", kind)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tileflow:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Attention dataflow shoot-out: tune every Table 5 self-attention dataflow
+// with the MCTS mapper and compare latency, DRAM traffic and on-chip
+// staging on the Edge accelerator — a program-sized version of the paper's
+// Fig 10 study.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+func main() {
+	shapeName := "Bert-S"
+	if len(os.Args) > 1 {
+		shapeName = os.Args[1]
+	}
+	shape, ok := workload.AttentionShapeByName(shapeName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown shape %q; use a Table 2 name (Bert-S, ViT/16-B, T5, ...)\n", shapeName)
+		os.Exit(1)
+	}
+	spec := arch.Edge()
+	flows := []dataflows.Dataflow{
+		dataflows.LayerwiseAttention(shape, spec),
+		dataflows.UniPipe(shape, spec),
+		dataflows.FLATHGran(shape, spec),
+		dataflows.FLATRGran(shape, spec),
+		dataflows.Chimera(shape, spec),
+		dataflows.TileFlowAttention(shape, spec),
+	}
+
+	fmt.Printf("self-attention %s on %s — mapper-tuned comparison\n\n", shape.Name, spec.Name)
+	fmt.Printf("%-12s %12s %10s %12s %12s %10s\n", "dataflow", "cycles", "speedup", "DRAM words", "L1 staging", "energy pJ")
+	var layerCycles float64
+	for _, df := range flows {
+		ev := mapper.Tune(df, spec, core.Options{}, 300, 7)
+		if ev == nil {
+			fmt.Printf("%-12s %12s\n", df.Name(), "OOM")
+			continue
+		}
+		if df.Name() == "Layerwise" {
+			layerCycles = ev.Cycles
+		}
+		speed := "-"
+		if layerCycles > 0 {
+			speed = fmt.Sprintf("%.2fx", layerCycles/ev.Cycles)
+		}
+		fmt.Printf("%-12s %12.4g %10s %12.4g %10dKB %10.3g\n",
+			df.Name(), ev.Cycles, speed, ev.Result.DRAMTraffic(),
+			ev.Result.FootprintWords[1]*int64(spec.WordBytes)/1024,
+			ev.Result.EnergyPJ())
+	}
+	fmt.Println("\n(the paper's Fig 10: TileFlow ~6.65x over Layerwise, ~1.85x over FLAT-HGran)")
+}

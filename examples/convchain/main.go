@@ -1,0 +1,95 @@
+// Convolution-chain fusion: compare Layerwise, Fused-Layer, ISOS and the
+// pipelined TileFlow dataflow for a two-convolution chain, then sweep the
+// L1 bandwidth to find each dataflow's "suitable bandwidth" (the paper's
+// Fig 12 + Fig 14 studies in one program).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+func main() {
+	chainName := "CC1"
+	if len(os.Args) > 1 {
+		chainName = os.Args[1]
+	}
+	shape, ok := workload.ConvChainShapeByName(chainName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown chain %q; use CC1..CC5\n", chainName)
+		os.Exit(1)
+	}
+
+	spec := arch.Cloud()
+	fmt.Printf("conv chain %s (%dx%d, %d->%d->%d channels) on %s\n\n",
+		shape.Name, shape.Height, shape.Width, shape.InC, shape.OutC1, shape.OutC2, spec.Name)
+
+	flows := []dataflows.Dataflow{
+		dataflows.LayerwiseConv(shape, spec),
+		dataflows.FusedLayer(shape, spec),
+		dataflows.ISOS(shape, spec),
+		dataflows.TileFlowConv(shape, spec),
+	}
+	fmt.Printf("%-12s %12s %10s %12s\n", "dataflow", "cycles", "speedup", "DRAM words")
+	var layer float64
+	tuned := map[string]map[string]int{}
+	for _, df := range flows {
+		ev := mapper.Tune(df, spec, core.Options{}, 200, 3)
+		if ev == nil {
+			fmt.Printf("%-12s %12s\n", df.Name(), "OOM")
+			continue
+		}
+		tuned[df.Name()] = ev.Factors
+		if df.Name() == "Layerwise" {
+			layer = ev.Cycles
+		}
+		speed := "-"
+		if layer > 0 {
+			speed = fmt.Sprintf("%.2fx", layer/ev.Cycles)
+		}
+		fmt.Printf("%-12s %12.4g %10s %12.4g\n", df.Name(), ev.Cycles, speed, ev.Result.DRAMTraffic())
+	}
+
+	// Bandwidth sensitivity on Edge (Fig 14): fix each tuned dataflow and
+	// sweep the L1 bandwidth.
+	fmt.Printf("\nL1 bandwidth sensitivity on Edge (slow-down = access/compute latency):\n")
+	edge := arch.Edge()
+	fmt.Printf("%-12s", "BW GB/s")
+	bws := []float64{30, 60, 120, 240, 480, 960}
+	for _, bw := range bws {
+		fmt.Printf(" %8.0f", bw)
+	}
+	fmt.Println()
+	for _, name := range []string{"Fused-Layer", "TileFlow"} {
+		var df dataflows.Dataflow
+		if name == "Fused-Layer" {
+			df = dataflows.FusedLayer(shape, edge)
+		} else {
+			df = dataflows.TileFlowConv(shape, edge)
+		}
+		ev := mapper.Tune(df, edge, core.Options{}, 200, 3)
+		if ev == nil {
+			continue
+		}
+		root, err := df.Build(ev.Factors)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%-12s", name)
+		for _, bw := range bws {
+			res, err := core.Evaluate(root, df.Graph(), edge.WithLevelBandwidth("L1", bw), core.Options{})
+			if err != nil {
+				fmt.Printf(" %8s", "-")
+				continue
+			}
+			fmt.Printf(" %8.2f", res.SlowDown[1])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,333 @@
+// Package arch describes spatial-accelerator architectures as a hierarchy of
+// memory levels feeding a PE array (Fig 1a of the paper), plus the concrete
+// specifications used in the evaluation: the Edge and Cloud accelerators of
+// Table 4, the TPU-derived validation accelerator of Sec 7.1, and an
+// A100-like specification standing in for the GPU of Sec 7.6.
+package arch
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Level is one storage level of the hierarchy. Levels are ordered from the
+// innermost (index 0, the per-PE register file / L0 buffer) to the outermost
+// (DRAM). Each level consists of a number of identical instances; transfers
+// between a level and the level below it share the level's bandwidth.
+type Level struct {
+	Name string
+
+	// CapacityBytes is the byte capacity of one instance. Zero means
+	// unbounded (DRAM).
+	CapacityBytes int64
+
+	// BandwidthGBs is the aggregate bandwidth, in GB/s across the whole
+	// chip, for transfers between this level and the level below it.
+	// For DRAM this is the off-chip memory bandwidth.
+	BandwidthGBs float64
+
+	// Fanout is the number of instances of the level below fed by one
+	// instance of this level. For the innermost level it is 1.
+	Fanout int
+}
+
+// Spec is a complete accelerator specification.
+type Spec struct {
+	Name string
+
+	// Levels lists the memory hierarchy from innermost (0 = registers at
+	// the PEs) to outermost (DRAM).
+	Levels []Level
+
+	// MeshX, MeshY give the PE array shape of one innermost compute unit
+	// (sub-core). MeshX*MeshY must equal the fanout of the level directly
+	// above the registers.
+	MeshX, MeshY int
+
+	// FreqGHz is the clock frequency used to convert bandwidths to
+	// words/cycle and cycles to wall time.
+	FreqGHz float64
+
+	// WordBytes is the data word size (2 bytes / 16 bits throughout the
+	// paper).
+	WordBytes int
+
+	// MACsPerPE is multiply-accumulates one PE completes per cycle.
+	MACsPerPE int
+
+	// VectorLanesPerSubcore is the throughput, in elementwise operations
+	// per cycle, of the vector unit attached to one sub-core. Softmax's
+	// max/sub/exp/sum/div operators run here.
+	VectorLanesPerSubcore int
+
+	// DirectAccess lists level pairs {inner, outer} that can exchange
+	// data directly without staging at the levels in between (Sec 5.1.2,
+	// Fig 6 bottom: "If level X and level Y has direct access, move data
+	// from level X to level Y" — otherwise traffic routes through every
+	// intermediate level, which is the common DNN-accelerator design and
+	// the default here).
+	DirectAccess [][2]int
+}
+
+// HasDirectAccess reports whether the inner and outer levels exchange data
+// directly. Adjacent levels are always direct.
+func (s *Spec) HasDirectAccess(inner, outer int) bool {
+	if outer-inner <= 1 {
+		return true
+	}
+	for _, p := range s.DirectAccess {
+		if p[0] == inner && p[1] == outer {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks internal consistency of the specification.
+func (s *Spec) Validate() error {
+	if len(s.Levels) < 2 {
+		return fmt.Errorf("arch %q: need at least registers and DRAM, got %d levels", s.Name, len(s.Levels))
+	}
+	if s.Levels[len(s.Levels)-1].CapacityBytes != 0 {
+		return fmt.Errorf("arch %q: outermost level %q must be unbounded DRAM", s.Name, s.Levels[len(s.Levels)-1].Name)
+	}
+	for i, l := range s.Levels {
+		if i > 0 && l.Fanout <= 0 {
+			return fmt.Errorf("arch %q: level %q has non-positive fanout", s.Name, l.Name)
+		}
+		if l.BandwidthGBs <= 0 && i > 0 {
+			return fmt.Errorf("arch %q: level %q has non-positive bandwidth", s.Name, l.Name)
+		}
+	}
+	if s.MeshX <= 0 || s.MeshY <= 0 {
+		return fmt.Errorf("arch %q: non-positive PE mesh %dx%d", s.Name, s.MeshX, s.MeshY)
+	}
+	if got := s.Levels[1].Fanout; got != s.MeshX*s.MeshY {
+		return fmt.Errorf("arch %q: level %q fanout %d != PE mesh %dx%d", s.Name, s.Levels[1].Name, got, s.MeshX, s.MeshY)
+	}
+	if s.FreqGHz <= 0 || s.WordBytes <= 0 || s.MACsPerPE <= 0 {
+		return fmt.Errorf("arch %q: frequency, word size and MACs/PE must be positive", s.Name)
+	}
+	return nil
+}
+
+// NumLevels is the number of storage levels including registers and DRAM.
+func (s *Spec) NumLevels() int { return len(s.Levels) }
+
+// DRAMLevel is the index of the outermost level.
+func (s *Spec) DRAMLevel() int { return len(s.Levels) - 1 }
+
+// Instances reports how many instances exist of the given level across the
+// whole chip: the product of the fanouts of all levels above it.
+func (s *Spec) Instances(level int) int {
+	n := 1
+	for i := level + 1; i < len(s.Levels); i++ {
+		n *= s.Levels[i].Fanout
+	}
+	return n
+}
+
+// TotalPEs is the total number of processing elements on the chip.
+func (s *Spec) TotalPEs() int { return s.Instances(0) }
+
+// AggregateMesh views the whole chip's PE array as one logical mesh: the
+// per-sub-core meshes arranged in a near-square grid. Cloud's 64 sub-cores
+// of 32×32 form the 256×256 array of Table 4; Edge's 4 cores form 64×64.
+// Workloads whose spatial parallelism spans sub-cores (convolution channel
+// mappings) are bounded by these edges.
+func (s *Spec) AggregateMesh() (x, y int) {
+	sub := s.TotalPEs() / (s.MeshX * s.MeshY)
+	fx := 1
+	for fx*fx*4 <= sub {
+		fx *= 2
+	}
+	fy := sub / fx
+	if fy < 1 {
+		fy = 1
+	}
+	return s.MeshX * fx, s.MeshY * fy
+}
+
+// PeakMACsPerCycle is the chip-wide peak MAC throughput.
+func (s *Spec) PeakMACsPerCycle() float64 {
+	return float64(s.TotalPEs()) * float64(s.MACsPerPE)
+}
+
+// WordsPerCycle converts a level's aggregate bandwidth to words per cycle.
+func (s *Spec) WordsPerCycle(level int) float64 {
+	return s.Levels[level].BandwidthGBs / s.FreqGHz / float64(s.WordBytes)
+}
+
+// CapacityWords is the per-instance capacity of a level in words.
+// math.MaxInt64 is returned for unbounded levels.
+func (s *Spec) CapacityWords(level int) int64 {
+	c := s.Levels[level].CapacityBytes
+	if c == 0 {
+		return math.MaxInt64
+	}
+	return c / int64(s.WordBytes)
+}
+
+// LevelIndex finds a level by name (case-insensitive), or -1.
+func (s *Spec) LevelIndex(name string) int {
+	for i, l := range s.Levels {
+		if strings.EqualFold(l.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy, for the With* modifiers.
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Levels = append([]Level(nil), s.Levels...)
+	c.DirectAccess = append([][2]int(nil), s.DirectAccess...)
+	return &c
+}
+
+// WithDirectAccess returns a copy granting the level pair a direct datapath.
+func (s *Spec) WithDirectAccess(inner, outer int) *Spec {
+	c := s.Clone()
+	c.DirectAccess = append(c.DirectAccess, [2]int{inner, outer})
+	return c
+}
+
+// WithPEMesh returns a copy with the per-sub-core PE array resized, used by
+// the Table 6 PE-size sweep. The fanout of the level above the registers is
+// adjusted to match.
+func (s *Spec) WithPEMesh(x, y int) *Spec {
+	c := s.Clone()
+	c.MeshX, c.MeshY = x, y
+	c.Levels[1].Fanout = x * y
+	c.Name = fmt.Sprintf("%s-pe%dx%d", s.Name, x, y)
+	return c
+}
+
+// WithLevelCapacity returns a copy with the named level's per-instance
+// capacity replaced, used by the Fig 13 L1-size sweep.
+func (s *Spec) WithLevelCapacity(name string, bytes int64) *Spec {
+	c := s.Clone()
+	i := c.LevelIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("arch: no level %q in %q", name, s.Name))
+	}
+	c.Levels[i].CapacityBytes = bytes
+	return c
+}
+
+// WithLevelBandwidth returns a copy with the named level's aggregate
+// bandwidth replaced, used by the Fig 14 bandwidth sweep.
+func (s *Spec) WithLevelBandwidth(name string, gbs float64) *Spec {
+	c := s.Clone()
+	i := c.LevelIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("arch: no level %q in %q", name, s.Name))
+	}
+	c.Levels[i].BandwidthGBs = gbs
+	return c
+}
+
+// String summarizes the spec.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "arch %s: %dx%d PEs/sub-core, %.2f GHz, %dB words\n", s.Name, s.MeshX, s.MeshY, s.FreqGHz, s.WordBytes)
+	for i := len(s.Levels) - 1; i >= 0; i-- {
+		l := s.Levels[i]
+		cap := "inf"
+		if l.CapacityBytes > 0 {
+			cap = fmt.Sprintf("%dKB", l.CapacityBytes/1024)
+		}
+		fmt.Fprintf(&b, "  L%d %-6s cap=%s bw=%.1fGB/s fanout=%d instances=%d\n",
+			i, l.Name, cap, l.BandwidthGBs, l.Fanout, s.Instances(i))
+	}
+	return b.String()
+}
+
+const (
+	kb = int64(1024)
+	mb = 1024 * kb
+)
+
+// Edge is the Edge accelerator of Table 4: 4 cores, each one sub-core with a
+// 32×32 PE array and a 4 MB L1 buffer; 60 GB/s DRAM; 1.2 TB/s aggregate L1
+// bandwidth (Sec 7.2).
+func Edge() *Spec {
+	return &Spec{
+		Name: "Edge",
+		Levels: []Level{
+			{Name: "Reg", CapacityBytes: 2 * kb, BandwidthGBs: 0, Fanout: 1},
+			{Name: "L1", CapacityBytes: 4 * mb, BandwidthGBs: 1200, Fanout: 32 * 32},
+			{Name: "DRAM", CapacityBytes: 0, BandwidthGBs: 60, Fanout: 4},
+		},
+		MeshX: 32, MeshY: 32,
+		FreqGHz:               1.0,
+		WordBytes:             2,
+		MACsPerPE:             1,
+		VectorLanesPerSubcore: 32,
+	}
+}
+
+// Cloud is the Cloud accelerator of Table 4: 4 cores, each with a 40 MB L2
+// and 16 sub-cores; each sub-core has a 32×32 PE slice of the 256×256 array
+// and a 20 MB L1; 384 GB/s DRAM, 1.9 TB/s L2, 9.6 TB/s L1 (Sec 7.3).
+func Cloud() *Spec {
+	return &Spec{
+		Name: "Cloud",
+		Levels: []Level{
+			{Name: "Reg", CapacityBytes: 2 * kb, BandwidthGBs: 0, Fanout: 1},
+			{Name: "L1", CapacityBytes: 20 * mb, BandwidthGBs: 9600, Fanout: 32 * 32},
+			{Name: "L2", CapacityBytes: 40 * mb, BandwidthGBs: 1900, Fanout: 16},
+			{Name: "DRAM", CapacityBytes: 0, BandwidthGBs: 384, Fanout: 4},
+		},
+		MeshX: 32, MeshY: 32,
+		FreqGHz:               1.0,
+		WordBytes:             2,
+		MACsPerPE:             1,
+		VectorLanesPerSubcore: 32,
+	}
+}
+
+// Validation is the TPU-derived accelerator implemented in Chisel for model
+// validation (Sec 7.1): 4 cores, each with a 16×16 matrix array, a 16×3
+// vector array, and 384 KB of on-chip buffer; 25.6 GB/s DRAM; 16-bit words;
+// 400 MHz. The cycle-level simulator in internal/sim implements the same
+// microarchitecture.
+func Validation() *Spec {
+	return &Spec{
+		Name: "Validation",
+		Levels: []Level{
+			{Name: "Reg", CapacityBytes: 1 * kb, BandwidthGBs: 0, Fanout: 1},
+			{Name: "L1", CapacityBytes: 384 * kb, BandwidthGBs: 409.6, Fanout: 16 * 16},
+			{Name: "DRAM", CapacityBytes: 0, BandwidthGBs: 25.6, Fanout: 4},
+		},
+		MeshX: 16, MeshY: 16,
+		FreqGHz:               0.4,
+		WordBytes:             2,
+		MACsPerPE:             1,
+		VectorLanesPerSubcore: 16 * 3,
+	}
+}
+
+// A100Like is the GPU substitute for the Sec 7.6 experiments: 108 SMs
+// modeled as sub-cores with 192 KB of shared memory each (the OOM limit the
+// paper's baseline hits at 256k sequence length), a 40 MB L2, and ~2 TB/s of
+// HBM bandwidth. Tensor-core compute is modeled as a 32×32 MAC mesh per SM
+// at 1.41 GHz, which lands near the A100's 312 TFLOP/s FP16 peak.
+func A100Like() *Spec {
+	return &Spec{
+		Name: "A100",
+		Levels: []Level{
+			{Name: "Reg", CapacityBytes: 8 * kb, BandwidthGBs: 0, Fanout: 1},
+			{Name: "SMEM", CapacityBytes: 192 * kb, BandwidthGBs: 19400, Fanout: 32 * 32},
+			{Name: "L2", CapacityBytes: 40 * mb, BandwidthGBs: 4800, Fanout: 108},
+			{Name: "DRAM", CapacityBytes: 0, BandwidthGBs: 2039, Fanout: 1},
+		},
+		MeshX: 32, MeshY: 32,
+		FreqGHz:               1.41,
+		WordBytes:             2,
+		MACsPerPE:             1,
+		VectorLanesPerSubcore: 128,
+	}
+}

@@ -1,0 +1,527 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+// LevelDM is the data movement recorded at one memory level, in words,
+// using the paper's Fig 10d taxonomy: fill is data loaded into this level
+// from the level above, read is data sent from this level down to the level
+// below, and update is data written back into this level from below.
+type LevelDM struct {
+	Fill   float64
+	Read   float64
+	Update float64
+}
+
+// Total is fill+read+update: the access count the energy model charges.
+func (l LevelDM) Total() float64 { return l.Fill + l.Read + l.Update }
+
+// Result is the outcome of evaluating one fusion dataflow on one
+// architecture: the performance-critical metrics of Sec 5 plus the derived
+// latency, energy, utilization and bandwidth figures of Sec 7.
+type Result struct {
+	// Cycles is the modeled execution latency.
+	Cycles float64
+	// ComputeCycles is the latency under infinite memory bandwidth — the
+	// denominator of the Sec 7.5 slow-down metric.
+	ComputeCycles float64
+
+	// DM is per-level data movement, indexed like spec.Levels.
+	DM []LevelDM
+
+	// TensorDM breaks DM down per tensor, for analysis and debugging.
+	TensorDM map[string][]LevelDM
+
+	// MACs and VectorOps are the workload's inherent op counts.
+	MACs      float64
+	VectorOps float64
+
+	// Energy is the per-level/compute energy breakdown.
+	Energy energy.Breakdown
+
+	// PEsUsed is the Sec 5.2 NumPE of the root; TotalPEs the chip total.
+	PEsUsed  int
+	TotalPEs int
+
+	// UnitUsage[l] is how many level-l instances the dataflow occupies;
+	// Utilization is the sub-core (level 1) occupancy ratio of Fig 11d.
+	UnitUsage   []int
+	Utilization float64
+
+	// FootprintWords is the per-instance buffer occupancy per level.
+	FootprintWords []int64
+
+	// SlowDown[l] is max(level-l access latency / compute latency, 1),
+	// the Sec 7.5 metric; BandwidthReqGBs[l] is the minimum aggregate
+	// bandwidth at level l for slow-down 1 (Fig 14).
+	SlowDown        []float64
+	BandwidthReqGBs []float64
+}
+
+// DRAMTraffic is the off-chip data movement in words (reads + writes at the
+// DRAM level), the Fig 10b metric.
+func (r *Result) DRAMTraffic() float64 {
+	l := r.DM[len(r.DM)-1]
+	return l.Read + l.Update
+}
+
+// OnChipTraffic sums data movement at all on-chip levels above the
+// registers (the Fig 10c metric).
+func (r *Result) OnChipTraffic() float64 {
+	var v float64
+	for i := 1; i < len(r.DM)-1; i++ {
+		v += r.DM[i].Total()
+	}
+	return v
+}
+
+// LevelTraffic is the total data movement at one level.
+func (r *Result) LevelTraffic(level int) float64 { return r.DM[level].Total() }
+
+// EnergyPJ is the total modeled energy.
+func (r *Result) EnergyPJ() float64 { return r.Energy.TotalPJ() }
+
+// CapacityError reports a buffer level whose per-instance footprint exceeds
+// its capacity — the OOM condition of Table 7 and Table 8.
+type CapacityError struct {
+	Level     int
+	LevelName string
+	NeedWords int64
+	HaveWords int64
+}
+
+// Error implements error.
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("core: level %d (%s) over capacity: need %d words, have %d",
+		e.Level, e.LevelName, e.NeedWords, e.HaveWords)
+}
+
+// IsOOM reports whether the error is a buffer-capacity violation.
+func IsOOM(err error) bool {
+	_, ok := err.(*CapacityError)
+	return ok
+}
+
+// Options tunes evaluation.
+type Options struct {
+	// SkipCapacityCheck evaluates even when buffers overflow (Table 7's
+	// "no memory limit" scenario).
+	SkipCapacityCheck bool
+	// SkipPECheck evaluates even when the spatial mapping exceeds the
+	// PE array.
+	SkipPECheck bool
+	// DisableRetention turns off wrap-around retention, reverting to the
+	// paper's conservative assumption that "data replacement happens for
+	// every outer iteration" — the source of its small-tile
+	// overestimation (Fig 8d discussion). Used by the ablation study.
+	DisableRetention bool
+}
+
+// evaluator carries the per-evaluation state.
+type evaluator struct {
+	t    *tree
+	g    *workload.Graph
+	spec *arch.Spec
+	opts Options
+
+	confine map[string]*Node
+	// nodeFill/nodeUpdate are total words crossing each node's upper
+	// boundary over the whole execution.
+	nodeFill   map[*Node]float64
+	nodeUpdate map[*Node]float64
+	dm         []LevelDM
+	tensorDM   map[string][]LevelDM
+}
+
+// Evaluate runs TileFlow's tree-based analysis for the dataflow rooted at
+// root over graph g on architecture spec, returning the modeled metrics.
+func Evaluate(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := buildTree(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateAgainst(t, g, spec); err != nil {
+		return nil, err
+	}
+	e := &evaluator{
+		t:          t,
+		g:          g,
+		spec:       spec,
+		opts:       opts,
+		confine:    t.confinements(g),
+		nodeFill:   map[*Node]float64{},
+		nodeUpdate: map[*Node]float64{},
+		dm:         make([]LevelDM, spec.NumLevels()),
+		tensorDM:   map[string][]LevelDM{},
+	}
+	e.setupRetention()
+	e.accountDataMovement()
+
+	res := &Result{
+		DM:        e.dm,
+		TensorDM:  e.tensorDM,
+		MACs:      macOps(g),
+		VectorOps: vectorOps(g),
+		PEsUsed:   NumPE(root),
+		TotalPEs:  spec.TotalPEs(),
+	}
+
+	res.UnitUsage = t.unitUsage(root, spec.NumLevels())
+	if inst := spec.Instances(1); inst > 0 {
+		u := res.UnitUsage[1]
+		if u > inst {
+			u = inst
+		}
+		res.Utilization = float64(u) / float64(inst)
+	}
+	if !opts.SkipPECheck {
+		if res.PEsUsed > res.TotalPEs {
+			return nil, fmt.Errorf("core: mapping uses %d PEs, chip has %d", res.PEsUsed, res.TotalPEs)
+		}
+		for l := 0; l < spec.DRAMLevel(); l++ {
+			if inst := spec.Instances(l); res.UnitUsage[l] > inst {
+				return nil, fmt.Errorf("core: mapping occupies %d level-%d (%s) instances, chip has %d",
+					res.UnitUsage[l], l, spec.Levels[l].Name, inst)
+			}
+		}
+	}
+
+	res.FootprintWords = t.footprint(root, spec.NumLevels(), e.confine, densityOf(g))
+	if !opts.SkipCapacityCheck {
+		for l := 0; l < spec.DRAMLevel(); l++ {
+			if need, have := res.FootprintWords[l], spec.CapacityWords(l); need > have {
+				return nil, &CapacityError{Level: l, LevelName: spec.Levels[l].Name, NeedWords: need, HaveWords: have}
+			}
+		}
+	}
+
+	res.Cycles = e.latency(root, false)
+	res.ComputeCycles = e.latency(root, true)
+
+	// Energy: per-level accesses plus register operand traffic for the
+	// compute itself (two operand reads per op).
+	accesses := make([]float64, spec.NumLevels())
+	for i := range e.dm {
+		accesses[i] = e.dm[i].Total()
+	}
+	accesses[0] += 2 * (res.MACs + res.VectorOps)
+	res.Energy = energy.TableFor(spec).Estimate(accesses, res.MACs, res.VectorOps)
+
+	// Slow-down and bandwidth requirement per level (Sec 7.5, Fig 14).
+	res.SlowDown = make([]float64, spec.NumLevels())
+	res.BandwidthReqGBs = make([]float64, spec.NumLevels())
+	for l := 1; l < spec.NumLevels(); l++ {
+		traffic := e.dm[l].Total()
+		accessCycles := 0.0
+		if wpc := spec.WordsPerCycle(l); wpc > 0 {
+			accessCycles = traffic / wpc
+		}
+		sd := 1.0
+		if res.ComputeCycles > 0 && accessCycles/res.ComputeCycles > 1 {
+			sd = accessCycles / res.ComputeCycles
+		}
+		res.SlowDown[l] = sd
+		if res.ComputeCycles > 0 {
+			res.BandwidthReqGBs[l] = traffic * float64(spec.WordBytes) * spec.FreqGHz / res.ComputeCycles
+		}
+	}
+	return res, nil
+}
+
+// densityOf snapshots the graph's per-tensor densities for the footprint
+// computation (only non-dense entries matter).
+func densityOf(g *workload.Graph) map[string]float64 {
+	out := map[string]float64{}
+	for name, t := range g.Tensors {
+		if d := t.EffDensity(); d < 1 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// macOps and vectorOps count effective operations: on gating hardware a
+// sparse operand skips its zero iterations, so counts scale with the
+// product of read densities (1.0 when fully dense).
+func macOps(g *workload.Graph) float64 {
+	var n float64
+	for _, op := range g.Ops {
+		if op.Kind == workload.KindMAC {
+			n += float64(op.OpCount()) * g.OpDensity(op)
+		}
+	}
+	return n
+}
+
+func vectorOps(g *workload.Graph) float64 {
+	var n float64
+	for _, op := range g.Ops {
+		if op.Kind.Vector() {
+			n += float64(op.OpCount()) * g.OpDensity(op)
+		}
+	}
+	return n
+}
+
+// validateAgainst checks that the tree is a complete, exact tiling of the
+// graph on the given architecture.
+func validateAgainst(t *tree, g *workload.Graph, spec *arch.Spec) error {
+	for _, op := range g.Ops {
+		leaf := t.leafOf[op]
+		if leaf == nil {
+			return fmt.Errorf("core: operator %q has no leaf tile in the tree", op.Name)
+		}
+		for _, d := range op.Dims {
+			cov := 1
+			for m := leaf; m != nil; m = t.parent[m] {
+				cov *= m.DimExtent(d.Name)
+			}
+			if cov != d.Size {
+				return fmt.Errorf("core: operator %q dim %q tiled to %d, want %d", op.Name, d.Name, cov, d.Size)
+			}
+		}
+	}
+	for _, n := range t.nodeSet {
+		if n.Level < 0 || n.Level >= spec.NumLevels() {
+			return fmt.Errorf("core: node %q level %d outside architecture with %d levels", n.Name, n.Level, spec.NumLevels())
+		}
+		for _, l := range n.Loops {
+			if l.Extent < 1 {
+				return fmt.Errorf("core: node %q loop %s has extent < 1", n.Name, l)
+			}
+			if !t.subtreeDims(n)[l.Dim] {
+				return fmt.Errorf("core: node %q loop over dim %q that no operator in its subtree iterates", n.Name, l.Dim)
+			}
+		}
+	}
+	return nil
+}
+
+// accountDataMovement runs the inter-tile analysis of Sec 5.1.2: for every
+// node it computes the total fills and updates crossing the node's upper
+// boundary, honoring confinement (intermediates never cross their LCA) and
+// Seq eviction, and attributes the traffic to the memory levels the data
+// passes through.
+func (e *evaluator) accountDataMovement() {
+	for _, n := range e.t.nodeSet {
+		pLevel, ok := e.parentLevel(n)
+		if !ok {
+			continue // same buffer or root at DRAM: no boundary to cross
+		}
+		var fills, updates float64
+		for tensor, pairs := range e.t.tensorAccesses(n) {
+			if lca, ok := e.confine[tensor]; ok && e.t.subtreeContains(n, lca) {
+				continue // confined at or below n: never crosses up
+			}
+			var readPairs, writePairs []accessPair
+			for _, pr := range pairs {
+				if pr.read {
+					readPairs = append(readPairs, pr)
+				} else {
+					writePairs = append(writePairs, pr)
+				}
+			}
+			var tf, tu float64
+			if len(readPairs) > 0 {
+				per, evicted := e.t.fillPerExec(n, readPairs, tensor)
+				tf = per * e.t.fillInvocations(n, readPairs, evicted)
+			}
+			if len(writePairs) > 0 {
+				per, _ := e.t.fillPerExec(n, writePairs, tensor)
+				tu = per * e.t.updateInvocations(n, writePairs)
+				// Read-modify-write: if the same output slice drains
+				// more than once (a reduction split above this node),
+				// each extra drain needs a prior refill of partials.
+				w := writePairs[0]
+				distinct := float64(e.t.coveredVolume(n, w.leaf, w.acc)) *
+					e.t.invocationsWhere(n, accessDims(w.acc))
+				if rmw := tu - distinct; rmw > 0 {
+					tf += rmw
+				}
+			}
+			// Sparse tensors travel in compressed form (Sec 7.7
+			// extension): traffic scales with density.
+			if d := e.g.Density(tensor); d < 1 {
+				tf *= d
+				tu *= d
+			}
+			fills += tf
+			updates += tu
+			e.attributeTensor(tensor, n.Level, pLevel, tf, tu)
+		}
+		e.nodeFill[n] += fills
+		e.nodeUpdate[n] += updates
+		// Attribute to levels: enters n.Level, and — unless the
+		// architecture grants the pair direct access (Sec 5.1.2) —
+		// passes through every level between it and the parent level.
+		e.dm[n.Level].Fill += fills
+		e.dm[pLevel].Read += fills
+		e.dm[pLevel].Update += updates
+		if !e.spec.HasDirectAccess(n.Level, pLevel) {
+			for l := n.Level + 1; l < pLevel; l++ {
+				e.dm[l].Fill += fills
+				e.dm[l].Read += fills
+				e.dm[l].Update += updates
+			}
+		}
+	}
+}
+
+// setupRetention installs the wrap-around retention predicate: a tensor's
+// swept footprint is retained when it occupies at most half of the node's
+// per-instance buffer (disabled by Options.DisableRetention).
+func (e *evaluator) setupRetention() {
+	if e.opts.DisableRetention {
+		return
+	}
+	t, spec := e.t, e.spec
+	t.retainOK = func(n, leaf *Node, acc workload.Access) bool {
+		cap := spec.CapacityWords(n.Level)
+		if cap == math.MaxInt64 {
+			return true
+		}
+		return t.coveredVolumePerInstance(n, leaf, acc) <= cap/2
+	}
+}
+
+// parentLevel reports the memory level node n loads from across its upper
+// boundary. A root tile below the DRAM level has an implicit DRAM parent
+// (the paper's trees end at the outermost on-chip level; off-chip memory is
+// always above them). A child at its parent's own level shares the buffer:
+// no boundary exists.
+func (e *evaluator) parentLevel(n *Node) (int, bool) {
+	p := e.t.parent[n]
+	if p == nil {
+		if n.Level < e.spec.DRAMLevel() {
+			return e.spec.DRAMLevel(), true
+		}
+		return 0, false
+	}
+	if p.Level == n.Level {
+		return 0, false
+	}
+	return p.Level, true
+}
+
+// attributeTensor records one tensor's share of the traffic crossing a
+// node boundary between childLevel and parentLevel.
+func (e *evaluator) attributeTensor(tensor string, childLevel, parentLevel int, fills, updates float64) {
+	dm, ok := e.tensorDM[tensor]
+	if !ok {
+		dm = make([]LevelDM, len(e.dm))
+		e.tensorDM[tensor] = dm
+	}
+	dm[childLevel].Fill += fills
+	dm[parentLevel].Read += fills
+	dm[parentLevel].Update += updates
+	if !e.spec.HasDirectAccess(childLevel, parentLevel) {
+		for l := childLevel + 1; l < parentLevel; l++ {
+			dm[l].Fill += fills
+			dm[l].Read += fills
+			dm[l].Update += updates
+		}
+	}
+}
+
+// temporalRepeats counts how many times child c executes per single
+// execution of parent n: the product of n's temporal-loop extents over
+// dimensions relevant to c's subtree.
+func (e *evaluator) temporalRepeats(n, c *Node) float64 {
+	rel := e.t.subtreeDims(c)
+	r := 1.0
+	for _, l := range n.Loops {
+		if l.Kind == Temporal && rel[l.Dim] {
+			r *= float64(l.Extent)
+		}
+	}
+	return r
+}
+
+// effBandwidth is the words/cycle available for transfers across node n's
+// upper boundary: the narrowest level bandwidth on the path, shared among
+// the concurrent sibling contexts created by ancestor spatial loops and
+// Para/Pipe bindings.
+func (e *evaluator) effBandwidth(n *Node) float64 {
+	pLevel, ok := e.parentLevel(n)
+	if !ok {
+		return math.Inf(1)
+	}
+	bw := math.Inf(1)
+	for l := n.Level + 1; l <= pLevel; l++ {
+		if w := e.spec.WordsPerCycle(l); w < bw {
+			bw = w
+		}
+	}
+	// Ancestor spatial loops replicate this node across concurrent
+	// instances that share the level's aggregate bandwidth. Para/Pipe
+	// siblings are NOT charged against each other, matching the paper's
+	// Sec 5.3 formula (pipelined stages rarely contend: the vector
+	// stages consume little bandwidth).
+	share := 1.0
+	for a := e.t.parent[n]; a != nil; a = e.t.parent[a] {
+		share *= float64(a.SpatialProduct())
+	}
+	return bw / share
+}
+
+// latency implements the Sec 5.3 recursion: a tile's latency is the maximum
+// of its (double-buffered) load phase, its children, and its store phase.
+// Children are summed under Seq/Shar and maxed under Para/Pipe, repeated by
+// the node's temporal trip counts. With computeOnly, bandwidth is infinite.
+func (e *evaluator) latency(n *Node, computeOnly bool) float64 {
+	var inner float64
+	if n.IsLeaf() {
+		inner = float64(n.TemporalTrips()) * e.leafIterCost(n)
+		// Gating hardware skips zero iterations of sparse operands.
+		inner *= e.g.OpDensity(n.Op)
+	} else {
+		for _, c := range n.Children {
+			lc := e.latency(c, computeOnly) * e.temporalRepeats(n, c)
+			if n.Binding.Spatial() {
+				if lc > inner {
+					inner = lc
+				}
+			} else {
+				inner += lc
+			}
+		}
+	}
+	if computeOnly {
+		return inner
+	}
+	inv := e.t.relevantInvocations(n)
+	bw := e.effBandwidth(n)
+	load, store := 0.0, 0.0
+	if !math.IsInf(bw, 1) && inv > 0 {
+		load = e.nodeFill[n] / inv / bw
+		store = e.nodeUpdate[n] / inv / bw
+	}
+	return math.Max(load, math.Max(inner, store))
+}
+
+// leafIterCost is the cycles one temporal iteration of a leaf takes: MAC
+// leaves run one spatial lane per PE per cycle (a leaf's spatial extent may
+// span sub-cores, as with convolution channel mappings, but never the
+// chip); vector leaves run on the sub-core's vector unit with its lane
+// count.
+func (e *evaluator) leafIterCost(n *Node) float64 {
+	sp := float64(n.SpatialProduct())
+	if n.Op.Kind.Vector() {
+		lanes := float64(e.spec.VectorLanesPerSubcore)
+		if lanes < 1 {
+			lanes = 1
+		}
+		return math.Ceil(sp / lanes)
+	}
+	total := float64(e.spec.TotalPEs() * e.spec.MACsPerPE)
+	return math.Ceil(sp / total)
+}

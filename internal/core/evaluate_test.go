@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+// sec42Graph builds the running example of Sec 4.2 / Fig 4: three operators
+//
+//	A[i,l] += Q[i,k]·K[k,l]
+//	B[i,l]  = exp(A[i,l])
+//	C[i,j] += B[i,l]·V[l,j]
+func sec42Graph(i, j, l, k int) *workload.Graph {
+	opA := &workload.Operator{
+		Name: "A", Kind: workload.KindMAC,
+		Dims: []workload.Dim{{Name: "i", Size: i}, {Name: "l", Size: l}, {Name: "k", Size: k}},
+		Reads: []workload.Access{
+			{Tensor: "Q", Index: []workload.Index{workload.I("i"), workload.I("k")}},
+			{Tensor: "K", Index: []workload.Index{workload.I("k"), workload.I("l")}},
+		},
+		Write: workload.Access{Tensor: "A", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+	}
+	opB := &workload.Operator{
+		Name: "B", Kind: workload.KindExp,
+		Dims: []workload.Dim{{Name: "i", Size: i}, {Name: "l", Size: l}},
+		Reads: []workload.Access{
+			{Tensor: "A", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+		},
+		Write: workload.Access{Tensor: "B", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+	}
+	opC := &workload.Operator{
+		Name: "C", Kind: workload.KindMAC,
+		Dims: []workload.Dim{{Name: "i", Size: i}, {Name: "j", Size: j}, {Name: "l", Size: l}},
+		Reads: []workload.Access{
+			{Tensor: "B", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+			{Tensor: "V", Index: []workload.Index{workload.I("l"), workload.I("j")}},
+		},
+		Write: workload.Access{Tensor: "C", Index: []workload.Index{workload.I("i"), workload.I("j")}},
+	}
+	return workload.MustGraph("sec42", workload.WordBytes, opA, opB, opC)
+}
+
+// sec42Tree builds the Sec 4.2 example dataflow on a 4-level hierarchy:
+//
+//	level 2: T0_2 = {i2,j2,l2}(T0_1, T1_1)   Shar
+//	level 1: T0_1 = {i1,l1}(T0_0, T1_0)      Pipe
+//	         T1_1 = {i1,j1,l1}(T2_0)
+//	level 0: T0_0 = {i0,l0,k}(A), T1_0 = {i0,l0}(B), T2_0 = {i0,j0,l0}(C)
+//
+// with Sp(i2), Sp(i1), Sp(i0).
+func sec42Tree(g *workload.Graph) *Node {
+	opA, opB, opC := g.Op("A"), g.Op("B"), g.Op("C")
+	t00 := Leaf("T0_0", opA, S("i", 4), T("l", 32), T("k", 32))
+	t10 := Leaf("T1_0", opB, S("i", 4), T("l", 32))
+	t20 := Leaf("T2_0", opC, S("i", 4), T("j", 16), T("l", 32))
+	t01 := Tile("T0_1", 1, Pipe, []Loop{S("i", 2), T("l", 2)}, t00, t10)
+	t11 := Tile("T1_1", 1, Seq, []Loop{S("i", 2), T("j", 4), T("l", 2)}, t20)
+	return Tile("T0_2", 2, Shar, []Loop{T("i", 4)}, t01, t11)
+}
+
+func TestSec42Evaluate(t *testing.T) {
+	// i = 4·2·4 = 32, j = 2·4·8 = 64, l = 2·4·8 = 64, k = 32.
+	g := sec42Graph(32, 64, 64, 32)
+	root := sec42Tree(g)
+	spec := arch.Cloud()
+	res, err := Evaluate(root, g, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tensor A is confined at T0_1 (level 1): it must generate zero
+	// traffic at L2 and DRAM.
+	if dm := res.TensorDM["A"]; dm != nil {
+		if dm[2].Total() != 0 || dm[3].Total() != 0 {
+			t.Errorf("tensor A leaks above its LCA: L2=%v DRAM=%v", dm[2], dm[3])
+		}
+	}
+	// Tensor B is confined at the root (level 2): zero DRAM traffic.
+	if dm := res.TensorDM["B"]; dm != nil && dm[3].Total() != 0 {
+		t.Errorf("tensor B leaks to DRAM: %v", dm[3])
+	}
+	// Inputs and the output must reach DRAM.
+	for _, tensor := range []string{"Q", "K", "V", "C"} {
+		dm := res.TensorDM[tensor]
+		if dm == nil || dm[3].Total() == 0 {
+			t.Errorf("tensor %s has no DRAM traffic", tensor)
+		}
+	}
+	// Every input must move at least its own volume off DRAM, and the
+	// output must be written at least once.
+	for _, tensor := range []string{"Q", "K", "V"} {
+		vol := float64(g.Tensors[tensor].Volume())
+		if got := res.TensorDM[tensor][3].Read; got < vol {
+			t.Errorf("tensor %s DRAM reads %v < volume %v", tensor, got, vol)
+		}
+	}
+	if got, vol := res.TensorDM["C"][3].Update, float64(g.Tensors["C"].Volume()); got < vol {
+		t.Errorf("output C DRAM updates %v < volume %v", got, vol)
+	}
+
+	if res.Cycles <= 0 || math.IsInf(res.Cycles, 0) || math.IsNaN(res.Cycles) {
+		t.Fatalf("bad cycles %v", res.Cycles)
+	}
+	if res.ComputeCycles <= 0 || res.ComputeCycles > res.Cycles {
+		t.Errorf("compute-only cycles %v must be positive and <= total %v", res.ComputeCycles, res.Cycles)
+	}
+	// Compute lower bound: MACs can't beat the used PEs' peak.
+	if res.PEsUsed <= 0 {
+		t.Fatalf("PEsUsed = %d", res.PEsUsed)
+	}
+	lower := res.MACs / float64(res.TotalPEs)
+	if res.Cycles < lower {
+		t.Errorf("cycles %v below chip-wide compute bound %v", res.Cycles, lower)
+	}
+	if res.EnergyPJ() <= 0 {
+		t.Errorf("energy %v", res.EnergyPJ())
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization %v out of (0,1]", res.Utilization)
+	}
+}
+
+// TestConfinementIsTheFusionPayoff compares the Sec 4.2 fused tree with a
+// layerwise tree (each operator under the root alone): the fused dataflow
+// must move strictly less DRAM data because A and B stay on chip.
+func TestConfinementIsTheFusionPayoff(t *testing.T) {
+	g := sec42Graph(32, 64, 64, 32)
+	fused := sec42Tree(g)
+	spec := arch.Cloud()
+
+	layer := Tile("root", 3, Seq, nil,
+		Tile("lA", 2, Seq, []Loop{T("i", 2), T("l", 2)},
+			Tile("mA", 1, Seq, []Loop{T("i", 4), T("l", 4)},
+				Leaf("tA", g.Op("A"), S("i", 4), T("l", 8), T("k", 32)))),
+		Tile("lB", 2, Seq, []Loop{T("i", 2), T("l", 2)},
+			Tile("mB", 1, Seq, []Loop{T("i", 4), T("l", 4)},
+				Leaf("tB", g.Op("B"), S("i", 4), T("l", 8)))),
+		Tile("lC", 2, Seq, []Loop{T("i", 2), T("j", 4), T("l", 2)},
+			Tile("mC", 1, Seq, []Loop{T("i", 4), T("j", 2), T("l", 4)},
+				Leaf("tC", g.Op("C"), S("i", 4), T("j", 8), T("l", 8)))),
+	)
+
+	rf, err := Evaluate(fused, g, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Evaluate(layer, g, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.DRAMTraffic() >= rl.DRAMTraffic() {
+		t.Errorf("fused DRAM traffic %v not below layerwise %v", rf.DRAMTraffic(), rl.DRAMTraffic())
+	}
+	// Layerwise must pay at least A and B's volumes twice (write + read).
+	minExtra := 2 * float64(g.Tensors["A"].Volume()+g.Tensors["B"].Volume())
+	if rl.DRAMTraffic()-rf.DRAMTraffic() < minExtra*0.5 {
+		t.Errorf("DRAM saving %v suspiciously small (intermediates total %v)",
+			rl.DRAMTraffic()-rf.DRAMTraffic(), minExtra)
+	}
+}
+
+func TestValidateRejectsBadTrees(t *testing.T) {
+	g := sec42Graph(32, 64, 64, 32)
+	spec := arch.Cloud()
+
+	// Wrong tiling product.
+	bad := Leaf("t", g.Op("B"), T("i", 16), T("l", 64))
+	root := Tile("r", 3, Seq, nil,
+		Leaf("a", g.Op("A"), T("i", 32), T("l", 64), T("k", 32)),
+		bad,
+		Leaf("c", g.Op("C"), T("i", 32), T("j", 64), T("l", 64)),
+	)
+	if _, err := Evaluate(root, g, spec, Options{}); err == nil {
+		t.Error("want error for under-tiled dim, got nil")
+	}
+
+	// Missing operator.
+	root2 := Tile("r", 3, Seq, nil,
+		Leaf("a", g.Op("A"), T("i", 32), T("l", 64), T("k", 32)),
+	)
+	if _, err := Evaluate(root2, g, spec, Options{}); err == nil {
+		t.Error("want error for missing operator leaf, got nil")
+	}
+
+	// Loop over a dim foreign to the subtree.
+	root3 := Tile("r", 3, Seq, []Loop{T("zz", 2)},
+		Leaf("a", g.Op("A"), T("i", 32), T("l", 64), T("k", 32)),
+		Leaf("b", g.Op("B"), T("i", 32), T("l", 64)),
+		Leaf("c", g.Op("C"), T("i", 32), T("j", 64), T("l", 64)),
+	)
+	if _, err := Evaluate(root3, g, spec, Options{}); err == nil {
+		t.Error("want error for foreign loop dim, got nil")
+	}
+}
+
+func TestCapacityError(t *testing.T) {
+	g := sec42Graph(32, 64, 64, 32)
+	root := sec42Tree(g)
+	// Shrink L1 to force an OOM.
+	spec := arch.Cloud().WithLevelCapacity("L1", 64)
+	_, err := Evaluate(root, g, spec, Options{})
+	if !IsOOM(err) {
+		t.Fatalf("want capacity error, got %v", err)
+	}
+	if _, err := Evaluate(root, g, spec, Options{SkipCapacityCheck: true}); err != nil {
+		t.Fatalf("SkipCapacityCheck: %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+// NodeReport profiles one tile of an evaluated analysis tree: where its
+// data comes from, how much moves, and what bounds its latency.
+type NodeReport struct {
+	Name    string
+	Level   int
+	Depth   int
+	IsLeaf  bool
+	Binding Binding
+
+	// Invocations is how many times the tile executes in total.
+	Invocations float64
+	// FillWords/UpdateWords cross the tile's upper boundary over the
+	// whole run.
+	FillWords, UpdateWords float64
+	// LatencyPerExec decomposes one execution (the Sec 5.3 recursion).
+	LoadCycles, InnerCycles, StoreCycles float64
+	// Bound names the max() winner: "load", "compute" or "store".
+	Bound string
+}
+
+// Explain evaluates the dataflow and returns a per-node profile in
+// pre-order, for the "architecture analysis" use the paper's Fig 3 lists.
+// It shares all analysis state with Evaluate.
+func Explain(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) ([]NodeReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := buildTree(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateAgainst(t, g, spec); err != nil {
+		return nil, err
+	}
+	e := &evaluator{
+		t:          t,
+		g:          g,
+		spec:       spec,
+		opts:       opts,
+		confine:    t.confinements(g),
+		nodeFill:   map[*Node]float64{},
+		nodeUpdate: map[*Node]float64{},
+		dm:         make([]LevelDM, spec.NumLevels()),
+		tensorDM:   map[string][]LevelDM{},
+	}
+	e.setupRetention()
+	e.accountDataMovement()
+
+	var reports []NodeReport
+	depth := map[*Node]int{root: 0}
+	root.Walk(func(n *Node) {
+		for _, c := range n.Children {
+			depth[c] = depth[n] + 1
+		}
+		inv := e.t.relevantInvocations(n)
+		bw := e.effBandwidth(n)
+		load, store := 0.0, 0.0
+		if inv > 0 && bw > 0 && !math.IsInf(bw, 1) {
+			load = e.nodeFill[n] / inv / bw
+			store = e.nodeUpdate[n] / inv / bw
+		}
+		var inner float64
+		if n.IsLeaf() {
+			inner = float64(n.TemporalTrips()) * e.leafIterCost(n) * e.g.OpDensity(n.Op)
+		} else {
+			for _, c := range n.Children {
+				lc := e.latency(c, false) * e.temporalRepeats(n, c)
+				if n.Binding.Spatial() {
+					if lc > inner {
+						inner = lc
+					}
+				} else {
+					inner += lc
+				}
+			}
+		}
+		bound := "compute"
+		if load >= inner && load >= store {
+			bound = "load"
+		} else if store >= inner && store >= load {
+			bound = "store"
+		}
+		reports = append(reports, NodeReport{
+			Name: n.Name, Level: n.Level, Depth: depth[n],
+			IsLeaf: n.IsLeaf(), Binding: n.Binding,
+			Invocations: inv,
+			FillWords:   e.nodeFill[n], UpdateWords: e.nodeUpdate[n],
+			LoadCycles: load, InnerCycles: inner, StoreCycles: store,
+			Bound: bound,
+		})
+	})
+	return reports, nil
+}
+
+// RenderReports prints the profile as an indented table.
+func RenderReports(reports []NodeReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-5s %-5s %10s %12s %12s %10s %10s %10s %-7s\n",
+		"tile", "level", "bind", "invocs", "fill(words)", "upd(words)", "load/exec", "inner/exec", "store/exec", "bound")
+	for _, r := range reports {
+		name := strings.Repeat("  ", r.Depth) + r.Name
+		bind := r.Binding.String()
+		if r.IsLeaf {
+			bind = "leaf"
+		}
+		fmt.Fprintf(&b, "%-28s L%-4d %-5s %10.4g %12.4g %12.4g %10.4g %10.4g %10.4g %-7s\n",
+			name, r.Level, bind, r.Invocations, r.FillWords, r.UpdateWords,
+			r.LoadCycles, r.InnerCycles, r.StoreCycles, r.Bound)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+// TestDirectAccessSkipsIntermediateLevels checks the Sec 5.1.2 distinction:
+// with a direct L0↔DRAM datapath on the Cloud hierarchy, traffic for a
+// leaf-fused mapping no longer passes through L1/L2.
+func TestDirectAccessSkipsIntermediateLevels(t *testing.T) {
+	g := workload.Matmul(64, 64, 64)
+	op := g.Ops[0]
+	// A leaf directly under the DRAM-level root: transfers span levels
+	// 0..3.
+	build := func() *Node {
+		leaf := Leaf("leaf", op, S("m", 16), S("n", 16), T("m", 4), T("n", 4), T("k", 64))
+		return Tile("root", 3, Seq, nil, leaf)
+	}
+	routed, err := Evaluate(build(), g, arch.Cloud(), Options{SkipCapacityCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Evaluate(build(), g, arch.Cloud().WithDirectAccess(0, 3), Options{SkipCapacityCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Routed: L1 and L2 carry pass-through traffic. Direct: they are idle.
+	if routed.DM[1].Total() == 0 || routed.DM[2].Total() == 0 {
+		t.Errorf("routed traffic should pass through L1/L2: %+v", routed.DM)
+	}
+	if direct.DM[1].Total() != 0 || direct.DM[2].Total() != 0 {
+		t.Errorf("direct access should bypass L1/L2: %+v", direct.DM)
+	}
+	// End-point traffic is identical either way.
+	if routed.DM[0].Fill != direct.DM[0].Fill || routed.DM[3].Read != direct.DM[3].Read {
+		t.Errorf("endpoint traffic changed: %+v vs %+v", routed.DM, direct.DM)
+	}
+	// Bypassing the hierarchy saves energy.
+	if direct.EnergyPJ() >= routed.EnergyPJ() {
+		t.Errorf("direct energy %v not below routed %v", direct.EnergyPJ(), routed.EnergyPJ())
+	}
+}
+
+// TestDisableRetentionOverestimates reproduces the paper's Fig 8d
+// observation in ablation form: without wrap-around retention the model
+// assumes replacement on every outer iteration, so data movement (and with
+// it energy) can only grow, and it grows most for small tiles.
+func TestDisableRetentionOverestimates(t *testing.T) {
+	g := workload.Matmul(256, 256, 256)
+	op := g.Ops[0]
+	spec := arch.Validation()
+	build := func(sm int) *Node {
+		leaf := Leaf("leaf", op, S("m", sm), S("n", sm))
+		l1 := Tile("l1", 1, Seq, []Loop{T("m", 256/sm), T("n", 256/sm), T("k", 256)}, leaf)
+		return Tile("root", 2, Seq, nil, l1)
+	}
+	overRatio := func(sm int) float64 {
+		with, err := Evaluate(build(sm), g, spec, Options{SkipCapacityCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := Evaluate(build(sm), g, spec, Options{SkipCapacityCheck: true, DisableRetention: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if without.DRAMTraffic() < with.DRAMTraffic()-0.5 {
+			t.Fatalf("retention off reduced traffic?! %v < %v", without.DRAMTraffic(), with.DRAMTraffic())
+		}
+		return without.EnergyPJ() / with.EnergyPJ()
+	}
+	small := overRatio(4)  // small tiles: heavy overestimation
+	large := overRatio(16) // large tiles: mild
+	if small <= 1.0 {
+		t.Errorf("no overestimation for small tiles: ratio %v", small)
+	}
+	if small <= large {
+		t.Errorf("overestimation should be worst for small tiles: small %v vs large %v", small, large)
+	}
+}

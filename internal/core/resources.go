@@ -1,0 +1,177 @@
+package core
+
+import "repro/internal/workload"
+
+// NumPE implements the Sec 5.2 PE-usage recursion: a node's own spatial
+// extents multiply its children's usage, and siblings combine by max under
+// Seq/Shar (they time-share the array) and by sum under Para/Pipe (they
+// occupy disjoint partitions). Vector-unit leaves (softmax's small
+// operators) do not consume MAC-array PEs.
+func NumPE(n *Node) int {
+	if n.IsLeaf() {
+		if n.Op.Kind.Vector() {
+			return 0
+		}
+		return n.SpatialProduct()
+	}
+	var inner int
+	for _, c := range n.Children {
+		u := NumPE(c)
+		if n.Binding.Spatial() {
+			inner += u
+		} else if u > inner {
+			inner = u
+		}
+	}
+	return n.SpatialProduct() * inner
+}
+
+// unitUsage computes, for every memory level L, how many level-L instances
+// one execution of the subtree occupies. A spatial loop at node n
+// partitions instances of the node's child level, so it multiplies the
+// usage of that level and of every level below it. Sibling usage combines
+// like NumPE: max for Seq/Shar, sum for Para/Pipe.
+func (t *tree) unitUsage(n *Node, numLevels int) []int {
+	u := make([]int, numLevels)
+	if n.IsLeaf() {
+		for l := range u {
+			u[l] = 1
+		}
+		// Vector leaves run on the vector unit, not the PE array.
+		if n.Op.Kind.Vector() {
+			u[0] = 0
+		} else {
+			u[0] = n.SpatialProduct()
+		}
+		return u
+	}
+	childLevel := 0
+	for _, c := range n.Children {
+		if c.Level > childLevel {
+			childLevel = c.Level
+		}
+	}
+	inner := make([]int, numLevels)
+	for _, c := range n.Children {
+		cu := t.unitUsage(c, numLevels)
+		for l := range inner {
+			// Para/Pipe children occupy disjoint units at their own
+			// level and below; they still share everything above
+			// (e.g. pipelined leaves partition the PE array but live
+			// under one L1 buffer).
+			if n.Binding.Spatial() && l <= childLevel {
+				inner[l] += cu[l]
+			} else if cu[l] > inner[l] {
+				inner[l] = cu[l]
+			}
+		}
+	}
+	// A node's own spatial loops split the tile across instances of the
+	// node's own level (a DRAM-level node splits the level below, since
+	// off-chip memory is a single instance), occupying that level and
+	// everything under it.
+	split := n.Level
+	if split > numLevels-2 {
+		split = numLevels - 2
+	}
+	s := n.SpatialProduct()
+	for l := range u {
+		u[l] = inner[l]
+		if u[l] == 0 {
+			u[l] = 1
+		}
+		if l <= split {
+			u[l] *= s
+		}
+	}
+	return u
+}
+
+// footprint computes the per-instance buffer occupancy, in words, that the
+// subtree requires at every memory level. A node stages one slice per
+// tensor its subtree accesses, except tensors confined strictly below it
+// (they never reach this level) — so Shar's "more data staged" (the Sec 5.2
+// sum) shows up in the parent node's own slice set, which covers every
+// child's tensors at once. Children combine element-wise by max: Seq
+// children own the buffers in turns, and Para/Pipe children occupy
+// *different* instances at their level, so per-instance occupancy does not
+// add.
+func (t *tree) footprint(n *Node, numLevels int, confineLCA map[string]*Node, density map[string]float64) []int64 {
+	f := make([]int64, numLevels)
+	var own int64
+	for tensor, pairs := range t.tensorAccesses(n) {
+		lca, confined := confineLCA[tensor]
+		if confined && lca != n && t.subtreeContains(n, lca) {
+			// Confined strictly below: staged in a deeper buffer only.
+			continue
+		}
+		var best int64
+		for _, p := range pairs {
+			var v int64
+			if (confined && lca == n) || n.IsLeaf() {
+				// The tensor's home: the whole per-step slice is
+				// staged here — this is what "staging rows in the
+				// on-chip buffer" means.
+				v = t.sliceVolumePerInstance(n, p.leaf, p.acc)
+			} else {
+				// A tensor streaming through: only the next child's
+				// working chunk is co-resident, double buffered.
+				child := t.childToward(n, p.leaf)
+				v = 2 * t.sliceVolumePerInstance(child, p.leaf, p.acc)
+			}
+			if v > best {
+				best = v
+			}
+		}
+		if d, ok := density[tensor]; ok && d < 1 {
+			// Compressed sparse staging occupies less buffer space.
+			best = int64(float64(best) * d)
+		}
+		own += best
+	}
+	f[n.Level] += own
+	if n.IsLeaf() {
+		return f
+	}
+	combined := make([]int64, numLevels)
+	for _, c := range n.Children {
+		cf := t.footprint(c, numLevels, confineLCA, density)
+		for l := range combined {
+			if cf[l] > combined[l] {
+				combined[l] = cf[l]
+			}
+		}
+	}
+	for l := range f {
+		f[l] += combined[l]
+	}
+	return f
+}
+
+// confinements computes, for every intermediate tensor of the graph, the
+// deepest node whose subtree contains every operator touching it: the
+// tensor's home. Traffic for a confined tensor never crosses its home
+// node's upper boundary (Sec 5.1.2 — this is the fusion payoff: the
+// intermediate is staged on chip instead of spilling to DRAM). Graph inputs
+// and outputs are never confined; they must reach DRAM.
+func (t *tree) confinements(g *workload.Graph) map[string]*Node {
+	out := map[string]*Node{}
+	for _, tensor := range g.IntermediateTensors() {
+		var users []*Node
+		if p := g.Producer(tensor); p != nil {
+			if leaf := t.leafOf[p]; leaf != nil {
+				users = append(users, leaf)
+			}
+		}
+		for _, r := range g.Readers(tensor) {
+			if leaf := t.leafOf[r]; leaf != nil {
+				users = append(users, leaf)
+			}
+		}
+		if len(users) == 0 {
+			continue
+		}
+		out[tensor] = t.lca(users)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+// sparseTree builds the Fig 8-style matmul mapping used by the sparse
+// extension tests.
+func sparseTree(g *workload.Graph) *Node {
+	leaf := Leaf("leaf", g.Ops[0], S("m", 16), S("n", 16))
+	l1 := Tile("l1", 1, Seq, []Loop{T("m", 16), T("n", 16), T("k", 256)}, leaf)
+	return Tile("root", 2, Seq, nil, l1)
+}
+
+// TestSparseScalesTraffic: marking one operand sparse (the Sec 7.7
+// extension) scales its traffic and the op's effective compute by its
+// density, leaving dense tensors untouched.
+func TestSparseScalesTraffic(t *testing.T) {
+	spec := arch.Validation()
+	dense := workload.Matmul(256, 256, 256)
+	rd, err := Evaluate(sparseTree(dense), dense, spec, Options{SkipCapacityCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sparse := workload.Matmul(256, 256, 256)
+	if err := sparse.SetDensity("A", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Evaluate(sparseTree(sparse), sparse, spec, Options{SkipCapacityCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A's traffic scales by 0.25 at every level it touches.
+	for lvl := range rd.TensorDM["A"] {
+		d, s := rd.TensorDM["A"][lvl].Total(), rs.TensorDM["A"][lvl].Total()
+		if d == 0 {
+			continue
+		}
+		if ratio := s / d; ratio < 0.24 || ratio > 0.26 {
+			t.Errorf("A level %d traffic ratio %v, want 0.25", lvl, ratio)
+		}
+	}
+	// B stays dense.
+	if rd.TensorDM["B"][2].Total() != rs.TensorDM["B"][2].Total() {
+		t.Error("dense operand traffic changed")
+	}
+	// Effective MACs gate on A's zeros.
+	if ratio := rs.MACs / rd.MACs; ratio != 0.25 {
+		t.Errorf("effective MACs ratio %v, want 0.25", ratio)
+	}
+	if rs.ComputeCycles >= rd.ComputeCycles {
+		t.Errorf("sparse compute %v not below dense %v", rs.ComputeCycles, rd.ComputeCycles)
+	}
+}
+
+func TestSetDensityValidates(t *testing.T) {
+	g := workload.Matmul(8, 8, 8)
+	if err := g.SetDensity("A", 0); err == nil {
+		t.Error("want density-range error")
+	}
+	if err := g.SetDensity("A", 1.5); err == nil {
+		t.Error("want density-range error")
+	}
+	if err := g.SetDensity("nope", 0.5); err == nil {
+		t.Error("want unknown-tensor error")
+	}
+	if err := g.SetDensity("A", 0.5); err != nil {
+		t.Error(err)
+	}
+	if g.Density("A") != 0.5 || g.Density("B") != 1 {
+		t.Error("density lookup wrong")
+	}
+	if d := g.OpDensity(g.Ops[0]); d != 0.5 {
+		t.Errorf("op density = %v", d)
+	}
+}
+
+// TestPropertySparseMonotone: lowering any operand's density never
+// increases traffic, cycles or energy.
+func TestPropertySparseMonotone(t *testing.T) {
+	spec := arch.Validation()
+	prop := func(dq uint8) bool {
+		d := float64(dq%9+1) / 10.0 // 0.1 .. 0.9
+		g := workload.Matmul(256, 256, 256)
+		if err := g.SetDensity("B", d); err != nil {
+			return false
+		}
+		rs, err := Evaluate(sparseTree(g), g, spec, Options{SkipCapacityCheck: true})
+		if err != nil {
+			return false
+		}
+		dense := workload.Matmul(256, 256, 256)
+		rd, err := Evaluate(sparseTree(dense), dense, spec, Options{SkipCapacityCheck: true})
+		if err != nil {
+			return false
+		}
+		return rs.DRAMTraffic() <= rd.DRAMTraffic()+0.5 &&
+			rs.Cycles <= rd.Cycles+1e-9 &&
+			rs.EnergyPJ() <= rd.EnergyPJ()+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSparseAttention exercises the extension on a realistic workload: a
+// Sanger-style sparse attention where the score matrix and its softmax
+// descendants are 10% dense.
+func TestSparseAttention(t *testing.T) {
+	shape := workload.AttentionShape{Name: "sparse", Heads: 8, SeqLen: 256, Hidden: 512, Batch: 1}
+	mk := func(sparse bool) (*workload.Graph, *Node) {
+		g := workload.Attention(shape)
+		if sparse {
+			for _, tensor := range []string{"S", "Sh", "E", "L"} {
+				if err := g.SetDensity(tensor, 0.1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// A simple fused tree: everything under one Shar stage.
+		var kids []*Node
+		for _, op := range g.Ops {
+			var loops []Loop
+			for _, d := range op.Dims {
+				loops = append(loops, T(d.Name, d.Size))
+			}
+			kids = append(kids, Leaf(op.Name, op, loops...))
+		}
+		stage := Tile("stage", 1, Shar, nil, kids...)
+		return g, Tile("root", 2, Seq, nil, stage)
+	}
+	gd, td := mk(false)
+	rd, err := Evaluate(td, gd, arch.Edge(), Options{SkipCapacityCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ts := mk(true)
+	rs, err := Evaluate(ts, gs, arch.Edge(), Options{SkipCapacityCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.OnChipTraffic() >= rd.OnChipTraffic() {
+		t.Errorf("sparse on-chip %v not below dense %v", rs.OnChipTraffic(), rd.OnChipTraffic())
+	}
+	if rs.FootprintWords[1] >= rd.FootprintWords[1] {
+		t.Errorf("sparse staging %v not below dense %v", rs.FootprintWords[1], rd.FootprintWords[1])
+	}
+	// Q/K/V stay dense: their DRAM traffic is unchanged.
+	for _, tensor := range []string{"Q", "K", "V"} {
+		if rd.TensorDM[tensor][2].Total() != rs.TensorDM[tensor][2].Total() {
+			t.Errorf("dense input %s traffic changed", tensor)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package core implements TileFlow's primary contribution: the analysis tree
+// built from the tile-centric notation (Sec 4) and the tree-based analysis
+// of data movement volume, resource usage, latency and energy (Sec 5).
+//
+// A fusion dataflow is a tree of tile nodes. Each node is a perfect loop
+// nest (a polyhedron of iterations) over its children; leaves carry a single
+// operator. Loops are bound spatially (Sp) or temporally (Tp); sibling tiles
+// are bound by one of the four inter-tile primitives of Table 1: Seq, Shar,
+// Para, Pipe. A node's Level names the memory level (index into
+// arch.Spec.Levels) whose buffer stages the node's data slices.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Binding is an inter-tile resource binding primitive (Table 1).
+type Binding int
+
+// The four inter-tile primitives. Seq gives each tile all resources in
+// turns and evicts slices between tiles; Shar shares the memory across
+// tiles executing in turns; Para and Pipe split compute and memory
+// spatially, Pipe additionally pipelining dependent tiles.
+const (
+	Seq Binding = iota
+	Shar
+	Para
+	Pipe
+)
+
+// String implements fmt.Stringer.
+func (b Binding) String() string {
+	switch b {
+	case Seq:
+		return "Seq"
+	case Shar:
+		return "Shar"
+	case Para:
+		return "Para"
+	case Pipe:
+		return "Pipe"
+	}
+	return fmt.Sprintf("Binding(%d)", int(b))
+}
+
+// Spatial reports whether the binding runs sibling tiles concurrently on
+// disjoint hardware (Para, Pipe) rather than time-multiplexed (Seq, Shar).
+func (b Binding) Spatial() bool { return b == Para || b == Pipe }
+
+// LoopKind distinguishes the intra-tile primitives Sp and Tp of Table 1.
+type LoopKind int
+
+// Loop kinds: temporal loops advance over time steps, spatial loops map to
+// parallel hardware units.
+const (
+	Temporal LoopKind = iota
+	Spatial
+)
+
+// String implements fmt.Stringer.
+func (k LoopKind) String() string {
+	if k == Spatial {
+		return "Sp"
+	}
+	return "Tp"
+}
+
+// Loop is one tiling loop of a tile node: a dimension name, the trip count
+// at this node, and a spatial/temporal binding. Within a node, loops are
+// ordered outermost first; spatial loops are treated as subdividing the
+// chunk of the innermost temporal position.
+type Loop struct {
+	Dim    string
+	Extent int
+	Kind   LoopKind
+}
+
+// T builds a temporal loop.
+func T(dim string, extent int) Loop { return Loop{Dim: dim, Extent: extent, Kind: Temporal} }
+
+// S builds a spatial loop.
+func S(dim string, extent int) Loop { return Loop{Dim: dim, Extent: extent, Kind: Spatial} }
+
+// String renders the loop like "i1:4" or "Sp(i1:4)".
+func (l Loop) String() string {
+	if l.Kind == Spatial {
+		return fmt.Sprintf("Sp(%s:%d)", l.Dim, l.Extent)
+	}
+	return fmt.Sprintf("%s:%d", l.Dim, l.Extent)
+}
+
+// Node is one tile of an analysis tree: the recursive tile definition
+// T_n = {loops}(T¹_{n−1}, …) of Sec 4.2. A leaf node carries the operator it
+// computes; interior nodes carry the inter-tile binding of their children.
+type Node struct {
+	// Name labels the tile for diagnostics and notation round-trips
+	// (e.g. "T0_1").
+	Name string
+
+	// Level indexes arch.Spec.Levels; the node's slices are staged in
+	// that level's buffer. Leaves sit at level 0 (registers); the root
+	// usually sits at the DRAM level.
+	Level int
+
+	// Loops is the node's loop nest, outermost first.
+	Loops []Loop
+
+	// Binding combines the children (ignored for leaves). The paper's
+	// default when unspecified is Seq.
+	Binding Binding
+
+	// Children are the sub-tiles, in execution order for Seq/Shar.
+	Children []*Node
+
+	// Op is non-nil exactly for leaves.
+	Op *workload.Operator
+}
+
+// Leaf builds a leaf tile computing op with the given loops.
+func Leaf(name string, op *workload.Operator, loops ...Loop) *Node {
+	return &Node{Name: name, Level: 0, Op: op, Loops: loops}
+}
+
+// Tile builds an interior tile node.
+func Tile(name string, level int, binding Binding, loops []Loop, children ...*Node) *Node {
+	return &Node{Name: name, Level: level, Binding: binding, Loops: loops, Children: children}
+}
+
+// IsLeaf reports whether the node is a leaf tile.
+func (n *Node) IsLeaf() bool { return n.Op != nil }
+
+// TemporalTrips is the product of the node's temporal loop extents: the
+// number of time steps one execution of this tile takes at its own level.
+func (n *Node) TemporalTrips() int64 {
+	t := int64(1)
+	for _, l := range n.Loops {
+		if l.Kind == Temporal {
+			t *= int64(l.Extent)
+		}
+	}
+	return t
+}
+
+// SpatialProduct is the product of the node's spatial loop extents: the
+// number of parallel hardware partitions the node spreads across.
+func (n *Node) SpatialProduct() int {
+	s := 1
+	for _, l := range n.Loops {
+		if l.Kind == Spatial {
+			s *= l.Extent
+		}
+	}
+	return s
+}
+
+// SpatialExtent is the product of spatial extents over the named dimension
+// at this node.
+func (n *Node) SpatialExtent(dim string) int {
+	s := 1
+	for _, l := range n.Loops {
+		if l.Kind == Spatial && l.Dim == dim {
+			s *= l.Extent
+		}
+	}
+	return s
+}
+
+// DimExtent is the product of all loop extents (spatial and temporal) over
+// the named dimension at this node.
+func (n *Node) DimExtent(dim string) int {
+	s := 1
+	for _, l := range n.Loops {
+		if l.Dim == dim {
+			s *= l.Extent
+		}
+	}
+	return s
+}
+
+// Walk visits the subtree in pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Leaves collects the leaf tiles of the subtree in execution order.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) {
+		if m.IsLeaf() {
+			out = append(out, m)
+		}
+	})
+	return out
+}
+
+// Ops collects the distinct operators computed in the subtree, in execution
+// order.
+func (n *Node) Ops() []*workload.Operator {
+	var out []*workload.Operator
+	seen := map[*workload.Operator]bool{}
+	for _, leaf := range n.Leaves() {
+		if !seen[leaf.Op] {
+			seen[leaf.Op] = true
+			out = append(out, leaf.Op)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the subtree. Operators are shared, not copied.
+func (n *Node) Clone() *Node {
+	c := *n
+	c.Loops = append([]Loop(nil), n.Loops...)
+	c.Children = make([]*Node, len(n.Children))
+	for i, ch := range n.Children {
+		c.Children[i] = ch.Clone()
+	}
+	return &c
+}
+
+// String renders the subtree as an indented outline.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	loops := make([]string, len(n.Loops))
+	for i, l := range n.Loops {
+		loops[i] = l.String()
+	}
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%s%s@L%d {%s} op=%s\n", indent, n.Name, n.Level, strings.Join(loops, ", "), n.Op.Name)
+		return
+	}
+	fmt.Fprintf(b, "%s%s@L%d {%s} %s\n", indent, n.Name, n.Level, strings.Join(loops, ", "), n.Binding)
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// tree is the evaluation-time view of an analysis tree with parent links and
+// per-leaf paths precomputed.
+type tree struct {
+	root    *Node
+	parent  map[*Node]*Node
+	leaves  []*Node
+	leafOf  map[*workload.Operator]*Node
+	nodeSet []*Node
+
+	dimsMemo map[*Node]map[string]bool
+
+	// retainOK, when set by the evaluator, reports whether the node's
+	// buffer can keep a tensor's whole swept footprint resident so that
+	// wrap-around revisits hit instead of refetching.
+	retainOK func(n, leaf *Node, acc workload.Access) bool
+}
+
+func buildTree(root *Node) (*tree, error) {
+	t := &tree{
+		root:   root,
+		parent: map[*Node]*Node{},
+		leafOf: map[*workload.Operator]*Node{},
+	}
+	var err error
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		t.nodeSet = append(t.nodeSet, n)
+		if n.IsLeaf() {
+			if len(n.Children) > 0 {
+				err = fmt.Errorf("core: leaf %q has children", n.Name)
+				return
+			}
+			if prev := t.leafOf[n.Op]; prev != nil {
+				err = fmt.Errorf("core: operator %q appears in two leaves (%q, %q)", n.Op.Name, prev.Name, n.Name)
+				return
+			}
+			t.leafOf[n.Op] = n
+			t.leaves = append(t.leaves, n)
+			return
+		}
+		if len(n.Children) == 0 {
+			err = fmt.Errorf("core: interior node %q has no children and no operator", n.Name)
+			return
+		}
+		for _, c := range n.Children {
+			if c.Level > n.Level {
+				err = fmt.Errorf("core: child %q at level %d above parent %q at level %d", c.Name, c.Level, n.Name, n.Level)
+				return
+			}
+			t.parent[c] = n
+			visit(c)
+			if err != nil {
+				return
+			}
+		}
+	}
+	visit(root)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// pathToRoot lists the node and its ancestors, innermost first.
+func (t *tree) pathToRoot(n *Node) []*Node {
+	var out []*Node
+	for m := n; m != nil; m = t.parent[m] {
+		out = append(out, m)
+	}
+	return out
+}
+
+// ancestors lists the strict ancestors of n, nearest first.
+func (t *tree) ancestors(n *Node) []*Node {
+	p := t.pathToRoot(n)
+	return p[1:]
+}
+
+// lca returns the least common ancestor of the given nodes.
+func (t *tree) lca(nodes []*Node) *Node {
+	if len(nodes) == 0 {
+		return nil
+	}
+	onPath := map[*Node]int{}
+	for _, n := range nodes {
+		for _, a := range t.pathToRoot(n) {
+			onPath[a]++
+		}
+	}
+	// Walk up from the first node; the first ancestor on every path is
+	// the LCA.
+	for _, a := range t.pathToRoot(nodes[0]) {
+		if onPath[a] == len(nodes) {
+			return a
+		}
+	}
+	return t.root
+}
+
+// isAncestorOrSelf reports whether a is n or an ancestor of n.
+func (t *tree) isAncestorOrSelf(a, n *Node) bool {
+	for m := n; m != nil; m = t.parent[m] {
+		if m == a {
+			return true
+		}
+	}
+	return false
+}
+
+// subtreeContains reports whether n's subtree contains m.
+func (t *tree) subtreeContains(n, m *Node) bool { return t.isAncestorOrSelf(n, m) }
+
+// childToward returns n's direct child on the path to leaf (or leaf itself
+// when n is the leaf).
+func (t *tree) childToward(n, leaf *Node) *Node {
+	child := leaf
+	for m := leaf; m != nil && m != n; m = t.parent[m] {
+		child = m
+	}
+	return child
+}
+
+// covBelow is the chunk of dimension dim covered per iteration step of node
+// n along the path toward leaf: the product of extents of dim loops at all
+// path nodes strictly below n.
+func (t *tree) covBelow(n *Node, leaf *Node, dim string) int {
+	cov := 1
+	for m := leaf; m != nil && m != n; m = t.parent[m] {
+		cov *= m.DimExtent(dim)
+	}
+	return cov
+}
+
+// stepCov is the extent of dimension dim covered by one temporal step of
+// node n on the path to leaf: the node's own spatial extents times
+// everything below. This is the slice-defining quantity of Sec 5.1.1 — the
+// slice extent stays constant across time steps and is determined by the
+// spatial loops (and the subtree chunk).
+func (t *tree) stepCov(n *Node, leaf *Node, dim string) int {
+	return n.SpatialExtent(dim) * t.covBelow(n, leaf, dim)
+}
+
+// covAt is the full extent of dim covered by node n (all loops at n and
+// below, along the path to leaf).
+func (t *tree) covAt(n *Node, leaf *Node, dim string) int {
+	return n.DimExtent(dim) * t.covBelow(n, leaf, dim)
+}

@@ -1,0 +1,421 @@
+package dataflows
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// fusedAttention is the shared template behind Uni-pipe, the four FLAT
+// granularities, Chimera and the TileFlow dataflow: self-attention with the
+// softmax expanded to five operators, fused at the innermost on-chip level,
+// with a configurable set of outer-tiled dimensions (the FLAT granularity
+// axis), a configurable inter-tile binding among the fused stages, and an
+// optional exclusion of L×V from the fusion.
+type fusedAttention struct {
+	name  string
+	shape workload.AttentionShape
+	spec  *arch.Spec
+	g     *workload.Graph
+	outer []string // dims tiled at outer levels, in loop order
+	// stageDims are iterated temporally at the fused stage node itself:
+	// the stage stages one chunk of them at a time without any outer
+	// (DRAM-level) tiling or parallelization. Uni-pipe processes heads
+	// this way.
+	stageDims []string
+	binding   core.Binding
+	fuseLV    bool
+}
+
+// Attention dataflow constructors (Table 5). The granularity ladder follows
+// FLAT: MGran tiles nothing (the whole intermediate is staged), BGran tiles
+// batch, HGran tiles batch and heads, RGran tiles batch, heads and rows.
+// Chimera tiles every dimension but keeps L×V out of the fusion; the
+// TileFlow dataflow pipelines all three stages with all loops tiled
+// (Sec 7.2: "pipeline all the three computation stages ... with all the
+// loops tiled").
+
+// UniPipe pipelines Q×K and softmax without tiling heads or rows: batch and
+// heads advance temporally at the fused stage, so there is no outer-level
+// parallelism (the low-utilization dataflow of Fig 11).
+func UniPipe(s workload.AttentionShape, spec *arch.Spec) Dataflow {
+	return &fusedAttention{name: "Uni-pipe", shape: s, spec: spec, g: workload.Attention(s),
+		outer: nil, stageDims: []string{"b", "h"}, binding: core.Pipe, fuseLV: false}
+}
+
+// FLATMGran fuses all three stages with no outer tiling.
+func FLATMGran(s workload.AttentionShape, spec *arch.Spec) Dataflow {
+	return &fusedAttention{name: "FLAT-MGran", shape: s, spec: spec, g: workload.Attention(s),
+		outer: nil, binding: core.Seq, fuseLV: true}
+}
+
+// FLATBGran fuses all three stages and tiles the batch dimension.
+func FLATBGran(s workload.AttentionShape, spec *arch.Spec) Dataflow {
+	return &fusedAttention{name: "FLAT-BGran", shape: s, spec: spec, g: workload.Attention(s),
+		outer: []string{"b"}, binding: core.Seq, fuseLV: true}
+}
+
+// FLATHGran fuses all three stages and tiles batch and heads (Fig 2a).
+func FLATHGran(s workload.AttentionShape, spec *arch.Spec) Dataflow {
+	return &fusedAttention{name: "FLAT-HGran", shape: s, spec: spec, g: workload.Attention(s),
+		outer: []string{"b", "h"}, binding: core.Seq, fuseLV: true}
+}
+
+// FLATRGran fuses all three stages and tiles batch, heads and rows.
+func FLATRGran(s workload.AttentionShape, spec *arch.Spec) Dataflow {
+	return &fusedAttention{name: "FLAT-RGran", shape: s, spec: spec, g: workload.Attention(s),
+		outer: []string{"b", "h", "m"}, binding: core.Seq, fuseLV: true}
+}
+
+// Chimera fuses Q×K with softmax and tiles every dimension.
+func Chimera(s workload.AttentionShape, spec *arch.Spec) Dataflow {
+	return &fusedAttention{name: "Chimera", shape: s, spec: spec, g: workload.Attention(s),
+		outer: []string{"b", "h", "m", "l"}, binding: core.Seq, fuseLV: false}
+}
+
+// TileFlowAttention is the dataflow the TileFlow mapper discovers (Sec 7.2):
+// all three stages pipelined, all loops tiled.
+func TileFlowAttention(s workload.AttentionShape, spec *arch.Spec) Dataflow {
+	return &fusedAttention{name: "TileFlow", shape: s, spec: spec, g: workload.Attention(s),
+		outer: []string{"b", "h", "m", "n", "l"}, binding: core.Pipe, fuseLV: true}
+}
+
+// CustomAttention builds a fused attention dataflow with an explicit
+// granularity (outer-tiled dims), inter-tile binding and fusion scope, for
+// ablation studies over the 3D design space's binding axis.
+func CustomAttention(name string, s workload.AttentionShape, spec *arch.Spec, outer []string, binding core.Binding, fuseLV bool) Dataflow {
+	return &fusedAttention{name: name, shape: s, spec: spec, g: workload.Attention(s),
+		outer: outer, binding: binding, fuseLV: fuseLV}
+}
+
+// placed is a (dimension, extent) pair destined for a node's loop list.
+type placed struct {
+	dim string
+	ext int
+}
+
+func (d *fusedAttention) Name() string           { return d.name }
+func (d *fusedAttention) Graph() *workload.Graph { return d.g }
+
+func (d *fusedAttention) hasOuter(dim string) bool {
+	for _, o := range d.outer {
+		if o == dim {
+			return true
+		}
+	}
+	return false
+}
+
+// coreDim picks the dimension split spatially across cores; subDim the one
+// split across sub-cores (Cloud only).
+func (d *fusedAttention) coreDim() string {
+	for _, pref := range []string{"h", "b", "m"} {
+		if d.hasOuter(pref) {
+			return pref
+		}
+	}
+	return ""
+}
+
+func (d *fusedAttention) subDim() string {
+	cd := d.coreDim()
+	for _, pref := range []string{"m", "h", "l", "b"} {
+		if pref != cd && d.hasOuter(pref) && d.dimSize(pref) > 1 {
+			return pref
+		}
+	}
+	// No second dimension to split: reuse the core dimension across
+	// sub-cores too (FLAT-HGran spreads heads over both levels).
+	return cd
+}
+
+func (d *fusedAttention) dimSize(dim string) int { return d.g.DimSize(dim) }
+
+func (d *fusedAttention) cloud() bool { return d.spec.NumLevels() >= 4 }
+
+// Factors implements Dataflow.
+func (d *fusedAttention) Factors() []FactorSpec {
+	var fs []FactorSpec
+	for _, dim := range d.outer {
+		fs = append(fs, FactorSpec{Key: "t_" + dim, Total: d.dimSize(dim),
+			Doc: "temporal tiles of " + dim + " at the outer level"})
+	}
+	if cd := d.coreDim(); cd != "" {
+		fs = append(fs, FactorSpec{Key: "sp_c", Total: d.dimSize(cd),
+			Doc: "spatial split of " + cd + " across cores"})
+	}
+	if d.cloud() {
+		if sd := d.subDim(); sd != "" {
+			fs = append(fs, FactorSpec{Key: "sp_s", Total: d.dimSize(sd),
+				Doc: "spatial split of " + sd + " across sub-cores"})
+		}
+		if d.hasOuter("m") {
+			fs = append(fs, FactorSpec{Key: "u_m", Total: d.dimSize("m"),
+				Doc: "temporal tiles of m at the L2 node"})
+		}
+	}
+	return fs
+}
+
+// DefaultFactors implements Dataflow with a plausible untuned assignment:
+// heads across cores, rows across sub-cores, modest row chunks.
+func (d *fusedAttention) DefaultFactors() map[string]int {
+	f := map[string]int{}
+	cores := d.spec.Levels[d.spec.DRAMLevel()].Fanout
+	if cd := d.coreDim(); cd != "" {
+		f["sp_c"] = DivisorAtMost(d.dimSize(cd), cores)
+	}
+	if d.cloud() {
+		if sd := d.subDim(); sd != "" {
+			rem := d.dimSize(sd)
+			if sd == d.coreDim() {
+				rem /= max(1, f["sp_c"])
+			}
+			f["sp_s"] = DivisorAtMost(rem, d.spec.Levels[2].Fanout)
+		}
+	}
+	// Batch and heads are fully consumed at the outer level: that is what
+	// "tiling batch/multi_heads" means in the FLAT granularity ladder.
+	for _, dim := range []string{"b", "h"} {
+		if !d.hasOuter(dim) {
+			continue
+		}
+		spent := 1
+		if d.coreDim() == dim {
+			spent *= max(1, f["sp_c"])
+		}
+		if d.subDim() == dim {
+			spent *= max(1, f["sp_s"])
+		}
+		f["t_"+dim] = max(1, d.dimSize(dim)/spent)
+	}
+	if d.hasOuter("m") {
+		// Stage blocks of ~64 rows.
+		total := d.dimSize("m")
+		spent := 1
+		if d.subDim() == "m" {
+			spent = max(1, f["sp_s"])
+		} else if d.coreDim() == "m" {
+			spent = max(1, f["sp_c"])
+		}
+		rem := total / spent
+		f["t_m"] = DivisorNear(rem, max(1, rem/64))
+	}
+	if d.hasOuter("l") {
+		f["t_l"] = DivisorNear(d.dimSize("l"), max(1, d.dimSize("l")/256))
+	}
+	return f
+}
+
+// Build implements Dataflow, assembling the tree:
+//
+//	root@DRAM {Sp(coreDim)}                       — spatial split only
+//	  [Cloud: mid@L2 {T(granularity loops)}]      — L2 staging granularity
+//	    stage@L1 {Sp(subDim), T(granularity)}     — L1 staging granularity
+//	      the fused QK/softmax[/LV] leaves        — (binding)
+//	  [unfused L×V subtree as a Seq sibling]
+//
+// The granularity loops (the FLAT b/h/m ladder plus Chimera/TileFlow's l/n
+// tiling) live at the on-chip staging nodes, never at the DRAM root: tiling
+// a reduction at the root would bounce partial sums off DRAM, and tiling
+// rows there would defeat the staging the dataflow exists to provide. On
+// Edge they all sit at the L1 stage; on Cloud they sit at the L2 mid node
+// with u_m refining the L1 staging.
+func (d *fusedAttention) Build(f map[string]int) (*core.Node, error) {
+	r := &factorReader{f: f}
+	spec := d.spec
+
+	// Per-dim products of all outer factors.
+	outerProd := map[string]int{}
+	mul := func(dim string, v int) {
+		if outerProd[dim] == 0 {
+			outerProd[dim] = 1
+		}
+		outerProd[dim] *= v
+	}
+	var rootSp, granT, stageSp, stageT []placed
+
+	cd, sd := d.coreDim(), d.subDim()
+	if cd != "" {
+		v := r.get("sp_c", d.dimSize(cd))
+		if v > 1 {
+			rootSp = append(rootSp, placed{cd, v})
+		}
+		mul(cd, v)
+	}
+	if d.cloud() && sd != "" {
+		v := r.get("sp_s", d.dimSize(sd))
+		if v > 1 {
+			stageSp = append(stageSp, placed{sd, v})
+		}
+		mul(sd, v)
+	}
+	for _, dim := range d.outer {
+		v := r.get("t_"+dim, d.dimSize(dim))
+		if v > 1 {
+			granT = append(granT, placed{dim, v})
+		}
+		mul(dim, v)
+	}
+	if d.cloud() && d.hasOuter("m") {
+		v := r.get("u_m", d.dimSize("m"))
+		if v > 1 {
+			stageT = append(stageT, placed{"m", v})
+		}
+		mul("m", v)
+	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	// Divisibility of the combined products.
+	for dim, p := range outerProd {
+		if d.dimSize(dim)%p != 0 {
+			return nil, fmt.Errorf("dataflow %s: outer factors %d do not divide %s=%d", d.name, p, dim, d.dimSize(dim))
+		}
+	}
+
+	// Stage-consumed dims (Uni-pipe's untiled heads) advance temporally
+	// at the innermost staging node, chunk by chunk, in full.
+	for _, dim := range d.stageDims {
+		sz := d.dimSize(dim)
+		o := outerProd[dim]
+		if o == 0 {
+			o = 1
+		}
+		if sz%o != 0 {
+			return nil, fmt.Errorf("dataflow %s: stage dim %s: outer %d does not divide %d", d.name, dim, o, sz)
+		}
+		if e := sz / o; e > 1 {
+			stageT = append(stageT, placed{dim, e})
+			mul(dim, e)
+		}
+	}
+	// On Edge there is no L2 node: the granularity loops fold into the
+	// stage node itself.
+	if !d.cloud() {
+		stageT = append(granT, stageT...)
+		granT = nil
+	}
+
+	// Leaves for the fused stage.
+	fused := []string{"QK", "RowMax", "Sub", "Exp", "RowSum", "Div"}
+	if d.fuseLV {
+		fused = append(fused, "LV")
+	}
+	var fusedOps []*workload.Operator
+	for _, name := range fused {
+		fusedOps = append(fusedOps, d.g.Op(name))
+	}
+	budget := macLeafBudget(d.spec, d.binding, fusedOps)
+	var stageKids []*core.Node
+	for _, op := range fusedOps {
+		leaf, err := d.buildLeaf(op, outerProd, budget)
+		if err != nil {
+			return nil, err
+		}
+		stageKids = append(stageKids, leaf)
+	}
+	var stageLoops []core.Loop
+	for _, p := range stageSp {
+		stageLoops = append(stageLoops, core.S(p.dim, p.ext))
+	}
+	for _, p := range stageT {
+		stageLoops = append(stageLoops, core.T(p.dim, p.ext))
+	}
+	stage := core.Tile("stage", 1, d.binding, stageLoops, stageKids...)
+
+	// Subtree under the root: optionally wrapped in the Cloud L2 node
+	// carrying the coarse granularity loops.
+	var body *core.Node = stage
+	if d.cloud() {
+		var loops []core.Loop
+		for _, p := range granT {
+			loops = append(loops, core.T(p.dim, p.ext))
+		}
+		body = core.Tile("mid", 2, core.Seq, loops, stage)
+	}
+
+	children := []*core.Node{body}
+	rootBinding := core.Seq
+	if !d.fuseLV {
+		lv, err := d.buildUnfusedLV(outerProd, granT, stageSp, stageT)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, lv)
+	}
+
+	var rootLoops []core.Loop
+	for _, p := range rootSp {
+		rootLoops = append(rootLoops, core.S(p.dim, p.ext))
+	}
+	root := core.Tile("root", spec.DRAMLevel(), rootBinding, rootLoops, children...)
+	root.Name = d.name
+	return root, nil
+}
+
+// buildLeaf constructs one operator's leaf with the canonical spatial dims
+// per stage: Q×K maps (m,l) to the array, L×V maps (m,n), and the softmax
+// operators map l onto the vector lanes.
+func (d *fusedAttention) buildLeaf(op *workload.Operator, outer map[string]int, budget int) (*core.Node, error) {
+	rem, err := remaining(op, outer)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow %s, op %s: %w", d.name, op.Name, err)
+	}
+	var spatial []string
+	switch op.Name {
+	case "QK":
+		spatial = []string{"m", "l"}
+	case "LV":
+		spatial = []string{"m", "n"}
+	default:
+		spatial = []string{"l"}
+	}
+	return core.Leaf(op.Name, op, leafLoops(op, d.spec, rem, spatial, budget)...), nil
+}
+
+// buildUnfusedLV gives L×V its own subtree when it is outside the fusion
+// (Uni-pipe, Chimera): the softmax output L then travels through DRAM. The
+// subtree mirrors the Cloud mid node's loops over L×V's own dimensions so
+// both root children tile their shared dims identically.
+func (d *fusedAttention) buildUnfusedLV(outer map[string]int, granT, stageSp, stageT []placed) (*core.Node, error) {
+	op := d.g.Op("LV")
+	// L×V shares the outer factors for its own dims (b, h, m, l); n is
+	// untiled outside. The subtree mirrors the fused side's staging loops
+	// over those dims so both root children tile their shared dims
+	// identically.
+	lvOuter := map[string]int{}
+	for _, dim := range op.DimNames() {
+		if v := outer[dim]; v > 1 {
+			lvOuter[dim] = v
+		}
+	}
+	var lvStageLoops []core.Loop
+	for _, p := range stageSp {
+		if op.HasDim(p.dim) && p.ext > 1 {
+			lvStageLoops = append(lvStageLoops, core.S(p.dim, p.ext))
+		}
+	}
+	for _, p := range stageT {
+		if op.HasDim(p.dim) && p.ext > 1 {
+			lvStageLoops = append(lvStageLoops, core.T(p.dim, p.ext))
+		}
+	}
+	leaf, err := d.buildLeaf(op, lvOuter, 0)
+	if err != nil {
+		return nil, err
+	}
+	node := core.Tile("lv-stage", 1, core.Seq, lvStageLoops, leaf)
+	if d.cloud() {
+		var loops []core.Loop
+		for _, p := range granT {
+			if op.HasDim(p.dim) && p.ext > 1 {
+				loops = append(loops, core.T(p.dim, p.ext))
+			}
+		}
+		return core.Tile("lv-mid", 2, core.Seq, loops, node), nil
+	}
+	return node, nil
+}

@@ -1,0 +1,273 @@
+// Package dataflows provides the named fusion dataflows of Table 5 as
+// parameterized analysis-tree templates: Layerwise, Uni-pipe, the four FLAT
+// granularities, Chimera and the TileFlow dataflow for self-attention, and
+// Layerwise, Fused-Layer, ISOS and TileFlow for convolution chains.
+//
+// A template exposes a factor space (named tiling factors, each a divisor of
+// a dimension) and builds a core.Node tree from a concrete factor
+// assignment. The mapper searches the factor space; the experiments use
+// mapper-tuned factors so the comparison between dataflows is fair, as
+// Sec 7.3 requires ("we utilize TileFlow's mapper to determine the tiling
+// factors for all the different dataflows").
+package dataflows
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// FactorSpec describes one tiling factor of a template's search space: the
+// factor must be a divisor of Total.
+type FactorSpec struct {
+	Key   string
+	Total int
+	// Doc explains what the factor tiles.
+	Doc string
+}
+
+// Choices enumerates the legal values of the factor (the divisors of Total).
+func (f FactorSpec) Choices() []int { return Divisors(f.Total) }
+
+// Dataflow is a buildable dataflow template.
+type Dataflow interface {
+	// Name is the Table 5 name.
+	Name() string
+	// Graph is the workload the dataflow schedules.
+	Graph() *workload.Graph
+	// Factors is the tiling-factor search space.
+	Factors() []FactorSpec
+	// DefaultFactors is a reasonable untuned assignment.
+	DefaultFactors() map[string]int
+	// Build constructs the analysis tree for a factor assignment.
+	Build(f map[string]int) (*core.Node, error)
+}
+
+// Divisors lists the positive divisors of n in increasing order.
+func Divisors(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var out []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+			if d != n/d {
+				out = append(out, n/d)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DivisorAtMost returns the largest divisor of n that is ≤ cap (at least 1).
+func DivisorAtMost(n, cap int) int {
+	best := 1
+	for _, d := range Divisors(n) {
+		if d <= cap && d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// DivisorNear returns the divisor of n closest to target (ties prefer the
+// larger divisor).
+func DivisorNear(n, target int) int {
+	best, bestDist := 1, target
+	for _, d := range Divisors(n) {
+		dist := d - target
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist < bestDist || (dist == bestDist && d > best) {
+			best, bestDist = d, dist
+		}
+	}
+	return best
+}
+
+// factorReader reads factors with divisibility validation.
+type factorReader struct {
+	f    map[string]int
+	errs []error
+}
+
+func (r *factorReader) get(key string, total int) int {
+	v, ok := r.f[key]
+	if !ok || v <= 0 {
+		v = 1
+	}
+	if total%v != 0 {
+		r.errs = append(r.errs, fmt.Errorf("factor %s=%d does not divide %d", key, v, total))
+		return 1
+	}
+	return v
+}
+
+func (r *factorReader) err() error {
+	if len(r.errs) == 0 {
+		return nil
+	}
+	return r.errs[0]
+}
+
+// leafLoops picks the loops for a leaf with the sub-core mesh as the
+// spatial bound: it splits up to two dimensions of the remaining extents
+// across the available lanes (the PE mesh for MAC operators, the vector
+// unit width for the rest), capped by peBudget so that pipelined stages
+// share the array, returning the loops in canonical order (temporal loops
+// first with reductions innermost, then spatial). peBudget <= 0 means the
+// whole mesh.
+func leafLoops(op *workload.Operator, spec *arch.Spec, rem map[string]int, spatialDims []string, peBudget int) []core.Loop {
+	return leafLoopsCapped(op, spec, rem, spatialDims, peBudget, spec.MeshX, spec.MeshY)
+}
+
+// leafLoopsCapped is leafLoops with explicit per-dimension spatial caps,
+// for mappings whose spatial extent spans sub-cores (convolution channel
+// mappings bounded by the aggregate array edges).
+func leafLoopsCapped(op *workload.Operator, spec *arch.Spec, rem map[string]int, spatialDims []string, peBudget, capX, capY int) []core.Loop {
+	var loops []core.Loop
+	meshX, meshY := capX, capY
+	if meshX <= 0 {
+		meshX = spec.MeshX
+	}
+	if meshY <= 0 {
+		meshY = spec.MeshY
+	}
+	if peBudget <= 0 {
+		peBudget = meshX * meshY
+	}
+	lanes := spec.VectorLanesPerSubcore
+	spat := map[string]int{}
+	if op.Kind.Vector() {
+		if len(spatialDims) > 0 {
+			d := spatialDims[0]
+			spat[d] = DivisorAtMost(rem[d], lanes)
+		}
+	} else {
+		used := 1
+		if len(spatialDims) > 0 {
+			d := spatialDims[0]
+			spat[d] = DivisorAtMost(rem[d], min(meshX, peBudget))
+			used = spat[d]
+		}
+		if len(spatialDims) > 1 && used > 0 {
+			d := spatialDims[1]
+			spat[d] = DivisorAtMost(rem[d], min(meshY, max(1, peBudget/used)))
+		}
+	}
+	// Canonical order: temporal loops over every dim (outer), spatial
+	// loops innermost. Reduction dims go innermost among the temporals so
+	// outputs accumulate in place.
+	dims := append([]workload.Dim(nil), op.Dims...)
+	sort.SliceStable(dims, func(i, j int) bool {
+		ri, rj := op.IsReduction(dims[i].Name), op.IsReduction(dims[j].Name)
+		return !ri && rj
+	})
+	for _, d := range dims {
+		e := rem[d.Name]
+		if e <= 0 {
+			e = 1
+		}
+		t := e / max(1, spat[d.Name])
+		if t > 1 {
+			loops = append(loops, core.T(d.Name, t))
+		}
+	}
+	for _, d := range dims {
+		if s := spat[d.Name]; s > 1 {
+			loops = append(loops, core.S(d.Name, s))
+		}
+	}
+	return loops
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// macLeafBudget divides the PE mesh among the MAC operators of a fused
+// stage when the binding runs them concurrently (Para/Pipe); under Seq/Shar
+// each stage gets the whole array in turns. Concurrent stages receive
+// partitions proportional to their work so a balanced pipeline wastes no
+// lanes; the result is each MAC leaf's individual cap.
+func macLeafBudget(spec *arch.Spec, binding core.Binding, ops []*workload.Operator) int {
+	mesh := spec.MeshX * spec.MeshY
+	if !binding.Spatial() {
+		return mesh
+	}
+	macs := 0
+	for _, op := range ops {
+		if !op.Kind.Vector() {
+			macs++
+		}
+	}
+	if macs <= 1 {
+		return mesh
+	}
+	return max(1, mesh/macs)
+}
+
+// macLeafBudgetFor sizes one operator's partition of the mesh under a
+// concurrent binding proportionally to its share of the MAC work, rounded
+// to a power of two so divisor-based spatial factors still fit.
+func macLeafBudgetFor(spec *arch.Spec, binding core.Binding, ops []*workload.Operator, op *workload.Operator) int {
+	mesh := spec.MeshX * spec.MeshY
+	if !binding.Spatial() || op.Kind.Vector() {
+		return mesh
+	}
+	var total, mine int64
+	macs := 0
+	for _, o := range ops {
+		if o.Kind.Vector() {
+			continue
+		}
+		macs++
+		total += o.OpCount()
+		if o == op {
+			mine = o.OpCount()
+		}
+	}
+	if macs <= 1 || total == 0 {
+		return mesh
+	}
+	share := float64(mine) / float64(total)
+	budget := 1
+	for budget*2 <= int(share*float64(mesh)) {
+		budget *= 2
+	}
+	return max(1, budget)
+}
+
+// remaining computes the leaf extents of each dim of op after the outer
+// factors have been applied. outer maps dim name to the product of all
+// outer tiling factors over that dim.
+func remaining(op *workload.Operator, outer map[string]int) (map[string]int, error) {
+	rem := map[string]int{}
+	for _, d := range op.Dims {
+		o := outer[d.Name]
+		if o == 0 {
+			o = 1
+		}
+		if d.Size%o != 0 {
+			return nil, fmt.Errorf("dim %s: outer factors %d do not divide %d", d.Name, o, d.Size)
+		}
+		rem[d.Name] = d.Size / o
+	}
+	return rem, nil
+}

@@ -1,0 +1,177 @@
+package dataflows
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// layerwise is the no-fusion baseline of Table 5: every operator is mapped
+// to the whole accelerator on its own, so every intermediate tensor spills
+// to DRAM (its least common ancestor is the DRAM-level root).
+type layerwise struct {
+	name string
+	g    *workload.Graph
+	spec *arch.Spec
+	// coreDim is split spatially across cores, subDim across sub-cores
+	// (Cloud), chunkDim temporally at the per-op top node.
+	coreDim, subDim, chunkDim string
+	// spatialOf picks each operator's leaf spatial dims.
+	spatialOf func(op *workload.Operator) []string
+	// aggregate maps leaf spatial dims onto the whole-chip array instead
+	// of one sub-core mesh (the convolution channel mapping), with no
+	// core/sub-core splits.
+	aggregate bool
+}
+
+// LayerwiseAttention is the Layerwise baseline for self-attention.
+func LayerwiseAttention(s workload.AttentionShape, spec *arch.Spec) Dataflow {
+	return &layerwise{
+		name: "Layerwise", g: workload.Attention(s), spec: spec,
+		coreDim: "h", subDim: "m", chunkDim: "m",
+		spatialOf: attentionLeafSpatial,
+	}
+}
+
+// LayerwiseConv is the Layerwise baseline for convolution chains: each
+// convolution maps its channel parallelism onto the aggregate array, one
+// operator at a time (so a single conv cannot fill the chip — the
+// utilization gap the pipelined fusion dataflow closes).
+func LayerwiseConv(s workload.ConvChainShape, spec *arch.Spec) Dataflow {
+	return &layerwise{
+		name: "Layerwise", g: workload.ConvChain(s), spec: spec,
+		chunkDim: "h", spatialOf: convLeafSpatial, aggregate: true,
+	}
+}
+
+func attentionLeafSpatial(op *workload.Operator) []string {
+	switch op.Name {
+	case "QK":
+		return []string{"m", "l"}
+	case "LV":
+		return []string{"m", "n"}
+	default:
+		return []string{"l"}
+	}
+}
+
+// convLeafSpatial maps the channel dimensions onto the PE array (output
+// channels × input channels), the standard spatial mapping for convolution
+// engines; height/width parallelism lives at the core/sub-core splits.
+func convLeafSpatial(op *workload.Operator) []string {
+	if op.HasDim("l") && !op.IsReduction("l") {
+		return []string{"l", "c"}
+	}
+	return []string{"e", "l"}
+}
+
+func (d *layerwise) Name() string           { return d.name }
+func (d *layerwise) Graph() *workload.Graph { return d.g }
+
+func (d *layerwise) Factors() []FactorSpec {
+	fs := []FactorSpec{
+		{Key: "t", Total: d.g.DimSize(d.chunkDim), Doc: "temporal tiles of " + d.chunkDim + " per operator"},
+	}
+	if d.coreDim != "" {
+		fs = append(fs, FactorSpec{Key: "sp_c", Total: d.g.DimSize(d.coreDim), Doc: "spatial split of " + d.coreDim + " across cores"})
+	}
+	if d.subDim != "" && d.spec.NumLevels() >= 4 {
+		fs = append(fs, FactorSpec{Key: "sp_s", Total: d.g.DimSize(d.subDim), Doc: "spatial split of " + d.subDim + " across sub-cores"})
+	}
+	return fs
+}
+
+func (d *layerwise) DefaultFactors() map[string]int {
+	f := map[string]int{}
+	if d.coreDim != "" {
+		f["sp_c"] = DivisorAtMost(d.g.DimSize(d.coreDim), d.spec.Levels[d.spec.DRAMLevel()].Fanout)
+	}
+	if d.subDim != "" && d.spec.NumLevels() >= 4 {
+		f["sp_s"] = DivisorAtMost(d.g.DimSize(d.subDim), d.spec.Levels[2].Fanout)
+	}
+	total := d.g.DimSize(d.chunkDim)
+	f["t"] = DivisorNear(total, max(1, total/64))
+	return f
+}
+
+func (d *layerwise) Build(f map[string]int) (*core.Node, error) {
+	r := &factorReader{f: f}
+	spC := 1
+	if d.coreDim != "" {
+		spC = r.get("sp_c", d.g.DimSize(d.coreDim))
+	}
+	t := r.get("t", d.g.DimSize(d.chunkDim))
+	spS := 1
+	if d.subDim != "" && d.spec.NumLevels() >= 4 {
+		spS = r.get("sp_s", d.g.DimSize(d.subDim))
+	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	var kids []*core.Node
+	for _, op := range d.g.Ops {
+		sub, err := d.opSubtree(op, spC, spS, t)
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, sub)
+	}
+	root := core.Tile(d.name, d.spec.DRAMLevel(), core.Seq, nil, kids...)
+	return root, nil
+}
+
+// opSubtree maps one operator onto the whole accelerator: an outer on-chip
+// node carrying the spatial core split and the temporal chunking, then (on
+// Cloud) an L1 node with the sub-core split, then the leaf.
+func (d *layerwise) opSubtree(op *workload.Operator, spC, spS, t int) (*core.Node, error) {
+	outer := map[string]int{}
+	var topLoops, midLoops []core.Loop
+	if d.coreDim != "" && op.HasDim(d.coreDim) && spC > 1 {
+		if op.DimSize(d.coreDim)%spC != 0 {
+			return nil, fmt.Errorf("layerwise %s: sp_c=%d does not divide %s", op.Name, spC, d.coreDim)
+		}
+		topLoops = append(topLoops, core.S(d.coreDim, spC))
+		outer[d.coreDim] = spC
+	}
+	if op.HasDim(d.chunkDim) && t > 1 {
+		prev := outer[d.chunkDim]
+		if prev == 0 {
+			prev = 1
+		}
+		if op.DimSize(d.chunkDim)%(prev*t) != 0 {
+			return nil, fmt.Errorf("layerwise %s: t=%d does not divide %s", op.Name, t, d.chunkDim)
+		}
+		topLoops = append(topLoops, core.T(d.chunkDim, t))
+		outer[d.chunkDim] = prev * t
+	}
+	cloud := d.spec.NumLevels() >= 4
+	if cloud && d.subDim != "" && op.HasDim(d.subDim) && spS > 1 {
+		prev := outer[d.subDim]
+		if prev == 0 {
+			prev = 1
+		}
+		if op.DimSize(d.subDim)%(prev*spS) != 0 {
+			return nil, fmt.Errorf("layerwise %s: sp_s=%d does not divide %s", op.Name, spS, d.subDim)
+		}
+		midLoops = append(midLoops, core.S(d.subDim, spS))
+		outer[d.subDim] = prev * spS
+	}
+	rem, err := remaining(op, outer)
+	if err != nil {
+		return nil, fmt.Errorf("layerwise %s: %w", op.Name, err)
+	}
+	var leaf *core.Node
+	if d.aggregate {
+		aggX, aggY := d.spec.AggregateMesh()
+		leaf = core.Leaf(op.Name, op, leafLoopsCapped(op, d.spec, rem, d.spatialOf(op), aggX*aggY, aggX, aggY)...)
+	} else {
+		leaf = core.Leaf(op.Name, op, leafLoops(op, d.spec, rem, d.spatialOf(op), 0)...)
+	}
+	if cloud {
+		l1 := core.Tile(op.Name+"@L1", 1, core.Seq, midLoops, leaf)
+		return core.Tile(op.Name+"@L2", 2, core.Seq, topLoops, l1), nil
+	}
+	return core.Tile(op.Name+"@L1", 1, core.Seq, topLoops, leaf), nil
+}

@@ -1,0 +1,188 @@
+package dataflows
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestGranularityLadderStaging checks the Table 7 mechanism across the FLAT
+// ladder on Edge: coarser granularity stages strictly more data at L1.
+func TestGranularityLadderStaging(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B") // small enough for MGran
+	spec := arch.Edge()
+	foot := func(df Dataflow) int64 {
+		root, err := df.Build(df.DefaultFactors())
+		if err != nil {
+			t.Fatalf("%s: %v", df.Name(), err)
+		}
+		res, err := core.Evaluate(root, df.Graph(), spec, core.Options{SkipCapacityCheck: true})
+		if err != nil {
+			t.Fatalf("%s: %v", df.Name(), err)
+		}
+		return res.FootprintWords[1]
+	}
+	m := foot(FLATMGran(shape, spec))
+	b := foot(FLATBGran(shape, spec))
+	h := foot(FLATHGran(shape, spec))
+	r := foot(FLATRGran(shape, spec))
+	if !(m >= b && b >= h && h > r) {
+		t.Errorf("granularity ladder not monotone: M=%d B=%d H=%d R=%d", m, b, h, r)
+	}
+}
+
+// TestFusedConfinesSoftmaxChain: every fused attention dataflow keeps the
+// score matrix and softmax intermediates off DRAM.
+func TestFusedConfinesSoftmaxChain(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B")
+	for _, spec := range []*arch.Spec{arch.Edge(), arch.Cloud()} {
+		for _, df := range []Dataflow{
+			FLATHGran(shape, spec), FLATRGran(shape, spec), TileFlowAttention(shape, spec),
+		} {
+			root, err := df.Build(df.DefaultFactors())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec.Name, df.Name(), err)
+			}
+			res, err := core.Evaluate(root, df.Graph(), spec, core.Options{SkipCapacityCheck: true})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec.Name, df.Name(), err)
+			}
+			dram := spec.DRAMLevel()
+			for _, tensor := range []string{"S", "Mx", "Sh", "E", "Sm", "L"} {
+				if dm := res.TensorDM[tensor]; dm != nil && dm[dram].Total() != 0 {
+					t.Errorf("%s/%s: %s leaked %.0f words to DRAM", spec.Name, df.Name(), tensor, dm[dram].Total())
+				}
+			}
+		}
+	}
+}
+
+// TestUnfusedLVSpillsL: Uni-pipe and Chimera keep LV out of the fusion, so
+// the softmax output L must cross DRAM while S stays confined.
+func TestUnfusedLVSpillsL(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B")
+	spec := arch.Edge()
+	for _, df := range []Dataflow{UniPipe(shape, spec), Chimera(shape, spec)} {
+		root, err := df.Build(df.DefaultFactors())
+		if err != nil {
+			t.Fatalf("%s: %v", df.Name(), err)
+		}
+		res, err := core.Evaluate(root, df.Graph(), spec, core.Options{SkipCapacityCheck: true})
+		if err != nil {
+			t.Fatalf("%s: %v", df.Name(), err)
+		}
+		if res.TensorDM["L"][2].Total() == 0 {
+			t.Errorf("%s: L should spill to DRAM when LV is unfused", df.Name())
+		}
+		if res.TensorDM["S"][2].Total() != 0 {
+			t.Errorf("%s: S should stay on chip", df.Name())
+		}
+	}
+}
+
+// TestConvActConfined: every conv fusion dataflow keeps the intermediate
+// activation on chip; Layerwise spills it.
+func TestConvActConfined(t *testing.T) {
+	shape, _ := workload.ConvChainShapeByName("CC3")
+	spec := arch.Cloud()
+	check := func(df Dataflow, wantOnChip bool) {
+		root, err := df.Build(df.DefaultFactors())
+		if err != nil {
+			t.Fatalf("%s: %v", df.Name(), err)
+		}
+		res, err := core.Evaluate(root, df.Graph(), spec, core.Options{SkipCapacityCheck: true})
+		if err != nil {
+			t.Fatalf("%s: %v", df.Name(), err)
+		}
+		dramAct := res.TensorDM["Act"][spec.DRAMLevel()].Total()
+		if wantOnChip && dramAct != 0 {
+			t.Errorf("%s: Act leaked %.0f words to DRAM", df.Name(), dramAct)
+		}
+		if !wantOnChip && dramAct == 0 {
+			t.Errorf("%s: Act should spill to DRAM", df.Name())
+		}
+	}
+	check(LayerwiseConv(shape, spec), false)
+	check(FusedLayer(shape, spec), true)
+	check(ISOS(shape, spec), true)
+	check(TileFlowConv(shape, spec), true)
+}
+
+// TestFinerTilesShrinkStaging: finer h/w tiling of the fused conv shrinks
+// the staged activation tile without adding DRAM traffic — adjacent tiles'
+// halo overlap is a sliding-window hit in the slice-difference analysis,
+// so the cost of fine tiling is buffer churn, not off-chip refetch.
+func TestFinerTilesShrinkStaging(t *testing.T) {
+	shape, _ := workload.ConvChainShapeByName("CC3")
+	spec := arch.Edge()
+	df := FusedLayer(shape, spec)
+	eval := func(th, tw int) *core.Result {
+		root, err := df.Build(map[string]int{"t_h": th, "t_w": tw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Evaluate(root, df.Graph(), spec, core.Options{SkipCapacityCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	coarse := eval(2, 2)
+	fine := eval(14, 14)
+	if fine.FootprintWords[1] >= coarse.FootprintWords[1] {
+		t.Errorf("finer tiles should stage less: %v vs %v", fine.FootprintWords[1], coarse.FootprintWords[1])
+	}
+	// The Act halo never reaches DRAM under either tiling.
+	if fine.TensorDM["Act"][2].Total() != 0 || coarse.TensorDM["Act"][2].Total() != 0 {
+		t.Error("Act leaked to DRAM")
+	}
+	// Im IS refetched with halos: Fused-Layer's Seq binding evicts it
+	// between the two convolution tiles, so finer tiling costs more Im
+	// DRAM reads — the classic Fused-Layer halo overhead.
+	vol := float64(df.Graph().Tensors["Im"].Volume())
+	cr := coarse.TensorDM["Im"][2].Read
+	fr := fine.TensorDM["Im"][2].Read
+	if cr < vol-0.5 || fr < vol-0.5 {
+		t.Errorf("Im reads below compulsory volume: %v/%v vs %v", cr, fr, vol)
+	}
+	if fr <= cr {
+		t.Errorf("finer tiles should refetch more Im halo: fine %v vs coarse %v", fr, cr)
+	}
+}
+
+// TestPropertyFactorSpacesBuild: every (dataflow, divisor assignment) from
+// the declared factor space either builds or fails with an error — and the
+// built trees always evaluate.
+func TestPropertyFactorSpacesBuild(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B")
+	spec := arch.Edge()
+	flows := []Dataflow{
+		LayerwiseAttention(shape, spec), UniPipe(shape, spec),
+		FLATHGran(shape, spec), FLATRGran(shape, spec),
+		Chimera(shape, spec), TileFlowAttention(shape, spec),
+	}
+	prop := func(pick [8]uint8, which uint8) bool {
+		df := flows[int(which)%len(flows)]
+		specs := df.Factors()
+		f := map[string]int{}
+		for i, fs := range specs {
+			ch := fs.Choices()
+			f[fs.Key] = ch[int(pick[i%len(pick)])%len(ch)]
+		}
+		root, err := df.Build(f)
+		if err != nil {
+			return true // combined factors may over-divide a dim
+		}
+		res, err := core.Evaluate(root, df.Graph(), spec, core.Options{SkipCapacityCheck: true, SkipPECheck: true})
+		if err != nil {
+			return true
+		}
+		return res.Cycles > 0 && res.EnergyPJ() > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

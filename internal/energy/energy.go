@@ -1,0 +1,135 @@
+// Package energy provides an Accelergy-style per-access energy model
+// (Sec 5.3: "For energy estimation, we use existing energy estimation
+// frameworks [45, 64] by passing them the total number of memory access
+// operations ... and computation operations").
+//
+// Energy is the dot product of access counts per memory level with a
+// per-access cost table, plus compute energy per MAC / vector op. SRAM
+// per-access energy grows with buffer capacity, which is the effect behind
+// Fig 13 ("The SRAM buffer size dictates the read/write energy of L1
+// buffer"): with a larger L1, L1 access energy dominates the breakdown.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+)
+
+// Per-access and per-op energy constants, in picojoules for 16-bit words.
+// The scale follows the familiar Eyeriss/Accelergy hierarchy: register ≈
+// MAC ≈ 1 pJ, on-chip SRAM a handful of pJ growing with capacity, DRAM two
+// orders of magnitude above the rest.
+const (
+	RegisterAccessPJ = 1.0
+	DRAMAccessPJ     = 200.0
+	MACEnergyPJ      = 1.0
+	VectorOpPJ       = 2.0
+
+	// SRAM per-access energy model: sramBasePJ + sramSlopePJ·capacityKB up
+	// to sramLinearKB, then square-root growth (large SRAMs are banked, so
+	// per-access energy grows with the bank wordline, not total capacity),
+	// capped below DRAM. The near-linear region reproduces the Fig 13
+	// breakdown shift between a 200 KB and a 1 MB L1.
+	sramBasePJ   = 1.2
+	sramSlopePJ  = 0.033
+	sramLinearKB = 4096.0
+	sramCapPJ    = 0.6 * DRAMAccessPJ
+)
+
+// SRAMAccessPJ is the per-word access energy of an on-chip SRAM of the given
+// capacity in bytes.
+func SRAMAccessPJ(capacityBytes int64) float64 {
+	kb := float64(capacityBytes) / 1024.0
+	e := sramBasePJ
+	if kb <= sramLinearKB {
+		e += sramSlopePJ * kb
+	} else {
+		e += sramSlopePJ*sramLinearKB + math.Sqrt(kb-sramLinearKB)*0.2
+	}
+	if e > sramCapPJ {
+		e = sramCapPJ
+	}
+	return e
+}
+
+// Table holds per-access energies for every level of one architecture.
+type Table struct {
+	// PerAccessPJ is indexed like arch.Spec.Levels (0 = registers,
+	// last = DRAM).
+	PerAccessPJ []float64
+	MACPJ       float64
+	VectorPJ    float64
+}
+
+// TableFor derives an energy table from an architecture specification.
+func TableFor(spec *arch.Spec) *Table {
+	t := &Table{
+		PerAccessPJ: make([]float64, len(spec.Levels)),
+		MACPJ:       MACEnergyPJ,
+		VectorPJ:    VectorOpPJ,
+	}
+	for i, l := range spec.Levels {
+		switch {
+		case i == 0:
+			t.PerAccessPJ[i] = RegisterAccessPJ
+		case l.CapacityBytes == 0:
+			t.PerAccessPJ[i] = DRAMAccessPJ
+		default:
+			t.PerAccessPJ[i] = SRAMAccessPJ(l.CapacityBytes)
+		}
+	}
+	return t
+}
+
+// Breakdown is the energy split the Fig 13 experiment reports.
+type Breakdown struct {
+	PerLevelPJ []float64 // indexed like the spec's levels
+	ComputePJ  float64
+}
+
+// TotalPJ sums the breakdown.
+func (b Breakdown) TotalPJ() float64 {
+	total := b.ComputePJ
+	for _, e := range b.PerLevelPJ {
+		total += e
+	}
+	return total
+}
+
+// Fraction reports one level's share of total energy.
+func (b Breakdown) Fraction(level int) float64 {
+	t := b.TotalPJ()
+	if t == 0 {
+		return 0
+	}
+	return b.PerLevelPJ[level] / t
+}
+
+// String renders the breakdown compactly.
+func (b Breakdown) String() string {
+	t := b.TotalPJ()
+	if t == 0 {
+		return "energy: 0"
+	}
+	s := fmt.Sprintf("energy %.3g pJ (compute %.1f%%", t, 100*b.ComputePJ/t)
+	for i, e := range b.PerLevelPJ {
+		s += fmt.Sprintf(", L%d %.1f%%", i, 100*e/t)
+	}
+	return s + ")"
+}
+
+// Estimate computes the energy breakdown from per-level word-access counts
+// and op counts. accesses[i] is the total number of word accesses at level i
+// (fill + read + update, as produced by the core data-movement analysis).
+func (t *Table) Estimate(accesses []float64, macs, vectorOps float64) Breakdown {
+	b := Breakdown{PerLevelPJ: make([]float64, len(t.PerAccessPJ))}
+	for i := range t.PerAccessPJ {
+		if i < len(accesses) {
+			b.PerLevelPJ[i] = accesses[i] * t.PerAccessPJ[i]
+		}
+	}
+	b.ComputePJ = macs*t.MACPJ + vectorOps*t.VectorPJ
+	return b
+}

@@ -1,0 +1,86 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestTableForHierarchy(t *testing.T) {
+	spec := arch.Cloud()
+	tab := TableFor(spec)
+	if len(tab.PerAccessPJ) != spec.NumLevels() {
+		t.Fatalf("levels = %d", len(tab.PerAccessPJ))
+	}
+	// The cost ladder: registers < SRAM levels < DRAM.
+	if tab.PerAccessPJ[0] != RegisterAccessPJ {
+		t.Errorf("reg = %v", tab.PerAccessPJ[0])
+	}
+	last := tab.PerAccessPJ[len(tab.PerAccessPJ)-1]
+	if last != DRAMAccessPJ {
+		t.Errorf("dram = %v", last)
+	}
+	for i := 1; i < spec.DRAMLevel(); i++ {
+		if tab.PerAccessPJ[i] <= tab.PerAccessPJ[0] || tab.PerAccessPJ[i] >= last {
+			t.Errorf("level %d access cost %v outside (reg, dram)", i, tab.PerAccessPJ[i])
+		}
+	}
+	// Capacity monotonicity drives Fig 13: the 40MB L2 costs at least as
+	// much per access as the 20MB L1 (both may sit at the banking cap).
+	if tab.PerAccessPJ[2] < tab.PerAccessPJ[1] {
+		t.Errorf("L2 %v below L1 %v", tab.PerAccessPJ[2], tab.PerAccessPJ[1])
+	}
+}
+
+func TestEstimateBreakdown(t *testing.T) {
+	tab := TableFor(arch.Edge())
+	bd := tab.Estimate([]float64{100, 200, 10}, 50, 20)
+	wantCompute := 50*MACEnergyPJ + 20*VectorOpPJ
+	if bd.ComputePJ != wantCompute {
+		t.Errorf("compute = %v, want %v", bd.ComputePJ, wantCompute)
+	}
+	if bd.TotalPJ() <= bd.ComputePJ {
+		t.Error("total must include level energy")
+	}
+	sum := bd.ComputePJ
+	for i := range bd.PerLevelPJ {
+		sum += bd.PerLevelPJ[i]
+	}
+	if math.Abs(sum-bd.TotalPJ()) > 1e-9 {
+		t.Errorf("total %v != sum %v", bd.TotalPJ(), sum)
+	}
+	if f := bd.Fraction(2); f <= 0 || f >= 1 {
+		t.Errorf("fraction = %v", f)
+	}
+}
+
+// TestPropertySRAMMonotone: larger buffers cost more per access.
+func TestPropertySRAMMonotone(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		x, y := int64(a%(1<<24))+1024, int64(b%(1<<24))+1024
+		if x > y {
+			x, y = y, x
+		}
+		return SRAMAccessPJ(x) <= SRAMAccessPJ(y) && SRAMAccessPJ(x) > 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEstimateLinear: energy is linear in access counts.
+func TestPropertyEstimateLinear(t *testing.T) {
+	tab := TableFor(arch.Edge())
+	prop := func(a, b, c uint16, macs uint16) bool {
+		acc := []float64{float64(a), float64(b), float64(c)}
+		double := []float64{2 * float64(a), 2 * float64(b), 2 * float64(c)}
+		e1 := tab.Estimate(acc, float64(macs), 0).TotalPJ()
+		e2 := tab.Estimate(double, 2*float64(macs), 0).TotalPJ()
+		return math.Abs(e2-2*e1) < 1e-6*math.Max(1, e2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

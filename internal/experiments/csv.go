@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV saves an experiment's plottable series as a CSV file in dir, so
+// the paper's figures can be regenerated with any plotting tool (the
+// artifact's role of producing "the resulting figures shown in paper").
+// Each result type chooses its own columns.
+func WriteCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f64(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }
+
+// CSV exports the Fig 8a/b scatter points.
+func (r *Fig8abResult) CSV(dir string) error {
+	rows := make([][]string, 0, len(r.CyclePairs))
+	for i := range r.CyclePairs {
+		rows = append(rows, []string{
+			f64(r.CyclePairs[i][0]), f64(r.CyclePairs[i][1]),
+			f64(r.EnergyPairs[i][0]), f64(r.EnergyPairs[i][1]),
+		})
+	}
+	return WriteCSV(dir, "fig8ab", []string{"timeloop_cycles", "tileflow_cycles", "timeloop_pj", "tileflow_pj"}, rows)
+}
+
+// CSV exports the Fig 8c/d relative points.
+func (r *Fig8cdResult) CSV(dir string) error {
+	rows := make([][]string, 0, len(r.RelCycles))
+	for i := range r.RelCycles {
+		rows = append(rows, []string{
+			strconv.Itoa(i), f64(r.RelCycles[i][0]), f64(r.RelCycles[i][1]), f64(r.RelEnergy[i]),
+		})
+	}
+	return WriteCSV(dir, "fig8cd", []string{"mapping", "tileflow_rel_cycle", "graphbased_rel_cycle", "tileflow_rel_energy"}, rows)
+}
+
+// TracesCSV exports normalized exploration traces (Fig 9).
+func TracesCSV(dir, name string, traces []Trace) error {
+	if len(traces) == 0 {
+		return nil
+	}
+	header := []string{"round"}
+	norm := make([][]float64, len(traces))
+	for i, tr := range traces {
+		header = append(header, tr.Label)
+		norm[i] = tr.Normalized()
+	}
+	n := len(norm[0])
+	rows := make([][]string, 0, n)
+	for r := 0; r < n; r++ {
+		row := []string{strconv.Itoa(r + 1)}
+		for i := range traces {
+			j := r
+			if j >= len(norm[i]) {
+				j = len(norm[i]) - 1
+			}
+			row = append(row, f64(norm[i][j]))
+		}
+		rows = append(rows, row)
+	}
+	return WriteCSV(dir, name, header, rows)
+}
+
+// PointsCSV exports a dataflow-comparison point set (Fig 10/11/12).
+func PointsCSV(dir, name string, points []DataflowPoint) error {
+	rows := make([][]string, 0, len(points))
+	for _, pt := range points {
+		rows = append(rows, []string{
+			pt.Shape, pt.Dataflow, fmt.Sprintf("%v", pt.OOM),
+			f64(pt.Cycles), f64(pt.DRAM), f64(pt.OnChip), f64(pt.L2), f64(pt.L1PerSubcore),
+			f64(pt.Utilization), f64(pt.EnergyPJ),
+			f64(pt.FillL1), f64(pt.ReadL1), f64(pt.UpdateL1),
+		})
+	}
+	return WriteCSV(dir, name, []string{
+		"shape", "dataflow", "oom", "cycles", "dram_words", "onchip_words",
+		"l2_words", "l1_per_subcore", "utilization", "energy_pj",
+		"l1_fill", "l1_read", "l1_update",
+	}, rows)
+}
+
+// BandwidthCSV exports the Fig 14 slow-down curves.
+func BandwidthCSV(dir string, traces []BandwidthTrace) error {
+	var rows [][]string
+	for _, tr := range traces {
+		for _, p := range tr.Points {
+			rows = append(rows, []string{tr.Chain, tr.Dataflow, f64(p.BWGBs), f64(p.SlowDown)})
+		}
+	}
+	return WriteCSV(dir, "fig14", []string{"chain", "dataflow", "l1_bw_gbs", "slowdown"}, rows)
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/graphmodel"
+	"repro/internal/sim"
+	"repro/internal/timeloop"
+	"repro/internal/workload"
+)
+
+// Fig8abResult is the model-vs-model validation of Fig 8a/b: TileFlow
+// against the independently implemented Timeloop-style polyhedron model
+// over an enumerated matmul mapping sweep.
+type Fig8abResult struct {
+	Points        int
+	CycleR2       float64
+	EnergyMeanErr float64
+	// Pairs are (timeloop, tileflow) cycle pairs for plotting.
+	CyclePairs  [][2]float64
+	EnergyPairs [][2]float64
+}
+
+// Fig8ab enumerates the matmul mapping sweep (the paper uses 1152 mappings
+// of a single matrix multiplication on the validation accelerator) and
+// evaluates both models on every mapping.
+func Fig8ab(cfg Config) (*Fig8abResult, error) {
+	spec := arch.Validation()
+	const M, N, K = 256, 256, 256
+	g := workload.Matmul(M, N, K)
+	op := g.Ops[0]
+
+	spatials := []int{4, 8, 16}
+	aks := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	if cfg.Quick {
+		spatials = []int{4, 16}
+		aks = []int{1, 16, 256}
+	}
+
+	res := &Fig8abResult{}
+	for _, sm := range spatials {
+		for _, sn := range spatials {
+			for _, am := range divisorsOf(M / sm) {
+				for _, an := range divisorsOf(N / sn) {
+					for _, ak := range aks {
+						if res.Points >= 1152 {
+							break
+						}
+						mp, ok := matmulMapping(M, N, K, am, an, ak, sm, sn, spec)
+						if !ok {
+							continue
+						}
+						tree, ok := matmulTree(op, M, N, K, am, an, ak, sm, sn, spec)
+						if !ok {
+							continue
+						}
+						r1, err := timeloop.Evaluate(op, mp, spec)
+						if err != nil {
+							return nil, err
+						}
+						r2, err := core.Evaluate(tree, g, spec, core.Options{SkipCapacityCheck: true})
+						if err != nil {
+							return nil, err
+						}
+						res.CyclePairs = append(res.CyclePairs, [2]float64{r1.Cycles, r2.Cycles})
+						res.EnergyPairs = append(res.EnergyPairs, [2]float64{r1.EnergyPJ, r2.EnergyPJ()})
+						res.Points++
+					}
+				}
+			}
+		}
+	}
+	res.CycleR2 = pairR2(res.CyclePairs)
+	res.EnergyMeanErr = pairMeanErr(res.EnergyPairs)
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig8abResult) Render() string {
+	t := newTable("metric", "value", "paper")
+	t.row("mappings", fmt.Sprintf("%d", r.Points), "1152")
+	t.row("cycle R^2 vs Timeloop-model (Fig 8a)", fmt.Sprintf("%.4f", r.CycleR2), "0.999")
+	t.row("energy mean |err| vs Timeloop-model (Fig 8b)", fmt.Sprintf("%.4f", r.EnergyMeanErr), "0.001")
+	return "Fig 8a/b — validation against the polyhedron model\n" + t.String()
+}
+
+// Fig8cdResult is the model-vs-machine validation of Fig 8c/d: TileFlow and
+// the graph-based baseline against the cycle-level simulator over a fused
+// self-attention mapping sweep.
+type Fig8cdResult struct {
+	Mappings          int
+	TileFlowCycleErr  float64 // mean |relative error|, Fig 8c blue
+	GraphBasedErr     float64 // mean |relative error|, Fig 8c yellow
+	TileFlowEnergyErr float64 // Fig 8d
+	// RelCycles are (mapping, tileflow/sim, graphbased/sim) triples.
+	RelCycles [][2]float64
+	RelEnergy []float64
+}
+
+// Fig8cd runs the attention mapping sweep on the simulator (the RTL
+// substitute) and compares both estimators. The paper enumerates 131
+// mappings by changing tiling factors and shapes.
+func Fig8cd(cfg Config) (*Fig8cdResult, error) {
+	m := sim.Validation()
+	spec := arch.Validation()
+
+	seqs := []int{64, 128, 192, 256, 320, 384, 448, 512}
+	rbs := []int{8, 16, 32, 64, 128}
+	cores := []int{1, 2, 4}
+	if cfg.Quick {
+		seqs = []int{128, 512}
+		rbs = []int{16, 64}
+		cores = []int{4}
+	}
+
+	res := &Fig8cdResult{}
+	var tfErr, gbErr, eErr float64
+	for _, seq := range seqs {
+		for _, rb := range rbs {
+			for _, cu := range cores {
+				if res.Mappings >= 131 {
+					break
+				}
+				if seq%rb != 0 {
+					continue
+				}
+				shape := workload.AttentionShape{Name: fmt.Sprintf("s%d", seq), Heads: 8, SeqLen: seq, Hidden: 512, Batch: 1}
+				am := sim.AttentionMapping{Shape: shape, RowBlock: rb, CoresUsed: cu}
+				if err := am.Validate(m); err != nil {
+					continue
+				}
+				prog, err := am.BuildProgram(m)
+				if err != nil {
+					continue
+				}
+				st, err := m.Run(prog)
+				if err != nil {
+					return nil, err
+				}
+				tree, g, err := am.ModelTree(spec)
+				if err != nil {
+					continue
+				}
+				pred, err := core.Evaluate(tree, g, spec, core.Options{SkipCapacityCheck: true})
+				if err != nil {
+					return nil, err
+				}
+				gb, err := graphmodel.Estimate(g, spec, cu)
+				if err != nil {
+					return nil, err
+				}
+				relTF := pred.Cycles / st.Cycles
+				relGB := gb / st.Cycles
+				relE := pred.EnergyPJ() / st.EnergyPJ
+				res.RelCycles = append(res.RelCycles, [2]float64{relTF, relGB})
+				res.RelEnergy = append(res.RelEnergy, relE)
+				tfErr += math.Abs(relTF - 1)
+				gbErr += math.Abs(relGB - 1)
+				eErr += math.Abs(relE - 1)
+				res.Mappings++
+			}
+		}
+	}
+	n := float64(res.Mappings)
+	if n > 0 {
+		res.TileFlowCycleErr = tfErr / n
+		res.GraphBasedErr = gbErr / n
+		res.TileFlowEnergyErr = eErr / n
+	}
+	return res, nil
+}
+
+// Render implements the experiment report.
+func (r *Fig8cdResult) Render() string {
+	t := newTable("metric", "value", "paper")
+	t.row("mappings", fmt.Sprintf("%d", r.Mappings), "131")
+	t.row("TileFlow cycle mean |err| vs accelerator (Fig 8c)", fmt.Sprintf("%.3f", r.TileFlowCycleErr), "0.054")
+	t.row("graph-based cycle mean |err| (Fig 8c)", fmt.Sprintf("%.3f", r.GraphBasedErr), "0.488")
+	t.row("TileFlow energy mean |err| (Fig 8d)", fmt.Sprintf("%.3f", r.TileFlowEnergyErr), "0.061")
+	return "Fig 8c/d — validation against the cycle-level accelerator\n" + t.String()
+}
+
+// --- shared mapping construction (also used by the timeloop tests) ---
+
+func divisorsOf(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func matmulMapping(m, n, k, am, an, ak, sm, sn int, spec *arch.Spec) (timeloop.Mapping, bool) {
+	bm := m / (am * sm)
+	bn := n / (an * sn)
+	bk := k / ak
+	if am*sm*bm != m || an*sn*bn != n || ak*bk != k || bm < 1 || bn < 1 || bk < 1 {
+		return timeloop.Mapping{}, false
+	}
+	return timeloop.Mapping{Levels: []timeloop.LevelNest{
+		{Level: spec.DRAMLevel(), Loops: []timeloop.Loop{{Dim: "m", Bound: am}, {Dim: "n", Bound: an}, {Dim: "k", Bound: ak}}},
+		{Level: 1, Loops: []timeloop.Loop{{Dim: "m", Bound: bm}, {Dim: "n", Bound: bn}, {Dim: "k", Bound: bk}}},
+		{Level: 0, Loops: []timeloop.Loop{{Dim: "m", Bound: sm, Spatial: true}, {Dim: "n", Bound: sn, Spatial: true}}},
+	}}, true
+}
+
+func matmulTree(op *workload.Operator, m, n, k, am, an, ak, sm, sn int, spec *arch.Spec) (*core.Node, bool) {
+	bm := m / (am * sm)
+	bn := n / (an * sn)
+	bk := k / ak
+	if am*sm*bm != m || an*sn*bn != n || ak*bk != k || bm < 1 || bn < 1 || bk < 1 {
+		return nil, false
+	}
+	leaf := core.Leaf("leaf", op, core.S("m", sm), core.S("n", sn))
+	l1 := core.Tile("l1", 1, core.Seq, []core.Loop{core.T("m", bm), core.T("n", bn), core.T("k", bk)}, leaf)
+	root := core.Tile("root", spec.DRAMLevel(), core.Seq,
+		[]core.Loop{core.T("m", am), core.T("n", an), core.T("k", ak)}, l1)
+	return root, true
+}
+
+func pairR2(pairs [][2]float64) float64 {
+	if len(pairs) == 0 {
+		return math.NaN()
+	}
+	var meanY float64
+	for _, p := range pairs {
+		meanY += p[1]
+	}
+	meanY /= float64(len(pairs))
+	var ssRes, ssTot float64
+	for _, p := range pairs {
+		d := p[1] - p[0]
+		ssRes += d * d
+		dt := p[1] - meanY
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+func pairMeanErr(pairs [][2]float64) float64 {
+	if len(pairs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, p := range pairs {
+		if p[0] != 0 {
+			s += math.Abs(p[1]-p[0]) / p[0]
+		}
+	}
+	return s / float64(len(pairs))
+}

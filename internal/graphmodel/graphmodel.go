@@ -1,0 +1,104 @@
+// Package graphmodel implements the graph-based fusion estimation approach
+// the paper compares against in Fig 8c (the yellow circles, ~48.8% average
+// error): each operator is evaluated separately with a polyhedron-based
+// single-operator model, and the unneeded inter-operator DRAM transfers are
+// stripped from the sum according to the compute-graph topology (Sec 2.3,
+// "other lines of work handle fusion by first evaluating each operator
+// separately ... and then eliminate unwanted inter-operator data transfer
+// according to the DNN model topology").
+//
+// The approach ignores on-chip staging, intra-fusion pipelining and
+// resource sharing — which is exactly why it misses: stages that overlap in
+// the real machine are summed, and the stripped DRAM time is a crude
+// correction.
+package graphmodel
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/timeloop"
+	"repro/internal/workload"
+)
+
+// Estimate predicts the latency of a fused graph executed on coresUsed
+// cores by the graph-based method: per-operator polyhedron model, summed,
+// minus the DRAM transfer time of intermediate tensors that fusion keeps on
+// chip.
+func Estimate(g *workload.Graph, spec *arch.Spec, coresUsed int) (float64, error) {
+	if coresUsed <= 0 {
+		coresUsed = 1
+	}
+	var total float64
+	for _, op := range g.Ops {
+		c, err := operatorCycles(op, spec)
+		if err != nil {
+			return 0, fmt.Errorf("graphmodel: op %s: %w", op.Name, err)
+		}
+		total += c / float64(coresUsed)
+	}
+	// Strip the inter-operator traffic fusion eliminates: each on-chip
+	// intermediate saves its DRAM write and read.
+	wpc := spec.WordsPerCycle(spec.DRAMLevel())
+	for _, name := range g.IntermediateTensors() {
+		vol := float64(g.Tensors[name].Volume())
+		total -= 2 * vol / wpc / float64(coresUsed)
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total, nil
+}
+
+// operatorCycles evaluates one operator in isolation with the timeloop
+// model under a canonical mapping: the whole iteration space staged at L1,
+// the output's leading dimensions spatial on the array.
+func operatorCycles(op *workload.Operator, spec *arch.Spec) (float64, error) {
+	var spatial []timeloop.Loop
+	budget := spec.MeshX * spec.MeshY
+	if op.Kind.Vector() {
+		budget = spec.VectorLanesPerSubcore
+	}
+	used := map[string]int{}
+	for _, d := range op.Write.Dims() {
+		if budget <= 1 {
+			break
+		}
+		sz := op.DimSize(d)
+		s := 1
+		for f := 2; f <= sz && f <= budget; f++ {
+			if sz%f == 0 {
+				s = f
+			}
+		}
+		if s > 1 {
+			spatial = append(spatial, timeloop.Loop{Dim: d, Bound: s, Spatial: true})
+			used[d] = s
+			budget /= s
+		}
+	}
+	var l1 []timeloop.Loop
+	for _, d := range op.Dims {
+		rem := d.Size / maxInt(1, used[d.Name])
+		if rem > 1 {
+			l1 = append(l1, timeloop.Loop{Dim: d.Name, Bound: rem})
+		}
+	}
+	m := timeloop.Mapping{Levels: []timeloop.LevelNest{
+		{Level: spec.DRAMLevel(), Loops: nil},
+		{Level: 1, Loops: l1},
+		{Level: 0, Loops: spatial},
+	}}
+	res, err := timeloop.Evaluate(op, m, spec)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package graphmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestGraphBasedIsWorseThanTreeBased reproduces the Fig 8c ordering in
+// miniature: against the cycle-level simulator, the graph-based estimate
+// must carry substantially more error than TileFlow's tree-based model.
+func TestGraphBasedIsWorseThanTreeBased(t *testing.T) {
+	m := sim.Validation()
+	spec := arch.Validation()
+	var tfErr, gbErr []float64
+	for _, seq := range []int{128, 256, 512} {
+		for _, rb := range []int{16, 64} {
+			shape := workload.AttentionShape{Name: "v", Heads: 8, SeqLen: seq, Hidden: 512, Batch: 1}
+			am := sim.AttentionMapping{Shape: shape, RowBlock: rb, CoresUsed: 4}
+			p, err := am.BuildProgram(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := m.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, g, err := am.ModelTree(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Evaluate(tree, g, spec, core.Options{SkipCapacityCheck: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, err := Estimate(g, spec, am.CoresUsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tfErr = append(tfErr, math.Abs(res.Cycles-st.Cycles)/st.Cycles)
+			gbErr = append(gbErr, math.Abs(gb-st.Cycles)/st.Cycles)
+		}
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	mt, mg := mean(tfErr), mean(gbErr)
+	t.Logf("tree-based err %.3f, graph-based err %.3f", mt, mg)
+	if mg <= mt {
+		t.Errorf("graph-based error %.3f not worse than tree-based %.3f", mg, mt)
+	}
+	if mg < 0.15 {
+		t.Errorf("graph-based error %.3f implausibly low", mg)
+	}
+}
+
+func TestEstimateRejectsNothing(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("Bert-S")
+	g := workload.Attention(shape)
+	c, err := Estimate(g, arch.Validation(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Fatalf("cycles %v", c)
+	}
+}

@@ -1,0 +1,239 @@
+package mapper
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TreeSearch explores the full 3D design space (Sec 6): a genetic algorithm
+// generates analysis trees by crossover and mutation of Fig 7b encodings
+// (compute ordering + resource binding), and every candidate tree's tiling
+// factors are tuned by the MCTS tile search. The best tiling feeds back as
+// the individual's fitness; the top-K individuals seed the next population.
+type TreeSearch struct {
+	G    *workload.Graph
+	Spec *arch.Spec
+	Opts core.Options
+
+	// Population is the number of encodings per generation (the paper
+	// samples 20 fusion dataflows per round).
+	Population int
+	// Generations is the number of GA rounds (the paper converges in
+	// under 50).
+	Generations int
+	// TileRounds is the MCTS budget per individual.
+	TileRounds int
+	// TopK survivors seed the next generation.
+	TopK int
+	// Parallel caps concurrent fitness evaluations (default NumCPU).
+	Parallel int
+	// Seed fixes the random stream.
+	Seed int64
+}
+
+// TreeSearchResult is the outcome of a 3D-space exploration.
+type TreeSearchResult struct {
+	Best     *Evaluation
+	Encoding *Encoding
+	// Trace is the best-so-far cycles after each generation (the Fig 9b/c
+	// exploration traces).
+	Trace []float64
+}
+
+type individual struct {
+	enc    *Encoding
+	cycles float64
+	eval   *Evaluation
+}
+
+// Run executes the combined GA+MCTS search.
+func (s *TreeSearch) Run() *TreeSearchResult {
+	pop := s.Population
+	if pop <= 0 {
+		pop = 20
+	}
+	gens := s.Generations
+	if gens <= 0 {
+		gens = 50
+	}
+	topK := s.TopK
+	if topK <= 0 {
+		topK = pop / 4
+		if topK < 2 {
+			topK = 2
+		}
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	n := len(s.G.Ops)
+
+	individuals := make([]*individual, pop)
+	individuals[0] = &individual{enc: LayerwiseEncoding(n)} // always seed no-fusion
+	for i := 1; i < pop; i++ {
+		individuals[i] = &individual{enc: s.randomEncoding(rng)}
+	}
+
+	cache := map[string]*individual{}
+	res := &TreeSearchResult{}
+	for g := 0; g < gens; g++ {
+		s.evaluatePopulation(individuals, cache, rng)
+		sort.SliceStable(individuals, func(i, j int) bool {
+			return individuals[i].cycles < individuals[j].cycles
+		})
+		if best := individuals[0]; best.eval != nil &&
+			(res.Best == nil || best.cycles < res.Best.Cycles) {
+			res.Best = best.eval
+			res.Encoding = best.enc.Clone()
+		}
+		if res.Best != nil {
+			res.Trace = append(res.Trace, res.Best.Cycles)
+		} else {
+			res.Trace = append(res.Trace, math.Inf(1))
+		}
+		if g == gens-1 {
+			break
+		}
+		// Next generation: keep the top-K, fill with crossovers and
+		// mutations of survivors.
+		next := make([]*individual, 0, pop)
+		for i := 0; i < topK && i < len(individuals); i++ {
+			next = append(next, &individual{enc: individuals[i].enc.Clone()})
+		}
+		for len(next) < pop {
+			a := individuals[rng.Intn(topK)].enc
+			b := individuals[rng.Intn(topK)].enc
+			child := s.crossover(a, b, rng)
+			s.mutate(child, rng)
+			next = append(next, &individual{enc: child})
+		}
+		individuals = next
+	}
+	return res
+}
+
+func (s *TreeSearch) evaluatePopulation(pop []*individual, cache map[string]*individual, rng *rand.Rand) {
+	par := s.Parallel
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	// Pre-draw deterministic seeds for each individual.
+	type job struct {
+		ind  *individual
+		seed int64
+	}
+	var jobs []job
+	for _, ind := range pop {
+		ind.enc.Repair(s.Spec.NumLevels())
+		key := ind.enc.String()
+		if hit, ok := cache[key]; ok {
+			ind.cycles, ind.eval = hit.cycles, hit.eval
+			continue
+		}
+		jobs = append(jobs, job{ind, rng.Int63()})
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			j.ind.cycles, j.ind.eval = s.fitness(j.ind.enc, j.seed)
+		}(j)
+	}
+	wg.Wait()
+	for _, j := range jobs {
+		cache[j.ind.enc.String()] = j.ind
+	}
+}
+
+// fitness tunes an encoding's tiling with MCTS and returns its best cycles
+// (infinite when no valid mapping exists).
+func (s *TreeSearch) fitness(enc *Encoding, seed int64) (float64, *Evaluation) {
+	gd := NewGeneratedDataflow("candidate", s.G, s.Spec, enc)
+	rounds := s.TileRounds
+	if rounds <= 0 {
+		rounds = 40
+	}
+	ts := &TileSearch{Dataflow: gd, Spec: s.Spec, Opts: s.Opts, Rounds: rounds, Seed: seed}
+	best, _ := ts.Run()
+	if best == nil {
+		return math.Inf(1), nil
+	}
+	return best.Cycles, best
+}
+
+// randomEncoding samples the ordering/binding plane uniformly-ish: each op
+// fuses into a random later op (biased toward its consumers) at a random
+// on-chip level with a random binding, or stays at the top level.
+func (s *TreeSearch) randomEncoding(rng *rand.Rand) *Encoding {
+	n := len(s.G.Ops)
+	maxMem := s.Spec.NumLevels() - 2
+	e := LayerwiseEncoding(n)
+	for i := 0; i < n-1; i++ {
+		if rng.Float64() < 0.3 {
+			continue // stay top-level
+		}
+		// Prefer fusing into a consumer of this op's output.
+		var consumers []int
+		out := s.G.Ops[i].Write.Tensor
+		for j := i + 1; j < n; j++ {
+			for _, r := range s.G.Ops[j].Reads {
+				if r.Tensor == out {
+					consumers = append(consumers, j)
+				}
+			}
+		}
+		if len(consumers) > 0 && rng.Float64() < 0.8 {
+			e.Target[i] = consumers[rng.Intn(len(consumers))]
+		} else {
+			e.Target[i] = i + 1 + rng.Intn(n-1-i)
+		}
+		e.Mem[i] = 1 + rng.Intn(maxMem)
+		e.Binding[i] = core.Binding(rng.Intn(4))
+	}
+	return e
+}
+
+// crossover swaps whole operator columns between two parents at a random
+// split point.
+func (s *TreeSearch) crossover(a, b *Encoding, rng *rand.Rand) *Encoding {
+	n := len(a.Target)
+	cut := rng.Intn(n)
+	child := a.Clone()
+	for i := cut; i < n; i++ {
+		child.Target[i] = b.Target[i]
+		child.Mem[i] = b.Mem[i]
+		child.Binding[i] = b.Binding[i]
+	}
+	return child
+}
+
+// mutate rewrites one random column.
+func (s *TreeSearch) mutate(e *Encoding, rng *rand.Rand) {
+	n := len(e.Target)
+	if n == 0 {
+		return
+	}
+	i := rng.Intn(n)
+	maxMem := s.Spec.NumLevels() - 2
+	switch rng.Intn(3) {
+	case 0:
+		if i < n-1 && rng.Float64() < 0.7 {
+			e.Target[i] = i + 1 + rng.Intn(n-1-i)
+		} else {
+			e.Target[i] = -1
+		}
+	case 1:
+		e.Mem[i] = 1 + rng.Intn(maxInt(1, maxMem))
+	case 2:
+		e.Binding[i] = core.Binding(rng.Intn(4))
+	}
+}

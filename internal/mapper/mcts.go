@@ -1,0 +1,203 @@
+// Package mapper implements TileFlow's design-space exploration (Sec 6): a
+// Monte Carlo Tree Search over tiling factors, and a genetic algorithm over
+// compute ordering and resource binding whose individuals are tuned by the
+// MCTS — the combined workflow of Fig 7a.
+package mapper
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+)
+
+// Evaluation is one evaluated mapping: a concrete factor assignment and its
+// modeled performance.
+type Evaluation struct {
+	Factors map[string]int
+	Cycles  float64
+	Result  *core.Result
+}
+
+// TileSearch tunes the tiling factors of one dataflow template with MCTS
+// (Sec 6: "for each step, it selects one loop and assigns it a tiling
+// factor within its trip counts ... the results are feedbacks to MCTS to
+// update upper confidence bounds").
+type TileSearch struct {
+	Dataflow dataflows.Dataflow
+	Spec     *arch.Spec
+	Opts     core.Options
+	// Rounds is the number of MCTS iterations (each evaluates one
+	// complete mapping). The paper samples ~200 tiling choices per round.
+	Rounds int
+	// Seed makes the search deterministic.
+	Seed int64
+	// Explore is the UCB exploration constant (default √2).
+	Explore float64
+}
+
+// mctsNode is one node of the search tree: a prefix of factor decisions.
+type mctsNode struct {
+	visits   int
+	total    float64 // sum of rewards
+	children map[int]*mctsNode
+}
+
+func newMctsNode() *mctsNode { return &mctsNode{children: map[int]*mctsNode{}} }
+
+// Run searches for the factor assignment minimizing cycles. It returns the
+// best evaluation found and the best-so-far cycle count after every round
+// (the Fig 9a convergence trace). When no valid mapping exists it returns
+// nil with a nil error.
+func (s *TileSearch) Run() (*Evaluation, []float64) {
+	specs := s.Dataflow.Factors()
+	rounds := s.Rounds
+	if rounds <= 0 {
+		rounds = 200
+	}
+	explore := s.Explore
+	if explore == 0 {
+		explore = math.Sqrt2
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	// Choice lists per factor, in a fixed decision order.
+	choices := make([][]int, len(specs))
+	for i, f := range specs {
+		choices[i] = f.Choices()
+	}
+
+	root := newMctsNode()
+	var best *Evaluation
+	trace := make([]float64, 0, rounds)
+	// worst tracks the largest finite cycle count seen, normalizing
+	// rewards into (0, 1].
+	worst := 0.0
+
+	// Seed with the template's default factors so the search never
+	// returns something worse than the untuned mapping.
+	if ev := s.evaluate(s.Dataflow.DefaultFactors()); ev != nil {
+		best = ev
+		worst = ev.Cycles
+	}
+
+	for r := 0; r < rounds; r++ {
+		// Selection + expansion.
+		node := root
+		path := []*mctsNode{root}
+		assign := make([]int, 0, len(specs))
+		depth := 0
+		for depth < len(specs) {
+			ci := s.selectChild(node, choices[depth], explore, rng)
+			child, ok := node.children[ci]
+			if !ok {
+				child = newMctsNode()
+				node.children[ci] = child
+				assign = append(assign, ci)
+				depth++
+				path = append(path, child)
+				node = child
+				break // expansion: roll out from here
+			}
+			assign = append(assign, ci)
+			depth++
+			path = append(path, child)
+			node = child
+		}
+		// Rollout: random completion.
+		for d := depth; d < len(specs); d++ {
+			assign = append(assign, rng.Intn(len(choices[d])))
+		}
+		factors := map[string]int{}
+		for i, f := range specs {
+			factors[f.Key] = choices[i][assign[i]]
+		}
+		ev := s.evaluate(factors)
+		reward := 0.0
+		if ev != nil {
+			if ev.Cycles > worst {
+				worst = ev.Cycles
+			}
+			reward = 1.0 / (1.0 + ev.Cycles/math.Max(1, worst))
+			if best == nil || ev.Cycles < best.Cycles {
+				best = ev
+			}
+		}
+		for _, n := range path {
+			n.visits++
+			n.total += reward
+		}
+		if best != nil {
+			trace = append(trace, best.Cycles)
+		} else {
+			trace = append(trace, math.Inf(1))
+		}
+	}
+	return best, trace
+}
+
+// selectChild applies UCB1 over the expanded children, preferring an
+// unexpanded choice when one exists.
+func (s *TileSearch) selectChild(n *mctsNode, choices []int, explore float64, rng *rand.Rand) int {
+	var unexpanded []int
+	for i := range choices {
+		if _, ok := n.children[i]; !ok {
+			unexpanded = append(unexpanded, i)
+		}
+	}
+	if len(unexpanded) > 0 {
+		return unexpanded[rng.Intn(len(unexpanded))]
+	}
+	bestIdx, bestScore := 0, math.Inf(-1)
+	// Deterministic iteration order for reproducibility.
+	idxs := make([]int, 0, len(n.children))
+	for i := range n.children {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		c := n.children[i]
+		score := c.total/float64(c.visits) +
+			explore*math.Sqrt(math.Log(float64(n.visits+1))/float64(c.visits))
+		if score > bestScore {
+			bestIdx, bestScore = i, score
+		}
+	}
+	return bestIdx
+}
+
+func (s *TileSearch) evaluate(factors map[string]int) *Evaluation {
+	root, err := s.Dataflow.Build(factors)
+	if err != nil {
+		return nil
+	}
+	res, err := core.Evaluate(root, s.Dataflow.Graph(), s.Spec, s.Opts)
+	if err != nil {
+		return nil
+	}
+	return &Evaluation{Factors: factors, Cycles: res.Cycles, Result: res}
+}
+
+// Tune is the convenience entry point the experiments use: it MCTS-tunes a
+// dataflow's factors and returns the best evaluation, falling back to the
+// default factors if the search finds nothing valid.
+func Tune(df dataflows.Dataflow, spec *arch.Spec, opts core.Options, rounds int, seed int64) *Evaluation {
+	s := &TileSearch{Dataflow: df, Spec: spec, Opts: opts, Rounds: rounds, Seed: seed}
+	best, _ := s.Run()
+	if best != nil {
+		return best
+	}
+	// Fall back to defaults (may still be invalid; then nil).
+	root, err := df.Build(df.DefaultFactors())
+	if err != nil {
+		return nil
+	}
+	res, err := core.Evaluate(root, df.Graph(), spec, opts)
+	if err != nil {
+		return nil
+	}
+	return &Evaluation{Factors: df.DefaultFactors(), Cycles: res.Cycles, Result: res}
+}

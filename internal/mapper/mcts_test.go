@@ -1,0 +1,62 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/workload"
+)
+
+func TestTileSearchImprovesOverDefaults(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("Bert-S")
+	spec := arch.Edge()
+	df := dataflows.TileFlowAttention(shape, spec)
+
+	root, err := df.Build(df.DefaultFactors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := core.Evaluate(root, df.Graph(), spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := &TileSearch{Dataflow: df, Spec: spec, Rounds: 300, Seed: 1}
+	best, trace := s.Run()
+	if best == nil {
+		t.Fatal("search found no valid mapping")
+	}
+	if len(trace) != 300 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	// Trace must be monotonically non-increasing (best-so-far).
+	for i := 1; i < len(trace); i++ {
+		if trace[i] > trace[i-1] {
+			t.Fatalf("trace not monotone at %d: %v > %v", i, trace[i], trace[i-1])
+		}
+	}
+	if best.Cycles > def.Cycles {
+		t.Errorf("search best %v worse than defaults %v", best.Cycles, def.Cycles)
+	}
+	t.Logf("default=%.3g tuned=%.3g factors=%v", def.Cycles, best.Cycles, best.Factors)
+}
+
+func TestTileSearchDeterministic(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B")
+	spec := arch.Edge()
+	run := func() float64 {
+		df := dataflows.FLATRGran(shape, spec)
+		s := &TileSearch{Dataflow: df, Spec: spec, Rounds: 100, Seed: 42}
+		best, _ := s.Run()
+		if best == nil {
+			t.Fatal("no valid mapping")
+		}
+		return best.Cycles
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed gave %v and %v", a, b)
+	}
+}

@@ -1,0 +1,479 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/workload"
+)
+
+// Encoding is the Fig 7b representation of a point in the ordering/binding
+// plane of the 3D design space: one column per operator with a fusion
+// target, the memory level where the fusion stages data, and the inter-tile
+// binding primitive.
+type Encoding struct {
+	// Target[i] is the index of the operator that operator i fuses into,
+	// or -1 when operator i is mapped at the top level on its own.
+	Target []int
+	// Mem[i] is the memory level of the fusion (1..DRAM-1); ignored when
+	// Target[i] < 0.
+	Mem []int
+	// Binding[i] is the inter-tile primitive binding operator i to its
+	// fusion host's node.
+	Binding []core.Binding
+}
+
+// Clone deep-copies the encoding.
+func (e *Encoding) Clone() *Encoding {
+	return &Encoding{
+		Target:  append([]int(nil), e.Target...),
+		Mem:     append([]int(nil), e.Mem...),
+		Binding: append([]core.Binding(nil), e.Binding...),
+	}
+}
+
+// String renders the encoding as a Fig 7b style table row.
+func (e *Encoding) String() string {
+	var b strings.Builder
+	for i := range e.Target {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		if e.Target[i] < 0 {
+			fmt.Fprintf(&b, "op%d:top", i)
+		} else {
+			fmt.Fprintf(&b, "op%d->op%d@L%d:%s", i, e.Target[i], e.Mem[i], e.Binding[i])
+		}
+	}
+	return b.String()
+}
+
+// LayerwiseEncoding maps every operator at the top level (the no-fusion
+// point of the ordering plane).
+func LayerwiseEncoding(n int) *Encoding {
+	e := &Encoding{Target: make([]int, n), Mem: make([]int, n), Binding: make([]core.Binding, n)}
+	for i := range e.Target {
+		e.Target[i] = -1
+		e.Mem[i] = 1
+	}
+	return e
+}
+
+// Repair makes the encoding structurally valid in place: targets must point
+// to later operators (keeping the schedule a forest in topological order)
+// and fusion levels must fit inside the host's own chain.
+func (e *Encoding) Repair(numLevels int) {
+	n := len(e.Target)
+	maxMem := numLevels - 2 // deepest on-chip level index
+	if maxMem < 1 {
+		maxMem = 1
+	}
+	for i := 0; i < n; i++ {
+		if e.Target[i] >= 0 && (e.Target[i] <= i || e.Target[i] >= n) {
+			e.Target[i] = -1
+		}
+		if e.Mem[i] < 1 {
+			e.Mem[i] = 1
+		}
+		if e.Mem[i] > maxMem {
+			e.Mem[i] = maxMem
+		}
+	}
+	// Clamp fusion levels below the host's own span, walking hosts in
+	// reverse topological order so chains settle in one pass. An op whose
+	// host has no interior node left to fuse under reverts to top level.
+	span := make([]int, n) // top level of each op's chain (0 = leaf only)
+	for i := n - 1; i >= 0; i-- {
+		if e.Target[i] < 0 {
+			span[i] = maxMem
+			continue
+		}
+		host := e.Target[i]
+		if span[host] < 1 {
+			e.Target[i] = -1
+			span[i] = maxMem
+			continue
+		}
+		if e.Mem[i] > span[host] {
+			e.Mem[i] = span[host]
+		}
+		span[i] = e.Mem[i] - 1
+	}
+}
+
+// GeneratedDataflow wraps an encoding as a dataflows.Dataflow so the MCTS
+// tiling search applies unchanged: the tiling plane of the 3D space is the
+// per-level, per-dimension factor table of Fig 7c.
+type GeneratedDataflow struct {
+	Label string
+	G     *workload.Graph
+	Spec  *arch.Spec
+	Enc   *Encoding
+	// SpatialDim is split across cores at the root; SubDim across
+	// sub-cores at each top chain's innermost node (Cloud).
+	SpatialDim string
+	SubDim     string
+	// LeafSpatial picks leaf spatial dims per op.
+	LeafSpatial func(op *workload.Operator) []string
+}
+
+// NewGeneratedDataflow builds the wrapper with sensible spatial choices for
+// the known workload families.
+func NewGeneratedDataflow(label string, g *workload.Graph, spec *arch.Spec, enc *Encoding) *GeneratedDataflow {
+	gd := &GeneratedDataflow{Label: label, G: g, Spec: spec, Enc: enc}
+	if g.DimSize("h") > 0 && g.DimSize("m") > 0 { // attention
+		gd.SpatialDim, gd.SubDim = "h", "m"
+		gd.LeafSpatial = func(op *workload.Operator) []string {
+			switch {
+			case op.Name == "LV":
+				return []string{"m", "n"}
+			case op.Kind.Vector():
+				return []string{"l"}
+			default:
+				return []string{"m", "l"}
+			}
+		}
+	} else { // convolution chain (any channel-dim naming)
+		gd.SpatialDim, gd.SubDim = "h", "w"
+		gd.LeafSpatial = func(op *workload.Operator) []string {
+			var dims []string
+			// Output channels: write dims other than the image plane.
+			for _, d := range op.Write.Dims() {
+				if d != "h" && d != "w" {
+					dims = append(dims, d)
+				}
+			}
+			// Input channels: the largest reduction dim (filter taps are
+			// tiny; the channel reduction dominates).
+			best, bsz := "", 1
+			for _, rd := range op.ReductionDims() {
+				if sz := op.DimSize(rd); sz > bsz {
+					best, bsz = rd, sz
+				}
+			}
+			if best != "" {
+				dims = append(dims, best)
+			}
+			return dims
+		}
+	}
+	return gd
+}
+
+func (d *GeneratedDataflow) Name() string           { return d.Label }
+func (d *GeneratedDataflow) Graph() *workload.Graph { return d.G }
+
+// Factors implements Dataflow: one factor per on-chip level per dimension
+// ("L<level>_<dim>"), plus the spatial splits.
+func (d *GeneratedDataflow) Factors() []dataflows.FactorSpec {
+	var fs []dataflows.FactorSpec
+	maxMem := d.Spec.NumLevels() - 2
+	dims := d.G.AllDims()
+	for l := maxMem; l >= 1; l-- {
+		for _, dim := range dims {
+			if dim.Size <= 1 {
+				continue
+			}
+			fs = append(fs, dataflows.FactorSpec{
+				Key:   fmt.Sprintf("L%d_%s", l, dim.Name),
+				Total: dim.Size,
+				Doc:   fmt.Sprintf("temporal tiles of %s at level %d nodes", dim.Name, l),
+			})
+		}
+	}
+	if n := d.G.DimSize(d.SpatialDim); n > 1 {
+		fs = append(fs, dataflows.FactorSpec{Key: "sp_c", Total: n, Doc: "spatial split across cores"})
+	}
+	if d.Spec.NumLevels() >= 4 {
+		if n := d.G.DimSize(d.SubDim); n > 1 {
+			fs = append(fs, dataflows.FactorSpec{Key: "sp_s", Total: n, Doc: "spatial split across sub-cores"})
+		}
+	}
+	return fs
+}
+
+// DefaultFactors implements Dataflow: unit tiling everywhere except the
+// spatial splits.
+func (d *GeneratedDataflow) DefaultFactors() map[string]int {
+	f := map[string]int{}
+	if n := d.G.DimSize(d.SpatialDim); n > 1 {
+		f["sp_c"] = dataflows.DivisorAtMost(n, d.Spec.Levels[d.Spec.DRAMLevel()].Fanout)
+	}
+	if d.Spec.NumLevels() >= 4 {
+		if n := d.G.DimSize(d.SubDim); n > 1 {
+			f["sp_s"] = dataflows.DivisorAtMost(n, d.Spec.Levels[2].Fanout)
+		}
+	}
+	return f
+}
+
+// chain is one operator's column of nodes during generation.
+type chain struct {
+	op    *workload.Operator
+	top   int // highest level of the op's own nodes
+	nodes map[int]*core.Node
+	leaf  *core.Node
+}
+
+// Build implements Dataflow: it converts the encoding into an analysis tree
+// (Fig 7b) with the factor table as loops (Fig 7c).
+func (d *GeneratedDataflow) Build(f map[string]int) (*core.Node, error) {
+	enc := d.Enc.Clone()
+	enc.Repair(d.Spec.NumLevels())
+	n := len(d.G.Ops)
+	if n != len(enc.Target) {
+		return nil, fmt.Errorf("mapper: encoding for %d ops, graph has %d", len(enc.Target), n)
+	}
+	maxMem := d.Spec.NumLevels() - 2
+
+	factor := func(level int, dim string) int {
+		v := f[fmt.Sprintf("L%d_%s", level, dim)]
+		if v <= 0 {
+			v = 1
+		}
+		return v
+	}
+
+	// Each op's chain spans levels [1, top] plus its leaf. Top-level ops
+	// span the full on-chip hierarchy; fused ops span below their fusion
+	// level.
+	chains := make([]*chain, n)
+	for i := n - 1; i >= 0; i-- {
+		op := d.G.Ops[i]
+		top := maxMem
+		if enc.Target[i] >= 0 {
+			top = enc.Mem[i] - 1
+		}
+		c := &chain{op: op, top: top, nodes: map[int]*core.Node{}}
+		for l := top; l >= 1; l-- {
+			var loops []core.Loop
+			for _, dim := range op.DimNames() {
+				if v := factor(l, dim); v > 1 && op.DimSize(dim)%v == 0 {
+					loops = append(loops, core.T(dim, v))
+				}
+			}
+			c.nodes[l] = core.Tile(fmt.Sprintf("%s@L%d", op.Name, l), l, core.Seq, loops)
+		}
+		chains[i] = c
+	}
+
+	// Root with the spatial splits.
+	var rootLoops []core.Loop
+	if v, ok := f["sp_c"]; ok && v > 1 {
+		if d.G.DimSize(d.SpatialDim)%v != 0 {
+			return nil, fmt.Errorf("mapper: sp_c=%d does not divide %s", v, d.SpatialDim)
+		}
+		rootLoops = append(rootLoops, core.S(d.SpatialDim, v))
+	}
+	spS := 1
+	if v, ok := f["sp_s"]; ok && v > 1 {
+		if d.G.DimSize(d.SubDim)%v != 0 {
+			return nil, fmt.Errorf("mapper: sp_s=%d does not divide %s", v, d.SubDim)
+		}
+		spS = v
+	}
+	root := core.Tile(d.Label, d.Spec.DRAMLevel(), core.Seq, rootLoops)
+
+	// Assemble: compute each leaf's remaining extents from the factors on
+	// its ancestor path, then attach chains.
+	attach := func(parent, child *core.Node, binding core.Binding, front bool) {
+		if front {
+			parent.Children = append([]*core.Node{child}, parent.Children...)
+		} else {
+			parent.Children = append(parent.Children, child)
+		}
+		if binding != core.Seq {
+			parent.Binding = binding
+		}
+	}
+
+	// Wire chain interiors and leaves.
+	for i, c := range chains {
+		// Sub-core spatial split goes on the innermost interior node
+		// of top-level chains.
+		if enc.Target[i] < 0 && spS > 1 {
+			if node := c.nodes[1]; node != nil && c.op.HasDim(d.SubDim) {
+				node.Loops = append([]core.Loop{core.S(d.SubDim, spS)}, node.Loops...)
+			}
+		}
+		for l := c.top; l > 1; l-- {
+			c.nodes[l].Children = []*core.Node{c.nodes[l-1]}
+		}
+	}
+	// Attach fused chains to their hosts (reverse order keeps producer
+	// tiles before their consumers under the same host node).
+	for i := n - 1; i >= 0; i-- {
+		c := chains[i]
+		if enc.Target[i] < 0 {
+			continue
+		}
+		host := chains[enc.Target[i]]
+		hostNode := host.nodes[enc.Mem[i]]
+		if hostNode == nil {
+			return nil, fmt.Errorf("mapper: op %d fused at level %d but host has no node there", i, enc.Mem[i])
+		}
+		var sub *core.Node
+		if c.top >= 1 {
+			sub = c.nodes[c.top]
+		}
+		if sub == nil {
+			sub = d.placeholderLeaf(c)
+		}
+		attach(hostNode, sub, enc.Binding[i], true)
+	}
+	// Attach top-level chains under the root in topological order.
+	for i := 0; i < n; i++ {
+		if enc.Target[i] < 0 {
+			attach(root, chains[i].nodes[chains[i].top], core.Seq, false)
+		}
+	}
+
+	// Now that the tree shape is final, compute leaf extents from the
+	// actual ancestor paths.
+	if err := d.fillLeaves(root, chains); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// placeholderLeaf builds a leaf with loops to be filled in later.
+func (d *GeneratedDataflow) placeholderLeaf(c *chain) *core.Node {
+	c.leaf = core.Leaf(c.op.Name, c.op)
+	return c.leaf
+}
+
+// fillLeaves walks the final tree, computes every operator's remaining
+// per-dimension extents given its ancestors' loops, and writes the leaf
+// loop nests.
+func (d *GeneratedDataflow) fillLeaves(root *core.Node, chains []*chain) error {
+	// Ensure every chain interior ends in a leaf.
+	for _, c := range chains {
+		if c.leaf == nil {
+			c.leaf = core.Leaf(c.op.Name, c.op)
+			bottom := c.nodes[1]
+			if bottom == nil {
+				// Fused at level 1 with no interior: the leaf was
+				// already attached by placeholderLeaf... or the chain
+				// is top==0, impossible for top-level ops.
+				return fmt.Errorf("mapper: op %s chain has no interior node", c.op.Name)
+			}
+			bottom.Children = append(bottom.Children, c.leaf)
+		}
+	}
+	// Parent map.
+	parent := map[*core.Node]*core.Node{}
+	root.Walk(func(n *core.Node) {
+		for _, ch := range n.Children {
+			parent[ch] = n
+		}
+	})
+	for _, c := range chains {
+		covered := map[string]int{}
+		for _, dim := range c.op.DimNames() {
+			covered[dim] = 1
+		}
+		for a := parent[c.leaf]; a != nil; a = parent[a] {
+			for _, l := range a.Loops {
+				if _, ok := covered[l.Dim]; ok {
+					covered[l.Dim] *= l.Extent
+				}
+			}
+		}
+		rem := map[string]int{}
+		for _, dim := range c.op.Dims {
+			if dim.Size%covered[dim.Name] != 0 {
+				return fmt.Errorf("mapper: op %s dim %s: path factors %d do not divide %d",
+					c.op.Name, dim.Name, covered[dim.Name], dim.Size)
+			}
+			rem[dim.Name] = dim.Size / covered[dim.Name]
+		}
+		// MAC leaves running concurrently under a Para/Pipe ancestor
+		// must share the PE array.
+		budget := d.Spec.MeshX * d.Spec.MeshY
+		if !c.op.Kind.Vector() {
+			for a := parent[c.leaf]; a != nil; a = parent[a] {
+				if a.Binding.Spatial() && len(a.Children) > 1 {
+					macs := 0
+					for _, leaf := range a.Leaves() {
+						if !leaf.Op.Kind.Vector() {
+							macs++
+						}
+					}
+					if macs > 1 {
+						budget = maxInt(1, budget/macs)
+					}
+					break
+				}
+			}
+		}
+		c.leaf.Loops = leafLoopsFor(c.op, d.Spec, rem, d.LeafSpatial(c.op), budget)
+	}
+	return nil
+}
+
+// leafLoopsFor mirrors the dataflows package's leaf construction: temporal
+// loops (reductions innermost) then spatial loops sized to the available
+// lanes.
+func leafLoopsFor(op *workload.Operator, spec *arch.Spec, rem map[string]int, spatialDims []string, budget int) []core.Loop {
+	var loops []core.Loop
+	spat := map[string]int{}
+	if op.Kind.Vector() {
+		if len(spatialDims) > 0 {
+			d := spatialDims[0]
+			spat[d] = dataflows.DivisorAtMost(rem[d], spec.VectorLanesPerSubcore)
+		}
+	} else {
+		used := 1
+		if len(spatialDims) > 0 {
+			d := spatialDims[0]
+			spat[d] = dataflows.DivisorAtMost(rem[d], minInt(spec.MeshX, budget))
+			used = spat[d]
+		}
+		if len(spatialDims) > 1 {
+			d := spatialDims[1]
+			spat[d] = dataflows.DivisorAtMost(rem[d], minInt(spec.MeshY, maxInt(1, budget/used)))
+		}
+	}
+	dims := append([]workload.Dim(nil), op.Dims...)
+	sort.SliceStable(dims, func(i, j int) bool {
+		ri, rj := op.IsReduction(dims[i].Name), op.IsReduction(dims[j].Name)
+		return !ri && rj
+	})
+	for _, dim := range dims {
+		e := rem[dim.Name]
+		if e <= 0 {
+			e = 1
+		}
+		s := spat[dim.Name]
+		if s < 1 {
+			s = 1
+		}
+		if t := e / s; t > 1 {
+			loops = append(loops, core.T(dim.Name, t))
+		}
+	}
+	for _, dim := range dims {
+		if s := spat[dim.Name]; s > 1 {
+			loops = append(loops, core.S(dim.Name, s))
+		}
+	}
+	return loops
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

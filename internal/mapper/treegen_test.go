@@ -1,0 +1,146 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestPropertyRepairAlwaysValid: Repair turns arbitrary encodings into
+// structurally valid ones (forward targets, in-range levels, hosts with
+// room).
+func TestPropertyRepairAlwaysValid(t *testing.T) {
+	prop := func(targets [7]int8, mems [7]int8, binds [7]uint8) bool {
+		n := 7
+		e := &Encoding{Target: make([]int, n), Mem: make([]int, n), Binding: make([]core.Binding, n)}
+		for i := 0; i < n; i++ {
+			e.Target[i] = int(targets[i])
+			e.Mem[i] = int(mems[i])
+			e.Binding[i] = core.Binding(int(binds[i]) % 4)
+		}
+		e.Repair(4) // Cloud-like: levels 0..3, on-chip 1..2
+		span := make([]int, n)
+		for i := n - 1; i >= 0; i-- {
+			if e.Target[i] < 0 {
+				span[i] = 2
+				continue
+			}
+			host := e.Target[i]
+			if host <= i || host >= n {
+				return false // backward/self target survived
+			}
+			if e.Mem[i] < 1 || e.Mem[i] > span[host] {
+				return false // level outside the host's chain
+			}
+			span[i] = e.Mem[i] - 1
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGeneratedTreesEvaluate: any repaired encoding with default
+// factors either builds a tree that passes full evaluation, or fails with
+// a typed error — never panics and never produces invalid metrics.
+func TestPropertyGeneratedTreesEvaluate(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B")
+	g := workload.Attention(shape)
+	spec := arch.Edge()
+	n := len(g.Ops)
+	prop := func(targets [7]uint8, mems [7]uint8, binds [7]uint8) bool {
+		e := LayerwiseEncoding(n)
+		for i := 0; i < n && i < 7; i++ {
+			if targets[i]%3 != 0 && i < n-1 {
+				e.Target[i] = i + 1 + int(targets[i])%(n-1-i)
+			}
+			e.Mem[i] = 1 + int(mems[i])%2
+			e.Binding[i] = core.Binding(int(binds[i]) % 4)
+		}
+		gd := NewGeneratedDataflow("fuzz", g, spec, e)
+		root, err := gd.Build(gd.DefaultFactors())
+		if err != nil {
+			return true // structurally impossible combinations may fail
+		}
+		res, err := core.Evaluate(root, g, spec, core.Options{SkipCapacityCheck: true, SkipPECheck: true})
+		if err != nil {
+			return true
+		}
+		return res.Cycles > 0 && res.DRAMTraffic() > 0 && res.EnergyPJ() > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodingStringStable: the cache key is deterministic and
+// distinguishes encodings.
+func TestEncodingStringStable(t *testing.T) {
+	a := LayerwiseEncoding(3)
+	b := LayerwiseEncoding(3)
+	if a.String() != b.String() {
+		t.Error("identical encodings render differently")
+	}
+	b.Target[0] = 2
+	b.Mem[0] = 1
+	b.Binding[0] = core.Pipe
+	if a.String() == b.String() {
+		t.Error("different encodings render identically")
+	}
+	c := b.Clone()
+	if c.String() != b.String() {
+		t.Error("clone differs")
+	}
+	c.Target[0] = -1
+	if c.String() == b.String() {
+		t.Error("clone mutation leaked")
+	}
+}
+
+// TestCrossoverAndMutatePreserveShape: GA operators keep column counts and
+// produce repairable children.
+func TestCrossoverAndMutatePreserveShape(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B")
+	g := workload.Attention(shape)
+	s := &TreeSearch{G: g, Spec: arch.Edge(), Seed: 3}
+	rng := rand.New(rand.NewSource(3))
+	a := s.randomEncoding(rng)
+	b := s.randomEncoding(rng)
+	for i := 0; i < 50; i++ {
+		child := s.crossover(a, b, rng)
+		s.mutate(child, rng)
+		if len(child.Target) != len(a.Target) || len(child.Mem) != len(a.Mem) || len(child.Binding) != len(a.Binding) {
+			t.Fatal("shape changed")
+		}
+		child.Repair(s.Spec.NumLevels())
+		for j, tgt := range child.Target {
+			if tgt >= 0 && tgt <= j {
+				t.Fatalf("repair left backward target at %d", j)
+			}
+		}
+	}
+}
+
+// TestTreeSearchDeterministic: same seed, same best.
+func TestTreeSearchDeterministic(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B")
+	g := workload.Attention(shape)
+	run := func() (float64, string) {
+		s := &TreeSearch{G: g, Spec: arch.Edge(), Population: 8, Generations: 4, TileRounds: 20, Parallel: 1, Seed: 11}
+		r := s.Run()
+		if r.Best == nil {
+			t.Fatal("nothing found")
+		}
+		return r.Best.Cycles, r.Encoding.String()
+	}
+	c1, e1 := run()
+	c2, e2 := run()
+	if c1 != c2 || e1 != e2 {
+		t.Errorf("nondeterministic: %v/%s vs %v/%s", c1, e1, c2, e2)
+	}
+}

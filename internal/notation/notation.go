@@ -1,0 +1,319 @@
+// Package notation implements a textual form of TileFlow's tile-centric
+// notation (Sec 4.2). The paper writes
+//
+//	T⁰₁ = {i1, l1}(T⁰₀, T¹₀)   Pipe(T⁰₀, T¹₀)   Sp(i1)
+//
+// which this package renders in a line-based ASCII grammar that also pins
+// loop extents and memory levels (the paper's formulation leaves them to
+// the mapper):
+//
+//	leaf T0_0 = op A { Sp(i:4), l:32, k:32 }
+//	leaf T1_0 = op B { Sp(i:4), l:32 }
+//	tile T0_1 @L1 = { Sp(i:2), l:2 } (T0_0, T1_0)
+//	tile T0_2 @L2 = { i:4 } (T0_1, T1_1)
+//	bind Pipe(T0_0, T1_0)
+//
+// Loops are listed outermost first; Sp(...) marks a spatial loop, bare
+// dim:extent a temporal one. A bind statement sets the inter-tile primitive
+// of the named tiles' common parent (the default is Seq, as in the paper).
+// Parse and Print round-trip.
+package notation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Parse reads a dataflow description and returns the root of the analysis
+// tree. Operators are resolved by name against the graph.
+func Parse(src string, g *workload.Graph) (*core.Node, error) {
+	p := &parser{g: g, tiles: map[string]*core.Node{}, used: map[string]bool{}}
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("notation: line %d: %w", i+1, err)
+		}
+	}
+	return p.finish()
+}
+
+type parser struct {
+	g     *workload.Graph
+	tiles map[string]*core.Node
+	used  map[string]bool // tiles referenced as children
+	binds []bindStmt
+}
+
+type bindStmt struct {
+	binding core.Binding
+	tiles   []string
+}
+
+func (p *parser) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, "leaf "):
+		return p.leafLine(strings.TrimPrefix(line, "leaf "))
+	case strings.HasPrefix(line, "tile "):
+		return p.tileLine(strings.TrimPrefix(line, "tile "))
+	case strings.HasPrefix(line, "bind "):
+		return p.bindLine(strings.TrimPrefix(line, "bind "))
+	}
+	return fmt.Errorf("expected leaf/tile/bind statement, got %q", line)
+}
+
+// leafLine parses: <name> = op <opname> { loops }
+func (p *parser) leafLine(rest string) error {
+	name, rhs, ok := cutTrim(rest, "=")
+	if !ok {
+		return fmt.Errorf("leaf: missing '='")
+	}
+	if !strings.HasPrefix(rhs, "op ") {
+		return fmt.Errorf("leaf %s: expected 'op <name> {...}'", name)
+	}
+	rhs = strings.TrimPrefix(rhs, "op ")
+	opName, loopsSrc, ok := cutTrim(rhs, "{")
+	if !ok {
+		return fmt.Errorf("leaf %s: missing loop block", name)
+	}
+	loopsSrc = strings.TrimSuffix(strings.TrimSpace(loopsSrc), "}")
+	op := p.g.Op(opName)
+	if op == nil {
+		return fmt.Errorf("leaf %s: unknown operator %q", name, opName)
+	}
+	loops, err := parseLoops(loopsSrc)
+	if err != nil {
+		return fmt.Errorf("leaf %s: %w", name, err)
+	}
+	if _, dup := p.tiles[name]; dup {
+		return fmt.Errorf("duplicate tile %q", name)
+	}
+	p.tiles[name] = core.Leaf(name, op, loops...)
+	return nil
+}
+
+// tileLine parses: <name> @L<level> = { loops } ( children )
+func (p *parser) tileLine(rest string) error {
+	head, rhs, ok := cutTrim(rest, "=")
+	if !ok {
+		return fmt.Errorf("tile: missing '='")
+	}
+	name, levelSrc, ok := cutTrim(head, "@L")
+	if !ok {
+		return fmt.Errorf("tile %s: missing '@L<level>'", head)
+	}
+	level, err := strconv.Atoi(strings.TrimSpace(levelSrc))
+	if err != nil {
+		return fmt.Errorf("tile %s: bad level %q", name, levelSrc)
+	}
+	// The child list starts at the first '(' after the loop block's
+	// closing brace (loops themselves may contain parentheses: Sp(i:2)).
+	closeBrace := strings.Index(rhs, "}")
+	if closeBrace < 0 {
+		return fmt.Errorf("tile %s: loops must be brace-delimited", name)
+	}
+	loopsSrc := strings.TrimSpace(rhs[:closeBrace+1])
+	kidsSrc := strings.TrimSpace(rhs[closeBrace+1:])
+	if !strings.HasPrefix(loopsSrc, "{") {
+		return fmt.Errorf("tile %s: loops must be brace-delimited", name)
+	}
+	if !strings.HasPrefix(kidsSrc, "(") {
+		return fmt.Errorf("tile %s: missing child list", name)
+	}
+	kidsSrc = strings.TrimPrefix(kidsSrc, "(")
+	loops, err := parseLoops(strings.Trim(loopsSrc, "{}"))
+	if err != nil {
+		return fmt.Errorf("tile %s: %w", name, err)
+	}
+	kidsSrc = strings.TrimSuffix(strings.TrimSpace(kidsSrc), ")")
+	var kids []*core.Node
+	for _, kname := range splitList(kidsSrc) {
+		kid, ok := p.tiles[kname]
+		if !ok {
+			return fmt.Errorf("tile %s: unknown child %q (children must be defined first)", name, kname)
+		}
+		if p.used[kname] {
+			return fmt.Errorf("tile %s: child %q already has a parent", name, kname)
+		}
+		p.used[kname] = true
+		kids = append(kids, kid)
+	}
+	if len(kids) == 0 {
+		return fmt.Errorf("tile %s: no children", name)
+	}
+	if _, dup := p.tiles[name]; dup {
+		return fmt.Errorf("duplicate tile %q", name)
+	}
+	p.tiles[name] = core.Tile(name, level, core.Seq, loops, kids...)
+	return nil
+}
+
+// bindLine parses: <Binding>(t1, t2, ...)
+func (p *parser) bindLine(rest string) error {
+	prim, argsSrc, ok := cutTrim(rest, "(")
+	if !ok {
+		return fmt.Errorf("bind: expected <Primitive>(tiles)")
+	}
+	argsSrc = strings.TrimSuffix(strings.TrimSpace(argsSrc), ")")
+	var b core.Binding
+	switch prim {
+	case "Seq":
+		b = core.Seq
+	case "Shar":
+		b = core.Shar
+	case "Para":
+		b = core.Para
+	case "Pipe":
+		b = core.Pipe
+	default:
+		return fmt.Errorf("bind: unknown primitive %q", prim)
+	}
+	p.binds = append(p.binds, bindStmt{binding: b, tiles: splitList(argsSrc)})
+	return nil
+}
+
+func (p *parser) finish() (*core.Node, error) {
+	// The root is the unique unreferenced tile.
+	var roots []string
+	for name := range p.tiles {
+		if !p.used[name] {
+			roots = append(roots, name)
+		}
+	}
+	sort.Strings(roots)
+	if len(roots) != 1 {
+		return nil, fmt.Errorf("notation: want exactly one root tile, found %d (%v)", len(roots), roots)
+	}
+	root := p.tiles[roots[0]]
+	// Apply bind statements: the named tiles must share a parent.
+	parent := map[*core.Node]*core.Node{}
+	root.Walk(func(n *core.Node) {
+		for _, c := range n.Children {
+			parent[c] = n
+		}
+	})
+	for _, b := range p.binds {
+		if len(b.tiles) == 0 {
+			continue
+		}
+		var common *core.Node
+		for _, name := range b.tiles {
+			tile, ok := p.tiles[name]
+			if !ok {
+				return nil, fmt.Errorf("notation: bind references unknown tile %q", name)
+			}
+			par := parent[tile]
+			if par == nil {
+				return nil, fmt.Errorf("notation: bind target %q has no parent", name)
+			}
+			if common == nil {
+				common = par
+			} else if common != par {
+				return nil, fmt.Errorf("notation: bind targets %v do not share a parent", b.tiles)
+			}
+		}
+		common.Binding = b.binding
+	}
+	return root, nil
+}
+
+// parseLoops reads "Sp(i:4), l:32, k:32".
+func parseLoops(src string) ([]core.Loop, error) {
+	var loops []core.Loop
+	for _, item := range splitList(src) {
+		spatial := false
+		if strings.HasPrefix(item, "Sp(") && strings.HasSuffix(item, ")") {
+			spatial = true
+			item = strings.TrimSuffix(strings.TrimPrefix(item, "Sp("), ")")
+		}
+		dim, extSrc, ok := cutTrim(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad loop %q (want dim:extent)", item)
+		}
+		ext, err := strconv.Atoi(extSrc)
+		if err != nil || ext < 1 {
+			return nil, fmt.Errorf("bad loop extent in %q", item)
+		}
+		if spatial {
+			loops = append(loops, core.S(dim, ext))
+		} else {
+			loops = append(loops, core.T(dim, ext))
+		}
+	}
+	return loops, nil
+}
+
+func splitList(src string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range src {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				if s := strings.TrimSpace(src[start:i]); s != "" {
+					out = append(out, s)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if s := strings.TrimSpace(src[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func cutTrim(s, sep string) (string, string, bool) {
+	a, b, ok := strings.Cut(s, sep)
+	return strings.TrimSpace(a), strings.TrimSpace(b), ok
+}
+
+// Print renders a tree back into the notation, children before parents so
+// the output re-parses.
+func Print(root *core.Node) string {
+	var b strings.Builder
+	var binds []string
+	var visit func(n *core.Node)
+	visit = func(n *core.Node) {
+		for _, c := range n.Children {
+			visit(c)
+		}
+		loops := make([]string, len(n.Loops))
+		for i, l := range n.Loops {
+			if l.Kind == core.Spatial {
+				loops[i] = fmt.Sprintf("Sp(%s:%d)", l.Dim, l.Extent)
+			} else {
+				loops[i] = fmt.Sprintf("%s:%d", l.Dim, l.Extent)
+			}
+		}
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "leaf %s = op %s { %s }\n", n.Name, n.Op.Name, strings.Join(loops, ", "))
+			return
+		}
+		kids := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = c.Name
+		}
+		fmt.Fprintf(&b, "tile %s @L%d = { %s } (%s)\n", n.Name, n.Level, strings.Join(loops, ", "), strings.Join(kids, ", "))
+		if n.Binding != core.Seq {
+			binds = append(binds, fmt.Sprintf("bind %s(%s)", n.Binding, strings.Join(kids, ", ")))
+		}
+	}
+	visit(root)
+	for _, s := range binds {
+		b.WriteString(s + "\n")
+	}
+	return b.String()
+}

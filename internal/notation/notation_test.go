@@ -1,0 +1,229 @@
+package notation
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// sec42Source is the Sec 4.2 example dataflow in the ASCII notation, for a
+// 32×64 problem (i=32, j=64, l=64, k=32).
+const sec42Source = `
+# Sec 4.2 example: A = Q·K, B = exp(A), C = B·V
+leaf T0_0 = op A { Sp(i:4), l:32, k:32 }
+leaf T1_0 = op B { Sp(i:4), l:32 }
+leaf T2_0 = op C { Sp(i:4), j:16, l:32 }
+tile T0_1 @L1 = { Sp(i:2), l:2 } (T0_0, T1_0)
+tile T1_1 @L1 = { Sp(i:2), j:4, l:2 } (T2_0)
+tile T0_2 @L2 = { i:4 } (T0_1, T1_1)
+bind Pipe(T0_0, T1_0)
+bind Shar(T0_1, T1_1)
+`
+
+func sec42Graph() *workload.Graph {
+	opA := &workload.Operator{
+		Name: "A", Kind: workload.KindMAC,
+		Dims: []workload.Dim{{Name: "i", Size: 32}, {Name: "l", Size: 64}, {Name: "k", Size: 32}},
+		Reads: []workload.Access{
+			{Tensor: "Q", Index: []workload.Index{workload.I("i"), workload.I("k")}},
+			{Tensor: "K", Index: []workload.Index{workload.I("k"), workload.I("l")}},
+		},
+		Write: workload.Access{Tensor: "A", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+	}
+	opB := &workload.Operator{
+		Name: "B", Kind: workload.KindExp,
+		Dims: []workload.Dim{{Name: "i", Size: 32}, {Name: "l", Size: 64}},
+		Reads: []workload.Access{
+			{Tensor: "A", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+		},
+		Write: workload.Access{Tensor: "B", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+	}
+	opC := &workload.Operator{
+		Name: "C", Kind: workload.KindMAC,
+		Dims: []workload.Dim{{Name: "i", Size: 32}, {Name: "j", Size: 64}, {Name: "l", Size: 64}},
+		Reads: []workload.Access{
+			{Tensor: "B", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+			{Tensor: "V", Index: []workload.Index{workload.I("l"), workload.I("j")}},
+		},
+		Write: workload.Access{Tensor: "C", Index: []workload.Index{workload.I("i"), workload.I("j")}},
+	}
+	return workload.MustGraph("sec42", workload.WordBytes, opA, opB, opC)
+}
+
+func TestParseSec42(t *testing.T) {
+	g := sec42Graph()
+	root, err := Parse(sec42Source, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "T0_2" || root.Level != 2 {
+		t.Fatalf("root = %s@L%d", root.Name, root.Level)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d", len(root.Children))
+	}
+	if root.Binding != core.Shar {
+		t.Errorf("root binding = %v, want Shar", root.Binding)
+	}
+	if root.Children[0].Binding != core.Pipe {
+		t.Errorf("T0_1 binding = %v, want Pipe", root.Children[0].Binding)
+	}
+	// The parsed tree must evaluate.
+	res, err := core.Evaluate(root, g, arch.Cloud(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("cycles %v", res.Cycles)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := sec42Graph()
+	root, err := Parse(sec42Source, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(root)
+	root2, err := Parse(printed, g)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if Print(root2) != printed {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", printed, Print(root2))
+	}
+	// Both trees evaluate identically.
+	spec := arch.Cloud()
+	r1, err := core.Evaluate(root, g, spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Evaluate(root2, g, spec, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.DRAMTraffic() != r2.DRAMTraffic() {
+		t.Errorf("round trip changed metrics: %v/%v vs %v/%v",
+			r1.Cycles, r1.DRAMTraffic(), r2.Cycles, r2.DRAMTraffic())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	g := sec42Graph()
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown op", "leaf t = op Zzz { i:2 }"},
+		{"bad loop", "leaf t = op A { i=2 }"},
+		{"unknown child", "tile r @L1 = { i:2 } (nope)"},
+		{"two roots", "leaf t1 = op A { i:32, l:64, k:32 }\nleaf t2 = op B { i:32, l:64 }"},
+		{"bad binding", sec42Source + "bind Zip(T0_0, T1_0)"},
+		{"bind across parents", sec42Source + "bind Para(T0_0, T2_0)"},
+		{"duplicate", "leaf t = op A { i:2 }\nleaf t = op A { i:2 }"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src, g); err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+	}
+}
+
+// TestLoopRoundTripProperty checks parse∘print = id on randomized loop
+// lists via testing/quick.
+func TestLoopRoundTripProperty(t *testing.T) {
+	g := sec42Graph()
+	f := func(extents [3]uint8) bool {
+		// Build a leaf with arbitrary extents (≥1) and round-trip it.
+		e := func(x uint8) int { return int(x)%16 + 1 }
+		loops := []core.Loop{
+			core.T("i", e(extents[0])),
+			core.S("l", e(extents[1])),
+			core.T("k", e(extents[2])),
+		}
+		leaf := core.Leaf("t", g.Op("A"), loops...)
+		printed := Print(leaf)
+		back, err := Parse(printed, g)
+		if err != nil {
+			return false
+		}
+		if len(back.Loops) != len(loops) {
+			return false
+		}
+		for i := range loops {
+			if back.Loops[i] != loops[i] {
+				return false
+			}
+		}
+		return strings.Contains(printed, "op A")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyParseNeverPanics: arbitrary text never crashes the parser.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	g := sec42Graph()
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(src, g)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Seeded adversarial inputs.
+	for _, src := range []string{
+		"leaf", "tile", "bind", "leaf x = op", "tile x @L = {",
+		"leaf x = op A { Sp( }", "bind Pipe(", "tile y @L1 = { i:1 } ()",
+		"leaf z = op A { i:-3 }", "tile a @Lx = { } (b)",
+	} {
+		if _, err := Parse(src, g); err == nil {
+			t.Errorf("want error for %q", src)
+		}
+	}
+}
+
+// TestPrintedMapperTreesReparse: trees generated by the template library
+// round-trip through the notation.
+func TestPrintedMapperTreesReparse(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B")
+	spec := arch.Edge()
+	g := workload.Attention(shape)
+	// A representative fused tree via the core constructors.
+	var kids []*core.Node
+	for _, op := range g.Ops {
+		var loops []core.Loop
+		for _, d := range op.Dims {
+			loops = append(loops, core.T(d.Name, d.Size))
+		}
+		kids = append(kids, core.Leaf(op.Name+"_t", op, loops...))
+	}
+	stage := core.Tile("stage", 1, core.Pipe, nil, kids...)
+	root := core.Tile("root", 2, core.Seq, nil, stage)
+
+	printed := Print(root)
+	back, err := Parse(printed, g)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	r1, err := core.Evaluate(root, g, spec, core.Options{SkipCapacityCheck: true, SkipPECheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Evaluate(back, g, spec, core.Options{SkipCapacityCheck: true, SkipPECheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.EnergyPJ() != r2.EnergyPJ() {
+		t.Error("round-tripped tree evaluates differently")
+	}
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// AttentionMapping is one point of the Fig 8c/d validation sweep: a fused
+// self-attention kernel for the validation accelerator, parameterized by
+// shape and tiling factors ("we program highly optimized fusion kernels for
+// our accelerator in assembly and enumerate 131 different mappings (by
+// changing tiling factors and shapes)").
+type AttentionMapping struct {
+	Shape workload.AttentionShape
+	// RowBlock is the number of score rows staged per block (the FLAT
+	// row granularity).
+	RowBlock int
+	// CoresUsed is how many cores the heads are distributed across.
+	CoresUsed int
+}
+
+func (am AttentionMapping) String() string {
+	return fmt.Sprintf("%s/rb%d/c%d", am.Shape.Name, am.RowBlock, am.CoresUsed)
+}
+
+// Validate checks the mapping is runnable.
+func (am AttentionMapping) Validate(m *Machine) error {
+	s := am.Shape
+	if am.RowBlock <= 0 || s.SeqLen%am.RowBlock != 0 {
+		return fmt.Errorf("sim: row block %d does not divide seq_len %d", am.RowBlock, s.SeqLen)
+	}
+	if am.CoresUsed <= 0 || am.CoresUsed > m.Cores {
+		return fmt.Errorf("sim: %d cores requested, machine has %d", am.CoresUsed, m.Cores)
+	}
+	// Working set per head: K + V + Q block + S block ×2 + A block.
+	l, k, n := s.SeqLen, s.HeadDim(), s.HeadDim()
+	ws := int64(k*l + l*n + am.RowBlock*k + 2*am.RowBlock*l + am.RowBlock*n)
+	if ws > m.BufferWords {
+		return fmt.Errorf("sim: working set %d words exceeds %d-word buffer", ws, m.BufferWords)
+	}
+	return nil
+}
+
+// BuildProgram emits the fused attention kernel: per head, K and V are
+// loaded once and kept resident; Q streams in row blocks; each block runs
+// QK → the five softmax vector passes → LV, and the output block stores
+// back. Loads for the next block overlap with compute (the DMA unit runs
+// ahead; explicit deps express only true hazards).
+func (am AttentionMapping) BuildProgram(m *Machine) (*Program, error) {
+	if err := am.Validate(m); err != nil {
+		return nil, err
+	}
+	s := am.Shape
+	b := s.Batch
+	if b <= 0 {
+		b = 1
+	}
+	heads := b * s.Heads
+	mRows, l, k, n := s.SeqLen, s.SeqLen, s.HeadDim(), s.HeadDim()
+	rb := am.RowBlock
+	blocks := mRows / rb
+
+	p := &Program{Cores: make([][]Instr, am.CoresUsed)}
+	for head := 0; head < heads; head++ {
+		c := head % am.CoresUsed
+		prog := p.Cores[c]
+		add := func(ins Instr) int {
+			prog = append(prog, ins)
+			return len(prog) - 1
+		}
+		loadK := add(Instr{Op: OpLoad, Words: int64(k * l)})
+		loadV := add(Instr{Op: OpLoad, Words: int64(l * n)})
+		for blk := 0; blk < blocks; blk++ {
+			loadQ := add(Instr{Op: OpLoad, Words: int64(rb * k)})
+			qk := add(Instr{Op: OpMatmul, M: rb, N: l, K: k, Deps: []int{loadQ, loadK}})
+			prev := qk
+			for i := 0; i < 5; i++ { // max, sub, exp, sum, div
+				prev = add(Instr{Op: OpVector, Elems: int64(rb * l), Kind: workload.KindExp, Deps: []int{prev}})
+			}
+			lv := add(Instr{Op: OpMatmul, M: rb, N: n, K: l, Deps: []int{prev, loadV}})
+			add(Instr{Op: OpStore, Words: int64(rb * n), Deps: []int{lv}})
+		}
+		p.Cores[c] = prog
+	}
+	return p, nil
+}
+
+// ModelTree builds the TileFlow analysis tree describing the same mapping,
+// so the analytical prediction and the simulation measure the same
+// schedule: heads spread spatially across the used cores, K/V resident per
+// head (Shar), rows staged in blocks.
+func (am AttentionMapping) ModelTree(spec *arch.Spec) (*core.Node, *workload.Graph, error) {
+	s := am.Shape
+	g := workload.Attention(s)
+	b := s.Batch
+	if b <= 0 {
+		b = 1
+	}
+	heads := s.Heads
+	if (b*heads)%am.CoresUsed != 0 {
+		return nil, nil, fmt.Errorf("sim: %d heads not divisible by %d cores", b*heads, am.CoresUsed)
+	}
+	mRows, l, k, n := s.SeqLen, s.SeqLen, s.HeadDim(), s.HeadDim()
+	rb := am.RowBlock
+	blocks := mRows / rb
+	mesh := spec.MeshX
+
+	leafQK := core.Leaf("QK", g.Op("QK"),
+		core.T("m", maxi(1, rb/mesh)), core.T("l", maxi(1, l/mesh)), core.T("k", k),
+		core.S("m", mini(rb, mesh)), core.S("l", mini(l, mesh)))
+	vecLeaf := func(name string, hasL bool) *core.Node {
+		op := g.Op(name)
+		lanes := spec.VectorLanesPerSubcore
+		loops := []core.Loop{core.T("m", rb)}
+		if hasL {
+			sl := mini(l, lanes)
+			for l%sl != 0 {
+				sl--
+			}
+			if l/sl > 1 {
+				loops = append(loops, core.T("l", l/sl))
+			}
+			loops = append(loops, core.S("l", sl))
+		}
+		return core.Leaf(name, op, loops...)
+	}
+	leafLV := core.Leaf("LV", g.Op("LV"),
+		core.T("m", maxi(1, rb/mesh)), core.T("n", maxi(1, n/mesh)), core.T("l", l),
+		core.S("m", mini(rb, mesh)), core.S("n", mini(n, mesh)))
+
+	stageLoops := []core.Loop{}
+	if hRem := b * heads / am.CoresUsed; hRem > 1 {
+		// Remaining head iterations run temporally per core. Heads and
+		// batch fold together; express on h when possible.
+		if heads%am.CoresUsed == 0 {
+			if b > 1 {
+				stageLoops = append(stageLoops, core.T("b", b))
+			}
+			if heads/am.CoresUsed > 1 {
+				stageLoops = append(stageLoops, core.T("h", heads/am.CoresUsed))
+			}
+		} else {
+			stageLoops = append(stageLoops, core.T("h", hRem))
+		}
+	}
+	if blocks > 1 {
+		stageLoops = append(stageLoops, core.T("m", blocks))
+	}
+	stage := core.Tile("stage", 1, core.Shar, stageLoops,
+		leafQK,
+		vecLeaf("RowMax", true), vecLeaf("Sub", true), vecLeaf("Exp", true),
+		vecLeaf("RowSum", true), vecLeaf("Div", true),
+		leafLV)
+
+	var rootLoops []core.Loop
+	if am.CoresUsed > 1 {
+		if heads%am.CoresUsed == 0 {
+			rootLoops = append(rootLoops, core.S("h", am.CoresUsed))
+		} else {
+			return nil, nil, fmt.Errorf("sim: cannot split %d heads across %d cores spatially", heads, am.CoresUsed)
+		}
+	}
+	root := core.Tile("attn", spec.DRAMLevel(), core.Seq, rootLoops, stage)
+	return root, g, nil
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ConvChainMapping is a fused two-convolution kernel for the validation
+// accelerator, extending the Fig 8c validation methodology to the paper's
+// second workload family: rows are processed in blocks (the Fused-Layer
+// tiling), weights stay resident, and the intermediate activation tile
+// never leaves the core's buffer.
+type ConvChainMapping struct {
+	Shape workload.ConvChainShape
+	// RowBlock is the number of output rows per staged block.
+	RowBlock int
+	// CoresUsed splits the row blocks across cores.
+	CoresUsed int
+}
+
+func (cm ConvChainMapping) String() string {
+	return fmt.Sprintf("%s/rb%d/c%d", cm.Shape.Name, cm.RowBlock, cm.CoresUsed)
+}
+
+// Validate checks the mapping is runnable on the machine.
+func (cm ConvChainMapping) Validate(m *Machine) error {
+	s := cm.Shape
+	if cm.RowBlock <= 0 || s.Height%cm.RowBlock != 0 {
+		return fmt.Errorf("sim: row block %d does not divide height %d", cm.RowBlock, s.Height)
+	}
+	if cm.CoresUsed <= 0 || cm.CoresUsed > m.Cores {
+		return fmt.Errorf("sim: %d cores requested, machine has %d", cm.CoresUsed, m.Cores)
+	}
+	f := s.Filter
+	// Per-block working set: input rows (+halo), both weight sets, the
+	// activation tile (+halo) and the output tile.
+	ws := int64((cm.RowBlock+f-1)*(s.Width+f-1)*s.InC) +
+		int64(f*f*s.InC*s.OutC1) + int64(f*f*s.OutC1*s.OutC2) +
+		int64((cm.RowBlock+f-1)*(s.Width+f-1)*s.OutC1) +
+		int64(cm.RowBlock*s.Width*s.OutC2)
+	if ws > m.BufferWords {
+		return fmt.Errorf("sim: working set %d words exceeds %d-word buffer", ws, m.BufferWords)
+	}
+	return nil
+}
+
+// BuildProgram emits the fused kernel: per core, weights load once; per row
+// block, the input rows stream in, conv1 runs as an im2col matmul
+// (pixels × OutC1 × 9·InC), conv2 consumes the staged activation tile
+// (pixels × OutC2 × 9·OutC1), and the output block stores back. The
+// activation tile never touches DRAM — the Fused-Layer payoff the analytical
+// model must predict.
+func (cm ConvChainMapping) BuildProgram(m *Machine) (*Program, error) {
+	if err := cm.Validate(m); err != nil {
+		return nil, err
+	}
+	s := cm.Shape
+	f := s.Filter
+	blocks := s.Height / cm.RowBlock
+	p := &Program{Cores: make([][]Instr, cm.CoresUsed)}
+
+	// Weights once per core.
+	loadW := make([][2]int, cm.CoresUsed)
+	for c := 0; c < cm.CoresUsed; c++ {
+		p.Cores[c] = append(p.Cores[c], Instr{Op: OpLoad, Words: int64(f * f * s.InC * s.OutC1)})
+		p.Cores[c] = append(p.Cores[c], Instr{Op: OpLoad, Words: int64(f * f * s.OutC1 * s.OutC2)})
+		loadW[c] = [2]int{0, 1}
+	}
+	for blk := 0; blk < blocks; blk++ {
+		c := blk % cm.CoresUsed
+		prog := p.Cores[c]
+		add := func(ins Instr) int {
+			prog = append(prog, ins)
+			return len(prog) - 1
+		}
+		pixels := cm.RowBlock * s.Width
+		haloPixels := (cm.RowBlock + f - 1) * (s.Width + f - 1)
+		loadIm := add(Instr{Op: OpLoad, Words: int64(haloPixels * s.InC)})
+		// conv1 must produce the activation halo conv2's window needs.
+		conv1 := add(Instr{Op: OpMatmul, M: haloPixels, N: s.OutC1, K: f * f * s.InC,
+			Deps: []int{loadIm, loadW[c][0]}})
+		conv2 := add(Instr{Op: OpMatmul, M: pixels, N: s.OutC2, K: f * f * s.OutC1,
+			Deps: []int{conv1, loadW[c][1]}})
+		add(Instr{Op: OpStore, Words: int64(pixels * s.OutC2), Deps: []int{conv2}})
+		p.Cores[c] = prog
+	}
+	return p, nil
+}
+
+// ModelTree builds the TileFlow analysis tree for the same schedule: row
+// blocks staged at L1 with the activation confined, weights resident, rows
+// split across the used cores.
+func (cm ConvChainMapping) ModelTree(spec *arch.Spec) (*core.Node, *workload.Graph, error) {
+	s := cm.Shape
+	g := workload.ConvChain(s)
+	blocks := s.Height / cm.RowBlock
+	if blocks%cm.CoresUsed != 0 && cm.CoresUsed > 1 {
+		return nil, nil, fmt.Errorf("sim: %d blocks not divisible across %d cores", blocks, cm.CoresUsed)
+	}
+	mesh := spec.MeshX
+
+	conv1 := g.Op("Conv1")
+	conv2 := g.Op("Conv2")
+	// Channel dims map onto the matrix array (the kernel runs im2col
+	// matmuls); everything else iterates temporally within the block.
+	sl, sc := gcdCap(s.OutC1, mesh), gcdCap(s.InC, mesh)
+	se, sl2 := gcdCap(s.OutC2, mesh), gcdCap(s.OutC1, mesh)
+	leaf1 := core.Leaf("conv1", conv1,
+		core.T("h", cm.RowBlock), core.T("w", s.Width),
+		core.T("r", s.Filter), core.T("s", s.Filter),
+		core.T("l", s.OutC1/sl), core.T("c", s.InC/sc),
+		core.S("l", sl), core.S("c", sc),
+	)
+	leaf2 := core.Leaf("conv2", conv2,
+		core.T("h", cm.RowBlock), core.T("w", s.Width),
+		core.T("u", s.Filter), core.T("v", s.Filter),
+		core.T("e", s.OutC2/se), core.T("l", s.OutC1/sl2),
+		core.S("e", se), core.S("l", sl2),
+	)
+
+	stageLoops := []core.Loop{core.T("h", blocks/cm.CoresUsed)}
+	stage := core.Tile("stage", 1, core.Shar, stageLoops, leaf1, leaf2)
+	var rootLoops []core.Loop
+	if cm.CoresUsed > 1 {
+		rootLoops = append(rootLoops, core.S("h", cm.CoresUsed))
+	}
+	root := core.Tile("conv-chain", spec.DRAMLevel(), core.Seq, rootLoops, stage)
+	return root, g, nil
+}
+
+// gcdCap is the largest divisor of n not exceeding cap.
+func gcdCap(n, cap int) int {
+	best := 1
+	for d := 1; d <= cap; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// randomProgram builds a random but valid program: dependencies only point
+// backwards within the core.
+func randomProgram(seed int64, cores int) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Program{Cores: make([][]Instr, cores)}
+	for c := 0; c < cores; c++ {
+		n := rng.Intn(20) + 1
+		for i := 0; i < n; i++ {
+			var ins Instr
+			switch rng.Intn(4) {
+			case 0:
+				ins = Instr{Op: OpLoad, Words: int64(rng.Intn(4096) + 1)}
+			case 1:
+				ins = Instr{Op: OpStore, Words: int64(rng.Intn(4096) + 1)}
+			case 2:
+				ins = Instr{Op: OpMatmul, M: rng.Intn(64) + 1, N: rng.Intn(64) + 1, K: rng.Intn(64) + 1}
+			case 3:
+				ins = Instr{Op: OpVector, Elems: int64(rng.Intn(4096) + 1), Kind: workload.KindExp}
+			}
+			for d := 0; d < i; d++ {
+				if rng.Float64() < 0.15 {
+					ins.Deps = append(ins.Deps, d)
+				}
+			}
+			p.Cores[c] = append(p.Cores[c], ins)
+		}
+	}
+	return p
+}
+
+// TestPropertySimulatorInvariants: for arbitrary valid programs the
+// simulator never panics, respects dependency ordering, keeps units
+// serialized, and its makespan is at least every lower bound (per-unit busy
+// time and DRAM channel occupancy).
+func TestPropertySimulatorInvariants(t *testing.T) {
+	m := Validation()
+	prop := func(seed int64, coreCount uint8) bool {
+		cores := int(coreCount)%m.Cores + 1
+		p := randomProgram(seed, cores)
+		st, events, err := m.RunTraced(p)
+		if err != nil {
+			return false
+		}
+		// Reconstruct per-(core,unit) serialization and dependency order.
+		unitOf := func(op OpCode) int {
+			switch op {
+			case OpLoad, OpStore:
+				return 0
+			case OpMatmul:
+				return 1
+			default:
+				return 2
+			}
+		}
+		done := make([][]float64, cores)
+		for c := range done {
+			done[c] = make([]float64, len(p.Cores[c]))
+		}
+		unitBusy := map[[2]int]float64{}
+		var dramBusy, dramEnd float64
+		for _, ev := range events {
+			ins := p.Cores[ev.Core][ev.Index]
+			if ev.End < ev.Start {
+				return false
+			}
+			done[ev.Core][ev.Index] = ev.End
+			key := [2]int{ev.Core, unitOf(ev.Op)}
+			unitBusy[key] += ev.End - ev.Start
+			if ev.Op == OpLoad || ev.Op == OpStore {
+				dramBusy += ev.End - ev.Start
+				if ev.End > dramEnd {
+					dramEnd = ev.End
+				}
+			}
+			_ = ins
+		}
+		// Dependencies: every instruction starts after its deps end.
+		startOf := map[[2]int]float64{}
+		for _, ev := range events {
+			startOf[[2]int{ev.Core, ev.Index}] = ev.Start
+		}
+		for c, prog := range p.Cores {
+			for i, ins := range prog {
+				for _, d := range ins.Deps {
+					if startOf[[2]int{c, i}] < done[c][d]-1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		// Makespan bounds.
+		for _, busy := range unitBusy {
+			if st.Cycles < busy-1e-9 {
+				return false
+			}
+		}
+		if st.Cycles < dramBusy-1e-9 {
+			return false // the shared channel serializes all DMA
+		}
+		return st.Cycles >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTraceCoversProgram: every instruction appears exactly once in the
+// trace and the trace's max end equals the reported cycles.
+func TestTraceCoversProgram(t *testing.T) {
+	m := Validation()
+	p := randomProgram(99, 4)
+	st, events, err := m.RunTraced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != p.NumInstrs() {
+		t.Fatalf("trace has %d events, program %d instrs", len(events), p.NumInstrs())
+	}
+	seen := map[[2]int]bool{}
+	maxEnd := 0.0
+	for _, ev := range events {
+		key := [2]int{ev.Core, ev.Index}
+		if seen[key] {
+			t.Fatalf("instruction %v traced twice", key)
+		}
+		seen[key] = true
+		if ev.End > maxEnd {
+			maxEnd = ev.End
+		}
+	}
+	if maxEnd != st.Cycles {
+		t.Errorf("trace end %v != cycles %v", maxEnd, st.Cycles)
+	}
+}

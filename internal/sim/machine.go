@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+// Machine is the microarchitecture configuration. Defaults follow the
+// Sec 7.1 validation accelerator.
+type Machine struct {
+	Cores int
+	// MeshM, MeshN is the matrix array shape; the array retires one
+	// K-step of a MeshM×MeshN output tile per cycle.
+	MeshM, MeshN int
+	// VectorLanes is the vector array throughput in elements/cycle.
+	VectorLanes int
+	// BufferWords is the per-core scratchpad capacity.
+	BufferWords int64
+	// DRAMWordsPerCycle is the chip-wide DRAM bandwidth.
+	DRAMWordsPerCycle float64
+	// PipelineFill is the fixed issue+drain overhead per matrix
+	// instruction in cycles (systolic array fill).
+	PipelineFill int
+}
+
+// Validation returns the Sec 7.1 machine: 4 cores, 16×16 matrix array,
+// 16×3 vector array, 384 KB buffers, 25.6 GB/s DRAM at 400 MHz, 16-bit
+// words (= 32 words/cycle).
+func Validation() *Machine {
+	return &Machine{
+		Cores:             4,
+		MeshM:             16,
+		MeshN:             16,
+		VectorLanes:       16 * 3,
+		BufferWords:       384 * 1024 / 2,
+		DRAMWordsPerCycle: 25.6 * 1e9 / (400e6) / 2,
+		PipelineFill:      16,
+	}
+}
+
+// Stats is the simulation outcome.
+type Stats struct {
+	// Cycles is the makespan across all cores.
+	Cycles float64
+	// PerCoreCycles is each core's completion time.
+	PerCoreCycles []float64
+	// DRAMWords is total DMA traffic (loads + stores).
+	DRAMWords float64
+	// BufferReads/BufferWrites are scratchpad word accesses (operand
+	// feeds, DMA deposits, result writebacks).
+	BufferReads, BufferWrites float64
+	// MACs and VectorOps are the executed compute operation counts.
+	MACs, VectorOps float64
+	// EnergyPJ is the machine-side energy estimate from the same
+	// per-access cost table the model uses, so Fig 8d compares data
+	// movement prediction quality, not cost-table choices.
+	EnergyPJ float64
+}
+
+// Event is one instruction's scheduled execution interval, for timeline
+// inspection and regression debugging of model-vs-machine mismatches.
+type Event struct {
+	Core  int
+	Index int
+	Op    OpCode
+	Start float64
+	End   float64
+}
+
+// Run simulates the program and returns cycle/energy statistics.
+//
+// Each core owns three units (DMA, matrix, vector) that execute their
+// instruction class in program order but overlap with each other; explicit
+// Deps express data hazards. DRAM is a single shared channel: a DMA
+// transfer occupies it for Words/bandwidth cycles, arbitrated first-come
+// first-served, which reproduces the bandwidth contention the analytical
+// model has to predict.
+func (m *Machine) Run(p *Program) (*Stats, error) {
+	st, _, err := m.RunTraced(p)
+	return st, err
+}
+
+// RunTraced is Run plus the full per-instruction timeline.
+func (m *Machine) RunTraced(p *Program) (*Stats, []Event, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(p.Cores) > m.Cores {
+		return nil, nil, fmt.Errorf("sim: program uses %d cores, machine has %d", len(p.Cores), m.Cores)
+	}
+	st := &Stats{PerCoreCycles: make([]float64, len(p.Cores))}
+	events := make([]Event, 0, p.NumInstrs())
+
+	// dramFree is when the shared DRAM channel next becomes available.
+	dramFree := 0.0
+
+	// Event-driven per core, processing instructions in issue order. A
+	// single pass in program order is exact here because each unit is
+	// in-order and DRAM arbitration is FCFS by issue time; we interleave
+	// cores by always advancing the core whose next DMA would start
+	// earliest to keep the arbitration fair.
+	type coreState struct {
+		done    []float64 // completion time per instruction
+		next    int
+		dmaFree float64
+		mmFree  float64
+		vecFree float64
+	}
+	cores := make([]*coreState, len(p.Cores))
+	for i, prog := range p.Cores {
+		cores[i] = &coreState{done: make([]float64, len(prog))}
+	}
+
+	// readyTime computes when an instruction's dependencies are met.
+	readyTime := func(cs *coreState, ins Instr) float64 {
+		t := 0.0
+		for _, d := range ins.Deps {
+			if cs.done[d] > t {
+				t = cs.done[d]
+			}
+		}
+		return t
+	}
+
+	remaining := 0
+	for _, prog := range p.Cores {
+		remaining += len(prog)
+	}
+	for remaining > 0 {
+		// Pick the core whose next instruction can start earliest.
+		bestCore := -1
+		bestStart := 0.0
+		for ci, cs := range cores {
+			if cs.next >= len(p.Cores[ci]) {
+				continue
+			}
+			ins := p.Cores[ci][cs.next]
+			start := readyTime(cs, ins)
+			switch ins.Op {
+			case OpLoad, OpStore:
+				if cs.dmaFree > start {
+					start = cs.dmaFree
+				}
+				if dramFree > start {
+					start = dramFree
+				}
+			case OpMatmul:
+				if cs.mmFree > start {
+					start = cs.mmFree
+				}
+			case OpVector:
+				if cs.vecFree > start {
+					start = cs.vecFree
+				}
+			}
+			if bestCore < 0 || start < bestStart {
+				bestCore, bestStart = ci, start
+			}
+		}
+		cs := cores[bestCore]
+		ins := p.Cores[bestCore][cs.next]
+		start := bestStart
+		var dur float64
+		switch ins.Op {
+		case OpLoad, OpStore:
+			dur = float64(ins.Words) / m.DRAMWordsPerCycle
+			dramFree = start + dur
+			cs.dmaFree = start + dur
+			st.DRAMWords += float64(ins.Words)
+			if ins.Op == OpLoad {
+				st.BufferWrites += float64(ins.Words)
+			} else {
+				st.BufferReads += float64(ins.Words)
+			}
+		case OpMatmul:
+			tiles := ceilDiv(ins.M, m.MeshM) * ceilDiv(ins.N, m.MeshN)
+			dur = float64(tiles*ins.K + m.PipelineFill)
+			cs.mmFree = start + dur
+			st.MACs += float64(ins.M) * float64(ins.N) * float64(ins.K)
+			st.BufferReads += float64(ins.M*ins.K) + float64(ins.K*ins.N)
+			st.BufferWrites += float64(ins.M * ins.N)
+		case OpVector:
+			dur = float64(ceilDiv64(ins.Elems, int64(m.VectorLanes)))
+			cs.vecFree = start + dur
+			st.VectorOps += float64(ins.Elems)
+			st.BufferReads += float64(ins.Elems)
+			st.BufferWrites += float64(ins.Elems)
+		}
+		cs.done[cs.next] = start + dur
+		events = append(events, Event{Core: bestCore, Index: cs.next, Op: ins.Op, Start: start, End: start + dur})
+		if end := start + dur; end > st.PerCoreCycles[bestCore] {
+			st.PerCoreCycles[bestCore] = end
+		}
+		cs.next++
+		remaining--
+	}
+	for _, c := range st.PerCoreCycles {
+		if c > st.Cycles {
+			st.Cycles = c
+		}
+	}
+
+	// Machine-side energy with the shared cost table: DRAM accesses at
+	// DRAM cost, scratchpad accesses at the 384 KB SRAM cost, compute and
+	// register traffic as in the model.
+	sram := energy.SRAMAccessPJ(m.BufferWords * int64(workload.WordBytes))
+	st.EnergyPJ = st.DRAMWords*energy.DRAMAccessPJ +
+		(st.BufferReads+st.BufferWrites)*sram +
+		st.MACs*energy.MACEnergyPJ +
+		st.VectorOps*energy.VectorOpPJ +
+		2*(st.MACs+st.VectorOps)*energy.RegisterAccessPJ
+	return st, events, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }

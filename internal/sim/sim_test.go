@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestMachineBasics(t *testing.T) {
+	m := Validation()
+	// One load, one matmul depending on it, one store.
+	p := &Program{Cores: [][]Instr{{
+		{Op: OpLoad, Words: 3200},
+		{Op: OpMatmul, M: 16, N: 16, K: 16, Deps: []int{0}},
+		{Op: OpStore, Words: 256, Deps: []int{1}},
+	}}}
+	st, err := m.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load = 3200/32 = 100 cycles; matmul = 16 + 16 fill = 32; store = 8.
+	want := 100.0 + 32 + 8
+	if st.Cycles != want {
+		t.Errorf("cycles = %v, want %v", st.Cycles, want)
+	}
+	if st.DRAMWords != 3456 {
+		t.Errorf("dram words = %v", st.DRAMWords)
+	}
+	if st.MACs != 16*16*16 {
+		t.Errorf("MACs = %v", st.MACs)
+	}
+}
+
+func TestMachineOverlap(t *testing.T) {
+	m := Validation()
+	// Two independent loads on two cores contend for DRAM; a third core's
+	// matmul with no deps runs immediately.
+	p := &Program{Cores: [][]Instr{
+		{{Op: OpLoad, Words: 3200}},
+		{{Op: OpLoad, Words: 3200}},
+		{{Op: OpMatmul, M: 16, N: 16, K: 160}},
+	}}
+	st, err := m.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two loads serialize on the shared channel: 100 + 100 = 200.
+	if st.Cycles != 200 {
+		t.Errorf("cycles = %v, want 200 (DRAM serialization)", st.Cycles)
+	}
+	if st.PerCoreCycles[2] != 176 {
+		t.Errorf("core2 = %v, want 176 (overlapped compute)", st.PerCoreCycles[2])
+	}
+}
+
+func TestMachineDoubleBuffering(t *testing.T) {
+	m := Validation()
+	// Load/compute pipeline: compute of block i depends only on load i,
+	// so load i+1 overlaps compute i.
+	var prog []Instr
+	for i := 0; i < 8; i++ {
+		prog = append(prog, Instr{Op: OpLoad, Words: 3200})
+		prog = append(prog, Instr{Op: OpMatmul, M: 16, N: 16, K: 84, Deps: []int{len(prog) - 1}})
+	}
+	st, err := m.Run(&Program{Cores: [][]Instr{prog}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each load = 100 cycles, each matmul = 100 cycles. Fully pipelined:
+	// ≈ 8·100 + 100 = 900, far below the serialized 1600.
+	if st.Cycles < 850 || st.Cycles > 1000 {
+		t.Errorf("cycles = %v, want ~900 (double-buffered)", st.Cycles)
+	}
+}
+
+func TestAttentionKernelRuns(t *testing.T) {
+	m := Validation()
+	shape := workload.AttentionShape{Name: "tiny", Heads: 8, SeqLen: 128, Hidden: 512, Batch: 1}
+	am := AttentionMapping{Shape: shape, RowBlock: 32, CoresUsed: 4}
+	p, err := am.BuildProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles <= 0 {
+		t.Fatalf("cycles %v", st.Cycles)
+	}
+	// Conservation: DMA words must cover Q, K, V in and A out exactly
+	// once (K/V per head, Q/A per block).
+	k, l, n := shape.HeadDim(), shape.SeqLen, shape.HeadDim()
+	want := float64(shape.Heads * (k*l + l*n + shape.SeqLen*k + shape.SeqLen*n))
+	if st.DRAMWords != want {
+		t.Errorf("DRAM words %v, want %v", st.DRAMWords, want)
+	}
+	// All MACs executed.
+	wantMACs := float64(shape.Heads) * (float64(shape.SeqLen*l*k) + float64(shape.SeqLen*n*l))
+	if st.MACs != wantMACs {
+		t.Errorf("MACs %v, want %v", st.MACs, wantMACs)
+	}
+}
+
+// TestModelTracksSimulator is the in-package slice of Fig 8c/d: over a
+// small mapping sweep the analytical model's cycles must stay within a
+// modest relative error of the simulation (the paper reports 5.4% average
+// for cycles and 6.1% for energy against RTL).
+func TestModelTracksSimulator(t *testing.T) {
+	m := Validation()
+	spec := arch.Validation()
+	var cycErrs, eErrs []float64
+	for _, seq := range []int{128, 256, 512} {
+		for _, rb := range []int{16, 32, 64} {
+			for _, coresUsed := range []int{2, 4} {
+				shape := workload.AttentionShape{Name: "v", Heads: 8, SeqLen: seq, Hidden: 512, Batch: 1}
+				am := AttentionMapping{Shape: shape, RowBlock: rb, CoresUsed: coresUsed}
+				p, err := am.BuildProgram(m)
+				if err != nil {
+					t.Fatalf("%v: %v", am, err)
+				}
+				st, err := m.Run(p)
+				if err != nil {
+					t.Fatalf("%v: %v", am, err)
+				}
+				tree, g, err := am.ModelTree(spec)
+				if err != nil {
+					t.Fatalf("%v: %v", am, err)
+				}
+				res, err := core.Evaluate(tree, g, spec, core.Options{SkipCapacityCheck: true})
+				if err != nil {
+					t.Fatalf("%v: %v", am, err)
+				}
+				ce := math.Abs(res.Cycles-st.Cycles) / st.Cycles
+				ee := math.Abs(res.EnergyPJ()-st.EnergyPJ) / st.EnergyPJ
+				cycErrs = append(cycErrs, ce)
+				eErrs = append(eErrs, ee)
+			}
+		}
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if m := mean(cycErrs); m > 0.25 {
+		t.Errorf("mean cycle error %.3f, want ≤ 0.25", m)
+	}
+	if m := mean(eErrs); m > 0.25 {
+		t.Errorf("mean energy error %.3f, want ≤ 0.25", m)
+	}
+	t.Logf("mean cycle err %.3f, mean energy err %.3f over %d mappings", mean(cycErrs), mean(eErrs), len(cycErrs))
+}
+
+func TestConvKernelRuns(t *testing.T) {
+	m := Validation()
+	shape := workload.ConvChainShape{Name: "cc", InC: 16, Height: 32, Width: 32, OutC1: 32, OutC2: 16, Filter: 3}
+	cm := ConvChainMapping{Shape: shape, RowBlock: 8, CoresUsed: 4}
+	p, err := cm.BuildProgram(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	// Conservation: the activation never touches DRAM, so DMA words are
+	// exactly weights (per core) + input blocks (with halo) + outputs.
+	f := shape.Filter
+	blocks := shape.Height / cm.RowBlock
+	want := float64(cm.CoresUsed*(f*f*shape.InC*shape.OutC1+f*f*shape.OutC1*shape.OutC2)) +
+		float64(blocks*(cm.RowBlock+f-1)*(shape.Width+f-1)*shape.InC) +
+		float64(shape.Height*shape.Width*shape.OutC2)
+	if st.DRAMWords != want {
+		t.Errorf("DRAM words %v, want %v", st.DRAMWords, want)
+	}
+}
+
+// TestModelTracksSimulatorConv extends the Fig 8c methodology to the conv
+// chain family: the analytical prediction stays within a modest relative
+// error of the cycle-level machine.
+func TestModelTracksSimulatorConv(t *testing.T) {
+	m := Validation()
+	spec := arch.Validation()
+	var errs []float64
+	for _, rb := range []int{4, 8, 16} {
+		for _, cu := range []int{2, 4} {
+			shape := workload.ConvChainShape{Name: "cc", InC: 16, Height: 32, Width: 32, OutC1: 32, OutC2: 16, Filter: 3}
+			cm := ConvChainMapping{Shape: shape, RowBlock: rb, CoresUsed: cu}
+			if (shape.Height/rb)%cu != 0 {
+				continue
+			}
+			p, err := cm.BuildProgram(m)
+			if err != nil {
+				t.Fatalf("%v: %v", cm, err)
+			}
+			st, err := m.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, g, err := cm.ModelTree(spec)
+			if err != nil {
+				t.Fatalf("%v: %v", cm, err)
+			}
+			res, err := core.Evaluate(tree, g, spec, core.Options{SkipCapacityCheck: true})
+			if err != nil {
+				t.Fatalf("%v: %v", cm, err)
+			}
+			e := math.Abs(res.Cycles-st.Cycles) / st.Cycles
+			errs = append(errs, e)
+		}
+	}
+	var sum float64
+	for _, e := range errs {
+		sum += e
+	}
+	mean := sum / float64(len(errs))
+	t.Logf("mean conv cycle err %.3f over %d mappings", mean, len(errs))
+	if mean > 0.35 {
+		t.Errorf("mean conv cycle error %.3f, want ≤ 0.35", mean)
+	}
+}

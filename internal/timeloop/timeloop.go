@@ -1,0 +1,244 @@
+// Package timeloop re-implements, from first principles and independently
+// of the core package, the classic polyhedron-based single-operator
+// performance model of Timeloop (Parashar et al., ISPASS'19) that the paper
+// validates TileFlow against in Fig 8a/b.
+//
+// A mapping assigns every storage level an ordered loop nest over the
+// operator's dimensions. For each tensor and level the model computes the
+// tile held in the level's buffer and the number of refills driven by the
+// loops above; latency assumes double-buffered transfer/compute overlap at
+// every level; energy is per-access costs times access counts.
+//
+// The implementation deliberately shares no analysis code with
+// internal/core — the Fig 8a/b experiment compares two independently coded
+// models over the same mapping sweep, which is what makes the R² ≈ 0.999
+// agreement a meaningful validation rather than a tautology.
+package timeloop
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+// Loop is one loop of a mapping level, outermost first within the level.
+type Loop struct {
+	Dim     string
+	Bound   int
+	Spatial bool
+}
+
+// Mapping assigns loop nests to storage levels, outermost level first.
+// Levels[i] corresponds to spec.Levels[Level], and every operator dimension
+// must be fully factored across the mapping (the product of all bounds per
+// dim equals the dimension size).
+type Mapping struct {
+	Levels []LevelNest
+}
+
+// LevelNest is the loop nest of one storage level.
+type LevelNest struct {
+	Level int
+	Loops []Loop
+}
+
+// Result is the model output.
+type Result struct {
+	Cycles   float64
+	EnergyPJ float64
+	// AccessesPerLevel counts word accesses (reads in + reads out +
+	// updates) per storage level.
+	AccessesPerLevel []float64
+	MACs             float64
+}
+
+// Evaluate runs the model for a single operator.
+func Evaluate(op *workload.Operator, m Mapping, spec *arch.Spec) (*Result, error) {
+	if err := validate(op, m, spec); err != nil {
+		return nil, err
+	}
+
+	// tileExtent[level][dim] = product of bounds of dim-loops at this
+	// level and all levels below (inner), built by walking from the
+	// innermost mapping level (last entry) outward.
+	nLv := len(m.Levels)
+	tile := make([]map[string]int, nLv)
+	acc := map[string]int{}
+	for _, d := range op.Dims {
+		acc[d.Name] = 1
+	}
+	for i := nLv - 1; i >= 0; i-- {
+		for _, l := range m.Levels[i].Loops {
+			acc[l.Dim] *= l.Bound
+		}
+		snapshot := map[string]int{}
+		for k, v := range acc {
+			snapshot[k] = v
+		}
+		tile[i] = snapshot
+	}
+
+	// tensorTile computes a tensor's tile size (in words) for the
+	// coverage at and below mapping level i.
+	tensorTile := func(accs workload.Access, i int) float64 {
+		v := 1.0
+		for _, ix := range accs.Index {
+			e := 1
+			for _, t := range ix.Terms {
+				e += t.Coef * (tile[i][t.Dim] - 1)
+			}
+			if e < 1 {
+				e = 1
+			}
+			v *= float64(e)
+		}
+		return v
+	}
+
+	// relevant reports whether a loop dim indexes the tensor.
+	relevant := func(accs workload.Access, dim string) bool {
+		for _, ix := range accs.Index {
+			for _, t := range ix.Terms {
+				if t.Dim == dim {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	accesses := make([]float64, spec.NumLevels())
+	// fills[i] = words entering mapping level i from the level above,
+	// per tensor accumulated.
+	fills := make([]float64, nLv)
+	updates := make([]float64, nLv)
+
+	handle := func(accs workload.Access, isWrite bool) {
+		for i := 0; i < nLv; i++ {
+			t := tensorTile(accs, i)
+			// Refills: every relevant temporal loop above level i
+			// multiplies; irrelevant loops reuse the tile in place.
+			// Spatial loops above replicate the tile across units,
+			// which also multiplies total traffic.
+			mult := 1.0
+			for j := 0; j < i; j++ {
+				for _, l := range m.Levels[j].Loops {
+					if l.Spatial || relevant(accs, l.Dim) {
+						mult *= float64(l.Bound)
+					}
+				}
+			}
+			if isWrite {
+				// Outputs drain once per distinct tile version; a
+				// reduction loop above the level forces repeated
+				// drains and refills of partials.
+				red := 1.0
+				for j := 0; j < i; j++ {
+					for _, l := range m.Levels[j].Loops {
+						if !l.Spatial && op.IsReduction(l.Dim) {
+							red *= float64(l.Bound)
+						}
+					}
+				}
+				updates[i] += t * mult * red
+				if red > 1 {
+					fills[i] += t * mult * (red - 1)
+				}
+			} else {
+				fills[i] += t * mult
+			}
+		}
+	}
+	for _, r := range op.Reads {
+		handle(r, false)
+	}
+	handle(op.Write, true)
+
+	// Attribute to the architecture's levels using the same convention as
+	// the core model: a fill into mapping level i is written at its own
+	// level and read at the level above; an update is written at the
+	// level above.
+	for i := 1; i < nLv; i++ {
+		accesses[m.Levels[i].Level] += fills[i]
+		accesses[m.Levels[i-1].Level] += fills[i] + updates[i]
+	}
+
+	// Latency: compute cycles on the spatial array, overlapped with
+	// per-level transfers (double buffering), bounded by the slowest.
+	spatialPEs := 1
+	for _, ln := range m.Levels {
+		for _, l := range ln.Loops {
+			if l.Spatial {
+				spatialPEs *= l.Bound
+			}
+		}
+	}
+	if spatialPEs > spec.TotalPEs() {
+		return nil, fmt.Errorf("timeloop: mapping uses %d PEs, chip has %d", spatialPEs, spec.TotalPEs())
+	}
+	computeCycles := float64(op.OpCount()) / float64(spatialPEs*spec.MACsPerPE)
+	cycles := computeCycles
+	for i := 1; i < nLv; i++ {
+		bw := spec.WordsPerCycle(m.Levels[i-1].Level)
+		if bw <= 0 {
+			continue
+		}
+		// Loads and stores overlap (separate directions, double
+		// buffered), each against the level's bandwidth.
+		if t := fills[i] / bw; t > cycles {
+			cycles = t
+		}
+		if t := updates[i] / bw; t > cycles {
+			cycles = t
+		}
+	}
+
+	table := energy.TableFor(spec)
+	macs := float64(op.OpCount())
+	regAccesses := append([]float64(nil), accesses...)
+	regAccesses[0] += 2 * macs
+	bd := table.Estimate(regAccesses, macs, 0)
+
+	return &Result{
+		Cycles:           cycles,
+		EnergyPJ:         bd.TotalPJ(),
+		AccessesPerLevel: accesses,
+		MACs:             macs,
+	}, nil
+}
+
+func validate(op *workload.Operator, m Mapping, spec *arch.Spec) error {
+	if len(m.Levels) == 0 {
+		return fmt.Errorf("timeloop: empty mapping")
+	}
+	prod := map[string]int{}
+	for _, d := range op.Dims {
+		prod[d.Name] = 1
+	}
+	for _, ln := range m.Levels {
+		if ln.Level < 0 || ln.Level >= spec.NumLevels() {
+			return fmt.Errorf("timeloop: level %d outside architecture", ln.Level)
+		}
+		for _, l := range ln.Loops {
+			if l.Bound < 1 {
+				return fmt.Errorf("timeloop: loop %s bound %d", l.Dim, l.Bound)
+			}
+			if _, ok := prod[l.Dim]; !ok {
+				return fmt.Errorf("timeloop: loop over unknown dim %q", l.Dim)
+			}
+			prod[l.Dim] *= l.Bound
+		}
+	}
+	for _, d := range op.Dims {
+		if prod[d.Name] != d.Size {
+			return fmt.Errorf("timeloop: dim %s factored to %d, want %d", d.Name, prod[d.Name], d.Size)
+		}
+	}
+	if math.IsNaN(float64(op.OpCount())) {
+		return fmt.Errorf("timeloop: bad op count")
+	}
+	return nil
+}

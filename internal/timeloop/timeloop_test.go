@@ -1,0 +1,196 @@
+package timeloop
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// matmulMapping builds the canonical three-level matmul mapping used by the
+// validation sweep: DRAM loops (am, an, ak), L1 loops (bm, bn, bk), and an
+// sm×sn spatial inner tile.
+func matmulMapping(m, n, k, am, an, ak, sm, sn int, spec *arch.Spec) (Mapping, bool) {
+	bm := m / (am * sm)
+	bn := n / (an * sn)
+	bk := k / ak
+	if am*sm*bm != m || an*sn*bn != n || ak*bk != k {
+		return Mapping{}, false
+	}
+	return Mapping{Levels: []LevelNest{
+		{Level: spec.DRAMLevel(), Loops: []Loop{{Dim: "m", Bound: am}, {Dim: "n", Bound: an}, {Dim: "k", Bound: ak}}},
+		{Level: 1, Loops: []Loop{{Dim: "m", Bound: bm}, {Dim: "n", Bound: bn}, {Dim: "k", Bound: bk}}},
+		{Level: 0, Loops: []Loop{{Dim: "m", Bound: sm, Spatial: true}, {Dim: "n", Bound: sn, Spatial: true}}},
+	}}, true
+}
+
+// matmulTree builds the equivalent TileFlow analysis tree.
+func matmulTree(op *workload.Operator, m, n, k, am, an, ak, sm, sn int, spec *arch.Spec) (*core.Node, bool) {
+	bm := m / (am * sm)
+	bn := n / (an * sn)
+	bk := k / ak
+	if am*sm*bm != m || an*sn*bn != n || ak*bk != k {
+		return nil, false
+	}
+	leaf := core.Leaf("leaf", op, core.S("m", sm), core.S("n", sn))
+	l1 := core.Tile("l1", 1, core.Seq, []core.Loop{core.T("m", bm), core.T("n", bn), core.T("k", bk)}, leaf)
+	root := core.Tile("root", spec.DRAMLevel(), core.Seq,
+		[]core.Loop{core.T("m", am), core.T("n", an), core.T("k", ak)}, l1)
+	return root, true
+}
+
+func TestValidateRejects(t *testing.T) {
+	g := workload.Matmul(64, 64, 64)
+	spec := arch.Validation()
+	// Under-factored dim.
+	m := Mapping{Levels: []LevelNest{
+		{Level: 2, Loops: []Loop{{Dim: "m", Bound: 2}}},
+		{Level: 0, Loops: []Loop{{Dim: "n", Bound: 64}, {Dim: "k", Bound: 64}}},
+	}}
+	if _, err := Evaluate(g.Ops[0], m, spec); err == nil {
+		t.Error("want under-factored error")
+	}
+	// Unknown dim.
+	m2 := Mapping{Levels: []LevelNest{{Level: 0, Loops: []Loop{{Dim: "zz", Bound: 2}}}}}
+	if _, err := Evaluate(g.Ops[0], m2, spec); err == nil {
+		t.Error("want unknown-dim error")
+	}
+}
+
+// TestAgreementWithCoreModel is the in-package slice of the Fig 8a/b
+// experiment: over a sweep of matmul mappings the two independently coded
+// models must correlate almost perfectly in cycles and agree closely in
+// energy.
+func TestAgreementWithCoreModel(t *testing.T) {
+	spec := arch.Validation()
+	const M, N, K = 256, 256, 256
+	g := workload.Matmul(M, N, K)
+	op := g.Ops[0]
+
+	var tl, tf []float64
+	var tlE, tfE []float64
+	for _, sm := range []int{4, 8, 16} {
+		for _, am := range []int{1, 4, 16} {
+			for _, an := range []int{1, 4, 16} {
+				for _, ak := range []int{1, 16, 256} {
+					mp, ok := matmulMapping(M, N, K, am, an, ak, sm, sm, spec)
+					if !ok {
+						continue
+					}
+					tree, ok := matmulTree(op, M, N, K, am, an, ak, sm, sm, spec)
+					if !ok {
+						continue
+					}
+					r1, err := Evaluate(op, mp, spec)
+					if err != nil {
+						t.Fatalf("timeloop am=%d an=%d ak=%d: %v", am, an, ak, err)
+					}
+					r2, err := core.Evaluate(tree, g, spec, core.Options{SkipCapacityCheck: true})
+					if err != nil {
+						t.Fatalf("core am=%d an=%d ak=%d: %v", am, an, ak, err)
+					}
+					tl = append(tl, r1.Cycles)
+					tf = append(tf, r2.Cycles)
+					tlE = append(tlE, r1.EnergyPJ)
+					tfE = append(tfE, r2.EnergyPJ())
+				}
+			}
+		}
+	}
+	if len(tl) < 50 {
+		t.Fatalf("sweep too small: %d points", len(tl))
+	}
+	if r2 := RSquared(tl, tf); r2 < 0.95 {
+		t.Errorf("cycle R² = %.4f, want ≥ 0.95", r2)
+	}
+	if e := MeanAbsRelErr(tlE, tfE); e > 0.10 {
+		t.Errorf("energy mean |err| = %.4f, want ≤ 0.10", e)
+	}
+	t.Logf("points=%d cycleR2=%.4f energyErr=%.4f", len(tl), RSquared(tl, tf), MeanAbsRelErr(tlE, tfE))
+}
+
+// RSquared is the coefficient of determination of y against x under the
+// y=x line (the Fig 8a metric).
+func RSquared(x, y []float64) float64 {
+	if len(x) == 0 || len(x) != len(y) {
+		return math.NaN()
+	}
+	var meanY float64
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range x {
+		d := y[i] - x[i]
+		ssRes += d * d
+		dt := y[i] - meanY
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MeanAbsRelErr is the mean |y−x|/x (the Fig 8b metric).
+func MeanAbsRelErr(x, y []float64) float64 {
+	if len(x) == 0 || len(x) != len(y) {
+		return math.NaN()
+	}
+	var s float64
+	for i := range x {
+		if x[i] == 0 {
+			continue
+		}
+		s += math.Abs(y[i]-x[i]) / x[i]
+	}
+	return s / float64(len(x))
+}
+
+// TestConvolutionAgreement extends the cross-validation to a windowed
+// access pattern: single 3x3 convolution, several mappings, both models.
+func TestConvolutionAgreement(t *testing.T) {
+	spec := arch.Validation()
+	g := workload.Conv2D("conv", 32, 32, 16, 32, 3)
+	op := g.Ops[0]
+	var tl, tf []float64
+	for _, hb := range []int{1, 2, 4, 8} {
+		mp := Mapping{Levels: []LevelNest{
+			{Level: 2, Loops: []Loop{{Dim: "h", Bound: hb}}},
+			{Level: 1, Loops: []Loop{
+				{Dim: "h", Bound: 32 / hb}, {Dim: "w", Bound: 32},
+				{Dim: "r", Bound: 3}, {Dim: "s", Bound: 3},
+				{Dim: "l", Bound: 2}, {Dim: "c", Bound: 1},
+			}},
+			{Level: 0, Loops: []Loop{{Dim: "l", Bound: 16, Spatial: true}, {Dim: "c", Bound: 16, Spatial: true}}},
+		}}
+		r1, err := Evaluate(op, mp, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaf := core.Leaf("leaf", op, core.S("l", 16), core.S("c", 16))
+		l1 := core.Tile("l1", 1, core.Seq, []core.Loop{
+			core.T("h", 32/hb), core.T("w", 32), core.T("r", 3), core.T("s", 3), core.T("l", 2),
+		}, leaf)
+		root := core.Tile("root", 2, core.Seq, []core.Loop{core.T("h", hb)}, l1)
+		r2, err := core.Evaluate(root, g, spec, core.Options{SkipCapacityCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl = append(tl, r1.Cycles)
+		tf = append(tf, r2.Cycles)
+	}
+	// Windowed accesses diverge more than matmul (the timeloop baseline's
+	// tile model ignores halo overlap between refetches); require the two
+	// models to stay within 2x of each other everywhere.
+	for i := range tl {
+		ratio := tf[i] / tl[i]
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("mapping %d: cycle ratio %.2f outside [0.5, 2]", i, ratio)
+		}
+	}
+	t.Logf("conv cycles timeloop=%v tileflow=%v", tl, tf)
+}

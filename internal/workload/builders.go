@@ -1,0 +1,359 @@
+package workload
+
+import "fmt"
+
+// WordBytes is the element size used throughout the paper's evaluation
+// (16-bit words).
+const WordBytes = 2
+
+// Matmul builds a single matrix multiplication C[m,n] += A[m,k]·B[k,n] as a
+// one-operator graph. It is the workload used for the Timeloop validation
+// sweep (Fig 8a/b).
+func Matmul(m, n, k int) *Graph {
+	op := &Operator{
+		Name: "mm",
+		Kind: KindMAC,
+		Dims: []Dim{{"m", m}, {"n", n}, {"k", k}},
+		Reads: []Access{
+			{Tensor: "A", Index: []Index{I("m"), I("k")}},
+			{Tensor: "B", Index: []Index{I("k"), I("n")}},
+		},
+		Write: Access{Tensor: "C", Index: []Index{I("m"), I("n")}},
+	}
+	return MustGraph(fmt.Sprintf("matmul_%dx%dx%d", m, n, k), WordBytes, op)
+}
+
+// AttentionShape is one row of Table 2: a self-attention configuration.
+type AttentionShape struct {
+	Name   string
+	Model  string
+	Heads  int // num_heads
+	SeqLen int // seq_len
+	Hidden int // hidden
+	Batch  int // mini-batch size (1 in Table 2 experiments, 128 in Table 7)
+}
+
+// HeadDim is the per-head hidden size hidden/num_heads, the reduction
+// dimension of Q×K.
+func (s AttentionShape) HeadDim() int { return s.Hidden / s.Heads }
+
+// AttentionShapes is Table 2 of the paper.
+var AttentionShapes = []AttentionShape{
+	{Name: "Bert-S", Model: "Bert", Heads: 8, SeqLen: 512, Hidden: 512, Batch: 1},
+	{Name: "Bert-B", Model: "Bert", Heads: 12, SeqLen: 512, Hidden: 768, Batch: 1},
+	{Name: "Bert-L", Model: "Bert", Heads: 16, SeqLen: 512, Hidden: 1024, Batch: 1},
+	{Name: "ViT/14-B", Model: "ViT", Heads: 12, SeqLen: 256, Hidden: 768, Batch: 1},
+	{Name: "ViT/14-L", Model: "ViT", Heads: 16, SeqLen: 256, Hidden: 1024, Batch: 1},
+	{Name: "ViT/14-H", Model: "ViT", Heads: 16, SeqLen: 256, Hidden: 1280, Batch: 1},
+	{Name: "ViT/16-B", Model: "ViT", Heads: 12, SeqLen: 196, Hidden: 768, Batch: 1},
+	{Name: "ViT/16-L", Model: "ViT", Heads: 16, SeqLen: 196, Hidden: 1024, Batch: 1},
+	{Name: "ViT/16-H", Model: "ViT", Heads: 16, SeqLen: 196, Hidden: 1280, Batch: 1},
+	{Name: "T5", Model: "T5", Heads: 16, SeqLen: 1024, Hidden: 1024, Batch: 1},
+	{Name: "XLM", Model: "XLM", Heads: 12, SeqLen: 1024, Hidden: 768, Batch: 1},
+}
+
+// AttentionShapeByName looks up a Table 2 row.
+func AttentionShapeByName(name string) (AttentionShape, bool) {
+	for _, s := range AttentionShapes {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return AttentionShape{}, false
+}
+
+// Attention builds the self-attention workload of Fig 1b:
+//
+//	S = Q × Kᵀ        (batch matmul over heads)
+//	L = Softmax(S)    (expanded to max, sub, exp, sum, div per Sec 7.2)
+//	A = L × V         (batch matmul over heads)
+//
+// Iteration dimensions: b (batch), h (head), m (query row), l (key column /
+// softmax axis), n (output feature), k (per-head hidden). The softmax is
+// expanded into five small operators as the paper requires for modeling
+// ("we need to expand it into five small operators (max, sub, exp, sum,
+// div)"), each a loop nest over shared dimensions.
+func Attention(shape AttentionShape) *Graph {
+	b, h := shape.Batch, shape.Heads
+	m, l := shape.SeqLen, shape.SeqLen
+	n, k := shape.HeadDim(), shape.HeadDim()
+	if b <= 0 {
+		b = 1
+	}
+
+	bh := []Dim{{"b", b}, {"h", h}}
+	bhIdx := []Index{I("b"), I("h")}
+
+	qk := &Operator{
+		Name: "QK",
+		Kind: KindMAC,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"l", l}, Dim{"k", k}),
+		Reads: []Access{
+			{Tensor: "Q", Index: append(append([]Index{}, bhIdx...), I("m"), I("k"))},
+			{Tensor: "K", Index: append(append([]Index{}, bhIdx...), I("k"), I("l"))},
+		},
+		Write: Access{Tensor: "S", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+	}
+	rowMax := &Operator{
+		Name: "RowMax",
+		Kind: KindMax,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"l", l}),
+		Reads: []Access{
+			{Tensor: "S", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+		},
+		Write: Access{Tensor: "Mx", Index: append(append([]Index{}, bhIdx...), I("m"))},
+	}
+	sub := &Operator{
+		Name: "Sub",
+		Kind: KindSub,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"l", l}),
+		Reads: []Access{
+			{Tensor: "S", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+			{Tensor: "Mx", Index: append(append([]Index{}, bhIdx...), I("m"))},
+		},
+		Write: Access{Tensor: "Sh", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+	}
+	exp := &Operator{
+		Name: "Exp",
+		Kind: KindExp,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"l", l}),
+		Reads: []Access{
+			{Tensor: "Sh", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+		},
+		Write: Access{Tensor: "E", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+	}
+	rowSum := &Operator{
+		Name: "RowSum",
+		Kind: KindSum,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"l", l}),
+		Reads: []Access{
+			{Tensor: "E", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+		},
+		Write: Access{Tensor: "Sm", Index: append(append([]Index{}, bhIdx...), I("m"))},
+	}
+	div := &Operator{
+		Name: "Div",
+		Kind: KindDiv,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"l", l}),
+		Reads: []Access{
+			{Tensor: "E", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+			{Tensor: "Sm", Index: append(append([]Index{}, bhIdx...), I("m"))},
+		},
+		Write: Access{Tensor: "L", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+	}
+	lv := &Operator{
+		Name: "LV",
+		Kind: KindMAC,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"n", n}, Dim{"l", l}),
+		Reads: []Access{
+			{Tensor: "L", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+			{Tensor: "V", Index: append(append([]Index{}, bhIdx...), I("l"), I("n"))},
+		},
+		Write: Access{Tensor: "A", Index: append(append([]Index{}, bhIdx...), I("m"), I("n"))},
+	}
+	return MustGraph("attention_"+shape.Name, WordBytes, qk, rowMax, sub, exp, rowSum, div, lv)
+}
+
+// AttentionCoarse builds the three-operator view of self-attention used when
+// the softmax interior does not need to be modeled per-op: QK, a single
+// fused softmax operator, and LV. Some dataflow constructors and the
+// simulator kernel generator use this form.
+func AttentionCoarse(shape AttentionShape) *Graph {
+	b, h := shape.Batch, shape.Heads
+	m, l := shape.SeqLen, shape.SeqLen
+	n, k := shape.HeadDim(), shape.HeadDim()
+	if b <= 0 {
+		b = 1
+	}
+	bh := []Dim{{"b", b}, {"h", h}}
+	bhIdx := []Index{I("b"), I("h")}
+
+	qk := &Operator{
+		Name: "QK",
+		Kind: KindMAC,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"l", l}, Dim{"k", k}),
+		Reads: []Access{
+			{Tensor: "Q", Index: append(append([]Index{}, bhIdx...), I("m"), I("k"))},
+			{Tensor: "K", Index: append(append([]Index{}, bhIdx...), I("k"), I("l"))},
+		},
+		Write: Access{Tensor: "S", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+	}
+	softmax := &Operator{
+		Name: "Softmax",
+		Kind: KindExp,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"l", l}),
+		Reads: []Access{
+			{Tensor: "S", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+		},
+		Write: Access{Tensor: "L", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+	}
+	lv := &Operator{
+		Name: "LV",
+		Kind: KindMAC,
+		Dims: append(append([]Dim{}, bh...), Dim{"m", m}, Dim{"n", n}, Dim{"l", l}),
+		Reads: []Access{
+			{Tensor: "L", Index: append(append([]Index{}, bhIdx...), I("m"), I("l"))},
+			{Tensor: "V", Index: append(append([]Index{}, bhIdx...), I("l"), I("n"))},
+		},
+		Write: Access{Tensor: "A", Index: append(append([]Index{}, bhIdx...), I("m"), I("n"))},
+	}
+	return MustGraph("attention3_"+shape.Name, WordBytes, qk, softmax, lv)
+}
+
+// ConvChainShape is one row of Table 3: two chained 3×3 convolutions.
+type ConvChainShape struct {
+	Name   string
+	InC    int // In_C
+	Height int
+	Width  int
+	OutC1  int // Out_C1
+	OutC2  int // Out_C2
+	Filter int // filter size (3 in all Table 3 experiments)
+}
+
+// ConvChainShapes is Table 3 of the paper.
+var ConvChainShapes = []ConvChainShape{
+	{Name: "CC1", InC: 64, Height: 112, Width: 112, OutC1: 192, OutC2: 128, Filter: 3},
+	{Name: "CC2", InC: 32, Height: 147, Width: 147, OutC1: 64, OutC2: 80, Filter: 3},
+	{Name: "CC3", InC: 64, Height: 56, Width: 56, OutC1: 128, OutC2: 64, Filter: 3},
+	{Name: "CC4", InC: 128, Height: 28, Width: 28, OutC1: 256, OutC2: 128, Filter: 3},
+	{Name: "CC5", InC: 16, Height: 227, Width: 227, OutC1: 64, OutC2: 16, Filter: 3},
+}
+
+// ConvChainShapeByName looks up a Table 3 row.
+func ConvChainShapeByName(name string) (ConvChainShape, bool) {
+	for _, s := range ConvChainShapes {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ConvChainShape{}, false
+}
+
+// ConvChain builds the two-convolution chain of Fig 1c:
+//
+//	Act[h,w,l] += Im[h+r, w+s, c] · W1[r,s,c,l]
+//	Out[h,w,e] += Act[h+u, w+v, l] · W2[u,v,l,e]
+//
+// Both convolutions use the shape's filter size with unit stride ("same"
+// output extent, halo materialized in the tensor shape as the paper's
+// Fused-Layer setting does). Dimensions h, w, l are shared between the two
+// operators so that height/width/channel tiling can fuse them.
+func ConvChain(shape ConvChainShape) *Graph {
+	f := shape.Filter
+	if f <= 0 {
+		f = 3
+	}
+	conv1 := &Operator{
+		Name: "Conv1",
+		Kind: KindMAC,
+		Dims: []Dim{
+			{"h", shape.Height}, {"w", shape.Width},
+			{"l", shape.OutC1},
+			{"r", f}, {"s", f}, {"c", shape.InC},
+		},
+		Reads: []Access{
+			{Tensor: "Im", Index: []Index{Idx("h", 1, "r", 1), Idx("w", 1, "s", 1), I("c")}},
+			{Tensor: "W1", Index: []Index{I("r"), I("s"), I("c"), I("l")}},
+		},
+		Write: Access{Tensor: "Act", Index: []Index{I("h"), I("w"), I("l")}},
+	}
+
+	conv2 := &Operator{
+		Name: "Conv2",
+		Kind: KindMAC,
+		Dims: []Dim{
+			{"h", shape.Height}, {"w", shape.Width},
+			{"e", shape.OutC2},
+			{"u", f}, {"v", f}, {"l", shape.OutC1},
+		},
+		Reads: []Access{
+			{Tensor: "Act", Index: []Index{Idx("h", 1, "u", 1), Idx("w", 1, "v", 1), I("l")}},
+			{Tensor: "W2", Index: []Index{I("u"), I("v"), I("l"), I("e")}},
+		},
+		Write: Access{Tensor: "Out", Index: []Index{I("h"), I("w"), I("e")}},
+	}
+	return MustGraph("convchain_"+shape.Name, WordBytes, conv1, conv2)
+}
+
+// ConvChainN builds a chain of n 3×3 convolutions with the given channel
+// widths (len(channels) = n+1: input channels followed by each layer's
+// output channels). The height/width dims are shared along the whole chain
+// and each intermediate activation is a fusion candidate — the general
+// multi-layer fusion setting the paper's introduction motivates (SET,
+// Tangram). Channel dims are named c0 (input), c1..cn (outputs).
+func ConvChainN(name string, h, w, filter int, channels []int) *Graph {
+	if len(channels) < 2 {
+		panic("workload.ConvChainN: need input + at least one output width")
+	}
+	var ops []*Operator
+	for i := 1; i < len(channels); i++ {
+		inT := "Im"
+		if i > 1 {
+			inT = fmt.Sprintf("Act%d", i-1)
+		}
+		outT := fmt.Sprintf("Act%d", i)
+		if i == len(channels)-1 {
+			outT = "Out"
+		}
+		rdim := fmt.Sprintf("r%d", i)
+		sdim := fmt.Sprintf("s%d", i)
+		cin := fmt.Sprintf("c%d", i-1)
+		cout := fmt.Sprintf("c%d", i)
+		ops = append(ops, &Operator{
+			Name: fmt.Sprintf("Conv%d", i),
+			Kind: KindMAC,
+			Dims: []Dim{
+				{"h", h}, {"w", w},
+				{cout, channels[i]},
+				{rdim, filter}, {sdim, filter}, {cin, channels[i-1]},
+			},
+			Reads: []Access{
+				{Tensor: inT, Index: []Index{Idx("h", 1, rdim, 1), Idx("w", 1, sdim, 1), I(cin)}},
+				{Tensor: fmt.Sprintf("W%d", i), Index: []Index{I(rdim), I(sdim), I(cin), I(cout)}},
+			},
+			Write: Access{Tensor: outT, Index: []Index{I("h"), I("w"), I(cout)}},
+		})
+	}
+	return MustGraph(name, WordBytes, ops...)
+}
+
+// Conv2D builds a single convolution operator graph, used by the layerwise
+// conv baseline and by unit tests.
+func Conv2D(name string, h, w, inC, outC, filter int) *Graph {
+	op := &Operator{
+		Name: "Conv",
+		Kind: KindMAC,
+		Dims: []Dim{
+			{"h", h}, {"w", w}, {"l", outC},
+			{"r", filter}, {"s", filter}, {"c", inC},
+		},
+		Reads: []Access{
+			{Tensor: "Im", Index: []Index{Idx("h", 1, "r", 1), Idx("w", 1, "s", 1), I("c")}},
+			{Tensor: "W", Index: []Index{I("r"), I("s"), I("c"), I("l")}},
+		},
+		Write: Access{Tensor: "Out", Index: []Index{I("h"), I("w"), I("l")}},
+	}
+	return MustGraph(name, WordBytes, op)
+}
+
+// BatchedConv1D builds the worked example of Figure 5 in the paper: a
+// batched 1D convolution whose single-tile data-movement volume for tensor A
+// is exactly 168 elements. It is the golden test for single-tile analysis.
+//
+//	for i1=0..2, j1=0..2 @temporal
+//	  for i0=0..3, j0=0..3, k0=0..2 @spatial
+//	    C[i1*4+i0, j1*4+j0] += A[i1*4+i0, j1*4+j0+k0] * B[i1*4+i0, k0]
+func BatchedConv1D() *Graph {
+	op := &Operator{
+		Name: "bconv",
+		Kind: KindMAC,
+		Dims: []Dim{{"i", 12}, {"j", 12}, {"k", 3}},
+		Reads: []Access{
+			{Tensor: "A", Index: []Index{I("i"), Idx("j", 1, "k", 1)}},
+			{Tensor: "B", Index: []Index{I("i"), I("k")}},
+		},
+		Write: Access{Tensor: "C", Index: []Index{I("i"), I("j")}},
+	}
+	return MustGraph("fig5_bconv1d", WordBytes, op)
+}
