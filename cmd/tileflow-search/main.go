@@ -12,13 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/mapper"
 	"repro/internal/notation"
-	"repro/internal/workload"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -40,10 +39,10 @@ func main() {
 		fatalIf(rerr)
 		spec, err = arch.ParseSpec(string(src))
 	} else {
-		spec, err = pickArch(*archName)
+		spec, err = serve.PickArch(*archName)
 	}
 	fatalIf(err)
-	g, err := pickGraph(*workloadName)
+	g, err := serve.PickGraph(*workloadName)
 	fatalIf(err)
 
 	s := &mapper.TreeSearch{
@@ -75,42 +74,6 @@ func main() {
 			fmt.Println("note:", err)
 		}
 	}
-}
-
-func pickArch(name string) (*arch.Spec, error) {
-	switch strings.ToLower(name) {
-	case "edge":
-		return arch.Edge(), nil
-	case "cloud":
-		return arch.Cloud(), nil
-	case "validation":
-		return arch.Validation(), nil
-	case "a100":
-		return arch.A100Like(), nil
-	}
-	return nil, fmt.Errorf("unknown arch %q", name)
-}
-
-func pickGraph(wl string) (*workload.Graph, error) {
-	kind, name, ok := strings.Cut(wl, ":")
-	if !ok {
-		return nil, fmt.Errorf("workload must be attention:<name> or conv:<name>")
-	}
-	switch kind {
-	case "attention":
-		shape, ok := workload.AttentionShapeByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown attention shape %q", name)
-		}
-		return workload.Attention(shape), nil
-	case "conv":
-		shape, ok := workload.ConvChainShapeByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown conv chain %q", name)
-		}
-		return workload.ConvChain(shape), nil
-	}
-	return nil, fmt.Errorf("unknown workload kind %q", kind)
 }
 
 func fatalIf(err error) {

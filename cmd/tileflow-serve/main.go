@@ -1,0 +1,78 @@
+// Command tileflow-serve runs the TileFlow evaluation service: an HTTP/JSON
+// API over the tree-based analysis and the 3D design-space mapper, with a
+// bounded worker pool and a canonical-key memoization cache so identical
+// design points are analyzed once no matter how many clients ask.
+//
+// Endpoints:
+//
+//	POST /v1/evaluate        evaluate one design point
+//	POST /v1/evaluate/batch  evaluate many design points concurrently
+//	POST /v1/search          run the GA+MCTS mapper over the 3D space
+//	GET  /healthz            liveness and basic stats
+//	GET  /metrics            Prometheus text metrics
+//
+// Example:
+//
+//	tileflow-serve -addr :8080
+//	curl -s localhost:8080/v1/evaluate -d '{"arch":"edge","workload":"attention:Bert-S","dataflow":"FLAT-RGran"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache", 8192, "memoization cache capacity (entries)")
+	workers := flag.Int("workers", 0, "max concurrent evaluations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline")
+	maxBatch := flag.Int("max-batch", 256, "max design points per batch request")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		CacheEntries: *cacheEntries,
+		Workers:      *workers,
+		Timeout:      *timeout,
+		MaxBatch:     *maxBatch,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("tileflow-serve listening on %s (workers=%d cache=%d timeout=%s)",
+		*addr, effectiveWorkers(*workers), *cacheEntries, *timeout)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "tileflow-serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("tileflow-serve: shut down")
+}
+
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return serve.NewPool(0).Workers()
+}

@@ -10,16 +10,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/core"
-	"repro/internal/dataflows"
 	"repro/internal/mapper"
 	"repro/internal/notation"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -35,6 +35,7 @@ func main() {
 	notationFile := flag.String("notation-file", "", "evaluate a dataflow written in the tile-centric DSL instead of a named template")
 	explain := flag.Bool("explain", false, "print a per-tile profile (fills, updates, latency bound)")
 	skipCapacity := flag.Bool("skip-capacity", false, "ignore buffer capacity limits")
+	jsonOut := flag.Bool("json", false, "print the result as JSON (the evaluation server's codec)")
 	flag.Parse()
 
 	var spec *arch.Spec
@@ -44,7 +45,7 @@ func main() {
 		fatalIf(rerr)
 		spec, err = arch.ParseSpec(string(src))
 	} else {
-		spec, err = pickArch(*archName)
+		spec, err = serve.PickArch(*archName)
 	}
 	fatalIf(err)
 
@@ -52,16 +53,17 @@ func main() {
 	var root *core.Node
 	var g *workload.Graph
 	var dfName string
+	var tunedFactors map[string]int
 	if *notationFile != "" {
 		src, err := os.ReadFile(*notationFile)
 		fatalIf(err)
-		g, err = pickGraph(*workloadName)
+		g, err = serve.PickGraph(*workloadName)
 		fatalIf(err)
 		root, err = notation.Parse(string(src), g)
 		fatalIf(err)
 		dfName = *notationFile
 	} else {
-		df, err := pickDataflow(*dataflowName, *workloadName, spec)
+		df, err := serve.PickDataflow(*dataflowName, *workloadName, spec)
 		fatalIf(err)
 		g = df.Graph()
 		dfName = df.Name()
@@ -72,7 +74,10 @@ func main() {
 				fatalIf(fmt.Errorf("no valid mapping found for %s", df.Name()))
 			}
 			factors = ev.Factors
-			fmt.Printf("tuned factors: %v\n", factors)
+			tunedFactors = factors
+			if !*jsonOut {
+				fmt.Printf("tuned factors: %v\n", factors)
+			}
 		}
 		root, err = df.Build(factors)
 		fatalIf(err)
@@ -91,6 +96,20 @@ func main() {
 	res, err := core.Evaluate(root, g, spec, opts)
 	fatalIf(err)
 
+	if *jsonOut {
+		// The exact EvaluateResponse the server returns for this design
+		// point, so CLI and server outputs are byte-comparable.
+		resp := &serve.EvaluateResponse{
+			Workload:     g.Name,
+			Dataflow:     dfName,
+			Arch:         spec.Name,
+			TunedFactors: tunedFactors,
+			Result:       serve.NewResultJSON(res, spec),
+		}
+		fatalIf(json.NewEncoder(os.Stdout).Encode(resp))
+		return
+	}
+
 	fmt.Printf("workload:       %s\n", g.Name)
 	fmt.Printf("dataflow:       %s on %s\n", dfName, spec.Name)
 	fmt.Printf("cycles:         %.4g (%.3f ms @ %.2f GHz)\n", res.Cycles, res.Cycles/(spec.FreqGHz*1e9)*1e3, spec.FreqGHz)
@@ -108,92 +127,6 @@ func main() {
 		}
 		fmt.Printf("footprint %-5s %d KB / %d KB\n", spec.Levels[i].Name, f*int64(spec.WordBytes)/1024, spec.Levels[i].CapacityBytes/1024)
 	}
-}
-
-func pickArch(name string) (*arch.Spec, error) {
-	switch strings.ToLower(name) {
-	case "edge":
-		return arch.Edge(), nil
-	case "cloud":
-		return arch.Cloud(), nil
-	case "validation":
-		return arch.Validation(), nil
-	case "a100":
-		return arch.A100Like(), nil
-	}
-	return nil, fmt.Errorf("unknown arch %q", name)
-}
-
-func pickGraph(wl string) (*workload.Graph, error) {
-	kind, name, ok := strings.Cut(wl, ":")
-	if !ok {
-		return nil, fmt.Errorf("workload must be attention:<name> or conv:<name>")
-	}
-	switch kind {
-	case "attention":
-		shape, ok := workload.AttentionShapeByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown attention shape %q", name)
-		}
-		return workload.Attention(shape), nil
-	case "conv":
-		shape, ok := workload.ConvChainShapeByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown conv chain %q", name)
-		}
-		return workload.ConvChain(shape), nil
-	}
-	return nil, fmt.Errorf("unknown workload kind %q", kind)
-}
-
-func pickDataflow(df, wl string, spec *arch.Spec) (dataflows.Dataflow, error) {
-	kind, name, ok := strings.Cut(wl, ":")
-	if !ok {
-		return nil, fmt.Errorf("workload must be attention:<name> or conv:<name>")
-	}
-	switch kind {
-	case "attention":
-		shape, ok := workload.AttentionShapeByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown attention shape %q (Table 2 names)", name)
-		}
-		switch df {
-		case "Layerwise":
-			return dataflows.LayerwiseAttention(shape, spec), nil
-		case "Uni-pipe":
-			return dataflows.UniPipe(shape, spec), nil
-		case "FLAT-MGran":
-			return dataflows.FLATMGran(shape, spec), nil
-		case "FLAT-BGran":
-			return dataflows.FLATBGran(shape, spec), nil
-		case "FLAT-HGran":
-			return dataflows.FLATHGran(shape, spec), nil
-		case "FLAT-RGran":
-			return dataflows.FLATRGran(shape, spec), nil
-		case "Chimera":
-			return dataflows.Chimera(shape, spec), nil
-		case "TileFlow":
-			return dataflows.TileFlowAttention(shape, spec), nil
-		}
-		return nil, fmt.Errorf("unknown attention dataflow %q", df)
-	case "conv":
-		shape, ok := workload.ConvChainShapeByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown conv chain %q (Table 3 names)", name)
-		}
-		switch df {
-		case "Layerwise":
-			return dataflows.LayerwiseConv(shape, spec), nil
-		case "Fused-Layer":
-			return dataflows.FusedLayer(shape, spec), nil
-		case "ISOS":
-			return dataflows.ISOS(shape, spec), nil
-		case "TileFlow":
-			return dataflows.TileFlowConv(shape, spec), nil
-		}
-		return nil, fmt.Errorf("unknown conv dataflow %q", df)
-	}
-	return nil, fmt.Errorf("unknown workload kind %q", kind)
 }
 
 func fatalIf(err error) {

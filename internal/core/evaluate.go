@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -125,6 +126,7 @@ type Options struct {
 
 // evaluator carries the per-evaluation state.
 type evaluator struct {
+	ctx  context.Context
 	t    *tree
 	g    *workload.Graph
 	spec *arch.Spec
@@ -142,6 +144,16 @@ type evaluator struct {
 // Evaluate runs TileFlow's tree-based analysis for the dataflow rooted at
 // root over graph g on architecture spec, returning the modeled metrics.
 func Evaluate(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) (*Result, error) {
+	return EvaluateContext(context.Background(), root, g, spec, opts)
+}
+
+// EvaluateContext is Evaluate with cancellation: the analysis aborts with
+// ctx.Err() at phase boundaries and between per-node data-movement passes,
+// so a service can bound the latency of one evaluation.
+func EvaluateContext(ctx context.Context, root *Node, g *workload.Graph, spec *arch.Spec, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,6 +165,7 @@ func Evaluate(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) (*Re
 		return nil, err
 	}
 	e := &evaluator{
+		ctx:        ctx,
 		t:          t,
 		g:          g,
 		spec:       spec,
@@ -164,7 +177,9 @@ func Evaluate(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) (*Re
 		tensorDM:   map[string][]LevelDM{},
 	}
 	e.setupRetention()
-	e.accountDataMovement()
+	if err := e.accountDataMovement(); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		DM:        e.dm,
@@ -204,6 +219,9 @@ func Evaluate(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) (*Re
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Cycles = e.latency(root, false)
 	res.ComputeCycles = e.latency(root, true)
 
@@ -311,8 +329,11 @@ func validateAgainst(t *tree, g *workload.Graph, spec *arch.Spec) error {
 // boundary, honoring confinement (intermediates never cross their LCA) and
 // Seq eviction, and attributes the traffic to the memory levels the data
 // passes through.
-func (e *evaluator) accountDataMovement() {
+func (e *evaluator) accountDataMovement() error {
 	for _, n := range e.t.nodeSet {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
 		pLevel, ok := e.parentLevel(n)
 		if !ok {
 			continue // same buffer or root at DRAM: no boundary to cross
@@ -374,6 +395,7 @@ func (e *evaluator) accountDataMovement() {
 			}
 		}
 	}
+	return nil
 }
 
 // setupRetention installs the wrap-around retention predicate: a tensor's

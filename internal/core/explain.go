@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -44,6 +45,7 @@ func Explain(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) ([]No
 		return nil, err
 	}
 	e := &evaluator{
+		ctx:        context.Background(),
 		t:          t,
 		g:          g,
 		spec:       spec,
@@ -55,7 +57,9 @@ func Explain(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) ([]No
 		tensorDM:   map[string][]LevelDM{},
 	}
 	e.setupRetention()
-	e.accountDataMovement()
+	if err := e.accountDataMovement(); err != nil {
+		return nil, err
+	}
 
 	var reports []NodeReport
 	depth := map[*Node]int{root: 0}

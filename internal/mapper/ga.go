@@ -1,6 +1,9 @@
 package mapper
 
 import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"runtime"
@@ -9,6 +12,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/serve/memo"
 	"repro/internal/workload"
 )
 
@@ -36,6 +40,10 @@ type TreeSearch struct {
 	Parallel int
 	// Seed fixes the random stream.
 	Seed int64
+	// Cache memoizes fitness by encoding, so GA revisits (and other
+	// searches sharing the cache, such as the evaluation service) skip the
+	// MCTS re-tuning. Nil allocates a private cache for this run.
+	Cache memo.Cache
 }
 
 // TreeSearchResult is the outcome of a 3D-space exploration.
@@ -55,6 +63,16 @@ type individual struct {
 
 // Run executes the combined GA+MCTS search.
 func (s *TreeSearch) Run() *TreeSearchResult {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the search stops at the next
+// generation boundary once ctx is done and returns the best result found so
+// far.
+func (s *TreeSearch) RunContext(ctx context.Context) *TreeSearchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pop := s.Population
 	if pop <= 0 {
 		pop = 20
@@ -79,10 +97,16 @@ func (s *TreeSearch) Run() *TreeSearchResult {
 		individuals[i] = &individual{enc: s.randomEncoding(rng)}
 	}
 
-	cache := map[string]*individual{}
+	cache := s.Cache
+	if cache == nil {
+		cache = memo.NewShardedLRU(4096)
+	}
 	res := &TreeSearchResult{}
 	for g := 0; g < gens; g++ {
-		s.evaluatePopulation(individuals, cache, rng)
+		if ctx.Err() != nil {
+			break
+		}
+		s.evaluatePopulation(ctx, individuals, cache)
 		sort.SliceStable(individuals, func(i, j int) bool {
 			return individuals[i].cycles < individuals[j].cycles
 		})
@@ -117,12 +141,17 @@ func (s *TreeSearch) Run() *TreeSearchResult {
 	return res
 }
 
-func (s *TreeSearch) evaluatePopulation(pop []*individual, cache map[string]*individual, rng *rand.Rand) {
+// cachedFitness is the memoized outcome of tuning one encoding.
+type cachedFitness struct {
+	cycles float64
+	eval   *Evaluation
+}
+
+func (s *TreeSearch) evaluatePopulation(ctx context.Context, pop []*individual, cache memo.Cache) {
 	par := s.Parallel
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
-	// Pre-draw deterministic seeds for each individual.
 	type job struct {
 		ind  *individual
 		seed int64
@@ -131,11 +160,12 @@ func (s *TreeSearch) evaluatePopulation(pop []*individual, cache map[string]*ind
 	for _, ind := range pop {
 		ind.enc.Repair(s.Spec.NumLevels())
 		key := ind.enc.String()
-		if hit, ok := cache[key]; ok {
-			ind.cycles, ind.eval = hit.cycles, hit.eval
+		if hit, ok := cache.Get(key); ok {
+			f := hit.(*cachedFitness)
+			ind.cycles, ind.eval = f.cycles, f.eval
 			continue
 		}
-		jobs = append(jobs, job{ind, rng.Int63()})
+		jobs = append(jobs, job{ind, s.encodingSeed(ind.enc)})
 	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
@@ -145,25 +175,39 @@ func (s *TreeSearch) evaluatePopulation(pop []*individual, cache map[string]*ind
 		go func(j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			j.ind.cycles, j.ind.eval = s.fitness(j.ind.enc, j.seed)
+			j.ind.cycles, j.ind.eval = s.fitness(ctx, j.ind.enc, j.seed)
 		}(j)
 	}
 	wg.Wait()
 	for _, j := range jobs {
-		cache[j.ind.enc.String()] = j.ind
+		cache.Put(j.ind.enc.String(), &cachedFitness{cycles: j.ind.cycles, eval: j.ind.eval})
 	}
+}
+
+// encodingSeed derives the MCTS seed for one individual from the encoding
+// content and the search seed, not from a shared RNG stream, so the same
+// encoding is always tuned identically — cached and uncached runs of the
+// same TreeSearch seed produce the same TreeSearchResult regardless of
+// cache state or evaluation order.
+func (s *TreeSearch) encodingSeed(enc *Encoding) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(enc.String()))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(s.Seed))
+	h.Write(b[:])
+	return int64(h.Sum64() & math.MaxInt64)
 }
 
 // fitness tunes an encoding's tiling with MCTS and returns its best cycles
 // (infinite when no valid mapping exists).
-func (s *TreeSearch) fitness(enc *Encoding, seed int64) (float64, *Evaluation) {
+func (s *TreeSearch) fitness(ctx context.Context, enc *Encoding, seed int64) (float64, *Evaluation) {
 	gd := NewGeneratedDataflow("candidate", s.G, s.Spec, enc)
 	rounds := s.TileRounds
 	if rounds <= 0 {
 		rounds = 40
 	}
 	ts := &TileSearch{Dataflow: gd, Spec: s.Spec, Opts: s.Opts, Rounds: rounds, Seed: seed}
-	best, _ := ts.Run()
+	best, _ := ts.RunContext(ctx)
 	if best == nil {
 		return math.Inf(1), nil
 	}

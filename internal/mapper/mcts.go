@@ -5,6 +5,7 @@
 package mapper
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -53,6 +54,16 @@ func newMctsNode() *mctsNode { return &mctsNode{children: map[int]*mctsNode{}} }
 // (the Fig 9a convergence trace). When no valid mapping exists it returns
 // nil with a nil error.
 func (s *TileSearch) Run() (*Evaluation, []float64) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the search stops at the next round
+// boundary once ctx is done and returns the best evaluation found so far
+// (MCTS is an anytime algorithm), so callers can budget wall time.
+func (s *TileSearch) RunContext(ctx context.Context) (*Evaluation, []float64) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	specs := s.Dataflow.Factors()
 	rounds := s.Rounds
 	if rounds <= 0 {
@@ -79,12 +90,15 @@ func (s *TileSearch) Run() (*Evaluation, []float64) {
 
 	// Seed with the template's default factors so the search never
 	// returns something worse than the untuned mapping.
-	if ev := s.evaluate(s.Dataflow.DefaultFactors()); ev != nil {
+	if ev := s.evaluate(ctx, s.Dataflow.DefaultFactors()); ev != nil {
 		best = ev
 		worst = ev.Cycles
 	}
 
 	for r := 0; r < rounds; r++ {
+		if ctx.Err() != nil {
+			break
+		}
 		// Selection + expansion.
 		node := root
 		path := []*mctsNode{root}
@@ -115,7 +129,7 @@ func (s *TileSearch) Run() (*Evaluation, []float64) {
 		for i, f := range specs {
 			factors[f.Key] = choices[i][assign[i]]
 		}
-		ev := s.evaluate(factors)
+		ev := s.evaluate(ctx, factors)
 		reward := 0.0
 		if ev != nil {
 			if ev.Cycles > worst {
@@ -169,12 +183,12 @@ func (s *TileSearch) selectChild(n *mctsNode, choices []int, explore float64, rn
 	return bestIdx
 }
 
-func (s *TileSearch) evaluate(factors map[string]int) *Evaluation {
+func (s *TileSearch) evaluate(ctx context.Context, factors map[string]int) *Evaluation {
 	root, err := s.Dataflow.Build(factors)
 	if err != nil {
 		return nil
 	}
-	res, err := core.Evaluate(root, s.Dataflow.Graph(), s.Spec, s.Opts)
+	res, err := core.EvaluateContext(ctx, root, s.Dataflow.Graph(), s.Spec, s.Opts)
 	if err != nil {
 		return nil
 	}
@@ -185,8 +199,14 @@ func (s *TileSearch) evaluate(factors map[string]int) *Evaluation {
 // dataflow's factors and returns the best evaluation, falling back to the
 // default factors if the search finds nothing valid.
 func Tune(df dataflows.Dataflow, spec *arch.Spec, opts core.Options, rounds int, seed int64) *Evaluation {
+	return TuneContext(context.Background(), df, spec, opts, rounds, seed)
+}
+
+// TuneContext is Tune with cancellation, returning the best evaluation
+// found before ctx expired (or nil when nothing valid was seen).
+func TuneContext(ctx context.Context, df dataflows.Dataflow, spec *arch.Spec, opts core.Options, rounds int, seed int64) *Evaluation {
 	s := &TileSearch{Dataflow: df, Spec: spec, Opts: opts, Rounds: rounds, Seed: seed}
-	best, _ := s.Run()
+	best, _ := s.RunContext(ctx)
 	if best != nil {
 		return best
 	}
@@ -195,7 +215,7 @@ func Tune(df dataflows.Dataflow, spec *arch.Spec, opts core.Options, rounds int,
 	if err != nil {
 		return nil
 	}
-	res, err := core.Evaluate(root, df.Graph(), spec, opts)
+	res, err := core.EvaluateContext(ctx, root, df.Graph(), spec, opts)
 	if err != nil {
 		return nil
 	}

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+var benchReq = EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S", Dataflow: "FLAT-RGran"}
+
+// BenchmarkEvaluateCold measures the full pipeline with the cache
+// bypassed: resolve, canonical key, tree evaluation, response build.
+func BenchmarkEvaluateCold(b *testing.B) {
+	s := New(Config{})
+	req := benchReq
+	req.NoCache = true
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.evaluateOne(ctx, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateCached measures the repeat-request path: request key
+// lookup, cache lookup, pre-serialized response. Compare against
+// BenchmarkEvaluateCold for the memoization speedup.
+func BenchmarkEvaluateCached(b *testing.B) {
+	s := New(Config{})
+	ctx := context.Background()
+	req := benchReq
+	if _, _, err := s.evaluateOne(ctx, &req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, _, err := s.evaluateOne(ctx, &req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("request not served from cache")
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/notation"
+	"repro/internal/workload"
+)
+
+// Canonical keys identify design points independently of how a request
+// spelled them: the architecture is rendered through arch.FormatSpec, the
+// workload graph through a sorted structural dump, and the mapping through
+// the tile-centric notation — so a design point reached via a named
+// template with explicit factors and the same point written directly in
+// the DSL hash to the same key and share one cache entry. The key is the
+// hex SHA-256 of that canonical text.
+
+// EvaluateKey is the canonical cache key for one fully specified design
+// point (a concrete analysis tree).
+func EvaluateKey(spec *arch.Spec, g *workload.Graph, root *core.Node, opts core.Options) string {
+	var b strings.Builder
+	b.WriteString("tileflow/v1/evaluate\n")
+	writeCommon(&b, spec, g, opts)
+	b.WriteString("mapping:\n")
+	b.WriteString(notation.Print(root))
+	return digest(b.String())
+}
+
+// tunedKey is the canonical key for a template request whose factors are
+// chosen by the mapper: the mapping is determined by (template, budget,
+// seed) rather than a concrete tree.
+func tunedKey(spec *arch.Spec, g *workload.Graph, dfName string, tune int, seed int64, opts core.Options) string {
+	var b strings.Builder
+	b.WriteString("tileflow/v1/evaluate-tuned\n")
+	writeCommon(&b, spec, g, opts)
+	fmt.Fprintf(&b, "template: %s tune=%d seed=%d\n", dfName, tune, seed)
+	return digest(b.String())
+}
+
+// searchKey is the canonical key for a 3D design-space search request.
+func searchKey(spec *arch.Spec, g *workload.Graph, pop, gens, tileRounds, topK int, seed int64, opts core.Options) string {
+	var b strings.Builder
+	b.WriteString("tileflow/v1/search\n")
+	writeCommon(&b, spec, g, opts)
+	fmt.Fprintf(&b, "search: pop=%d gens=%d tile=%d topk=%d seed=%d\n", pop, gens, tileRounds, topK, seed)
+	return digest(b.String())
+}
+
+func writeCommon(b *strings.Builder, spec *arch.Spec, g *workload.Graph, opts core.Options) {
+	b.WriteString("arch:\n")
+	b.WriteString(arch.FormatSpec(spec))
+	b.WriteString("graph:\n")
+	b.WriteString(canonicalGraph(g))
+	fmt.Fprintf(b, "options: skipcap=%v skippe=%v noretention=%v\n",
+		opts.SkipCapacityCheck, opts.SkipPECheck, opts.DisableRetention)
+}
+
+// canonicalGraph dumps everything about a workload graph that affects the
+// analysis: operators in graph order with their full iteration spaces and
+// affine accesses, and tensors (sorted) with shape, element size and
+// density.
+func canonicalGraph(g *workload.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name %s\n", g.Name)
+	for _, op := range g.Ops {
+		fmt.Fprintf(&b, "op %s kind=%s dims=", op.Name, op.Kind)
+		for i, d := range op.Dims {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%s:%d", d.Name, d.Size)
+		}
+		b.WriteString(" reads=")
+		for i, r := range op.Reads {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			b.WriteString(r.String())
+		}
+		fmt.Fprintf(&b, " write=%s\n", op.Write.String())
+	}
+	names := make([]string, 0, len(g.Tensors))
+	for name := range g.Tensors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := g.Tensors[name]
+		fmt.Fprintf(&b, "tensor %s dims=%v elem=%d density=%g\n", t.Name, t.Dims, t.ElemBytes, t.EffDensity())
+	}
+	return b.String()
+}
+
+func digest(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}

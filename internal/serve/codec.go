@@ -1,0 +1,328 @@
+// Package serve exposes TileFlow's tree-based analysis as a concurrent
+// evaluation service: an HTTP/JSON API backed by a bounded worker pool,
+// per-request cancellation threaded down into core.EvaluateContext and
+// mapper.TreeSearch.RunContext, and a sharded LRU memoization cache keyed
+// by a canonical hash of (architecture, workload graph, mapping, options),
+// so identical design points — whether re-requested by a client or
+// revisited by an outer search loop — are analyzed once.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/notation"
+	"repro/internal/workload"
+)
+
+// EvaluateRequest selects one design point: an architecture, a workload
+// graph, and a mapping given either as a named dataflow template with
+// tiling factors (optionally mapper-tuned) or as tile-centric notation.
+type EvaluateRequest struct {
+	// Arch names a built-in accelerator (edge, cloud, validation, a100);
+	// ArchSpec supplies an inline spec in arch.ParseSpec format instead.
+	Arch     string `json:"arch,omitempty"`
+	ArchSpec string `json:"arch_spec,omitempty"`
+	// Workload is attention:<Table2 name> or conv:<Table3 name>.
+	Workload string `json:"workload"`
+	// Dataflow names a Table 5 template; Factors overrides its tiling
+	// factors (defaults when empty).
+	Dataflow string         `json:"dataflow,omitempty"`
+	Factors  map[string]int `json:"factors,omitempty"`
+	// Notation gives the mapping in the tile-centric DSL instead of a
+	// template.
+	Notation string `json:"notation,omitempty"`
+	// Tune > 0 runs that many MCTS rounds to tune the template's factors
+	// before evaluating (deterministic given Seed).
+	Tune int   `json:"tune,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+
+	SkipCapacityCheck bool `json:"skip_capacity_check,omitempty"`
+	SkipPECheck       bool `json:"skip_pe_check,omitempty"`
+	DisableRetention  bool `json:"disable_retention,omitempty"`
+
+	// TimeoutMS bounds this request below the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the memoization cache (the result is still stored).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// EvaluateResponse is the service's answer for one design point. The CLI's
+// -json mode prints the identical structure, so the two outputs are
+// byte-comparable.
+type EvaluateResponse struct {
+	Workload     string         `json:"workload"`
+	Dataflow     string         `json:"dataflow"`
+	Arch         string         `json:"arch"`
+	Cached       bool           `json:"cached,omitempty"`
+	TunedFactors map[string]int `json:"tuned_factors,omitempty"`
+	Result       *ResultJSON    `json:"result"`
+}
+
+// LevelDMJSON is core.LevelDM tagged with the level name.
+type LevelDMJSON struct {
+	Level  string  `json:"level"`
+	Fill   float64 `json:"fill"`
+	Read   float64 `json:"read"`
+	Update float64 `json:"update"`
+}
+
+// ResultJSON is the machine-readable rendering of core.Result shared by
+// the server and the CLI's -json flag.
+type ResultJSON struct {
+	Cycles             float64                  `json:"cycles"`
+	TimeMS             float64                  `json:"time_ms"`
+	ComputeCycles      float64                  `json:"compute_cycles"`
+	MACs               float64                  `json:"macs"`
+	VectorOps          float64                  `json:"vector_ops"`
+	DRAMTrafficWords   float64                  `json:"dram_traffic_words"`
+	OnChipTrafficWords float64                  `json:"onchip_traffic_words"`
+	DM                 []LevelDMJSON            `json:"dm"`
+	TensorDM           map[string][]LevelDMJSON `json:"tensor_dm,omitempty"`
+	EnergyPJ           float64                  `json:"energy_pj"`
+	EnergyPerLevelPJ   []float64                `json:"energy_per_level_pj"`
+	ComputeEnergyPJ    float64                  `json:"compute_energy_pj"`
+	PEsUsed            int                      `json:"pes_used"`
+	TotalPEs           int                      `json:"total_pes"`
+	Utilization        float64                  `json:"utilization"`
+	UnitUsage          []int                    `json:"unit_usage"`
+	FootprintWords     []int64                  `json:"footprint_words"`
+	SlowDown           []float64                `json:"slow_down"`
+	BandwidthReqGBs    []float64                `json:"bandwidth_req_gbs"`
+}
+
+// NewResultJSON converts a core.Result for the given architecture.
+func NewResultJSON(res *core.Result, spec *arch.Spec) *ResultJSON {
+	dmJSON := func(dm []core.LevelDM) []LevelDMJSON {
+		out := make([]LevelDMJSON, len(dm))
+		for i, d := range dm {
+			out[i] = LevelDMJSON{Level: spec.Levels[i].Name, Fill: d.Fill, Read: d.Read, Update: d.Update}
+		}
+		return out
+	}
+	r := &ResultJSON{
+		Cycles:             res.Cycles,
+		TimeMS:             res.Cycles / (spec.FreqGHz * 1e9) * 1e3,
+		ComputeCycles:      res.ComputeCycles,
+		MACs:               res.MACs,
+		VectorOps:          res.VectorOps,
+		DRAMTrafficWords:   res.DRAMTraffic(),
+		OnChipTrafficWords: res.OnChipTraffic(),
+		DM:                 dmJSON(res.DM),
+		EnergyPJ:           res.EnergyPJ(),
+		EnergyPerLevelPJ:   res.Energy.PerLevelPJ,
+		ComputeEnergyPJ:    res.Energy.ComputePJ,
+		PEsUsed:            res.PEsUsed,
+		TotalPEs:           res.TotalPEs,
+		Utilization:        res.Utilization,
+		UnitUsage:          res.UnitUsage,
+		FootprintWords:     res.FootprintWords,
+		SlowDown:           res.SlowDown,
+		BandwidthReqGBs:    res.BandwidthReqGBs,
+	}
+	if len(res.TensorDM) > 0 {
+		r.TensorDM = make(map[string][]LevelDMJSON, len(res.TensorDM))
+		for tensor, dm := range res.TensorDM {
+			r.TensorDM[tensor] = dmJSON(dm)
+		}
+	}
+	return r
+}
+
+// PickArch resolves a built-in accelerator name.
+func PickArch(name string) (*arch.Spec, error) {
+	switch strings.ToLower(name) {
+	case "edge":
+		return arch.Edge(), nil
+	case "cloud":
+		return arch.Cloud(), nil
+	case "validation":
+		return arch.Validation(), nil
+	case "a100":
+		return arch.A100Like(), nil
+	}
+	return nil, fmt.Errorf("unknown arch %q (want edge, cloud, validation or a100)", name)
+}
+
+// PickGraph resolves "attention:<name>" or "conv:<name>" to a workload
+// graph.
+func PickGraph(wl string) (*workload.Graph, error) {
+	kind, name, ok := strings.Cut(wl, ":")
+	if !ok {
+		return nil, fmt.Errorf("workload must be attention:<name> or conv:<name>")
+	}
+	switch kind {
+	case "attention":
+		shape, ok := workload.AttentionShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown attention shape %q (Table 2 names)", name)
+		}
+		return workload.Attention(shape), nil
+	case "conv":
+		shape, ok := workload.ConvChainShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown conv chain %q (Table 3 names)", name)
+		}
+		return workload.ConvChain(shape), nil
+	}
+	return nil, fmt.Errorf("unknown workload kind %q", kind)
+}
+
+// PickDataflow resolves a Table 5 dataflow template for a workload.
+func PickDataflow(df, wl string, spec *arch.Spec) (dataflows.Dataflow, error) {
+	kind, name, ok := strings.Cut(wl, ":")
+	if !ok {
+		return nil, fmt.Errorf("workload must be attention:<name> or conv:<name>")
+	}
+	switch kind {
+	case "attention":
+		shape, ok := workload.AttentionShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown attention shape %q (Table 2 names)", name)
+		}
+		switch df {
+		case "Layerwise":
+			return dataflows.LayerwiseAttention(shape, spec), nil
+		case "Uni-pipe":
+			return dataflows.UniPipe(shape, spec), nil
+		case "FLAT-MGran":
+			return dataflows.FLATMGran(shape, spec), nil
+		case "FLAT-BGran":
+			return dataflows.FLATBGran(shape, spec), nil
+		case "FLAT-HGran":
+			return dataflows.FLATHGran(shape, spec), nil
+		case "FLAT-RGran":
+			return dataflows.FLATRGran(shape, spec), nil
+		case "Chimera":
+			return dataflows.Chimera(shape, spec), nil
+		case "TileFlow":
+			return dataflows.TileFlowAttention(shape, spec), nil
+		}
+		return nil, fmt.Errorf("unknown attention dataflow %q", df)
+	case "conv":
+		shape, ok := workload.ConvChainShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown conv chain %q (Table 3 names)", name)
+		}
+		switch df {
+		case "Layerwise":
+			return dataflows.LayerwiseConv(shape, spec), nil
+		case "Fused-Layer":
+			return dataflows.FusedLayer(shape, spec), nil
+		case "ISOS":
+			return dataflows.ISOS(shape, spec), nil
+		case "TileFlow":
+			return dataflows.TileFlowConv(shape, spec), nil
+		}
+		return nil, fmt.Errorf("unknown conv dataflow %q", df)
+	}
+	return nil, fmt.Errorf("unknown workload kind %q", kind)
+}
+
+// designPoint is a fully resolved EvaluateRequest.
+type designPoint struct {
+	spec   *arch.Spec
+	g      *workload.Graph
+	opts   core.Options
+	dfName string
+
+	// Exactly one of the two mapping forms is set: a concrete tree, or a
+	// template plus a tuning budget.
+	root *core.Node
+	df   dataflows.Dataflow
+	tune int
+	seed int64
+}
+
+// resolveArchGraph resolves just an architecture and the full workload
+// graph, for search requests that explore mappings rather than name one.
+func resolveArchGraph(archName, archSpec, wl string) (*arch.Spec, *workload.Graph, error) {
+	var spec *arch.Spec
+	var err error
+	switch {
+	case archSpec != "":
+		spec, err = arch.ParseSpec(archSpec)
+	case archName != "":
+		spec, err = PickArch(archName)
+	default:
+		err = fmt.Errorf("one of arch or arch_spec is required")
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if wl == "" {
+		return nil, nil, fmt.Errorf("workload is required")
+	}
+	g, err := PickGraph(wl)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, g, nil
+}
+
+// resolve validates an EvaluateRequest against the built-in catalogs and
+// parses inline specs and notation.
+func resolve(req *EvaluateRequest) (*designPoint, error) {
+	dp := &designPoint{
+		opts: core.Options{
+			SkipCapacityCheck: req.SkipCapacityCheck,
+			SkipPECheck:       req.SkipPECheck,
+			DisableRetention:  req.DisableRetention,
+		},
+		tune: req.Tune,
+		seed: req.Seed,
+	}
+	var err error
+	switch {
+	case req.ArchSpec != "":
+		dp.spec, err = arch.ParseSpec(req.ArchSpec)
+	case req.Arch != "":
+		dp.spec, err = PickArch(req.Arch)
+	default:
+		err = fmt.Errorf("one of arch or arch_spec is required")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if req.Workload == "" {
+		return nil, fmt.Errorf("workload is required")
+	}
+	switch {
+	case req.Notation != "":
+		if req.Dataflow != "" || req.Tune > 0 {
+			return nil, fmt.Errorf("notation excludes dataflow and tune")
+		}
+		dp.dfName = "notation"
+		if dp.g, err = PickGraph(req.Workload); err != nil {
+			return nil, err
+		}
+		if dp.root, err = notation.Parse(req.Notation, dp.g); err != nil {
+			return nil, err
+		}
+	case req.Dataflow != "":
+		dp.dfName = req.Dataflow
+		if dp.df, err = PickDataflow(req.Dataflow, req.Workload, dp.spec); err != nil {
+			return nil, err
+		}
+		// Templates schedule their own graph view (a template may model a
+		// sub-graph of the named workload), exactly as the CLI does.
+		dp.g = dp.df.Graph()
+		if req.Tune <= 0 {
+			factors := dp.df.DefaultFactors()
+			if len(req.Factors) > 0 {
+				factors = req.Factors
+			}
+			if dp.root, err = dp.df.Build(factors); err != nil {
+				return nil, err
+			}
+		} else if len(req.Factors) > 0 {
+			return nil, fmt.Errorf("factors and tune are mutually exclusive")
+		}
+	default:
+		return nil, fmt.Errorf("one of dataflow or notation is required")
+	}
+	return dp, nil
+}

@@ -1,0 +1,137 @@
+package memo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewShardedLRU(64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("get a = %v, %v", v, ok)
+	}
+	c.Put("a", 3) // overwrite
+	if v, _ := c.Get("a"); v.(int) != 3 {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := NewShardedLRU(numShards) // one entry per shard
+	// Fill one shard far past capacity: only the most recent survives.
+	var keys []string
+	for i := 0; i < 50; i++ {
+		keys = append(keys, fmt.Sprintf("k%d", i))
+		c.Put(keys[i], i)
+	}
+	if c.Len() >= 50 {
+		t.Fatalf("no eviction: len %d", c.Len())
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Recency: re-touch a resident key, add another to the same shard, and
+	// the touched key must survive within its shard. (Exact residency
+	// depends on shard hashing, so just check the global invariants.)
+	if c.Len() > numShards {
+		t.Fatalf("len %d exceeds capacity %d", c.Len(), numShards)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewShardedLRU(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%97)
+				c.Put(key, i)
+				c.Get(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() == 0 || c.Len() > 97 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestFlightCacheCollapsesConcurrentCalls(t *testing.T) {
+	f := NewFlightCache(nil, 128)
+	var executions atomic.Int64
+	release := make(chan struct{})
+	const n = 20
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := f.Do(context.Background(), "key", func() (any, error) {
+				executions.Add(1)
+				<-release // hold the flight open so others pile up
+				return "value", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = v, hit
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	misses := 0
+	for i := range results {
+		if results[i].(string) != "value" {
+			t.Fatalf("result[%d] = %v", i, results[i])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d leaders, want 1", misses)
+	}
+	st := f.Stats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Subsequent call is a plain cache hit.
+	if _, hit, _ := f.Do(context.Background(), "key", func() (any, error) { t.Fatal("recomputed"); return nil, nil }); !hit {
+		t.Fatal("expected cache hit")
+	}
+}
+
+func TestFlightCacheErrorNotCached(t *testing.T) {
+	f := NewFlightCache(nil, 16)
+	boom := fmt.Errorf("boom")
+	if _, _, err := f.Do(context.Background(), "k", func() (any, error) { return nil, boom }); err != boom {
+		t.Fatalf("err %v", err)
+	}
+	ran := false
+	v, hit, err := f.Do(context.Background(), "k", func() (any, error) { ran = true; return 42, nil })
+	if err != nil || hit || !ran || v.(int) != 42 {
+		t.Fatalf("retry after error: v=%v hit=%v ran=%v err=%v", v, hit, ran, err)
+	}
+}

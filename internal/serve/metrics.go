@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// endpoints the request counter tracks, in stable output order.
+var endpointNames = []string{"evaluate", "evaluate_batch", "search"}
+
+// Metrics collects the service counters exported at /metrics in Prometheus
+// text exposition format, using only the standard library.
+type Metrics struct {
+	requests map[string]*atomic.Uint64
+	errors   atomic.Uint64
+	latency  latencySampler
+}
+
+// NewMetrics allocates the counter set.
+func NewMetrics() *Metrics {
+	m := &Metrics{requests: make(map[string]*atomic.Uint64, len(endpointNames))}
+	for _, e := range endpointNames {
+		m.requests[e] = &atomic.Uint64{}
+	}
+	return m
+}
+
+// IncRequest counts one request against a known endpoint.
+func (m *Metrics) IncRequest(endpoint string) {
+	if c, ok := m.requests[endpoint]; ok {
+		c.Add(1)
+	}
+}
+
+// IncError counts one request that ended in an error response.
+func (m *Metrics) IncError() { m.errors.Add(1) }
+
+// ObserveLatency records one evaluate latency sample.
+func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.observe(d.Seconds()) }
+
+// latencySampler keeps a fixed-size ring of recent latency samples plus
+// running count/sum, enough for the p50/p99 summary quantiles without any
+// dependency.
+type latencySampler struct {
+	mu    sync.Mutex
+	ring  [4096]float64
+	next  int
+	count uint64
+	sum   float64
+}
+
+func (s *latencySampler) observe(sec float64) {
+	s.mu.Lock()
+	s.ring[s.next] = sec
+	s.next = (s.next + 1) % len(s.ring)
+	s.count++
+	s.sum += sec
+	s.mu.Unlock()
+}
+
+// quantiles reports the requested quantiles over the retained window, plus
+// lifetime count and sum. With no samples it returns zeros.
+func (s *latencySampler) quantiles(qs []float64) (vals []float64, count uint64, sum float64) {
+	s.mu.Lock()
+	n := int(s.count)
+	if n > len(s.ring) {
+		n = len(s.ring)
+	}
+	samples := make([]float64, n)
+	copy(samples, s.ring[:n])
+	count, sum = s.count, s.sum
+	s.mu.Unlock()
+
+	vals = make([]float64, len(qs))
+	if n == 0 {
+		return vals, count, sum
+	}
+	sort.Float64s(samples)
+	for i, q := range qs {
+		idx := int(q * float64(n-1))
+		vals[i] = samples[idx]
+	}
+	return vals, count, sum
+}
+
+// WritePrometheus renders all metrics. Cache and pool state are passed in
+// so the metrics object itself stays a plain counter bag.
+func (m *Metrics) WritePrometheus(w io.Writer, s *Server) {
+	fmt.Fprintf(w, "# HELP tileflow_requests_total Requests received, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_requests_total counter\n")
+	for _, e := range endpointNames {
+		fmt.Fprintf(w, "tileflow_requests_total{endpoint=%q} %d\n", e, m.requests[e].Load())
+	}
+	fmt.Fprintf(w, "# HELP tileflow_request_errors_total Requests answered with an error status.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_request_errors_total counter\n")
+	fmt.Fprintf(w, "tileflow_request_errors_total %d\n", m.errors.Load())
+
+	st := s.CacheStats()
+	fmt.Fprintf(w, "# HELP tileflow_cache_hits_total Evaluations served from the memoization cache (including shared in-flight results).\n")
+	fmt.Fprintf(w, "# TYPE tileflow_cache_hits_total counter\n")
+	fmt.Fprintf(w, "tileflow_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "# HELP tileflow_cache_misses_total Evaluations that ran the analysis.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_cache_misses_total counter\n")
+	fmt.Fprintf(w, "tileflow_cache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "# HELP tileflow_cache_evictions_total Entries evicted by the LRU policy.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "tileflow_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "# HELP tileflow_cache_entries Resident cache entries.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_cache_entries gauge\n")
+	fmt.Fprintf(w, "tileflow_cache_entries %d\n", s.cache.Len())
+
+	fmt.Fprintf(w, "# HELP tileflow_inflight_evaluations Evaluations currently holding a worker slot.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_inflight_evaluations gauge\n")
+	fmt.Fprintf(w, "tileflow_inflight_evaluations %d\n", s.pool.InFlight())
+	fmt.Fprintf(w, "# HELP tileflow_worker_slots Worker pool size.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_worker_slots gauge\n")
+	fmt.Fprintf(w, "tileflow_worker_slots %d\n", s.pool.Workers())
+
+	qs, count, sum := m.latency.quantiles([]float64{0.5, 0.99})
+	fmt.Fprintf(w, "# HELP tileflow_evaluate_latency_seconds Evaluate request latency.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_evaluate_latency_seconds summary\n")
+	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds{quantile=\"0.5\"} %g\n", qs[0])
+	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds{quantile=\"0.99\"} %g\n", qs[1])
+	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds_count %d\n", count)
+}

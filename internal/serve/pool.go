@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+)
+
+// Pool bounds the number of concurrently running evaluations. The HTTP
+// layer accepts arbitrarily many connections; analysis work queues here so
+// the process never runs more tree traversals than it has cores, and a
+// caller whose context expires while queued leaves without running.
+type Pool struct {
+	sem      chan struct{}
+	inFlight atomic.Int64
+}
+
+// NewPool sizes the pool to workers slots (GOMAXPROCS when <= 0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Do runs fn in the caller's goroutine once a slot frees up, or returns
+// ctx.Err() if the context expires first.
+func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	p.inFlight.Add(1)
+	defer func() {
+		p.inFlight.Add(-1)
+		<-p.sem
+	}()
+	return fn()
+}
+
+// InFlight reports how many evaluations hold a slot right now.
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Workers is the slot count.
+func (p *Pool) Workers() int { return cap(p.sem) }

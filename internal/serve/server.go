@@ -1,0 +1,518 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapper"
+	"repro/internal/notation"
+	"repro/internal/serve/memo"
+)
+
+// Config tunes the evaluation service.
+type Config struct {
+	// CacheEntries is the memoization cache capacity (default 8192).
+	CacheEntries int
+	// Workers bounds concurrent evaluations (default GOMAXPROCS).
+	Workers int
+	// Timeout is the per-request deadline (default 60s); a request may
+	// lower it with timeout_ms but not raise it.
+	Timeout time.Duration
+	// MaxBatch caps the requests accepted in one batch call (default 256).
+	MaxBatch int
+}
+
+// Server is the concurrent evaluation service. All mutable state is the
+// cache and the counters, both safe for concurrent use; one Server handles
+// any number of in-flight HTTP requests.
+type Server struct {
+	cfg   Config
+	cache *memo.FlightCache
+	// reqKeys short-circuits repeated literal requests: it maps a
+	// normalized request rendering to the canonical design-point key, so a
+	// hot request skips catalog resolution and canonical hashing entirely
+	// and a cache hit costs two lookups.
+	reqKeys *memo.ShardedLRU
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server with the config's defaults applied.
+func New(cfg Config) *Server {
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 8192
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   memo.NewFlightCache(nil, cfg.CacheEntries),
+		reqKeys: memo.NewShardedLRU(cfg.CacheEntries),
+		pool:    NewPool(cfg.Workers),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/evaluate/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler is the HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats snapshots the memoization counters.
+func (s *Server) CacheStats() memo.Stats { return s.cache.Stats() }
+
+// httpError carries a status code chosen by the evaluation pipeline.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
+
+// statusFor maps pipeline errors to HTTP statuses: caller mistakes are
+// 400, infeasible design points (over capacity, over PE budget) are 422,
+// expired deadlines are 504.
+func statusFor(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// evalOutcome is the cache value for one evaluate key: everything needed
+// to rebuild a response except the per-request cached flag.
+type evalOutcome struct {
+	workload     string
+	dfName       string
+	archName     string
+	tunedFactors map[string]int
+	result       *ResultJSON
+
+	// encodeOnce fills cachedBytes, the pre-serialized cached:true
+	// response body, so the hot hit path writes stored bytes instead of
+	// re-marshaling the result.
+	encodeOnce  sync.Once
+	cachedBytes []byte
+}
+
+func (o *evalOutcome) response(cached bool) *EvaluateResponse {
+	return &EvaluateResponse{
+		Workload:     o.workload,
+		Dataflow:     o.dfName,
+		Arch:         o.archName,
+		Cached:       cached,
+		TunedFactors: o.tunedFactors,
+		Result:       o.result,
+	}
+}
+
+// cachedJSON is the serialized cached:true response, built once per
+// outcome. Nil on a marshal failure (the caller falls back to writeJSON).
+func (o *evalOutcome) cachedJSON() []byte {
+	o.encodeOnce.Do(func() {
+		if b, err := json.Marshal(o.response(true)); err == nil {
+			o.cachedBytes = append(b, '\n')
+		}
+	})
+	return o.cachedBytes
+}
+
+// requestKey renders a request into a normalized literal key for the
+// request-level fast path: Go's encoding/json emits struct fields in
+// declaration order and map keys sorted, so equal decoded requests render
+// identically. Per-call knobs that do not change the design point are
+// dropped.
+func requestKey(req *EvaluateRequest) (string, bool) {
+	norm := *req
+	norm.TimeoutMS = 0
+	norm.NoCache = false
+	b, err := json.Marshal(&norm)
+	if err != nil {
+		return "", false
+	}
+	return "req:" + string(b), true
+}
+
+// run executes the analysis for a resolved design point: tuning first when
+// the request asked for it, then the tree-based evaluation.
+func (dp *designPoint) run(ctx context.Context) (*evalOutcome, error) {
+	out := &evalOutcome{workload: dp.g.Name, dfName: dp.dfName, archName: dp.spec.Name}
+	root := dp.root
+	if root == nil {
+		ev := mapper.TuneContext(ctx, dp.df, dp.spec, dp.opts, dp.tune, dp.seed)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if ev == nil {
+			return nil, fmt.Errorf("no valid mapping found for %s", dp.dfName)
+		}
+		out.tunedFactors = ev.Factors
+		var err error
+		if root, err = dp.df.Build(ev.Factors); err != nil {
+			return nil, err
+		}
+	}
+	res, err := core.EvaluateContext(ctx, root, dp.g, dp.spec, dp.opts)
+	if err != nil {
+		return nil, err
+	}
+	out.result = NewResultJSON(res, dp.spec)
+	return out, nil
+}
+
+// key is the canonical cache key of the design point.
+func (dp *designPoint) key() string {
+	if dp.root == nil {
+		return tunedKey(dp.spec, dp.g, dp.dfName, dp.tune, dp.seed, dp.opts)
+	}
+	return EvaluateKey(dp.spec, dp.g, dp.root, dp.opts)
+}
+
+// requestTimeout clamps a request's timeout_ms to the server deadline.
+func (s *Server) requestTimeout(ms int) time.Duration {
+	t := s.cfg.Timeout
+	if ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < t {
+			t = d
+		}
+	}
+	return t
+}
+
+// evaluateOne is the shared pipeline behind /v1/evaluate and the batch
+// endpoint: resolve, key, then single-flight through the cache and the
+// worker pool. On a hit it also returns the pre-serialized response body,
+// so repeat traffic skips resolution, hashing, and JSON encoding.
+func (s *Server) evaluateOne(ctx context.Context, req *EvaluateRequest) (*EvaluateResponse, []byte, error) {
+	start := time.Now()
+	defer func() { s.metrics.ObserveLatency(time.Since(start)) }()
+
+	// Fast path: a request literal seen before maps straight to its
+	// canonical key, making a repeat hit two cache lookups.
+	rk, rok := requestKey(req)
+	var key string
+	if rok && !req.NoCache {
+		if ck, ok := s.reqKeys.Get(rk); ok {
+			key = ck.(string)
+			if v, ok := s.cache.Get(key); ok {
+				out := v.(*evalOutcome)
+				return out.response(true), out.cachedJSON(), nil
+			}
+		}
+	}
+
+	var dp *designPoint
+	if key == "" {
+		var err error
+		if dp, err = resolve(req); err != nil {
+			return nil, nil, badRequest(err)
+		}
+		key = dp.key()
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.requestTimeout(req.TimeoutMS))
+	defer cancel()
+
+	compute := func() (any, error) {
+		if dp == nil {
+			// reqKeys still knew the canonical key but the outcome was
+			// evicted; resolve lazily, only now that we must recompute.
+			var err error
+			if dp, err = resolve(req); err != nil {
+				return nil, badRequest(err)
+			}
+		}
+		var out *evalOutcome
+		perr := s.pool.Do(ctx, func() error {
+			var rerr error
+			out, rerr = dp.run(ctx)
+			return rerr
+		})
+		if perr != nil {
+			return nil, perr
+		}
+		return out, nil
+	}
+
+	if req.NoCache {
+		v, err := compute()
+		if err != nil {
+			return nil, nil, err
+		}
+		out := v.(*evalOutcome)
+		s.cache.Put(key, out)
+		if rok {
+			s.reqKeys.Put(rk, key)
+		}
+		return out.response(false), nil, nil
+	}
+	v, cached, err := s.cache.Do(ctx, key, compute)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rok {
+		s.reqKeys.Put(rk, key)
+	}
+	out := v.(*evalOutcome)
+	if cached {
+		return out.response(true), out.cachedJSON(), nil
+	}
+	return out.response(false), nil, nil
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("evaluate")
+	var req EvaluateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	resp, raw, err := s.evaluateOne(r.Context(), &req)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	if raw != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest evaluates many design points in one call; items are
+// processed concurrently under the same worker pool and cache.
+type BatchRequest struct {
+	Requests []EvaluateRequest `json:"requests"`
+}
+
+// BatchItem is the per-request outcome of a batch: exactly one of Response
+// and Error is set, at the same index as the request.
+type BatchItem struct {
+	Response *EvaluateResponse `json:"response,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// BatchResponse answers /v1/evaluate/batch.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("evaluate_batch")
+	var breq BatchRequest
+	if !s.decode(w, r, &breq) {
+		return
+	}
+	if len(breq.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(breq.Requests) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(breq.Requests), s.cfg.MaxBatch))
+		return
+	}
+	items := make([]BatchItem, len(breq.Requests))
+	done := make(chan int)
+	for i := range breq.Requests {
+		go func(i int) {
+			defer func() { done <- i }()
+			resp, _, err := s.evaluateOne(r.Context(), &breq.Requests[i])
+			if err != nil {
+				items[i].Error = err.Error()
+				return
+			}
+			items[i].Response = resp
+		}(i)
+	}
+	for range breq.Requests {
+		<-done
+	}
+	s.writeJSON(w, http.StatusOK, &BatchResponse{Items: items})
+}
+
+// SearchRequest runs the Sec 6 GA+MCTS mapper over the full 3D fusion
+// design space for a workload.
+type SearchRequest struct {
+	Arch     string `json:"arch,omitempty"`
+	ArchSpec string `json:"arch_spec,omitempty"`
+	Workload string `json:"workload"`
+
+	Population  int   `json:"population,omitempty"`
+	Generations int   `json:"generations,omitempty"`
+	TileRounds  int   `json:"tile_rounds,omitempty"`
+	TopK        int   `json:"top_k,omitempty"`
+	Seed        int64 `json:"seed,omitempty"`
+
+	SkipCapacityCheck bool `json:"skip_capacity_check,omitempty"`
+	SkipPECheck       bool `json:"skip_pe_check,omitempty"`
+	DisableRetention  bool `json:"disable_retention,omitempty"`
+
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+}
+
+// SearchResponse reports the best mapping the search found. TimedOut marks
+// a best-so-far answer cut short by the deadline; such responses are not
+// cached.
+type SearchResponse struct {
+	Workload string         `json:"workload"`
+	Arch     string         `json:"arch"`
+	Cached   bool           `json:"cached,omitempty"`
+	TimedOut bool           `json:"timed_out,omitempty"`
+	Cycles   float64        `json:"cycles"`
+	Encoding string         `json:"encoding"`
+	Factors  map[string]int `json:"factors"`
+	Notation string         `json:"notation"`
+	Trace    []float64      `json:"trace"`
+	Result   *ResultJSON    `json:"result"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("search")
+	var req SearchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	resp, err := s.searchOne(r.Context(), &req)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) searchOne(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
+	spec, g, err := resolveArchGraph(req.Arch, req.ArchSpec, req.Workload)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	opts := core.Options{
+		SkipCapacityCheck: req.SkipCapacityCheck,
+		SkipPECheck:       req.SkipPECheck,
+		DisableRetention:  req.DisableRetention,
+	}
+	key := searchKey(spec, g, req.Population, req.Generations, req.TileRounds, req.TopK, req.Seed, opts)
+	if !req.NoCache {
+		if v, ok := s.cache.Get(key); ok {
+			resp := *v.(*SearchResponse)
+			resp.Cached = true
+			return &resp, nil
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.requestTimeout(req.TimeoutMS))
+	defer cancel()
+
+	var resp *SearchResponse
+	perr := s.pool.Do(ctx, func() error {
+		ts := &mapper.TreeSearch{
+			G: g, Spec: spec, Opts: opts,
+			Population: req.Population, Generations: req.Generations,
+			TileRounds: req.TileRounds, TopK: req.TopK,
+			Parallel: s.pool.Workers(), Seed: req.Seed,
+			Cache: s.cache, // GA fitness memoization shares the service cache
+		}
+		res := ts.RunContext(ctx)
+		if res.Best == nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("no valid dataflow found for %s on %s", g.Name, spec.Name)
+		}
+		gd := mapper.NewGeneratedDataflow("best", g, spec, res.Encoding)
+		root, err := gd.Build(res.Best.Factors)
+		if err != nil {
+			return err
+		}
+		resp = &SearchResponse{
+			Workload: g.Name,
+			Arch:     spec.Name,
+			TimedOut: ctx.Err() != nil,
+			Cycles:   res.Best.Cycles,
+			Encoding: res.Encoding.String(),
+			Factors:  res.Best.Factors,
+			Notation: notation.Print(root),
+			Trace:    res.Trace,
+			Result:   NewResultJSON(res.Best.Result, spec),
+		}
+		return nil
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	if !resp.TimedOut {
+		s.cache.Put(key, resp)
+	}
+	return resp, nil
+}
+
+// Healthz answers liveness probes.
+type Healthz struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	CacheEntries  int     `json:"cache_entries"`
+	InFlight      int64   `json:"in_flight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, &Healthz{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		CacheEntries:  s.cache.Len(),
+		InFlight:      s.pool.InFlight(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, s)
+}
+
+// decode reads a size-limited JSON body, answering 400 itself on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.metrics.IncError()
+	s.writeJSON(w, status, &errorBody{Error: err.Error()})
+}
