@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,6 +10,36 @@ import (
 	"repro/internal/energy"
 	"repro/internal/workload"
 )
+
+// ErrInfeasible marks a design point that violates a hardware resource
+// limit — over the PE budget, over a level's instance count, or over a
+// buffer capacity. errors.Is(err, ErrInfeasible) matches every such error,
+// letting callers (mappers pruning candidates, the evaluation service
+// picking a status code) separate infeasible points from caller mistakes
+// and internal faults.
+var ErrInfeasible = errors.New("core: infeasible mapping")
+
+// ErrInvalidMapping marks a structurally broken mapping: a tree that is
+// not a complete, exact tiling of the workload on the architecture.
+var ErrInvalidMapping = errors.New("core: invalid mapping")
+
+// markedError tags a formatted message with a sentinel for errors.Is
+// without altering the message text.
+type markedError struct {
+	msg  string
+	mark error
+}
+
+func (e *markedError) Error() string        { return e.msg }
+func (e *markedError) Is(target error) bool { return target == e.mark }
+
+func infeasiblef(format string, args ...any) error {
+	return &markedError{msg: fmt.Sprintf(format, args...), mark: ErrInfeasible}
+}
+
+func invalidf(format string, args ...any) error {
+	return &markedError{msg: fmt.Sprintf(format, args...), mark: ErrInvalidMapping}
+}
 
 // LevelDM is the data movement recorded at one memory level, in words,
 // using the paper's Fig 10d taxonomy: fill is data loaded into this level
@@ -102,6 +133,10 @@ func (e *CapacityError) Error() string {
 	return fmt.Sprintf("core: level %d (%s) over capacity: need %d words, have %d",
 		e.Level, e.LevelName, e.NeedWords, e.HaveWords)
 }
+
+// Is matches ErrInfeasible: a capacity violation is one of the resource
+// limits that make a design point infeasible.
+func (e *CapacityError) Is(target error) bool { return target == ErrInfeasible }
 
 // IsOOM reports whether the error is a buffer-capacity violation.
 func IsOOM(err error) bool {
@@ -200,11 +235,11 @@ func EvaluateContext(ctx context.Context, root *Node, g *workload.Graph, spec *a
 	}
 	if !opts.SkipPECheck {
 		if res.PEsUsed > res.TotalPEs {
-			return nil, fmt.Errorf("core: mapping uses %d PEs, chip has %d", res.PEsUsed, res.TotalPEs)
+			return nil, infeasiblef("core: mapping uses %d PEs, chip has %d", res.PEsUsed, res.TotalPEs)
 		}
 		for l := 0; l < spec.DRAMLevel(); l++ {
 			if inst := spec.Instances(l); res.UnitUsage[l] > inst {
-				return nil, fmt.Errorf("core: mapping occupies %d level-%d (%s) instances, chip has %d",
+				return nil, infeasiblef("core: mapping occupies %d level-%d (%s) instances, chip has %d",
 					res.UnitUsage[l], l, spec.Levels[l].Name, inst)
 			}
 		}
@@ -296,7 +331,7 @@ func validateAgainst(t *tree, g *workload.Graph, spec *arch.Spec) error {
 	for _, op := range g.Ops {
 		leaf := t.leafOf[op]
 		if leaf == nil {
-			return fmt.Errorf("core: operator %q has no leaf tile in the tree", op.Name)
+			return invalidf("core: operator %q has no leaf tile in the tree", op.Name)
 		}
 		for _, d := range op.Dims {
 			cov := 1
@@ -304,20 +339,20 @@ func validateAgainst(t *tree, g *workload.Graph, spec *arch.Spec) error {
 				cov *= m.DimExtent(d.Name)
 			}
 			if cov != d.Size {
-				return fmt.Errorf("core: operator %q dim %q tiled to %d, want %d", op.Name, d.Name, cov, d.Size)
+				return invalidf("core: operator %q dim %q tiled to %d, want %d", op.Name, d.Name, cov, d.Size)
 			}
 		}
 	}
 	for _, n := range t.nodeSet {
 		if n.Level < 0 || n.Level >= spec.NumLevels() {
-			return fmt.Errorf("core: node %q level %d outside architecture with %d levels", n.Name, n.Level, spec.NumLevels())
+			return invalidf("core: node %q level %d outside architecture with %d levels", n.Name, n.Level, spec.NumLevels())
 		}
 		for _, l := range n.Loops {
 			if l.Extent < 1 {
-				return fmt.Errorf("core: node %q loop %s has extent < 1", n.Name, l)
+				return invalidf("core: node %q loop %s has extent < 1", n.Name, l)
 			}
 			if !t.subtreeDims(n)[l.Dim] {
-				return fmt.Errorf("core: node %q loop over dim %q that no operator in its subtree iterates", n.Name, l.Dim)
+				return invalidf("core: node %q loop over dim %q that no operator in its subtree iterates", n.Name, l.Dim)
 			}
 		}
 	}

@@ -276,11 +276,11 @@ func buildTree(root *Node) (*tree, error) {
 		t.nodeSet = append(t.nodeSet, n)
 		if n.IsLeaf() {
 			if len(n.Children) > 0 {
-				err = fmt.Errorf("core: leaf %q has children", n.Name)
+				err = invalidf("core: leaf %q has children", n.Name)
 				return
 			}
 			if prev := t.leafOf[n.Op]; prev != nil {
-				err = fmt.Errorf("core: operator %q appears in two leaves (%q, %q)", n.Op.Name, prev.Name, n.Name)
+				err = invalidf("core: operator %q appears in two leaves (%q, %q)", n.Op.Name, prev.Name, n.Name)
 				return
 			}
 			t.leafOf[n.Op] = n
@@ -288,12 +288,12 @@ func buildTree(root *Node) (*tree, error) {
 			return
 		}
 		if len(n.Children) == 0 {
-			err = fmt.Errorf("core: interior node %q has no children and no operator", n.Name)
+			err = invalidf("core: interior node %q has no children and no operator", n.Name)
 			return
 		}
 		for _, c := range n.Children {
 			if c.Level > n.Level {
-				err = fmt.Errorf("core: child %q at level %d above parent %q at level %d", c.Name, c.Level, n.Name, n.Level)
+				err = invalidf("core: child %q at level %d above parent %q at level %d", c.Name, c.Level, n.Name, n.Level)
 				return
 			}
 			t.parent[c] = n

@@ -2,17 +2,21 @@ package mapper
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
-	"repro/internal/serve/memo"
+	"repro/internal/memo"
 	"repro/internal/workload"
 )
 
@@ -101,12 +105,13 @@ func (s *TreeSearch) RunContext(ctx context.Context) *TreeSearchResult {
 	if cache == nil {
 		cache = memo.NewShardedLRU(4096)
 	}
+	prefix := s.fitnessKeyPrefix()
 	res := &TreeSearchResult{}
 	for g := 0; g < gens; g++ {
 		if ctx.Err() != nil {
 			break
 		}
-		s.evaluatePopulation(ctx, individuals, cache)
+		s.evaluatePopulation(ctx, individuals, cache, prefix)
 		sort.SliceStable(individuals, func(i, j int) bool {
 			return individuals[i].cycles < individuals[j].cycles
 		})
@@ -147,7 +152,7 @@ type cachedFitness struct {
 	eval   *Evaluation
 }
 
-func (s *TreeSearch) evaluatePopulation(ctx context.Context, pop []*individual, cache memo.Cache) {
+func (s *TreeSearch) evaluatePopulation(ctx context.Context, pop []*individual, cache memo.Cache, prefix string) {
 	par := s.Parallel
 	if par <= 0 {
 		par = runtime.NumCPU()
@@ -159,8 +164,7 @@ func (s *TreeSearch) evaluatePopulation(ctx context.Context, pop []*individual, 
 	var jobs []job
 	for _, ind := range pop {
 		ind.enc.Repair(s.Spec.NumLevels())
-		key := ind.enc.String()
-		if hit, ok := cache.Get(key); ok {
+		if hit, ok := cache.Get(prefix + ind.enc.String()); ok {
 			f := hit.(*cachedFitness)
 			ind.cycles, ind.eval = f.cycles, f.eval
 			continue
@@ -180,8 +184,30 @@ func (s *TreeSearch) evaluatePopulation(ctx context.Context, pop []*individual, 
 	}
 	wg.Wait()
 	for _, j := range jobs {
-		cache.Put(j.ind.enc.String(), &cachedFitness{cycles: j.ind.cycles, eval: j.ind.eval})
+		cache.Put(prefix+j.ind.enc.String(), &cachedFitness{cycles: j.ind.cycles, eval: j.ind.eval})
 	}
+}
+
+// fitnessKeyPrefix namespaces the fitness cache by everything besides the
+// encoding that determines an encoding's fitness: the architecture, the
+// workload graph, the evaluation options, the MCTS budget, and the search
+// seed (which fixes each encoding's tuning stream via encodingSeed).
+// Without it, two searches sharing one cache — as requests through the
+// evaluation service do — would collide whenever their workloads happen to
+// have equal op counts, poisoning each other's results.
+func (s *TreeSearch) fitnessKeyPrefix() string {
+	rounds := s.TileRounds
+	if rounds <= 0 {
+		rounds = 40 // fitness's default, so 0 and 40 share entries
+	}
+	var b strings.Builder
+	b.WriteString("tileflow/v1/ga-fitness\n")
+	b.WriteString(arch.FormatSpec(s.Spec))
+	b.WriteString(workload.CanonicalGraph(s.G))
+	fmt.Fprintf(&b, "opts: skipcap=%v skippe=%v noretention=%v tile=%d seed=%d\n",
+		s.Opts.SkipCapacityCheck, s.Opts.SkipPECheck, s.Opts.DisableRetention, rounds, s.Seed)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]) + "|"
 }
 
 // encodingSeed derives the MCTS seed for one individual from the encoding

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/workload"
 )
 
@@ -101,6 +102,50 @@ func TestTreeSearchFindsFusion(t *testing.T) {
 		t.Errorf("3D search best %v does not beat tuned layerwise %v", res.Best.Cycles, lbest.Cycles)
 	}
 	t.Logf("3D best %.3g (enc %s) vs layerwise %.3g", res.Best.Cycles, res.Encoding, lbest.Cycles)
+}
+
+// TestTreeSearchSharedCacheIsolation: two searches over different design
+// points sharing one cache (as requests through the evaluation service do)
+// must produce exactly the results they produce with private caches. The
+// encoding alone is an ambiguous key — any two workloads with equal op
+// counts emit identical encodings — so this guards the fitness-key
+// namespacing.
+func TestTreeSearchSharedCacheIsolation(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("Bert-S")
+	gA := workload.Attention(shape)
+	gB := workload.Attention(shape) // same op count, different arch below
+	search := func(g *workload.Graph, spec *arch.Spec, cache memo.Cache) *TreeSearchResult {
+		s := &TreeSearch{
+			G: g, Spec: spec,
+			Population: 6, Generations: 2, TileRounds: 6, TopK: 2, Seed: 11,
+			Cache: cache,
+		}
+		return s.Run()
+	}
+
+	wantA := search(gA, arch.Edge(), nil)
+	wantB := search(gB, arch.Cloud(), nil)
+	if wantA.Best == nil || wantB.Best == nil {
+		t.Fatal("reference searches found nothing")
+	}
+	if wantA.Best.Cycles == wantB.Best.Cycles {
+		t.Fatal("test vacuous: both design points yield identical cycles")
+	}
+
+	shared := memo.NewShardedLRU(4096)
+	gotA := search(gA, arch.Edge(), shared)
+	gotB := search(gB, arch.Cloud(), shared) // would read A's entries if unprefixed
+	if gotA.Best == nil || gotA.Best.Cycles != wantA.Best.Cycles {
+		t.Errorf("search A through shared cache: got %v, want %v", gotA.Best, wantA.Best)
+	}
+	if gotB.Best == nil || gotB.Best.Cycles != wantB.Best.Cycles {
+		t.Errorf("search B poisoned by shared cache: got cycles %v, want %v",
+			gotB.Best.Cycles, wantB.Best.Cycles)
+	}
+	if gotB.Encoding.String() != wantB.Encoding.String() {
+		t.Errorf("search B encoding drifted under shared cache: %s vs %s",
+			gotB.Encoding, wantB.Encoding)
+	}
 }
 
 func TestEncodingRepair(t *testing.T) {

@@ -11,6 +11,7 @@ package memo
 import (
 	"container/list"
 	"context"
+	"errors"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -181,44 +182,55 @@ func NewFlightCache(c Cache, capacity int) *FlightCache {
 // return reports whether the value was served without running fn in this
 // call (a cache hit or a shared in-flight result). Errors are not cached.
 // A caller waiting on another caller's in-flight computation gives up with
-// ctx.Err() when its own context expires first.
+// ctx.Err() when its own context expires first. A leader failing with a
+// context error (its request canceled or out of deadline) says nothing
+// about the computation itself, so waiters whose own context is still live
+// do not inherit it: they retry, and one becomes the new leader.
 func (f *FlightCache) Do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
-	if v, ok := f.c.Get(key); ok {
-		f.hits.Add(1)
-		return v, true, nil
-	}
-	f.mu.Lock()
-	if call, ok := f.calls[key]; ok {
-		f.mu.Unlock()
-		select {
-		case <-call.done:
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
+	for {
+		if v, ok := f.c.Get(key); ok {
+			f.hits.Add(1)
+			return v, true, nil
 		}
+		f.mu.Lock()
+		if call, ok := f.calls[key]; ok {
+			f.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if call.err != nil {
+				if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+					if err := ctx.Err(); err != nil {
+						return nil, false, err
+					}
+					continue
+				}
+				return nil, false, call.err
+			}
+			f.hits.Add(1)
+			return call.v, true, nil
+		}
+		call := &flightCall{done: make(chan struct{})}
+		f.calls[key] = call
+		f.mu.Unlock()
+
+		call.v, call.err = fn()
+		if call.err == nil {
+			f.c.Put(key, call.v)
+		}
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(call.done)
+
+		f.misses.Add(1)
 		if call.err != nil {
 			return nil, false, call.err
 		}
-		f.hits.Add(1)
-		return call.v, true, nil
+		return call.v, false, nil
 	}
-	call := &flightCall{done: make(chan struct{})}
-	f.calls[key] = call
-	f.mu.Unlock()
-
-	call.v, call.err = fn()
-	if call.err == nil {
-		f.c.Put(key, call.v)
-	}
-	f.mu.Lock()
-	delete(f.calls, key)
-	f.mu.Unlock()
-	close(call.done)
-
-	f.misses.Add(1)
-	if call.err != nil {
-		return nil, false, call.err
-	}
-	return call.v, false, nil
 }
 
 // Get implements Cache: a plain lookup counted against the flight-aware

@@ -2,10 +2,12 @@ package memo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLRUBasic(t *testing.T) {
@@ -121,6 +123,86 @@ func TestFlightCacheCollapsesConcurrentCalls(t *testing.T) {
 	if _, hit, _ := f.Do(context.Background(), "key", func() (any, error) { t.Fatal("recomputed"); return nil, nil }); !hit {
 		t.Fatal("expected cache hit")
 	}
+}
+
+// TestFlightCacheFollowerSurvivesLeaderCancel: a leader dying on its own
+// canceled context must not fail followers whose contexts are still live —
+// one of them retries as the new leader and the rest share its result.
+func TestFlightCacheFollowerSurvivesLeaderCancel(t *testing.T) {
+	f := NewFlightCache(nil, 16)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var executions atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := f.Do(leaderCtx, "k", func() (any, error) {
+			executions.Add(1)
+			close(leaderIn)
+			<-leaderCtx.Done() // simulate a computation aborted by its request
+			return nil, leaderCtx.Err()
+		})
+		if err == nil {
+			t.Error("canceled leader: want error")
+		}
+	}()
+
+	<-leaderIn
+	const followers = 4
+	results := make([]any, followers)
+	errs := make([]error, followers)
+	var fwg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		fwg.Add(1)
+		go func(i int) {
+			defer fwg.Done()
+			results[i], _, errs[i] = f.Do(context.Background(), "k", func() (any, error) {
+				executions.Add(1)
+				return "recovered", nil
+			})
+		}(i)
+	}
+	// Give the followers a moment to enqueue behind the leader, then kill it.
+	time.Sleep(10 * time.Millisecond)
+	cancelLeader()
+	fwg.Wait()
+	wg.Wait()
+
+	for i := 0; i < followers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("follower %d inherited leader's context error: %v", i, errs[i])
+		}
+		if results[i].(string) != "recovered" {
+			t.Fatalf("follower %d result %v", i, results[i])
+		}
+	}
+	// One canceled leader + exactly one retry leader.
+	if got := executions.Load(); got != 2 {
+		t.Errorf("fn executed %d times, want 2", got)
+	}
+}
+
+// TestFlightCacheFollowerKeepsOwnDeadline: a follower whose own context
+// expires while waiting still fails with its own error.
+func TestFlightCacheFollowerKeepsOwnDeadline(t *testing.T) {
+	f := NewFlightCache(nil, 16)
+	in := make(chan struct{})
+	release := make(chan struct{})
+	go f.Do(context.Background(), "k", func() (any, error) {
+		close(in)
+		<-release
+		return "v", nil
+	})
+	<-in
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, _, err := f.Do(ctx, "k", func() (any, error) { return "late", nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
 }
 
 func TestFlightCacheErrorNotCached(t *testing.T) {

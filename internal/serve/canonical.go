@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/arch"
@@ -56,45 +55,9 @@ func writeCommon(b *strings.Builder, spec *arch.Spec, g *workload.Graph, opts co
 	b.WriteString("arch:\n")
 	b.WriteString(arch.FormatSpec(spec))
 	b.WriteString("graph:\n")
-	b.WriteString(canonicalGraph(g))
+	b.WriteString(workload.CanonicalGraph(g))
 	fmt.Fprintf(b, "options: skipcap=%v skippe=%v noretention=%v\n",
 		opts.SkipCapacityCheck, opts.SkipPECheck, opts.DisableRetention)
-}
-
-// canonicalGraph dumps everything about a workload graph that affects the
-// analysis: operators in graph order with their full iteration spaces and
-// affine accesses, and tensors (sorted) with shape, element size and
-// density.
-func canonicalGraph(g *workload.Graph) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "name %s\n", g.Name)
-	for _, op := range g.Ops {
-		fmt.Fprintf(&b, "op %s kind=%s dims=", op.Name, op.Kind)
-		for i, d := range op.Dims {
-			if i > 0 {
-				b.WriteString(",")
-			}
-			fmt.Fprintf(&b, "%s:%d", d.Name, d.Size)
-		}
-		b.WriteString(" reads=")
-		for i, r := range op.Reads {
-			if i > 0 {
-				b.WriteString(";")
-			}
-			b.WriteString(r.String())
-		}
-		fmt.Fprintf(&b, " write=%s\n", op.Write.String())
-	}
-	names := make([]string, 0, len(g.Tensors))
-	for name := range g.Tensors {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		t := g.Tensors[name]
-		fmt.Fprintf(&b, "tensor %s dims=%v elem=%d density=%g\n", t.Name, t.Dims, t.ElemBytes, t.EffDensity())
-	}
-	return b.String()
 }
 
 func digest(s string) string {

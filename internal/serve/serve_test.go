@@ -387,6 +387,74 @@ func TestSearchEndpointCaches(t *testing.T) {
 	}
 }
 
+// TestSearchSharedCacheIsolation: two different search requests through
+// one server share the service cache; the second must not be poisoned by
+// the first's GA fitness entries. Bert-S and Bert-B have equal op counts,
+// so with the same seed the two searches visit identical encodings — a
+// fitness cache keyed by encoding alone would hand the second search the
+// first one's results wholesale.
+func TestSearchSharedCacheIsolation(t *testing.T) {
+	reqS := SearchRequest{
+		Arch: "edge", Workload: "attention:Bert-S",
+		Population: 4, Generations: 2, TileRounds: 4, TopK: 2, Seed: 3,
+	}
+	reqB := reqS
+	reqB.Workload = "attention:Bert-B"
+
+	// Reference: Bert-B search on a fresh server, nothing else cached.
+	_, fresh := newTestServer(t, Config{})
+	resp, body := postJSON(t, fresh.URL+"/v1/search", &reqB)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference: status %d: %s", resp.StatusCode, body)
+	}
+	var want SearchResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same Bert-B search after a Bert-S search warmed the shared cache.
+	_, hs := newTestServer(t, Config{})
+	if resp, body := postJSON(t, hs.URL+"/v1/search", &reqS); resp.StatusCode != http.StatusOK {
+		t.Fatalf("Bert-S search: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, hs.URL+"/v1/search", &reqB)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Bert-B search: status %d: %s", resp.StatusCode, body)
+	}
+	var got SearchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cached {
+		t.Errorf("distinct search request reported cached")
+	}
+	if got.Cycles != want.Cycles || got.Encoding != want.Encoding {
+		t.Errorf("Bert-B search poisoned by prior Bert-S search: %v/%s, want %v/%s",
+			got.Cycles, got.Encoding, want.Cycles, want.Encoding)
+	}
+}
+
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{badRequest(fmt.Errorf("bad")), http.StatusBadRequest},
+		{unprocessable(fmt.Errorf("no mapping")), http.StatusUnprocessableEntity},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, statusClientClosedRequest},
+		{&core.CapacityError{Level: 1, LevelName: "L1"}, http.StatusUnprocessableEntity},
+		{fmt.Errorf("evaluate: %w", core.ErrInfeasible), http.StatusUnprocessableEntity},
+		{fmt.Errorf("evaluate: %w", core.ErrInvalidMapping), http.StatusBadRequest},
+		{fmt.Errorf("template exploded"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
 func TestSearchIsDeterministic(t *testing.T) {
 	req := SearchRequest{
 		Arch: "edge", Workload: "attention:Bert-S",

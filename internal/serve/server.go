@@ -12,7 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapper"
 	"repro/internal/notation"
-	"repro/internal/serve/memo"
+	"repro/internal/memo"
 )
 
 // Config tunes the evaluation service.
@@ -90,18 +90,36 @@ func (e *httpError) Unwrap() error { return e.err }
 
 func badRequest(err error) error { return &httpError{status: http.StatusBadRequest, err: err} }
 
-// statusFor maps pipeline errors to HTTP statuses: caller mistakes are
-// 400, infeasible design points (over capacity, over PE budget) are 422,
-// expired deadlines are 504.
+func unprocessable(err error) error {
+	return &httpError{status: http.StatusUnprocessableEntity, err: err}
+}
+
+// statusClientClosedRequest is nginx's non-standard code for a client that
+// went away before the response. context.Canceled means exactly that here
+// — it is neither a timeout (504) nor a server fault (500).
+const statusClientClosedRequest = 499
+
+// statusFor maps pipeline errors to HTTP statuses: caller mistakes
+// (including structurally invalid mappings) are 400, infeasible design
+// points (over capacity, over the PE budget, nothing valid in the search
+// budget) are 422, expired deadlines are 504, canceled clients are 499,
+// and anything unrecognized is a 500 server fault.
 func statusFor(err error) int {
 	var he *httpError
 	if errors.As(err, &he) {
 		return he.status
 	}
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, core.ErrInvalidMapping):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity
 	}
-	return http.StatusUnprocessableEntity
+	return http.StatusInternalServerError
 }
 
 // evalOutcome is the cache value for one evaluate key: everything needed
@@ -169,7 +187,7 @@ func (dp *designPoint) run(ctx context.Context) (*evalOutcome, error) {
 			return nil, err
 		}
 		if ev == nil {
-			return nil, fmt.Errorf("no valid mapping found for %s", dp.dfName)
+			return nil, unprocessable(fmt.Errorf("no valid mapping found for %s", dp.dfName))
 		}
 		out.tunedFactors = ev.Factors
 		var err error
@@ -341,6 +359,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range breq.Requests {
 		go func(i int) {
 			defer func() { done <- i }()
+			// net/http's panic recovery only covers the handler goroutine;
+			// without this a panic in one item would kill the daemon.
+			defer func() {
+				if p := recover(); p != nil {
+					items[i].Error = fmt.Sprintf("internal error: %v", p)
+				}
+			}()
 			resp, _, err := s.evaluateOne(r.Context(), &breq.Requests[i])
 			if err != nil {
 				items[i].Error = err.Error()
@@ -441,7 +466,7 @@ func (s *Server) searchOne(ctx context.Context, req *SearchRequest) (*SearchResp
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			return fmt.Errorf("no valid dataflow found for %s on %s", g.Name, spec.Name)
+			return unprocessable(fmt.Errorf("no valid dataflow found for %s on %s", g.Name, spec.Name))
 		}
 		gd := mapper.NewGeneratedDataflow("best", g, spec, res.Encoding)
 		root, err := gd.Build(res.Best.Factors)

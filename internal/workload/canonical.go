@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalGraph dumps everything about a workload graph that affects the
+// analysis: operators in graph order with their full iteration spaces and
+// affine accesses, and tensors (sorted) with shape, element size and
+// density. Cache layers (the serve subsystem's design-point keys, the
+// mapper's fitness memoization) hash this text so that equal graphs share
+// entries regardless of how a request spelled them.
+func CanonicalGraph(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name %s\n", g.Name)
+	for _, op := range g.Ops {
+		fmt.Fprintf(&b, "op %s kind=%s dims=", op.Name, op.Kind)
+		for i, d := range op.Dims {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%s:%d", d.Name, d.Size)
+		}
+		b.WriteString(" reads=")
+		for i, r := range op.Reads {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			b.WriteString(r.String())
+		}
+		fmt.Fprintf(&b, " write=%s\n", op.Write.String())
+	}
+	names := make([]string, 0, len(g.Tensors))
+	for name := range g.Tensors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := g.Tensors[name]
+		fmt.Fprintf(&b, "tensor %s dims=%v elem=%d density=%g\n", t.Name, t.Dims, t.ElemBytes, t.EffDensity())
+	}
+	return b.String()
+}
