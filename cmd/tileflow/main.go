@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -22,6 +24,10 @@ import (
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
+
+// stopProfile finalizes any active profiler. fatalIf calls it before
+// os.Exit so a profile is flushed even on error paths.
+var stopProfile = func() {}
 
 func main() {
 	archName := flag.String("arch", "edge", "accelerator: edge, cloud, validation, a100")
@@ -36,7 +42,11 @@ func main() {
 	explain := flag.Bool("explain", false, "print a per-tile profile (fills, updates, latency bound)")
 	skipCapacity := flag.Bool("skip-capacity", false, "ignore buffer capacity limits")
 	jsonOut := flag.Bool("json", false, "print the result as JSON (the evaluation server's codec)")
+	profile := flag.String("profile", "", "profile the tune/evaluate path: cpu=<file> writes a pprof CPU profile")
 	flag.Parse()
+
+	fatalIf(startProfile(*profile))
+	defer stopProfile()
 
 	var spec *arch.Spec
 	var err error
@@ -95,6 +105,7 @@ func main() {
 	}
 	res, err := core.Evaluate(root, g, spec, opts)
 	fatalIf(err)
+	stopProfile()
 
 	if *jsonOut {
 		// The exact EvaluateResponse the server returns for this design
@@ -129,9 +140,41 @@ func main() {
 	}
 }
 
+// startProfile parses the -profile flag ("cpu=<file>") and starts the
+// requested profiler around the tune/evaluate path.
+func startProfile(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	kind, file, ok := strings.Cut(spec, "=")
+	if !ok || file == "" {
+		return fmt.Errorf("bad -profile %q: want cpu=<file>", spec)
+	}
+	switch kind {
+	case "cpu":
+		f, err := os.Create(file)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			stopProfile = func() {}
+		}
+		return nil
+	default:
+		return fmt.Errorf("bad -profile kind %q: want cpu=<file>", kind)
+	}
+}
+
 func fatalIf(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tileflow:", err)
+		stopProfile()
 		os.Exit(1)
 	}
 }

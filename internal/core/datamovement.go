@@ -72,13 +72,6 @@ func (t *tree) coveredVolumePerInstance(n, leaf *Node, acc workload.Access) int6
 	return v
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // coveredVolume is the slice volume with extents computed from the full
 // coverage of node n (all its loops, not one step): the distinct data the
 // whole execution of n touches through this access.
@@ -136,7 +129,15 @@ func (t *tree) strides(n, leaf *Node, tloops []Loop) []int64 {
 //	DM = |Slice| + Σ_k (e_k−1)·Π_{m outer of k} e_m · Δ_k
 //
 // This reproduces the worked Figure 5 example (168 elements for tensor A).
-func (t *tree) perExecDM(n, leaf *Node, acc workload.Access) float64 {
+//
+// retain enables wrap-around retention: when a boundary's advancing loop
+// does not index the tensor, the "new" slice revisits data the current
+// sweep already touched, and if the whole swept footprint fits comfortably
+// in this node's buffer the revisit is a hit, not a refetch. (Without a
+// capacity model this is the paper's documented overestimation — "it
+// assumes data replacement happens for every outer iteration"; with one,
+// the model matches the polyhedron baselines on single operators.)
+func (t *tree) perExecDM(n, leaf *Node, acc workload.Access, retain bool) float64 {
 	exts := t.sliceExtents(n, leaf, acc)
 	vfull := int64(1)
 	for _, e := range exts {
@@ -148,48 +149,43 @@ func (t *tree) perExecDM(n, leaf *Node, acc workload.Access) float64 {
 	}
 	strides := t.strides(n, leaf, tloops)
 
-	// Wrap-around retention: when a boundary's advancing loop does not
-	// index the tensor, the "new" slice revisits data the current sweep
-	// already touched. If the whole swept footprint fits comfortably in
-	// this node's buffer, the revisit is a hit, not a refetch. (Without
-	// a capacity model this is the paper's documented overestimation —
-	// "it assumes data replacement happens for every outer iteration";
-	// with one, the model matches the polyhedron baselines on single
-	// operators.)
-	retainWrap := t.retainOK != nil && t.retainOK(n, leaf, acc)
-
-	// Loops that do not index the tensor neither move its slice nor —
-	// under retention — force inner sweeps to refetch: their effective
-	// trip count for movement purposes collapses to 1.
-	advances := make([]bool, len(tloops))
-	for k, lk := range tloops {
-		for _, ix := range acc.Index {
-			for _, term := range ix.Terms {
-				if term.Dim == lk.Dim {
-					advances[k] = true
-				}
-			}
-		}
-	}
 	total := float64(vfull)
 	outerProd := int64(1) // effective product of extents of loops outer of k
 	for k, lk := range tloops {
-		if retainWrap && !advances[k] {
-			continue
+		if retain {
+			// Loops that do not index the tensor neither move its slice
+			// nor — under retention — force inner sweeps to refetch:
+			// their effective trip count for movement collapses to 1.
+			advances := false
+			for _, ix := range acc.Index {
+				for _, term := range ix.Terms {
+					if term.Dim == lk.Dim {
+						advances = true
+					}
+				}
+			}
+			if !advances {
+				continue
+			}
 		}
-		// Net shift of every iteration dimension when loop k advances
-		// and loops inner to it wrap back to their lower bounds.
-		delta := map[string]int64{}
-		delta[lk.Dim] += strides[k]
-		for j := k + 1; j < len(tloops); j++ {
-			delta[tloops[j].Dim] -= int64(tloops[j].Extent-1) * strides[j]
-		}
-		// Overlap of the new slice with the old one, per tensor dim.
+		// Overlap of the new slice with the old one, per tensor dim: the
+		// net shift of each iteration dimension when loop k advances and
+		// loops inner to it wrap back to their lower bounds is the
+		// k-stride on lk.Dim minus the full inner sweeps of the dim.
 		overlap := int64(1)
 		for i, ix := range acc.Index {
 			var d int64
 			for _, term := range ix.Terms {
-				d += int64(term.Coef) * delta[term.Dim]
+				var shift int64
+				if term.Dim == lk.Dim {
+					shift = strides[k]
+				}
+				for j := k + 1; j < len(tloops); j++ {
+					if tloops[j].Dim == term.Dim {
+						shift -= int64(tloops[j].Extent-1) * strides[j]
+					}
+				}
+				d += int64(term.Coef) * shift
 			}
 			if d < 0 {
 				d = -d
@@ -208,112 +204,123 @@ func (t *tree) perExecDM(n, leaf *Node, acc workload.Access) float64 {
 	return total
 }
 
-// accessPair is one (leaf, access) occurrence of a tensor in a subtree.
-type accessPair struct {
-	leaf *Node
-	op   *workload.Operator
-	acc  workload.Access
-	read bool // read access vs the write access
+// accessRef is one (leaf, access) occurrence of a tensor in a subtree, with
+// the access's iteration-dim set precomputed. The leaf is identified by its
+// pre-order id so the reference stays valid across tiling re-binds.
+type accessRef struct {
+	leafID int
+	op     *workload.Operator
+	acc    workload.Access
+	dims   map[string]bool
 }
 
-// tensorAccesses collects every access to every tensor by operators in the
-// subtree of n, keyed by tensor name.
-func (t *tree) tensorAccesses(n *Node) map[string][]accessPair {
-	out := map[string][]accessPair{}
-	for _, leaf := range n.Leaves() {
-		for _, r := range leaf.Op.Reads {
-			out[r.Tensor] = append(out[r.Tensor], accessPair{leaf: leaf, op: leaf.Op, acc: r, read: true})
-		}
-		w := leaf.Op.Write
-		out[w.Tensor] = append(out[w.Tensor], accessPair{leaf: leaf, op: leaf.Op, acc: w, read: false})
+// tensorGroup aggregates every access to one tensor by operators in a
+// node's subtree, split by direction, with the per-direction invocation dim
+// sets and the Seq-eviction verdict precomputed at compile time.
+type tensorGroup struct {
+	tensor string
+	reads  []accessRef
+	writes []accessRef
+	// readDims is the union of the read accesses' iteration dims: ancestor
+	// loops over other dims leave the staged slices unchanged, so only
+	// these dims multiply fill invocations.
+	readDims map[string]bool
+	// writeDims additionally includes the writers' reduction dims, which
+	// force partial-sum round trips.
+	writeDims map[string]bool
+	// evicts marks Seq eviction (Sec 5.1.2): under Seq a tile's slices are
+	// evicted unless the following tile needs them, so a tensor used by a
+	// strict subset of the children loses all reuse at this node.
+	evicts bool
+}
+
+// buildStructure computes the tiling-independent tables for a freshly
+// indexed tree in one post-order pass: subtree sizes, subtree dim sets, and
+// per-node tensor access groups with their invocation closures.
+func buildStructure(t *tree) *structure {
+	n := len(t.nodeSet)
+	st := &structure{
+		size:   make([]int, n),
+		dims:   make([]map[string]bool, n),
+		groups: make([][]tensorGroup, n),
 	}
-	return out
-}
-
-// childUsesTensor reports whether any operator in the child subtree touches
-// the tensor.
-func (t *tree) childUsesTensor(child *Node, tensor string) bool {
-	for _, leaf := range child.Leaves() {
-		for _, acc := range leaf.Op.Accesses() {
-			if acc.Tensor == tensor {
-				return true
+	idxOf := make([]map[string]int, n) // tensor -> group index, per node
+	var build func(nd *Node)
+	build = func(nd *Node) {
+		id := t.id[nd]
+		dims := map[string]bool{}
+		var groups []tensorGroup
+		idx := map[string]int{}
+		grp := func(tensor string) *tensorGroup {
+			gi, ok := idx[tensor]
+			if !ok {
+				gi = len(groups)
+				idx[tensor] = gi
+				groups = append(groups, tensorGroup{tensor: tensor})
+			}
+			return &groups[gi]
+		}
+		size := 1
+		if nd.IsLeaf() {
+			op := nd.Op
+			for _, d := range op.Dims {
+				dims[d.Name] = true
+			}
+			for _, r := range op.Reads {
+				g := grp(r.Tensor)
+				g.reads = append(g.reads, accessRef{leafID: id, op: op, acc: r, dims: accessDims(r)})
+			}
+			w := op.Write
+			g := grp(w.Tensor)
+			g.writes = append(g.writes, accessRef{leafID: id, op: op, acc: w, dims: accessDims(w)})
+		} else {
+			for _, c := range nd.Children {
+				build(c)
+				cid := t.id[c]
+				size += st.size[cid]
+				for d := range st.dims[cid] {
+					dims[d] = true
+				}
+				for _, cg := range st.groups[cid] {
+					g := grp(cg.tensor)
+					g.reads = append(g.reads, cg.reads...)
+					g.writes = append(g.writes, cg.writes...)
+				}
 			}
 		}
-	}
-	return false
-}
-
-// seqEvicts reports whether node n's Seq binding evicts the tensor between
-// phases (Sec 5.1.2): under Seq a tile's slices are evicted unless the
-// following tile needs them, so any tensor used by a strict subset of the
-// children loses all inter-phase and inter-iteration reuse at this node.
-func (t *tree) seqEvicts(n *Node, tensor string) bool {
-	if n.Binding != Seq || len(n.Children) < 2 {
-		return false
-	}
-	for _, c := range n.Children {
-		if !t.childUsesTensor(c, tensor) {
-			return true
+		for gi := range groups {
+			g := &groups[gi]
+			g.readDims = map[string]bool{}
+			for _, r := range g.reads {
+				for d := range r.dims {
+					g.readDims[d] = true
+				}
+			}
+			g.writeDims = map[string]bool{}
+			for _, w := range g.writes {
+				for d := range w.dims {
+					g.writeDims[d] = true
+				}
+				for _, rd := range w.op.ReductionDims() {
+					g.writeDims[rd] = true
+				}
+			}
+			if nd.Binding == Seq && len(nd.Children) >= 2 {
+				for _, c := range nd.Children {
+					if _, uses := idxOf[t.id[c]][g.tensor]; !uses {
+						g.evicts = true
+						break
+					}
+				}
+			}
 		}
+		st.size[id] = size
+		st.dims[id] = dims
+		st.groups[id] = groups
+		idxOf[id] = idx
 	}
-	return false
-}
-
-// fillPerExec computes the words of the tensor that cross node n's upper
-// boundary inward during one execution of n, and whether Seq eviction broke
-// all reuse. Multiple accesses to the same tensor share the staged slice,
-// so the maximum over accesses is taken. Under Seq eviction the slice is
-// refetched on every time step.
-func (t *tree) fillPerExec(n *Node, pairs []accessPair, tensor string) (float64, bool) {
-	evict := t.seqEvicts(n, tensor)
-	var best float64
-	for _, p := range pairs {
-		var v float64
-		if evict {
-			v = float64(n.TemporalTrips()) * float64(t.sliceVolume(n, p.leaf, p.acc))
-		} else {
-			v = t.perExecDM(n, p.leaf, p.acc)
-		}
-		if v > best {
-			best = v
-		}
-	}
-	return best, evict
-}
-
-// fillInvocations counts how many times node n's per-execution fill of a
-// tensor recurs: ancestor loops over dimensions the tensor's accesses do
-// not index leave its slices unchanged, so the staged data is reused in
-// place across those iterations (the same hierarchical-reuse assumption the
-// polyhedron models make). Seq eviction forfeits that reuse: every relevant
-// re-execution refetches.
-func (t *tree) fillInvocations(n *Node, pairs []accessPair, evicted bool) float64 {
-	if evicted {
-		return t.relevantInvocations(n)
-	}
-	dims := map[string]bool{}
-	for _, p := range pairs {
-		for d := range accessDims(p.acc) {
-			dims[d] = true
-		}
-	}
-	return t.invocationsWhere(n, dims)
-}
-
-// updateInvocations counts output drains: ancestor loops over the write
-// access's dims produce distinct output versions, and ancestor loops over
-// the operator's reduction dims force partial-sum round trips.
-func (t *tree) updateInvocations(n *Node, pairs []accessPair) float64 {
-	dims := map[string]bool{}
-	for _, p := range pairs {
-		for d := range accessDims(p.acc) {
-			dims[d] = true
-		}
-		for _, rd := range p.op.ReductionDims() {
-			dims[rd] = true
-		}
-	}
-	return t.invocationsWhere(n, dims)
+	build(t.root)
+	return st
 }
 
 // relevantInvocations counts how many times node n executes in total: the
@@ -349,22 +356,9 @@ func (t *tree) invocationsWhere(n *Node, onlyDims map[string]bool) float64 {
 }
 
 // subtreeDims reports the set of iteration dimensions of all operators in
-// the subtree, memoized per tree.
+// the subtree, precomputed at compile time.
 func (t *tree) subtreeDims(n *Node) map[string]bool {
-	if t.dimsMemo == nil {
-		t.dimsMemo = map[*Node]map[string]bool{}
-	}
-	if m, ok := t.dimsMemo[n]; ok {
-		return m
-	}
-	m := map[string]bool{}
-	for _, op := range n.Ops() {
-		for _, d := range op.Dims {
-			m[d.Name] = true
-		}
-	}
-	t.dimsMemo[n] = m
-	return m
+	return t.st.dims[t.id[n]]
 }
 
 // accessDims is the set of iteration dims an access refers to.

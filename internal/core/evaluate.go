@@ -159,25 +159,28 @@ type Options struct {
 	DisableRetention bool
 }
 
-// evaluator carries the per-evaluation state.
+// evaluator carries the per-evaluation state. All mutable analysis state
+// lives here, never on the shared Program or its compiled tree, which is
+// what makes concurrent Evaluate calls on one Program safe.
 type evaluator struct {
 	ctx  context.Context
+	p    *Program
 	t    *tree
-	g    *workload.Graph
-	spec *arch.Spec
 	opts Options
 
-	confine map[string]*Node
 	// nodeFill/nodeUpdate are total words crossing each node's upper
-	// boundary over the whole execution.
-	nodeFill   map[*Node]float64
-	nodeUpdate map[*Node]float64
+	// boundary over the whole execution, indexed by pre-order node id.
+	nodeFill   []float64
+	nodeUpdate []float64
 	dm         []LevelDM
 	tensorDM   map[string][]LevelDM
 }
 
 // Evaluate runs TileFlow's tree-based analysis for the dataflow rooted at
 // root over graph g on architecture spec, returning the modeled metrics.
+// It is the one-shot composition of Compile and Program.Evaluate; callers
+// evaluating many tilings of one tree structure should Compile once and
+// re-evaluate through the Program.
 func Evaluate(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) (*Result, error) {
 	return EvaluateContext(context.Background(), root, g, spec, opts)
 }
@@ -186,32 +189,20 @@ func Evaluate(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) (*Re
 // ctx.Err() at phase boundaries and between per-node data-movement passes,
 // so a service can bound the latency of one evaluation.
 func EvaluateContext(ctx context.Context, root *Node, g *workload.Graph, spec *arch.Spec, opts Options) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	t, err := buildTree(root)
+	p, err := Compile(root, g, spec)
 	if err != nil {
 		return nil, err
 	}
-	if err := validateAgainst(t, g, spec); err != nil {
+	return p.Evaluate(ctx, opts)
+}
+
+// run executes the tiling-dependent analysis phases — the Evaluate half of
+// the Compile → Evaluate pipeline — on the evaluator's bound tree.
+func (e *evaluator) run() (*Result, error) {
+	t, spec, opts := e.t, e.p.spec, e.opts
+	if err := validateTiling(t, e.p.g); err != nil {
 		return nil, err
 	}
-	e := &evaluator{
-		ctx:        ctx,
-		t:          t,
-		g:          g,
-		spec:       spec,
-		opts:       opts,
-		confine:    t.confinements(g),
-		nodeFill:   map[*Node]float64{},
-		nodeUpdate: map[*Node]float64{},
-		dm:         make([]LevelDM, spec.NumLevels()),
-		tensorDM:   map[string][]LevelDM{},
-	}
-	e.setupRetention()
 	if err := e.accountDataMovement(); err != nil {
 		return nil, err
 	}
@@ -219,13 +210,13 @@ func EvaluateContext(ctx context.Context, root *Node, g *workload.Graph, spec *a
 	res := &Result{
 		DM:        e.dm,
 		TensorDM:  e.tensorDM,
-		MACs:      macOps(g),
-		VectorOps: vectorOps(g),
-		PEsUsed:   NumPE(root),
+		MACs:      e.p.macs,
+		VectorOps: e.p.vops,
+		PEsUsed:   NumPE(t.root),
 		TotalPEs:  spec.TotalPEs(),
 	}
 
-	res.UnitUsage = t.unitUsage(root, spec.NumLevels())
+	res.UnitUsage = t.unitUsage(t.root, spec.NumLevels())
 	if inst := spec.Instances(1); inst > 0 {
 		u := res.UnitUsage[1]
 		if u > inst {
@@ -245,7 +236,7 @@ func EvaluateContext(ctx context.Context, root *Node, g *workload.Graph, spec *a
 		}
 	}
 
-	res.FootprintWords = t.footprint(root, spec.NumLevels(), e.confine, densityOf(g))
+	res.FootprintWords = t.footprint(t.root, spec.NumLevels(), e.p.confine, e.p.density)
 	if !opts.SkipCapacityCheck {
 		for l := 0; l < spec.DRAMLevel(); l++ {
 			if need, have := res.FootprintWords[l], spec.CapacityWords(l); need > have {
@@ -254,11 +245,11 @@ func EvaluateContext(ctx context.Context, root *Node, g *workload.Graph, spec *a
 		}
 	}
 
-	if err := ctx.Err(); err != nil {
+	if err := e.ctx.Err(); err != nil {
 		return nil, err
 	}
-	res.Cycles = e.latency(root, false)
-	res.ComputeCycles = e.latency(root, true)
+	res.Cycles = e.latency(t.root, false)
+	res.ComputeCycles = e.latency(t.root, true)
 
 	// Energy: per-level accesses plus register operand traffic for the
 	// compute itself (two operand reads per op).
@@ -267,7 +258,7 @@ func EvaluateContext(ctx context.Context, root *Node, g *workload.Graph, spec *a
 		accesses[i] = e.dm[i].Total()
 	}
 	accesses[0] += 2 * (res.MACs + res.VectorOps)
-	res.Energy = energy.TableFor(spec).Estimate(accesses, res.MACs, res.VectorOps)
+	res.Energy = e.p.etab.Estimate(accesses, res.MACs, res.VectorOps)
 
 	// Slow-down and bandwidth requirement per level (Sec 7.5, Fig 14).
 	res.SlowDown = make([]float64, spec.NumLevels())
@@ -325,9 +316,27 @@ func vectorOps(g *workload.Graph) float64 {
 	return n
 }
 
-// validateAgainst checks that the tree is a complete, exact tiling of the
-// graph on the given architecture.
-func validateAgainst(t *tree, g *workload.Graph, spec *arch.Spec) error {
+// validateStructure checks the tiling-independent half of mapping
+// legality at compile time: every operator has a leaf tile, and every
+// node's level exists on the architecture.
+func validateStructure(t *tree, g *workload.Graph, spec *arch.Spec) error {
+	for _, op := range g.Ops {
+		if t.leafOf[op] == nil {
+			return invalidf("core: operator %q has no leaf tile in the tree", op.Name)
+		}
+	}
+	for _, n := range t.nodeSet {
+		if n.Level < 0 || n.Level >= spec.NumLevels() {
+			return invalidf("core: node %q level %d outside architecture with %d levels", n.Name, n.Level, spec.NumLevels())
+		}
+	}
+	return nil
+}
+
+// validateTiling checks the loop nests of one tiling against the compiled
+// structure: the tree must be a complete, exact tiling of the graph. It
+// runs on every Evaluate, since re-binds change only the loops.
+func validateTiling(t *tree, g *workload.Graph) error {
 	for _, op := range g.Ops {
 		leaf := t.leafOf[op]
 		if leaf == nil {
@@ -344,9 +353,6 @@ func validateAgainst(t *tree, g *workload.Graph, spec *arch.Spec) error {
 		}
 	}
 	for _, n := range t.nodeSet {
-		if n.Level < 0 || n.Level >= spec.NumLevels() {
-			return invalidf("core: node %q level %d outside architecture with %d levels", n.Name, n.Level, spec.NumLevels())
-		}
 		for _, l := range n.Loops {
 			if l.Extent < 1 {
 				return invalidf("core: node %q loop %s has extent < 1", n.Name, l)
@@ -365,7 +371,8 @@ func validateAgainst(t *tree, g *workload.Graph, spec *arch.Spec) error {
 // Seq eviction, and attributes the traffic to the memory levels the data
 // passes through.
 func (e *evaluator) accountDataMovement() error {
-	for _, n := range e.t.nodeSet {
+	t := e.t
+	for i, n := range t.nodeSet {
 		if err := e.ctx.Err(); err != nil {
 			return err
 		}
@@ -374,55 +381,55 @@ func (e *evaluator) accountDataMovement() error {
 			continue // same buffer or root at DRAM: no boundary to cross
 		}
 		var fills, updates float64
-		for tensor, pairs := range e.t.tensorAccesses(n) {
-			if lca, ok := e.confine[tensor]; ok && e.t.subtreeContains(n, lca) {
+		for gi := range t.st.groups[i] {
+			grp := &t.st.groups[i][gi]
+			if lca, ok := e.p.confine[grp.tensor]; ok && t.subtreeContains(n, lca) {
 				continue // confined at or below n: never crosses up
 			}
-			var readPairs, writePairs []accessPair
-			for _, pr := range pairs {
-				if pr.read {
-					readPairs = append(readPairs, pr)
+			var tf, tu float64
+			if len(grp.reads) > 0 {
+				per := e.fillPerExec(n, grp.reads, grp.evicts)
+				if grp.evicts {
+					// Seq eviction forfeits hierarchical reuse: every
+					// relevant re-execution refetches.
+					tf = per * t.relevantInvocations(n)
 				} else {
-					writePairs = append(writePairs, pr)
+					tf = per * t.invocationsWhere(n, grp.readDims)
 				}
 			}
-			var tf, tu float64
-			if len(readPairs) > 0 {
-				per, evicted := e.t.fillPerExec(n, readPairs, tensor)
-				tf = per * e.t.fillInvocations(n, readPairs, evicted)
-			}
-			if len(writePairs) > 0 {
-				per, _ := e.t.fillPerExec(n, writePairs, tensor)
-				tu = per * e.t.updateInvocations(n, writePairs)
+			if len(grp.writes) > 0 {
+				per := e.fillPerExec(n, grp.writes, grp.evicts)
+				tu = per * t.invocationsWhere(n, grp.writeDims)
 				// Read-modify-write: if the same output slice drains
 				// more than once (a reduction split above this node),
 				// each extra drain needs a prior refill of partials.
-				w := writePairs[0]
-				distinct := float64(e.t.coveredVolume(n, w.leaf, w.acc)) *
-					e.t.invocationsWhere(n, accessDims(w.acc))
+				w := grp.writes[0]
+				wleaf := t.nodeSet[w.leafID]
+				distinct := float64(t.coveredVolume(n, wleaf, w.acc)) *
+					t.invocationsWhere(n, w.dims)
 				if rmw := tu - distinct; rmw > 0 {
 					tf += rmw
 				}
 			}
 			// Sparse tensors travel in compressed form (Sec 7.7
 			// extension): traffic scales with density.
-			if d := e.g.Density(tensor); d < 1 {
+			if d, sparse := e.p.density[grp.tensor]; sparse {
 				tf *= d
 				tu *= d
 			}
 			fills += tf
 			updates += tu
-			e.attributeTensor(tensor, n.Level, pLevel, tf, tu)
+			e.attributeTensor(grp.tensor, n.Level, pLevel, tf, tu)
 		}
-		e.nodeFill[n] += fills
-		e.nodeUpdate[n] += updates
+		e.nodeFill[i] += fills
+		e.nodeUpdate[i] += updates
 		// Attribute to levels: enters n.Level, and — unless the
 		// architecture grants the pair direct access (Sec 5.1.2) —
 		// passes through every level between it and the parent level.
 		e.dm[n.Level].Fill += fills
 		e.dm[pLevel].Read += fills
 		e.dm[pLevel].Update += updates
-		if !e.spec.HasDirectAccess(n.Level, pLevel) {
+		if !e.p.spec.HasDirectAccess(n.Level, pLevel) {
 			for l := n.Level + 1; l < pLevel; l++ {
 				e.dm[l].Fill += fills
 				e.dm[l].Read += fills
@@ -433,21 +440,39 @@ func (e *evaluator) accountDataMovement() error {
 	return nil
 }
 
-// setupRetention installs the wrap-around retention predicate: a tensor's
-// swept footprint is retained when it occupies at most half of the node's
-// per-instance buffer (disabled by Options.DisableRetention).
-func (e *evaluator) setupRetention() {
-	if e.opts.DisableRetention {
-		return
-	}
-	t, spec := e.t, e.spec
-	t.retainOK = func(n, leaf *Node, acc workload.Access) bool {
-		cap := spec.CapacityWords(n.Level)
-		if cap == math.MaxInt64 {
-			return true
+// fillPerExec computes the words of the tensor group that cross node n's
+// upper boundary inward during one execution of n. Multiple accesses to
+// the same tensor share the staged slice, so the maximum over accesses is
+// taken. Under Seq eviction the slice is refetched on every time step.
+func (e *evaluator) fillPerExec(n *Node, refs []accessRef, evicted bool) float64 {
+	var best float64
+	for _, r := range refs {
+		leaf := e.t.nodeSet[r.leafID]
+		var v float64
+		if evicted {
+			v = float64(n.TemporalTrips()) * float64(e.t.sliceVolume(n, leaf, r.acc))
+		} else {
+			v = e.t.perExecDM(n, leaf, r.acc, e.retain(n, leaf, r.acc))
 		}
-		return t.coveredVolumePerInstance(n, leaf, acc) <= cap/2
+		if v > best {
+			best = v
+		}
 	}
+	return best
+}
+
+// retain is the wrap-around retention predicate: a tensor's swept
+// footprint is retained when it occupies at most half of the node's
+// per-instance buffer (disabled by Options.DisableRetention).
+func (e *evaluator) retain(n, leaf *Node, acc workload.Access) bool {
+	if e.opts.DisableRetention {
+		return false
+	}
+	cap := e.p.spec.CapacityWords(n.Level)
+	if cap == math.MaxInt64 {
+		return true
+	}
+	return e.t.coveredVolumePerInstance(n, leaf, acc) <= cap/2
 }
 
 // parentLevel reports the memory level node n loads from across its upper
@@ -458,8 +483,8 @@ func (e *evaluator) setupRetention() {
 func (e *evaluator) parentLevel(n *Node) (int, bool) {
 	p := e.t.parent[n]
 	if p == nil {
-		if n.Level < e.spec.DRAMLevel() {
-			return e.spec.DRAMLevel(), true
+		if n.Level < e.p.spec.DRAMLevel() {
+			return e.p.spec.DRAMLevel(), true
 		}
 		return 0, false
 	}
@@ -480,7 +505,7 @@ func (e *evaluator) attributeTensor(tensor string, childLevel, parentLevel int, 
 	dm[childLevel].Fill += fills
 	dm[parentLevel].Read += fills
 	dm[parentLevel].Update += updates
-	if !e.spec.HasDirectAccess(childLevel, parentLevel) {
+	if !e.p.spec.HasDirectAccess(childLevel, parentLevel) {
 		for l := childLevel + 1; l < parentLevel; l++ {
 			dm[l].Fill += fills
 			dm[l].Read += fills
@@ -514,7 +539,7 @@ func (e *evaluator) effBandwidth(n *Node) float64 {
 	}
 	bw := math.Inf(1)
 	for l := n.Level + 1; l <= pLevel; l++ {
-		if w := e.spec.WordsPerCycle(l); w < bw {
+		if w := e.p.spec.WordsPerCycle(l); w < bw {
 			bw = w
 		}
 	}
@@ -539,7 +564,7 @@ func (e *evaluator) latency(n *Node, computeOnly bool) float64 {
 	if n.IsLeaf() {
 		inner = float64(n.TemporalTrips()) * e.leafIterCost(n)
 		// Gating hardware skips zero iterations of sparse operands.
-		inner *= e.g.OpDensity(n.Op)
+		inner *= e.p.opDensity[e.t.id[n]]
 	} else {
 		for _, c := range n.Children {
 			lc := e.latency(c, computeOnly) * e.temporalRepeats(n, c)
@@ -555,12 +580,13 @@ func (e *evaluator) latency(n *Node, computeOnly bool) float64 {
 	if computeOnly {
 		return inner
 	}
+	id := e.t.id[n]
 	inv := e.t.relevantInvocations(n)
 	bw := e.effBandwidth(n)
 	load, store := 0.0, 0.0
 	if !math.IsInf(bw, 1) && inv > 0 {
-		load = e.nodeFill[n] / inv / bw
-		store = e.nodeUpdate[n] / inv / bw
+		load = e.nodeFill[id] / inv / bw
+		store = e.nodeUpdate[id] / inv / bw
 	}
 	return math.Max(load, math.Max(inner, store))
 }
@@ -573,12 +599,12 @@ func (e *evaluator) latency(n *Node, computeOnly bool) float64 {
 func (e *evaluator) leafIterCost(n *Node) float64 {
 	sp := float64(n.SpatialProduct())
 	if n.Op.Kind.Vector() {
-		lanes := float64(e.spec.VectorLanesPerSubcore)
+		lanes := float64(e.p.spec.VectorLanesPerSubcore)
 		if lanes < 1 {
 			lanes = 1
 		}
 		return math.Ceil(sp / lanes)
 	}
-	total := float64(e.spec.TotalPEs() * e.spec.MACsPerPE)
+	total := float64(e.p.spec.TotalPEs() * e.p.spec.MACsPerPE)
 	return math.Ceil(sp / total)
 }

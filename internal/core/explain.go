@@ -34,49 +34,52 @@ type NodeReport struct {
 // pre-order, for the "architecture analysis" use the paper's Fig 3 lists.
 // It shares all analysis state with Evaluate.
 func Explain(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) ([]NodeReport, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	t, err := buildTree(root)
+	p, err := Compile(root, g, spec)
 	if err != nil {
 		return nil, err
 	}
-	if err := validateAgainst(t, g, spec); err != nil {
-		return nil, err
-	}
+	return p.Explain(opts)
+}
+
+// Explain profiles the Program's bound tree node by node. Like Evaluate it
+// allocates only per-call state, so concurrent calls are safe.
+func (p *Program) Explain(opts Options) ([]NodeReport, error) {
+	t := p.t
 	e := &evaluator{
 		ctx:        context.Background(),
+		p:          p,
 		t:          t,
-		g:          g,
-		spec:       spec,
 		opts:       opts,
-		confine:    t.confinements(g),
-		nodeFill:   map[*Node]float64{},
-		nodeUpdate: map[*Node]float64{},
-		dm:         make([]LevelDM, spec.NumLevels()),
+		nodeFill:   make([]float64, len(t.nodeSet)),
+		nodeUpdate: make([]float64, len(t.nodeSet)),
+		dm:         make([]LevelDM, p.spec.NumLevels()),
 		tensorDM:   map[string][]LevelDM{},
 	}
-	e.setupRetention()
+	if err := validateTiling(t, p.g); err != nil {
+		return nil, err
+	}
 	if err := e.accountDataMovement(); err != nil {
 		return nil, err
 	}
 
 	var reports []NodeReport
+	root := t.root
 	depth := map[*Node]int{root: 0}
 	root.Walk(func(n *Node) {
 		for _, c := range n.Children {
 			depth[c] = depth[n] + 1
 		}
-		inv := e.t.relevantInvocations(n)
+		id := t.id[n]
+		inv := t.relevantInvocations(n)
 		bw := e.effBandwidth(n)
 		load, store := 0.0, 0.0
 		if inv > 0 && bw > 0 && !math.IsInf(bw, 1) {
-			load = e.nodeFill[n] / inv / bw
-			store = e.nodeUpdate[n] / inv / bw
+			load = e.nodeFill[id] / inv / bw
+			store = e.nodeUpdate[id] / inv / bw
 		}
 		var inner float64
 		if n.IsLeaf() {
-			inner = float64(n.TemporalTrips()) * e.leafIterCost(n) * e.g.OpDensity(n.Op)
+			inner = float64(n.TemporalTrips()) * e.leafIterCost(n) * p.opDensity[id]
 		} else {
 			for _, c := range n.Children {
 				lc := e.latency(c, false) * e.temporalRepeats(n, c)
@@ -99,7 +102,7 @@ func Explain(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) ([]No
 			Name: n.Name, Level: n.Level, Depth: depth[n],
 			IsLeaf: n.IsLeaf(), Binding: n.Binding,
 			Invocations: inv,
-			FillWords:   e.nodeFill[n], UpdateWords: e.nodeUpdate[n],
+			FillWords:   e.nodeFill[id], UpdateWords: e.nodeUpdate[id],
 			LoadCycles: load, InnerCycles: inner, StoreCycles: store,
 			Bound: bound,
 		})

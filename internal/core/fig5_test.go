@@ -44,15 +44,15 @@ func TestFigure5SingleTileDM(t *testing.T) {
 	}
 
 	// The headline number: DM_A = 168 elements.
-	if got := tr.perExecDM(leaf, leaf, accA); got != 168 {
+	if got := tr.perExecDM(leaf, leaf, accA, false); got != 168 {
 		t.Errorf("perExecDM(A) = %v, want 168", got)
 	}
 	// B is fully reused along j: 12 compulsory + 2×12 when i advances.
-	if got := tr.perExecDM(leaf, leaf, accB); got != 36 {
+	if got := tr.perExecDM(leaf, leaf, accB, false); got != 36 {
 		t.Errorf("perExecDM(B) = %v, want 36", got)
 	}
 	// C: every output element written exactly once, 12×12 = 144.
-	if got := tr.perExecDM(leaf, leaf, op.Write); got != 144 {
+	if got := tr.perExecDM(leaf, leaf, op.Write, false); got != 144 {
 		t.Errorf("perExecDM(C) = %v, want 144", got)
 	}
 }
@@ -79,7 +79,7 @@ func TestFigure5LoopOrderMatters(t *testing.T) {
 	// With i innermost, B's slice changes on every i-step: the i boundary
 	// occurs (3−1)·3 = 6 times moving 12 fresh elements, and the j
 	// boundary resets i (full 12-element refetch) twice.
-	got := tr.perExecDM(leaf, leaf, accB)
+	got := tr.perExecDM(leaf, leaf, accB, false)
 	want := 12.0 + 6*12 + 2*12
 	if got != want {
 		t.Errorf("perExecDM(B) with i innermost = %v, want %v", got, want)

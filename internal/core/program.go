@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+// Program is a compiled analysis tree: the output of the Compile half of
+// the Compile → Evaluate pipeline. It owns every result of the
+// tiling-independent work — structural validation, the node index and
+// subtree interval tables, per-tensor access groups with their invocation
+// closures, confinement LCAs, operator counts and the energy table — and
+// is immutable after Compile returns, so one Program may serve any number
+// of concurrent Evaluate calls.
+//
+// A Program is bound to one tree (its Root). To evaluate a different
+// tiling of the same structure, WithTiling re-binds the compiled tables to
+// a new root in one cheap tree walk instead of recompiling.
+type Program struct {
+	root *Node
+	g    *workload.Graph
+	spec *arch.Spec
+	t    *tree
+
+	// confine maps each confined intermediate tensor to the pre-order id
+	// of its LCA node (Sec 5.1.2): its traffic never crosses that node's
+	// upper boundary.
+	confine map[string]int
+	// density holds the effective density of each non-dense tensor;
+	// dense tensors are absent.
+	density map[string]float64
+	// opDensity is the per-leaf gating density (Graph.OpDensity of the
+	// leaf's operator), indexed by pre-order node id; 1.0 elsewhere.
+	opDensity []float64
+	macs      float64
+	vops      float64
+	etab      *energy.Table
+}
+
+// Compile runs the tiling-independent half of TileFlow's analysis once:
+// architecture validation, tree indexing (pre-order ids, parent links,
+// subtree intervals), structural mapping legality, per-tensor access
+// grouping with Seq-eviction and invocation-dimension closures,
+// confinement LCAs, workload op counts and the energy table. The returned
+// Program is immutable and safe for concurrent use; its Evaluate method
+// performs only the tiling-dependent work.
+func Compile(root *Node, g *workload.Graph, spec *arch.Spec) (*Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := buildTree(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateStructure(t, g, spec); err != nil {
+		return nil, err
+	}
+	conf := t.confinements(g)
+	confine := make(map[string]int, len(conf))
+	for tensor, n := range conf {
+		confine[tensor] = t.id[n]
+	}
+	opDensity := make([]float64, len(t.nodeSet))
+	for i, n := range t.nodeSet {
+		opDensity[i] = 1
+		if n.IsLeaf() {
+			opDensity[i] = g.OpDensity(n.Op)
+		}
+	}
+	return &Program{
+		root:      root,
+		g:         g,
+		spec:      spec,
+		t:         t,
+		confine:   confine,
+		density:   densityOf(g),
+		opDensity: opDensity,
+		macs:      macOps(g),
+		vops:      vectorOps(g),
+		etab:      energy.TableFor(spec),
+	}, nil
+}
+
+// Root returns the tree the Program is bound to.
+func (p *Program) Root() *Node { return p.root }
+
+// Graph returns the workload graph the Program was compiled against.
+func (p *Program) Graph() *workload.Graph { return p.g }
+
+// Spec returns the architecture the Program was compiled against.
+func (p *Program) Spec() *arch.Spec { return p.spec }
+
+// Signature returns the tree's structure signature (StructureSignature of
+// the root): the canonical key under which the Program may be cached and
+// re-bound to other tilings.
+func (p *Program) Signature() string { return StructureSignature(p.root) }
+
+// Evaluate runs the tiling-dependent half of the analysis on the
+// Program's bound tree: loop-nest validation, data movement, resource and
+// capacity checks, latency, energy and bandwidth. It allocates only
+// per-evaluation state, so concurrent calls on one Program are safe.
+func (p *Program) Evaluate(ctx context.Context, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &evaluator{
+		ctx:        ctx,
+		p:          p,
+		t:          p.t,
+		opts:       opts,
+		nodeFill:   make([]float64, len(p.t.nodeSet)),
+		nodeUpdate: make([]float64, len(p.t.nodeSet)),
+		dm:         make([]LevelDM, p.spec.NumLevels()),
+		tensorDM:   map[string][]LevelDM{},
+	}
+	return e.run()
+}
+
+// WithTiling re-binds the compiled Program to a new root carrying a
+// different tiling of the same structure: same tree shape, levels,
+// sibling bindings and operators (matched by identity, or by name when
+// the root was built over a canonically equal copy of the graph), with
+// loop nests free to differ. The re-bind is one tree walk; every
+// compile-time table is shared with the receiver. Returns
+// ErrInvalidMapping when the new root's structure does not match.
+func (p *Program) WithTiling(root *Node) (*Program, error) {
+	if root == p.root {
+		return p, nil
+	}
+	nt, err := p.t.rebind(root)
+	if err != nil {
+		return nil, err
+	}
+	np := *p
+	np.root = root
+	np.t = nt
+	return &np, nil
+}

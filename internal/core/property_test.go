@@ -142,7 +142,7 @@ func TestPropertySliceExtentsPositive(t *testing.T) {
 			}
 			// Per-exec DM is at least the compulsory slice and at most
 			// slice × temporal trips.
-			dm := tr.perExecDM(leaf, leaf, acc)
+			dm := tr.perExecDM(leaf, leaf, acc, false)
 			if dm < float64(vol)-0.5 {
 				return false
 			}

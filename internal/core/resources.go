@@ -96,34 +96,42 @@ func (t *tree) unitUsage(n *Node, numLevels int) []int {
 // children own the buffers in turns, and Para/Pipe children occupy
 // *different* instances at their level, so per-instance occupancy does not
 // add.
-func (t *tree) footprint(n *Node, numLevels int, confineLCA map[string]*Node, density map[string]float64) []int64 {
+func (t *tree) footprint(n *Node, numLevels int, confineLCA map[string]int, density map[string]float64) []int64 {
 	f := make([]int64, numLevels)
+	id := t.id[n]
 	var own int64
-	for tensor, pairs := range t.tensorAccesses(n) {
-		lca, confined := confineLCA[tensor]
-		if confined && lca != n && t.subtreeContains(n, lca) {
+	for gi := range t.st.groups[id] {
+		grp := &t.st.groups[id][gi]
+		lca, confined := confineLCA[grp.tensor]
+		if confined && lca != id && t.subtreeContains(n, lca) {
 			// Confined strictly below: staged in a deeper buffer only.
 			continue
 		}
 		var best int64
-		for _, p := range pairs {
-			var v int64
-			if (confined && lca == n) || n.IsLeaf() {
-				// The tensor's home: the whole per-step slice is
-				// staged here — this is what "staging rows in the
-				// on-chip buffer" means.
-				v = t.sliceVolumePerInstance(n, p.leaf, p.acc)
-			} else {
-				// A tensor streaming through: only the next child's
-				// working chunk is co-resident, double buffered.
-				child := t.childToward(n, p.leaf)
-				v = 2 * t.sliceVolumePerInstance(child, p.leaf, p.acc)
-			}
-			if v > best {
-				best = v
+		home := (confined && lca == id) || n.IsLeaf()
+		stage := func(refs []accessRef) {
+			for _, r := range refs {
+				leaf := t.nodeSet[r.leafID]
+				var v int64
+				if home {
+					// The tensor's home: the whole per-step slice is
+					// staged here — this is what "staging rows in the
+					// on-chip buffer" means.
+					v = t.sliceVolumePerInstance(n, leaf, r.acc)
+				} else {
+					// A tensor streaming through: only the next child's
+					// working chunk is co-resident, double buffered.
+					child := t.childToward(n, leaf)
+					v = 2 * t.sliceVolumePerInstance(child, leaf, r.acc)
+				}
+				if v > best {
+					best = v
+				}
 			}
 		}
-		if d, ok := density[tensor]; ok && d < 1 {
+		stage(grp.reads)
+		stage(grp.writes)
+		if d, ok := density[grp.tensor]; ok && d < 1 {
 			// Compressed sparse staging occupies less buffer space.
 			best = int64(float64(best) * d)
 		}

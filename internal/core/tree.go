@@ -248,20 +248,34 @@ func (n *Node) render(b *strings.Builder, depth int) {
 }
 
 // tree is the evaluation-time view of an analysis tree with parent links and
-// per-leaf paths precomputed.
+// per-leaf paths precomputed. Nodes are numbered in pre-order; the numbering
+// indexes the tiling-independent tables of st, which are shared between a
+// compiled template tree and its rebind copies, so a tree must never mutate
+// st after buildTree returns.
 type tree struct {
 	root    *Node
 	parent  map[*Node]*Node
 	leaves  []*Node
 	leafOf  map[*workload.Operator]*Node
-	nodeSet []*Node
+	nodeSet []*Node       // pre-order; nodeSet[id[n]] == n
+	id      map[*Node]int // pre-order ids, stable across rebinds
+	st      *structure
+}
 
-	dimsMemo map[*Node]map[string]bool
-
-	// retainOK, when set by the evaluator, reports whether the node's
-	// buffer can keep a tensor's whole swept footprint resident so that
-	// wrap-around revisits hit instead of refetching.
-	retainOK func(n, leaf *Node, acc workload.Access) bool
+// structure holds every analysis table that depends only on the tree's
+// shape, levels, bindings and operators — never on loop extents — indexed
+// by pre-order node id. One structure is computed per Compile and shared,
+// read-only, by every tiling re-bind of the same shape.
+type structure struct {
+	// size is the subtree node count, making subtree membership an
+	// O(1) pre-order interval test.
+	size []int
+	// dims is the set of iteration dimensions of all operators in the
+	// subtree.
+	dims []map[string]bool
+	// groups lists, per node, the tensors its subtree accesses with all
+	// per-tensor access closures precomputed, in first-use order.
+	groups [][]tensorGroup
 }
 
 func buildTree(root *Node) (*tree, error) {
@@ -269,10 +283,12 @@ func buildTree(root *Node) (*tree, error) {
 		root:   root,
 		parent: map[*Node]*Node{},
 		leafOf: map[*workload.Operator]*Node{},
+		id:     map[*Node]int{},
 	}
 	var err error
 	var visit func(n *Node)
 	visit = func(n *Node) {
+		t.id[n] = len(t.nodeSet)
 		t.nodeSet = append(t.nodeSet, n)
 		if n.IsLeaf() {
 			if len(n.Children) > 0 {
@@ -307,7 +323,87 @@ func buildTree(root *Node) (*tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.st = buildStructure(t)
 	return t, nil
+}
+
+// rebind builds the tree view of newRoot reusing t's compiled structure
+// tables. newRoot must match t.root's structure — same shape, levels,
+// bindings among siblings, and operators (by identity, or by name for
+// canonically equal graphs) — while its loop nests are free to differ.
+// The per-binding maps are rebuilt in one walk; everything in t.st is
+// shared, which is what makes a tiling re-bind cheap.
+func (t *tree) rebind(newRoot *Node) (*tree, error) {
+	nt := &tree{
+		root:    newRoot,
+		parent:  make(map[*Node]*Node, len(t.parent)),
+		leaves:  make([]*Node, 0, len(t.leaves)),
+		leafOf:  make(map[*workload.Operator]*Node, len(t.leafOf)),
+		nodeSet: make([]*Node, 0, len(t.nodeSet)),
+		id:      make(map[*Node]int, len(t.nodeSet)),
+		st:      t.st,
+	}
+	var walk func(tpl, n *Node) error
+	walk = func(tpl, n *Node) error {
+		if (tpl.Op == nil) != (n.Op == nil) || len(tpl.Children) != len(n.Children) {
+			return invalidf("core: tree shape at %q differs from the compiled structure", n.Name)
+		}
+		if tpl.Level != n.Level {
+			return invalidf("core: node %q at level %d, compiled structure has level %d", n.Name, n.Level, tpl.Level)
+		}
+		if tpl.Op != nil && tpl.Op != n.Op && tpl.Op.Name != n.Op.Name {
+			return invalidf("core: leaf %q computes %q, compiled structure has %q", n.Name, n.Op.Name, tpl.Op.Name)
+		}
+		// Binding only matters between siblings; single-child and leaf
+		// bindings are ignored by the analysis.
+		if tpl.Op == nil && len(tpl.Children) > 1 && tpl.Binding != n.Binding {
+			return invalidf("core: node %q bound %s, compiled structure has %s", n.Name, n.Binding, tpl.Binding)
+		}
+		nt.id[n] = len(nt.nodeSet)
+		nt.nodeSet = append(nt.nodeSet, n)
+		if n.Op != nil {
+			// Key by the template's operator: the structure tables and the
+			// compiled Program's graph reference those.
+			nt.leafOf[tpl.Op] = n
+			nt.leaves = append(nt.leaves, n)
+		}
+		for i, c := range n.Children {
+			nt.parent[c] = n
+			if err := walk(tpl.Children[i], c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, newRoot); err != nil {
+		return nil, err
+	}
+	return nt, nil
+}
+
+// StructureSignature renders the tiling-independent structure of a tree —
+// shape, node levels, bindings and operator names, but no loop nests — as a
+// canonical string. Two trees over canonically equal graphs with equal
+// signatures are mutually re-bindable via Program.WithTiling; caches keyed
+// by it (the evaluation service's compiled-program cache) share one Program
+// across all tilings of a structure.
+func StructureSignature(root *Node) string {
+	var b strings.Builder
+	writeSignature(&b, root)
+	return b.String()
+}
+
+func writeSignature(b *strings.Builder, n *Node) {
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "(L%d %s)", n.Level, n.Op.Name)
+		return
+	}
+	fmt.Fprintf(b, "(L%d %s", n.Level, n.Binding)
+	for _, c := range n.Children {
+		b.WriteByte(' ')
+		writeSignature(b, c)
+	}
+	b.WriteByte(')')
 }
 
 // pathToRoot lists the node and its ancestors, innermost first.
@@ -346,18 +442,12 @@ func (t *tree) lca(nodes []*Node) *Node {
 	return t.root
 }
 
-// isAncestorOrSelf reports whether a is n or an ancestor of n.
-func (t *tree) isAncestorOrSelf(a, n *Node) bool {
-	for m := n; m != nil; m = t.parent[m] {
-		if m == a {
-			return true
-		}
-	}
-	return false
+// subtreeContains reports whether n's subtree contains the node with the
+// given pre-order id: an O(1) interval test against the structure tables.
+func (t *tree) subtreeContains(n *Node, id int) bool {
+	ni := t.id[n]
+	return ni <= id && id < ni+t.st.size[ni]
 }
-
-// subtreeContains reports whether n's subtree contains m.
-func (t *tree) subtreeContains(n, m *Node) bool { return t.isAncestorOrSelf(n, m) }
 
 // childToward returns n's direct child on the path to leaf (or leaf itself
 // when n is the leaf).

@@ -46,6 +46,26 @@ type Dataflow interface {
 	Build(f map[string]int) (*core.Node, error)
 }
 
+// StructureStable is an optional Dataflow capability: a template declares
+// that every factor assignment Build accepts yields a tree with the same
+// structure — shape, levels, bindings and operators; only loop nests
+// differ. Mappers exploit it to core.Compile the template's tree once and
+// re-bind tilings through core.Program.WithTiling instead of recompiling
+// per candidate. Factor-1 loops may come and go freely (builders drop
+// them); what must not vary is the node tree itself.
+type StructureStable interface {
+	// StructureStable reports whether Build's tree structure is
+	// independent of the factor assignment.
+	StructureStable() bool
+}
+
+// IsStructureStable reports whether the dataflow declares a
+// factor-independent tree structure.
+func IsStructureStable(df Dataflow) bool {
+	s, ok := df.(StructureStable)
+	return ok && s.StructureStable()
+}
+
 // Divisors lists the positive divisors of n in increasing order.
 func Divisors(n int) []int {
 	if n <= 0 {
@@ -185,20 +205,6 @@ func leafLoopsCapped(op *workload.Operator, spec *arch.Spec, rem map[string]int,
 		}
 	}
 	return loops
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // macLeafBudget divides the PE mesh among the MAC operators of a fused

@@ -79,7 +79,7 @@ func operatorCycles(op *workload.Operator, spec *arch.Spec) (float64, error) {
 	}
 	var l1 []timeloop.Loop
 	for _, d := range op.Dims {
-		rem := d.Size / maxInt(1, used[d.Name])
+		rem := d.Size / max(1, used[d.Name])
 		if rem > 1 {
 			l1 = append(l1, timeloop.Loop{Dim: d.Name, Bound: rem})
 		}
@@ -94,11 +94,4 @@ func operatorCycles(op *workload.Operator, spec *arch.Spec) (float64, error) {
 		return 0, err
 	}
 	return res.Cycles, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

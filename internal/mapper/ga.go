@@ -302,7 +302,7 @@ func (s *TreeSearch) mutate(e *Encoding, rng *rand.Rand) {
 			e.Target[i] = -1
 		}
 	case 1:
-		e.Mem[i] = 1 + rng.Intn(maxInt(1, maxMem))
+		e.Mem[i] = 1 + rng.Intn(max(1, maxMem))
 	case 2:
 		e.Binding[i] = core.Binding(rng.Intn(4))
 	}

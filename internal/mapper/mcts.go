@@ -38,6 +38,12 @@ type TileSearch struct {
 	Seed int64
 	// Explore is the UCB exploration constant (default √2).
 	Explore float64
+
+	// prog is the compiled program of the template's structure, reused
+	// across rollouts when the dataflow declares StructureStable: each
+	// candidate then pays only a tiling re-bind plus the evaluate half of
+	// the pipeline instead of a full compile.
+	prog *core.Program
 }
 
 // mctsNode is one node of the search tree: a prefix of factor decisions.
@@ -188,11 +194,39 @@ func (s *TileSearch) evaluate(ctx context.Context, factors map[string]int) *Eval
 	if err != nil {
 		return nil
 	}
-	res, err := core.EvaluateContext(ctx, root, s.Dataflow.Graph(), s.Spec, s.Opts)
+	res, err := s.evaluateTree(ctx, root)
 	if err != nil {
 		return nil
 	}
 	return &Evaluation{Factors: factors, Cycles: res.Cycles, Result: res}
+}
+
+// evaluateTree evaluates one candidate tree. When the dataflow declares a
+// stable structure the template is compiled once and every further
+// candidate re-binds the compiled program to its tiling; otherwise each
+// candidate compiles from scratch.
+func (s *TileSearch) evaluateTree(ctx context.Context, root *core.Node) (*core.Result, error) {
+	if !dataflows.IsStructureStable(s.Dataflow) {
+		return core.EvaluateContext(ctx, root, s.Dataflow.Graph(), s.Spec, s.Opts)
+	}
+	if s.prog == nil {
+		p, err := core.Compile(root, s.Dataflow.Graph(), s.Spec)
+		if err != nil {
+			return nil, err
+		}
+		s.prog = p
+	}
+	p, err := s.prog.WithTiling(root)
+	if err != nil {
+		// A template that mis-declares stability falls back to a fresh
+		// compile rather than failing the candidate.
+		p, err = core.Compile(root, s.Dataflow.Graph(), s.Spec)
+		if err != nil {
+			return nil, err
+		}
+		s.prog = p
+	}
+	return p.Evaluate(ctx, s.Opts)
 }
 
 // Tune is the convenience entry point the experiments use: it MCTS-tunes a

@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/arch"
@@ -58,5 +59,38 @@ func TestTileSearchDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Errorf("same seed gave %v and %v", a, b)
+	}
+}
+
+// hideStability wraps a dataflow behind the bare Dataflow interface so the
+// StructureStable capability is invisible: TileSearch then takes the cold
+// per-candidate compile path.
+type hideStability struct{ dataflows.Dataflow }
+
+// TestTileSearchProgramReuseMatchesCold: the compiled fast path (one
+// Compile, per-rollout re-binds) must visit the same candidates and return
+// the same best evaluation as the cold path for the same seed.
+func TestTileSearchProgramReuseMatchesCold(t *testing.T) {
+	shape, _ := workload.AttentionShapeByName("ViT/16-B")
+	spec := arch.Edge()
+	run := func(df dataflows.Dataflow) (*Evaluation, []float64) {
+		s := &TileSearch{Dataflow: df, Spec: spec, Rounds: 120, Seed: 7}
+		best, trace := s.Run()
+		if best == nil {
+			t.Fatal("no valid mapping")
+		}
+		return best, trace
+	}
+	fast, fastTrace := run(dataflows.FLATRGran(shape, spec))
+	cold, coldTrace := run(hideStability{dataflows.FLATRGran(shape, spec)})
+
+	if !reflect.DeepEqual(fast.Factors, cold.Factors) {
+		t.Errorf("fast path best factors %v, cold %v", fast.Factors, cold.Factors)
+	}
+	if !reflect.DeepEqual(fast.Result, cold.Result) {
+		t.Errorf("fast path best Result differs from cold path")
+	}
+	if !reflect.DeepEqual(fastTrace, coldTrace) {
+		t.Errorf("fast path trace differs from cold path")
 	}
 }

@@ -167,6 +167,10 @@ func NewGeneratedDataflow(label string, g *workload.Graph, spec *arch.Spec, enc 
 func (d *GeneratedDataflow) Name() string           { return d.Label }
 func (d *GeneratedDataflow) Graph() *workload.Graph { return d.G }
 
+// StructureStable: the encoding fixes the tree shape (chains, attach
+// points, bindings); the factor assignment fills loop extents only.
+func (d *GeneratedDataflow) StructureStable() bool { return true }
+
 // Factors implements Dataflow: one factor per on-chip level per dimension
 // ("L<level>_<dim>"), plus the spatial splits.
 func (d *GeneratedDataflow) Factors() []dataflows.FactorSpec {
@@ -404,7 +408,7 @@ func (d *GeneratedDataflow) fillLeaves(root *core.Node, chains []*chain) error {
 						}
 					}
 					if macs > 1 {
-						budget = maxInt(1, budget/macs)
+						budget = max(1, budget/macs)
 					}
 					break
 				}
@@ -430,12 +434,12 @@ func leafLoopsFor(op *workload.Operator, spec *arch.Spec, rem map[string]int, sp
 		used := 1
 		if len(spatialDims) > 0 {
 			d := spatialDims[0]
-			spat[d] = dataflows.DivisorAtMost(rem[d], minInt(spec.MeshX, budget))
+			spat[d] = dataflows.DivisorAtMost(rem[d], min(spec.MeshX, budget))
 			used = spat[d]
 		}
 		if len(spatialDims) > 1 {
 			d := spatialDims[1]
-			spat[d] = dataflows.DivisorAtMost(rem[d], minInt(spec.MeshY, maxInt(1, budget/used)))
+			spat[d] = dataflows.DivisorAtMost(rem[d], min(spec.MeshY, max(1, budget/used)))
 		}
 	}
 	dims := append([]workload.Dim(nil), op.Dims...)
@@ -462,18 +466,4 @@ func leafLoopsFor(op *workload.Operator, spec *arch.Spec, rem map[string]int, sp
 		}
 	}
 	return loops
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -51,6 +51,23 @@ func searchKey(spec *arch.Spec, g *workload.Graph, pop, gens, tileRounds, topK i
 	return digest(b.String())
 }
 
+// programKey is the canonical key of a compiled core.Program: the
+// structure-only prefix of a design point — architecture, workload graph
+// and the tree's structure signature, with no tiling factors and no
+// evaluation options (a Program is options-independent). Requests that
+// differ only in tiling or options share one compiled Program under it.
+func programKey(spec *arch.Spec, g *workload.Graph, root *core.Node) string {
+	var b strings.Builder
+	b.WriteString("tileflow/v1/program\n")
+	b.WriteString("arch:\n")
+	b.WriteString(arch.FormatSpec(spec))
+	b.WriteString("graph:\n")
+	b.WriteString(workload.CanonicalGraph(g))
+	b.WriteString("structure:\n")
+	b.WriteString(core.StructureSignature(root))
+	return digest(b.String())
+}
+
 func writeCommon(b *strings.Builder, spec *arch.Spec, g *workload.Graph, opts core.Options) {
 	b.WriteString("arch:\n")
 	b.WriteString(arch.FormatSpec(spec))

@@ -570,3 +570,72 @@ func TestRequestKeyNormalization(t *testing.T) {
 		t.Errorf("distinct design points share a request key: %s", kc)
 	}
 }
+
+// TestProgramCacheSharedAcrossTilings: evaluate requests that differ only
+// in tiling factors miss the result cache but share one compiled
+// core.Program under the structure-only key — and every response still
+// matches a direct one-shot core.Evaluate.
+func TestProgramCacheSharedAcrossTilings(t *testing.T) {
+	s := New(Config{})
+	ctx := context.Background()
+	spec, err := PickArch("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := PickDataflow("FLAT-RGran", "attention:Bert-S", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := []map[string]int{df.DefaultFactors()}
+	for _, fs := range df.Factors() {
+		if len(variants) >= 4 {
+			break
+		}
+		for _, c := range fs.Choices() {
+			f := df.DefaultFactors()
+			if f[fs.Key] == c {
+				continue
+			}
+			f[fs.Key] = c
+			variants = append(variants, f)
+			break
+		}
+	}
+	if len(variants) < 3 {
+		t.Fatalf("only %d tiling variants derived", len(variants))
+	}
+
+	evaluated := 0
+	for _, f := range variants {
+		root, err := df.Build(f)
+		if err != nil {
+			continue
+		}
+		want, wantErr := core.Evaluate(root, df.Graph(), spec, core.Options{})
+		req := EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S", Dataflow: "FLAT-RGran", Factors: f}
+		resp, _, err := s.evaluateOne(ctx, &req)
+		if wantErr != nil {
+			if err == nil {
+				t.Fatalf("factors %v: served OK, direct evaluation failed: %v", f, wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("factors %v: %v", f, err)
+		}
+		if resp.Cached {
+			t.Fatalf("factors %v: distinct tiling served from the result cache", f)
+		}
+		if resp.Result.Cycles != want.Cycles {
+			t.Errorf("factors %v: served cycles %v, direct %v", f, resp.Result.Cycles, want.Cycles)
+		}
+		evaluated++
+	}
+	if evaluated < 2 {
+		t.Fatalf("only %d variants evaluated; cannot observe program sharing", evaluated)
+	}
+	if n := s.programs.Len(); n != 1 {
+		t.Errorf("program cache holds %d entries after %d same-structure tilings, want 1", n, evaluated)
+	}
+}

@@ -9,10 +9,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/mapper"
-	"repro/internal/notation"
 	"repro/internal/memo"
+	"repro/internal/notation"
+	"repro/internal/workload"
 )
 
 // Config tunes the evaluation service.
@@ -39,10 +41,15 @@ type Server struct {
 	// hot request skips catalog resolution and canonical hashing entirely
 	// and a cache hit costs two lookups.
 	reqKeys *memo.ShardedLRU
-	pool    *Pool
-	metrics *Metrics
-	mux     *http.ServeMux
-	started time.Time
+	// programs is the second-level cache of compiled core.Programs keyed
+	// by the structure-only prefix of the canonical key: requests that
+	// differ only in tiling factors (or evaluation options) re-bind a
+	// cached Program instead of recompiling the tree's structure.
+	programs *memo.ShardedLRU
+	pool     *Pool
+	metrics  *Metrics
+	mux      *http.ServeMux
+	started  time.Time
 }
 
 // New builds a Server with the config's defaults applied.
@@ -57,13 +64,14 @@ func New(cfg Config) *Server {
 		cfg.MaxBatch = 256
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   memo.NewFlightCache(nil, cfg.CacheEntries),
-		reqKeys: memo.NewShardedLRU(cfg.CacheEntries),
-		pool:    NewPool(cfg.Workers),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		cfg:      cfg,
+		cache:    memo.NewFlightCache(nil, cfg.CacheEntries),
+		reqKeys:  memo.NewShardedLRU(cfg.CacheEntries),
+		programs: memo.NewShardedLRU(cfg.CacheEntries),
+		pool:     NewPool(cfg.Workers),
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/evaluate/batch", s.handleBatch)
@@ -177,8 +185,9 @@ func requestKey(req *EvaluateRequest) (string, bool) {
 }
 
 // run executes the analysis for a resolved design point: tuning first when
-// the request asked for it, then the tree-based evaluation.
-func (dp *designPoint) run(ctx context.Context) (*evalOutcome, error) {
+// the request asked for it, then the tree-based evaluation through the
+// compiled-program cache.
+func (dp *designPoint) run(ctx context.Context, programs *memo.ShardedLRU) (*evalOutcome, error) {
 	out := &evalOutcome{workload: dp.g.Name, dfName: dp.dfName, archName: dp.spec.Name}
 	root := dp.root
 	if root == nil {
@@ -195,12 +204,38 @@ func (dp *designPoint) run(ctx context.Context) (*evalOutcome, error) {
 			return nil, err
 		}
 	}
-	res, err := core.EvaluateContext(ctx, root, dp.g, dp.spec, dp.opts)
+	res, err := evaluateWithPrograms(ctx, programs, root, dp.g, dp.spec, dp.opts)
 	if err != nil {
 		return nil, err
 	}
 	out.result = NewResultJSON(res, dp.spec)
 	return out, nil
+}
+
+// evaluateWithPrograms evaluates a tree, sharing the compile half of the
+// Compile → Evaluate pipeline across requests: a Program cached under the
+// structure-only key is re-bound to this request's tiling, and only the
+// tiling-dependent analysis runs. Program re-binding matches operators by
+// name, so a cached Program serves trees built over any canonically equal
+// instance of the graph (the key includes the canonical graph dump).
+func evaluateWithPrograms(ctx context.Context, programs *memo.ShardedLRU, root *core.Node, g *workload.Graph, spec *arch.Spec, opts core.Options) (*core.Result, error) {
+	if programs == nil {
+		return core.EvaluateContext(ctx, root, g, spec, opts)
+	}
+	key := programKey(spec, g, root)
+	if v, ok := programs.Get(key); ok {
+		if p, err := v.(*core.Program).WithTiling(root); err == nil {
+			return p.Evaluate(ctx, opts)
+		}
+		// Re-bind refused the tree: fall through to a fresh compile, which
+		// also refreshes the cached entry.
+	}
+	p, err := core.Compile(root, g, spec)
+	if err != nil {
+		return nil, err
+	}
+	programs.Put(key, p)
+	return p.Evaluate(ctx, opts)
 }
 
 // key is the canonical cache key of the design point.
@@ -267,7 +302,7 @@ func (s *Server) evaluateOne(ctx context.Context, req *EvaluateRequest) (*Evalua
 		var out *evalOutcome
 		perr := s.pool.Do(ctx, func() error {
 			var rerr error
-			out, rerr = dp.run(ctx)
+			out, rerr = dp.run(ctx, s.programs)
 			return rerr
 		})
 		if perr != nil {

@@ -109,14 +109,14 @@ func (am AttentionMapping) ModelTree(spec *arch.Spec) (*core.Node, *workload.Gra
 	mesh := spec.MeshX
 
 	leafQK := core.Leaf("QK", g.Op("QK"),
-		core.T("m", maxi(1, rb/mesh)), core.T("l", maxi(1, l/mesh)), core.T("k", k),
-		core.S("m", mini(rb, mesh)), core.S("l", mini(l, mesh)))
+		core.T("m", max(1, rb/mesh)), core.T("l", max(1, l/mesh)), core.T("k", k),
+		core.S("m", min(rb, mesh)), core.S("l", min(l, mesh)))
 	vecLeaf := func(name string, hasL bool) *core.Node {
 		op := g.Op(name)
 		lanes := spec.VectorLanesPerSubcore
 		loops := []core.Loop{core.T("m", rb)}
 		if hasL {
-			sl := mini(l, lanes)
+			sl := min(l, lanes)
 			for l%sl != 0 {
 				sl--
 			}
@@ -128,8 +128,8 @@ func (am AttentionMapping) ModelTree(spec *arch.Spec) (*core.Node, *workload.Gra
 		return core.Leaf(name, op, loops...)
 	}
 	leafLV := core.Leaf("LV", g.Op("LV"),
-		core.T("m", maxi(1, rb/mesh)), core.T("n", maxi(1, n/mesh)), core.T("l", l),
-		core.S("m", mini(rb, mesh)), core.S("n", mini(n, mesh)))
+		core.T("m", max(1, rb/mesh)), core.T("n", max(1, n/mesh)), core.T("l", l),
+		core.S("m", min(rb, mesh)), core.S("n", min(n, mesh)))
 
 	stageLoops := []core.Loop{}
 	if hRem := b * heads / am.CoresUsed; hRem > 1 {
@@ -165,18 +165,4 @@ func (am AttentionMapping) ModelTree(spec *arch.Spec) (*core.Node, *workload.Gra
 	}
 	root := core.Tile("attn", spec.DRAMLevel(), core.Seq, rootLoops, stage)
 	return root, g, nil
-}
-
-func mini(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
