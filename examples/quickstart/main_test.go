@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+// TestQuickstartRuns executes the example end-to-end; it log.Fatals (and so
+// kills the test process) if any stage of the pipeline regresses.
+func TestQuickstartRuns(t *testing.T) {
+	main()
+}

@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+// TestSparseExampleRuns executes the sparse-attention example end-to-end,
+// covering the Sec 7.7 density sweep and the tile search it finishes with.
+func TestSparseExampleRuns(t *testing.T) {
+	main()
+}

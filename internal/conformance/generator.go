@@ -1,0 +1,369 @@
+// Package conformance is the correctness backstop for the tree-based
+// analysis: a seeded generator of random valid design points spanning the
+// full binding space, a brute-force slice-enumeration oracle that recomputes
+// per-level data movement by literally materializing time-step slices, and a
+// differential driver that pushes every point through all four evaluation
+// routes (cold Evaluate, Compile+Evaluate, WithTiling re-bind, and the HTTP
+// service codec) and fails on any divergence with a minimized reproducer in
+// notation DSL.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Point is one generated design point: an architecture, a workload graph,
+// and two tilings (Root and Alt) of one tree structure, so the re-bind
+// route has a second tiling to cross over from.
+type Point struct {
+	Seed  int64
+	Spec  *arch.Spec
+	Graph *workload.Graph
+	Root  *core.Node
+	Alt   *core.Node
+	Opts  core.Options
+}
+
+// Generate builds the design point for one seed. The same seed always
+// yields the identical point (the generator owns its rand.Source), so a
+// printed seed is a complete reproducer.
+//
+// Coverage is steered by the seed index: graph families (matmul chains,
+// conv chains, attention) rotate, the number of on-chip memory levels
+// cycles 1–3, and for multi-op graphs the fusion node's inter-tile binding
+// cycles Seq, Shar, Para, Pipe so every binding accumulates oracle points.
+func Generate(seed int64) *Point {
+	rng := rand.New(rand.NewSource(seed))
+	spec := randomSpec(rng, int(seed%3)+1)
+	g := randomGraph(rng, seed)
+	focus := core.Binding(seed % 4)
+	root := randomTree(rng, g, spec, focus)
+	alt := root.Clone()
+	wipeLoops(alt)
+	assignTiling(rng, alt, g)
+	p := &Point{
+		Seed:  seed,
+		Spec:  spec,
+		Graph: g,
+		Root:  root,
+		Alt:   alt,
+		// Capacity and PE feasibility are orthogonal to route equivalence;
+		// skipping both keeps every generated point evaluable. Retention is
+		// randomized so both closed-form branches are exercised.
+		Opts: core.Options{
+			SkipCapacityCheck: true,
+			SkipPECheck:       true,
+			DisableRetention:  rng.Intn(2) == 0,
+		},
+	}
+	return p
+}
+
+// randomSpec builds a small valid architecture with the given number of
+// on-chip buffer levels between the registers and DRAM (1–3).
+func randomSpec(rng *rand.Rand, onChip int) *arch.Spec {
+	meshes := [][2]int{{2, 2}, {4, 2}, {4, 4}}
+	mesh := meshes[rng.Intn(len(meshes))]
+	bws := []float64{8, 16, 25.5, 32, 64, 128}
+	bw := func() float64 { return bws[rng.Intn(len(bws))] }
+	levels := []arch.Level{
+		{Name: "Reg", CapacityBytes: 1 << uint(8+rng.Intn(3)), BandwidthGBs: bw(), Fanout: 1},
+		{Name: "L1", CapacityBytes: 1 << uint(13+rng.Intn(3)), BandwidthGBs: bw(), Fanout: mesh[0] * mesh[1]},
+	}
+	fanouts := []int{1, 2, 4}
+	for i := 2; i <= onChip; i++ {
+		levels = append(levels, arch.Level{
+			Name:          fmt.Sprintf("L%d", i),
+			CapacityBytes: 1 << uint(15+2*i+rng.Intn(2)),
+			BandwidthGBs:  bw(),
+			Fanout:        fanouts[rng.Intn(len(fanouts))],
+		})
+	}
+	levels = append(levels, arch.Level{Name: "DRAM", BandwidthGBs: bw(), Fanout: fanouts[rng.Intn(len(fanouts))]})
+	s := &arch.Spec{
+		Name:                  fmt.Sprintf("gen%d", onChip),
+		Levels:                levels,
+		MeshX:                 mesh[0],
+		MeshY:                 mesh[1],
+		FreqGHz:               1,
+		WordBytes:             2,
+		MACsPerPE:             1,
+		VectorLanesPerSubcore: 1 << uint(2+rng.Intn(3)),
+	}
+	// Occasionally grant the registers direct access to the outermost
+	// level, exercising the Sec 5.1.2 bypass attribution.
+	if len(levels) >= 4 && rng.Intn(4) == 0 {
+		s.DirectAccess = [][2]int{{0, len(levels) - 1}}
+	}
+	if err := s.Validate(); err != nil {
+		panic("conformance: generated invalid spec: " + err.Error())
+	}
+	return s
+}
+
+// randomGraph builds a small multi-op workload. Shapes are kept tiny (op
+// spaces of at most a few hundred iterations) so the enumeration oracle
+// stays cheap, and all index expressions use unit coefficients, where box
+// slices are exact (the closed forms and the enumerated sets provably
+// agree; strided layouts are covered by the Fig 5 golden test instead).
+func randomGraph(rng *rand.Rand, seed int64) *workload.Graph {
+	small := []int{2, 4, 8}
+	pick := func() int { return small[rng.Intn(len(small))] }
+	switch seed % 3 {
+	case 0: // matmul chain, 1–3 ops
+		n := 1 + rng.Intn(3)
+		sizes := make([]int, n+1)
+		for i := range sizes {
+			sizes[i] = pick()
+		}
+		m := pick()
+		var ops []*workload.Operator
+		for i := 0; i < n; i++ {
+			in := "A"
+			if i > 0 {
+				in = fmt.Sprintf("C%d", i)
+			}
+			out := fmt.Sprintf("C%d", i+1)
+			ki := fmt.Sprintf("k%d", i)
+			ni := fmt.Sprintf("n%d", i+1)
+			ops = append(ops, &workload.Operator{
+				Name: fmt.Sprintf("mm%d", i+1),
+				Kind: workload.KindMAC,
+				Dims: []workload.Dim{{Name: "m", Size: m}, {Name: ni, Size: sizes[i+1]}, {Name: ki, Size: sizes[i]}},
+				Reads: []workload.Access{
+					{Tensor: in, Index: []workload.Index{workload.I("m"), workload.I(ki)}},
+					{Tensor: fmt.Sprintf("W%d", i+1), Index: []workload.Index{workload.I(ki), workload.I(ni)}},
+				},
+				Write: workload.Access{Tensor: out, Index: []workload.Index{workload.I("m"), workload.I(ni)}},
+			})
+		}
+		g := workload.MustGraph(fmt.Sprintf("mmchain%d_%d", n, seed), workload.WordBytes, ops...)
+		if rng.Intn(3) == 0 {
+			g.Tensors["A"].Density = 0.5
+		}
+		return g
+	case 1: // conv chain, 2–3 layers, 2x2 filters
+		nLayers := 2 + rng.Intn(2)
+		channels := make([]int, nLayers+1)
+		for i := range channels {
+			channels[i] = 1 + rng.Intn(3)
+		}
+		h := 2 + rng.Intn(2)*2 // 2 or 4
+		w := 2 + rng.Intn(2)*2
+		return workload.ConvChainN(fmt.Sprintf("ccgen%d", seed), h, w, 2, channels)
+	default: // attention, 7-op expanded or 3-op coarse
+		shape := workload.AttentionShape{
+			Name:   fmt.Sprintf("gen%d", seed),
+			Heads:  1 + rng.Intn(2),
+			SeqLen: 2 + rng.Intn(2)*2,
+			Batch:  1,
+		}
+		shape.Hidden = shape.Heads * (2 << uint(rng.Intn(2))) // head dim 2 or 4
+		if rng.Intn(2) == 0 {
+			return workload.AttentionCoarse(shape)
+		}
+		return workload.Attention(shape)
+	}
+}
+
+// randomTree builds a valid analysis tree over the graph: leaves grouped
+// into contiguous segments, each multi-op segment fused under an interior
+// tile, the whole thing under a root tile. When the graph has more than one
+// operator, the node owning the (multi-child) fusion decision gets the
+// focus binding, guaranteeing per-binding oracle coverage.
+func randomTree(rng *rand.Rand, g *workload.Graph, spec *arch.Spec, focus core.Binding) *core.Node {
+	dram := spec.DRAMLevel()
+	leaves := make([]*core.Node, len(g.Ops))
+	for i, op := range g.Ops {
+		leaves[i] = core.Leaf("t_"+op.Name, op)
+	}
+	// Partition the leaves into contiguous segments.
+	var segments [][]*core.Node
+	for i := 0; i < len(leaves); {
+		n := 1 + rng.Intn(len(leaves)-i)
+		segments = append(segments, leaves[i:i+n])
+		i += n
+	}
+	randBinding := func() core.Binding { return core.Binding(rng.Intn(4)) }
+	maxInner := dram - 1 // deepest on-chip tile level
+	if maxInner < 1 {
+		maxInner = 1
+	}
+	children := make([]*core.Node, len(segments))
+	for i, seg := range segments {
+		if len(seg) == 1 {
+			children[i] = seg[0]
+			continue
+		}
+		lvl := 1 + rng.Intn(maxInner)
+		children[i] = core.Tile(fmt.Sprintf("fuse%d", i), lvl, randBinding(), nil, seg...)
+	}
+	rootLevel := dram
+	if rng.Intn(5) == 0 && dram > 1 {
+		// An on-chip root exercises the implicit-DRAM-parent boundary.
+		rootLevel = dram - 1
+	}
+	root := core.Tile("root", rootLevel, randBinding(), nil, children...)
+	// Interior child levels must not exceed the root's.
+	for _, c := range children {
+		if c.Level > rootLevel {
+			c.Level = rootLevel
+		}
+	}
+	// Hand the focus binding to the widest interior node so multi-op graphs
+	// always contribute an oracle point for it.
+	if len(g.Ops) > 1 {
+		widest := root
+		for _, c := range children {
+			if len(c.Children) > len(widest.Children) && !c.IsLeaf() {
+				widest = c
+			}
+		}
+		if len(root.Children) > 1 {
+			widest = root
+		}
+		widest.Binding = focus
+	}
+	assignTiling(rng, root, g)
+	return root
+}
+
+// wipeLoops clears every loop nest in the subtree, keeping the structure.
+func wipeLoops(n *core.Node) {
+	n.Loops = nil
+	for _, c := range n.Children {
+		wipeLoops(c)
+	}
+}
+
+// assignTiling assigns loop nests making the tree an exact tiling: for each
+// iteration dimension the extents along every root-to-leaf path multiply to
+// the dimension's full size, by construction. Interior nodes take random
+// divisors (temporal or spatial); leaves absorb the remainder, split into a
+// spatial and a temporal part.
+func assignTiling(rng *rand.Rand, root *core.Node, g *workload.Graph) {
+	dims := map[string]int{}
+	order := []string{}
+	for _, op := range g.Ops {
+		for _, d := range op.Dims {
+			if _, ok := dims[d.Name]; !ok {
+				order = append(order, d.Name)
+			}
+			dims[d.Name] = d.Size
+		}
+	}
+	uses := subtreeDims(root)
+	var distribute func(n *core.Node, dim string, remaining int)
+	distribute = func(n *core.Node, dim string, remaining int) {
+		if n.IsLeaf() {
+			if !n.Op.HasDim(dim) {
+				return
+			}
+			sp := randomDivisor(rng, remaining)
+			tp := remaining / sp
+			if sp > 1 {
+				n.Loops = append(n.Loops, core.S(dim, sp))
+			}
+			appendFactor(rng, n, dim, tp, core.Temporal)
+			return
+		}
+		f := 1
+		if remaining > 1 && rng.Intn(2) == 0 {
+			f = randomDivisor(rng, remaining)
+		}
+		if f > 1 {
+			kind := core.Temporal
+			if rng.Intn(4) == 0 {
+				kind = core.Spatial
+			}
+			appendFactor(rng, n, dim, f, kind)
+		} else if rng.Intn(8) == 0 {
+			// Extent-1 loops are legal; sprinkle a few in.
+			n.Loops = append(n.Loops, core.T(dim, 1))
+		}
+		for _, c := range n.Children {
+			if uses[c][dim] {
+				distribute(c, dim, remaining/f)
+			}
+		}
+	}
+	for _, d := range order {
+		distribute(root, d, dims[d])
+	}
+	shuffleLoops(rng, root)
+}
+
+// appendFactor adds loops over dim with the given total extent, sometimes
+// split into two same-dimension loops so the stride math (inner wraps of
+// the same dim) gets exercised.
+func appendFactor(rng *rand.Rand, n *core.Node, dim string, extent int, kind core.LoopKind) {
+	if extent <= 1 {
+		return
+	}
+	if kind == core.Temporal && rng.Intn(3) == 0 {
+		if a := randomDivisor(rng, extent); a > 1 && a < extent {
+			n.Loops = append(n.Loops, core.T(dim, a), core.T(dim, extent/a))
+			return
+		}
+	}
+	n.Loops = append(n.Loops, core.Loop{Dim: dim, Extent: extent, Kind: kind})
+}
+
+// shuffleLoops randomizes loop order within every node (loop order is part
+// of the modeled mapping — the analysis must agree across routes for any
+// order).
+func shuffleLoops(rng *rand.Rand, n *core.Node) {
+	rng.Shuffle(len(n.Loops), func(i, j int) { n.Loops[i], n.Loops[j] = n.Loops[j], n.Loops[i] })
+	for _, c := range n.Children {
+		shuffleLoops(rng, c)
+	}
+}
+
+// randomDivisor picks a divisor of n, biased toward small factors.
+func randomDivisor(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 1
+	}
+	var divs []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	// Two draws, keep the smaller ~half the time, biasing toward 1/2/small.
+	a, b := divs[rng.Intn(len(divs))], divs[rng.Intn(len(divs))]
+	if a > b {
+		a = b
+	}
+	return a
+}
+
+// subtreeDims maps every node to the union of iteration dims of the
+// operators in its subtree.
+func subtreeDims(root *core.Node) map[*core.Node]map[string]bool {
+	out := map[*core.Node]map[string]bool{}
+	var walk func(n *core.Node) map[string]bool
+	walk = func(n *core.Node) map[string]bool {
+		dims := map[string]bool{}
+		if n.IsLeaf() {
+			for _, d := range n.Op.Dims {
+				dims[d.Name] = true
+			}
+		} else {
+			for _, c := range n.Children {
+				for d := range walk(c) {
+					dims[d] = true
+				}
+			}
+		}
+		out[n] = dims
+		return dims
+	}
+	walk(root)
+	return out
+}

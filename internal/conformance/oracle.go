@@ -1,0 +1,662 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Oracle recomputes the analysis model's data movement and footprint for
+// one tree by brute force: instead of the closed-form slice extents of
+// Sec 5.1.1, it materializes every time-step slice as an explicit set of
+// tensor coordinates and takes literal set differences — the paper's
+// defining equation DM = |S_0| + Σ_t |S_t \ S_{t-1}|. It shares no code
+// with internal/core beyond the exported Node/Graph/Spec types, so a bug in
+// the closed forms cannot cancel out.
+//
+// The oracle models the no-retention semantics (Options.DisableRetention);
+// the differential driver evaluates the model with retention disabled when
+// cross-checking against it.
+type Oracle struct {
+	g    *workload.Graph
+	spec *arch.Spec
+	root *core.Node
+
+	parent  map[*core.Node]*core.Node
+	order   []*core.Node // pre-order
+	dims    map[*core.Node]map[string]bool
+	groups  map[*core.Node][]*oGroup
+	confine map[string]*core.Node
+	density map[string]float64
+}
+
+// oRef is one (leaf, access) occurrence of a tensor in a subtree.
+type oRef struct {
+	leaf *core.Node
+	op   *workload.Operator
+	acc  workload.Access
+	dims map[string]bool
+}
+
+// oGroup aggregates a subtree's accesses to one tensor, mirroring the
+// model's tensorGroup semantics independently.
+type oGroup struct {
+	tensor    string
+	reads     []oRef
+	writes    []oRef
+	readDims  map[string]bool
+	writeDims map[string]bool
+	evicts    bool
+}
+
+// NewOracle indexes the tree for enumeration.
+func NewOracle(root *core.Node, g *workload.Graph, spec *arch.Spec) *Oracle {
+	o := &Oracle{
+		g:       g,
+		spec:    spec,
+		root:    root,
+		parent:  map[*core.Node]*core.Node{},
+		dims:    subtreeDims(root),
+		groups:  map[*core.Node][]*oGroup{},
+		confine: map[string]*core.Node{},
+		density: map[string]float64{},
+	}
+	root.Walk(func(n *core.Node) {
+		o.order = append(o.order, n)
+		for _, c := range n.Children {
+			o.parent[c] = n
+		}
+	})
+	o.buildGroups(root)
+	leafOf := map[string]*core.Node{}
+	root.Walk(func(n *core.Node) {
+		if n.IsLeaf() {
+			leafOf[n.Op.Name] = n
+		}
+	})
+	for _, tensor := range g.IntermediateTensors() {
+		var users []*core.Node
+		if p := g.Producer(tensor); p != nil && leafOf[p.Name] != nil {
+			users = append(users, leafOf[p.Name])
+		}
+		for _, r := range g.Readers(tensor) {
+			if leafOf[r.Name] != nil {
+				users = append(users, leafOf[r.Name])
+			}
+		}
+		if len(users) > 0 {
+			o.confine[tensor] = o.lca(users)
+		}
+	}
+	for name, t := range g.Tensors {
+		if d := t.EffDensity(); d < 1 {
+			o.density[name] = d
+		}
+	}
+	return o
+}
+
+// buildGroups assembles per-node tensor groups bottom-up, in first-use
+// order with leaf references in pre-order — the same ordering the model's
+// compile step produces, so "first write access" tie-breaks agree.
+func (o *Oracle) buildGroups(n *core.Node) {
+	var groups []*oGroup
+	idx := map[string]*oGroup{}
+	grp := func(tensor string) *oGroup {
+		g, ok := idx[tensor]
+		if !ok {
+			g = &oGroup{tensor: tensor, readDims: map[string]bool{}, writeDims: map[string]bool{}}
+			idx[tensor] = g
+			groups = append(groups, g)
+		}
+		return g
+	}
+	if n.IsLeaf() {
+		for _, r := range n.Op.Reads {
+			g := grp(r.Tensor)
+			g.reads = append(g.reads, oRef{leaf: n, op: n.Op, acc: r, dims: dimSet(r)})
+		}
+		w := n.Op.Write
+		g := grp(w.Tensor)
+		g.writes = append(g.writes, oRef{leaf: n, op: n.Op, acc: w, dims: dimSet(w)})
+	} else {
+		for _, c := range n.Children {
+			o.buildGroups(c)
+			for _, cg := range o.groups[c] {
+				g := grp(cg.tensor)
+				g.reads = append(g.reads, cg.reads...)
+				g.writes = append(g.writes, cg.writes...)
+			}
+		}
+	}
+	for _, g := range groups {
+		for _, r := range g.reads {
+			for d := range r.dims {
+				g.readDims[d] = true
+			}
+		}
+		for _, w := range g.writes {
+			for d := range w.dims {
+				g.writeDims[d] = true
+			}
+			for _, rd := range w.op.ReductionDims() {
+				g.writeDims[rd] = true
+			}
+		}
+		if n.Binding == core.Seq && len(n.Children) >= 2 {
+			for _, c := range n.Children {
+				uses := false
+				for _, cg := range o.groups[c] {
+					if cg.tensor == g.tensor {
+						uses = true
+						break
+					}
+				}
+				if !uses {
+					g.evicts = true
+					break
+				}
+			}
+		}
+	}
+	o.groups[n] = groups
+}
+
+func dimSet(acc workload.Access) map[string]bool {
+	m := map[string]bool{}
+	for _, d := range acc.Dims() {
+		m[d] = true
+	}
+	return m
+}
+
+func (o *Oracle) lca(nodes []*core.Node) *core.Node {
+	onPath := map[*core.Node]int{}
+	for _, n := range nodes {
+		for m := n; m != nil; m = o.parent[m] {
+			onPath[m]++
+		}
+	}
+	for m := nodes[0]; m != nil; m = o.parent[m] {
+		if onPath[m] == len(nodes) {
+			return m
+		}
+	}
+	return o.root
+}
+
+// inSubtree reports whether m is inside n's subtree.
+func (o *Oracle) inSubtree(n, m *core.Node) bool {
+	for x := m; x != nil; x = o.parent[x] {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// covBelow is the chunk of dim covered per step of n toward leaf: the
+// product of extents of dim loops strictly below n on the path.
+func (o *Oracle) covBelow(n, leaf *core.Node, dim string) int {
+	cov := 1
+	for m := leaf; m != nil && m != n; m = o.parent[m] {
+		cov *= m.DimExtent(dim)
+	}
+	return cov
+}
+
+func (o *Oracle) stepCov(n, leaf *core.Node, dim string) int {
+	return n.SpatialExtent(dim) * o.covBelow(n, leaf, dim)
+}
+
+func (o *Oracle) covAt(n, leaf *core.Node, dim string) int {
+	return n.DimExtent(dim) * o.covBelow(n, leaf, dim)
+}
+
+// coordKey packs tensor coordinates into one comparable integer. Oracle
+// shapes are tiny, so 16 bits per tensor dimension is ample.
+func coordKey(coords []int) int64 {
+	var k int64
+	for _, c := range coords {
+		if c < 0 || c >= 1<<16 {
+			panic(fmt.Sprintf("conformance: coordinate %d out of oracle range", c))
+		}
+		k = k<<16 | int64(c)
+	}
+	return k
+}
+
+// enumSlice materializes the set of tensor coordinates the access touches
+// when, for each iteration dim d of the access, d sweeps
+// [base[d], base[d]+ext[d]). It is the literal "slice" of Sec 5.1.1.
+func enumSlice(acc workload.Access, dims []string, base, ext map[string]int, out map[int64]struct{}) {
+	point := make(map[string]int, len(dims))
+	coords := make([]int, len(acc.Index))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(dims) {
+			for ci, ix := range acc.Index {
+				v := ix.Offset
+				for _, t := range ix.Terms {
+					v += t.Coef * point[t.Dim]
+				}
+				coords[ci] = v
+			}
+			out[coordKey(coords)] = struct{}{}
+			return
+		}
+		d := dims[i]
+		for j := base[d]; j < base[d]+ext[d]; j++ {
+			point[d] = j
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// enumPerExec is the oracle's replacement for the closed-form perExecDM
+// (retention off): it walks node n's temporal steps in execution order,
+// materializes each step's slice, and sums |S_0| + Σ |S_t \ S_{t-1}|.
+func (o *Oracle) enumPerExec(n, leaf *core.Node, acc workload.Access) int64 {
+	dims := acc.Dims()
+	ext := map[string]int{}
+	for _, d := range dims {
+		ext[d] = o.stepCov(n, leaf, d)
+	}
+	var tloops []core.Loop
+	for _, l := range n.Loops {
+		if l.Kind == core.Temporal {
+			tloops = append(tloops, l)
+		}
+	}
+	// Per-loop slice stride: step coverage of its dim times the extents of
+	// inner loops over the same dim.
+	strides := make([]int, len(tloops))
+	for k, lk := range tloops {
+		s := o.stepCov(n, leaf, lk.Dim)
+		for j := k + 1; j < len(tloops); j++ {
+			if tloops[j].Dim == lk.Dim {
+				s *= tloops[j].Extent
+			}
+		}
+		strides[k] = s
+	}
+	idx := make([]int, len(tloops))
+	base := map[string]int{}
+	var prev map[int64]struct{}
+	var total int64
+	for {
+		for _, d := range dims {
+			base[d] = 0
+		}
+		for k, lk := range tloops {
+			if _, ok := ext[lk.Dim]; ok {
+				base[lk.Dim] += idx[k] * strides[k]
+			}
+		}
+		cur := make(map[int64]struct{})
+		enumSlice(acc, dims, base, ext, cur)
+		if prev == nil {
+			total += int64(len(cur))
+		} else {
+			for k := range cur {
+				if _, ok := prev[k]; !ok {
+					total++
+				}
+			}
+		}
+		prev = cur
+		// Advance the odometer, innermost loop fastest.
+		k := len(tloops) - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < tloops[k].Extent {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return total
+}
+
+// enumSliceSize is the materialized size of one time-step slice.
+func (o *Oracle) enumSliceSize(n, leaf *core.Node, acc workload.Access) int64 {
+	return o.enumBox(acc, func(d string) int { return o.stepCov(n, leaf, d) })
+}
+
+// enumCovered is the distinct data one whole execution of n touches.
+func (o *Oracle) enumCovered(n, leaf *core.Node, acc workload.Access) int64 {
+	return o.enumBox(acc, func(d string) int { return o.covAt(n, leaf, d) })
+}
+
+// enumPerInstance is the per-hardware-instance slice size: coverage of
+// everything strictly below n, excluding n's own loops.
+func (o *Oracle) enumPerInstance(n, leaf *core.Node, acc workload.Access) int64 {
+	return o.enumBox(acc, func(d string) int { return o.covBelow(n, leaf, d) })
+}
+
+func (o *Oracle) enumBox(acc workload.Access, extent func(dim string) int) int64 {
+	dims := acc.Dims()
+	base := map[string]int{}
+	ext := map[string]int{}
+	for _, d := range dims {
+		base[d] = 0
+		ext[d] = extent(d)
+	}
+	set := make(map[int64]struct{})
+	enumSlice(acc, dims, base, ext, set)
+	return int64(len(set))
+}
+
+// invWhere mirrors the model's ancestor-invocation count: the product over
+// strict ancestors of extents of loops whose dim is relevant to the subtree
+// toward n (restricted to onlyDims when non-nil).
+func (o *Oracle) invWhere(n *core.Node, onlyDims map[string]bool) float64 {
+	inv := 1.0
+	child := n
+	for a := o.parent[n]; a != nil; a = o.parent[a] {
+		rel := o.dims[child]
+		for _, l := range a.Loops {
+			if !rel[l.Dim] {
+				continue
+			}
+			if onlyDims != nil && !onlyDims[l.Dim] {
+				continue
+			}
+			inv *= float64(l.Extent)
+		}
+		child = a
+	}
+	return inv
+}
+
+func (o *Oracle) parentLevel(n *core.Node) (int, bool) {
+	p := o.parent[n]
+	if p == nil {
+		if n.Level < o.spec.DRAMLevel() {
+			return o.spec.DRAMLevel(), true
+		}
+		return 0, false
+	}
+	if p.Level == n.Level {
+		return 0, false
+	}
+	return p.Level, true
+}
+
+// DataMovement computes per-level and per-tensor data movement under the
+// no-retention semantics by pure enumeration, following the documented
+// inter-tile rules (confinement, Seq eviction, RMW partial refills, sparse
+// compression, level attribution with direct access) with every geometric
+// volume replaced by an enumerated set size.
+func (o *Oracle) DataMovement() ([]core.LevelDM, map[string][]core.LevelDM) {
+	nl := o.spec.NumLevels()
+	dm := make([]core.LevelDM, nl)
+	tensorDM := map[string][]core.LevelDM{}
+	for _, n := range o.order {
+		pLevel, ok := o.parentLevel(n)
+		if !ok {
+			continue
+		}
+		for _, grp := range o.groups[n] {
+			if lca, ok := o.confine[grp.tensor]; ok && o.inSubtree(n, lca) {
+				continue
+			}
+			var tf, tu float64
+			perExec := func(refs []oRef) float64 {
+				var best float64
+				for _, r := range refs {
+					var v float64
+					if grp.evicts {
+						v = float64(n.TemporalTrips()) * float64(o.enumSliceSize(n, r.leaf, r.acc))
+					} else {
+						v = float64(o.enumPerExec(n, r.leaf, r.acc))
+					}
+					if v > best {
+						best = v
+					}
+				}
+				return best
+			}
+			if len(grp.reads) > 0 {
+				per := perExec(grp.reads)
+				if grp.evicts {
+					tf = per * o.invWhere(n, nil)
+				} else {
+					tf = per * o.invWhere(n, grp.readDims)
+				}
+			}
+			if len(grp.writes) > 0 {
+				per := perExec(grp.writes)
+				tu = per * o.invWhere(n, grp.writeDims)
+				w := grp.writes[0]
+				distinct := float64(o.enumCovered(n, w.leaf, w.acc)) * o.invWhere(n, w.dims)
+				if rmw := tu - distinct; rmw > 0 {
+					tf += rmw
+				}
+			}
+			if d, sparse := o.density[grp.tensor]; sparse {
+				tf *= d
+				tu *= d
+			}
+			td, ok := tensorDM[grp.tensor]
+			if !ok {
+				td = make([]core.LevelDM, nl)
+				tensorDM[grp.tensor] = td
+			}
+			attribute := func(dst []core.LevelDM) {
+				dst[n.Level].Fill += tf
+				dst[pLevel].Read += tf
+				dst[pLevel].Update += tu
+				if !o.spec.HasDirectAccess(n.Level, pLevel) {
+					for l := n.Level + 1; l < pLevel; l++ {
+						dst[l].Fill += tf
+						dst[l].Read += tf
+						dst[l].Update += tu
+					}
+				}
+			}
+			attribute(dm)
+			attribute(td)
+		}
+	}
+	return dm, tensorDM
+}
+
+// Footprint computes the per-instance buffer occupancy per level with
+// enumerated slice sizes, mirroring the staging rules: the tensor's home
+// level stages the full per-instance slice, pass-through levels stage a
+// double-buffered child chunk, children combine element-wise by max.
+func (o *Oracle) Footprint() []int64 {
+	return o.footprintAt(o.root)
+}
+
+func (o *Oracle) footprintAt(n *core.Node) []int64 {
+	nl := o.spec.NumLevels()
+	f := make([]int64, nl)
+	var own int64
+	for _, grp := range o.groups[n] {
+		lca, confined := o.confine[grp.tensor]
+		if confined && lca != n && o.inSubtree(n, lca) {
+			continue
+		}
+		home := (confined && lca == n) || n.IsLeaf()
+		var best int64
+		stage := func(refs []oRef) {
+			for _, r := range refs {
+				var v int64
+				if home {
+					v = o.enumPerInstance(n, r.leaf, r.acc)
+				} else {
+					child := r.leaf
+					for m := r.leaf; m != nil && m != n; m = o.parent[m] {
+						child = m
+					}
+					v = 2 * o.enumPerInstance(child, r.leaf, r.acc)
+				}
+				if v > best {
+					best = v
+				}
+			}
+		}
+		stage(grp.reads)
+		stage(grp.writes)
+		if d, ok := o.density[grp.tensor]; ok && d < 1 {
+			best = int64(float64(best) * d)
+		}
+		own += best
+	}
+	f[n.Level] += own
+	if n.IsLeaf() {
+		return f
+	}
+	combined := make([]int64, nl)
+	for _, c := range n.Children {
+		cf := o.footprintAt(c)
+		for l := range combined {
+			if cf[l] > combined[l] {
+				combined[l] = cf[l]
+			}
+		}
+	}
+	for l := range f {
+		f[l] += combined[l]
+	}
+	return f
+}
+
+// LatencyLowerBound is a route-independent floor on compute cycles: every
+// operator must stream its (density-gated) iterations through the compute
+// units it can reach, discounted by all spatial parallelism on its leaf's
+// path. The model's ComputeCycles and Cycles may exceed it but never
+// undercut it.
+func (o *Oracle) LatencyLowerBound() float64 {
+	peakMAC := float64(o.spec.TotalPEs() * o.spec.MACsPerPE)
+	lanes := float64(o.spec.VectorLanesPerSubcore)
+	if lanes < 1 {
+		lanes = 1
+	}
+	var bound float64
+	o.root.Walk(func(n *core.Node) {
+		if !n.IsLeaf() {
+			return
+		}
+		spAbove := 1.0
+		for m := o.parent[n]; m != nil; m = o.parent[m] {
+			spAbove *= float64(m.SpatialProduct())
+		}
+		work := float64(n.Op.OpCount()) * o.g.OpDensity(n.Op)
+		var b float64
+		if n.Op.Kind.Vector() {
+			b = work / (spAbove * lanes)
+		} else {
+			b = work / (spAbove * peakMAC)
+		}
+		if b > bound {
+			bound = b
+		}
+	})
+	return bound
+}
+
+// CheckOracle cross-checks the analytical model against the enumeration
+// oracle for one point: exact data movement and footprint under
+// no-retention options, plus latency lower bounds and op-count identities
+// under the point's own options. A non-nil error describes the first
+// disagreement.
+func CheckOracle(p *Point) error {
+	opts := p.Opts
+	opts.DisableRetention = true
+	res, err := core.Evaluate(p.Root, p.Graph, p.Spec, opts)
+	if err != nil {
+		return fmt.Errorf("oracle reference evaluation failed: %w", err)
+	}
+	o := NewOracle(p.Root, p.Graph, p.Spec)
+	dm, tensorDM := o.DataMovement()
+	for l := range dm {
+		if err := dmClose(res.DM[l], dm[l]); err != nil {
+			return fmt.Errorf("level %d (%s) DM: %w", l, p.Spec.Levels[l].Name, err)
+		}
+	}
+	for tensor, want := range tensorDM {
+		got, ok := res.TensorDM[tensor]
+		if !ok {
+			if nonZero(want) {
+				return fmt.Errorf("tensor %q: model has no DM entry, oracle moves data", tensor)
+			}
+			continue
+		}
+		for l := range want {
+			if err := dmClose(got[l], want[l]); err != nil {
+				return fmt.Errorf("tensor %q level %d DM: %w", tensor, l, err)
+			}
+		}
+	}
+	fp := o.Footprint()
+	for l := range fp {
+		if fp[l] != res.FootprintWords[l] {
+			return fmt.Errorf("level %d footprint: model %d, oracle %d", l, res.FootprintWords[l], fp[l])
+		}
+	}
+	// Latency bounds hold for the point's own options too.
+	own, err := core.Evaluate(p.Root, p.Graph, p.Spec, p.Opts)
+	if err != nil {
+		return fmt.Errorf("evaluation failed: %w", err)
+	}
+	const slack = 1 - 1e-9
+	for _, r := range []*core.Result{res, own} {
+		lb := o.LatencyLowerBound()
+		if r.ComputeCycles < lb*slack {
+			return fmt.Errorf("compute cycles %g below oracle lower bound %g", r.ComputeCycles, lb)
+		}
+		if r.Cycles < r.ComputeCycles*slack {
+			return fmt.Errorf("cycles %g below compute cycles %g", r.Cycles, r.ComputeCycles)
+		}
+		var macs, vops float64
+		for _, op := range p.Graph.Ops {
+			w := float64(op.OpCount()) * p.Graph.OpDensity(op)
+			if op.Kind == workload.KindMAC {
+				macs += w
+			} else {
+				vops += w
+			}
+		}
+		if !approxEqual(r.MACs, macs) || !approxEqual(r.VectorOps, vops) {
+			return fmt.Errorf("op counts: model (%g macs, %g vops), workload (%g, %g)", r.MACs, r.VectorOps, macs, vops)
+		}
+		for l := range r.DM {
+			if r.DM[l].Fill < 0 || r.DM[l].Read < 0 || r.DM[l].Update < 0 {
+				return fmt.Errorf("level %d: negative data movement %+v", l, r.DM[l])
+			}
+		}
+	}
+	return nil
+}
+
+func approxEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+func dmClose(got, want core.LevelDM) error {
+	if !approxEqual(got.Fill, want.Fill) || !approxEqual(got.Read, want.Read) || !approxEqual(got.Update, want.Update) {
+		return fmt.Errorf("model %+v, oracle %+v", got, want)
+	}
+	return nil
+}
+
+func nonZero(dm []core.LevelDM) bool {
+	for _, d := range dm {
+		if d.Fill != 0 || d.Read != 0 || d.Update != 0 {
+			return true
+		}
+	}
+	return false
+}

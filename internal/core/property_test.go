@@ -206,3 +206,126 @@ func TestPropertyCloneEquivalence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// randConvChainTree builds a random-but-valid fused conv-chain tree: two
+// chained convolutions sharing h/w/l tiling under a fusion node whose
+// binding is drawn from the fuzz input. Dim sizes are products of the
+// chosen factors, so the tiling is exact by construction.
+func randConvChainTree(f [8]uint8) (*workload.Graph, *Node) {
+	pick := func(x uint8, mod int) int { return int(x)%mod + 1 }
+	ah, bh := pick(f[0], 3), pick(f[1], 3)
+	aw, bw := pick(f[2], 3), pick(f[3], 3)
+	al, bl := pick(f[4], 3), pick(f[5], 2)
+	filter := pick(f[6], 2)
+	inC := pick(f[7], 3)
+	outC2 := pick(f[6]>>2, 4)
+	g := workload.ConvChain(workload.ConvChainShape{
+		Name: "prop", InC: inC,
+		Height: ah * bh, Width: aw * bw,
+		OutC1: al * bl, OutC2: outC2, Filter: filter,
+	})
+	binding := Binding(int(f[0]>>2) % 4)
+	leaf1 := Leaf("c1", g.Ops[0],
+		T("h", bh), T("w", bw), T("l", bl),
+		T("r", filter), T("s", filter), T("c", inC))
+	leaf2 := Leaf("c2", g.Ops[1],
+		T("h", bh), T("w", bw), T("l", bl),
+		T("e", outC2), T("u", filter), T("v", filter))
+	fused := Tile("fused", 1, binding, []Loop{T("l", al)}, leaf1, leaf2)
+	root := Tile("root", 2, Seq, []Loop{T("h", ah), T("w", aw)}, fused)
+	return g, root
+}
+
+// randAttentionCoarseTree builds a random-but-valid fused 3-op attention
+// tree (QK → Softmax → LV) with the sequence dim factored differently
+// between the m and l tilings.
+func randAttentionCoarseTree(f [6]uint8) (*workload.Graph, *Node) {
+	pick := func(u uint8, mod int) int { return int(u)%mod + 1 }
+	x, y, z := pick(f[0], 3), pick(f[1], 3), pick(f[2], 2)
+	heads := pick(f[3], 2)
+	headDim := 2 * pick(f[4], 2)
+	seq := x * y * z
+	g := workload.AttentionCoarse(workload.AttentionShape{
+		Name: "prop", Heads: heads, SeqLen: seq,
+		Hidden: heads * headDim, Batch: 1,
+	})
+	binding := Binding(int(f[5]) % 4)
+	leafQK := Leaf("qk", g.Ops[0], T("m", y*z), T("l", z), T("k", headDim))
+	leafSM := Leaf("sm", g.Ops[1], T("m", y*z), T("l", z))
+	leafLV := Leaf("lv", g.Ops[2], T("m", y*z), T("l", z), T("n", headDim))
+	fused := Tile("fused", 1, binding, []Loop{T("l", x*y)}, leafQK, leafSM, leafLV)
+	root := Tile("root", 2, Seq, []Loop{T("h", heads), T("m", x)}, fused)
+	return g, root
+}
+
+// TestPropertyConvChainDMBounds: the matmul non-negativity, compulsory-
+// traffic and refetch bounds hold on fused conv chains — including the
+// halo'd input — under all four inter-tile bindings.
+func TestPropertyConvChainDMBounds(t *testing.T) {
+	spec := arch.Edge()
+	prop := func(f [8]uint8) bool {
+		g, root := randConvChainTree(f)
+		res, err := Evaluate(root, g, spec, Options{SkipCapacityCheck: true, SkipPECheck: true})
+		if err != nil {
+			return false
+		}
+		for _, dm := range res.DM {
+			if dm.Fill < 0 || dm.Read < 0 || dm.Update < 0 {
+				return false
+			}
+		}
+		trips := 1.0
+		root.Walk(func(n *Node) { trips *= float64(n.TemporalTrips()) })
+		for _, tensor := range []string{"Im", "W1", "W2"} {
+			vol := float64(g.Tensors[tensor].Volume())
+			reads := res.TensorDM[tensor][2].Read
+			if reads < vol-0.5 || reads > vol*trips+0.5 {
+				return false
+			}
+		}
+		if res.TensorDM["Out"][2].Update < float64(g.Tensors["Out"].Volume())-0.5 {
+			return false
+		}
+		return res.Cycles >= res.ComputeCycles-1e-9 &&
+			!math.IsNaN(res.Cycles) && !math.IsInf(res.Cycles, 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAttentionDMBounds: the same invariants on fused 3-op
+// attention trees, whose intermediate tensors (S, L) are confined to the
+// fusion node and must not leak compulsory DRAM traffic checks.
+func TestPropertyAttentionDMBounds(t *testing.T) {
+	spec := arch.Edge()
+	prop := func(f [6]uint8) bool {
+		g, root := randAttentionCoarseTree(f)
+		res, err := Evaluate(root, g, spec, Options{SkipCapacityCheck: true, SkipPECheck: true})
+		if err != nil {
+			return false
+		}
+		for _, dm := range res.DM {
+			if dm.Fill < 0 || dm.Read < 0 || dm.Update < 0 {
+				return false
+			}
+		}
+		trips := 1.0
+		root.Walk(func(n *Node) { trips *= float64(n.TemporalTrips()) })
+		for _, tensor := range []string{"Q", "K", "V"} {
+			vol := float64(g.Tensors[tensor].Volume())
+			reads := res.TensorDM[tensor][2].Read
+			if reads < vol-0.5 || reads > vol*trips+0.5 {
+				return false
+			}
+		}
+		if res.TensorDM["A"][2].Update < float64(g.Tensors["A"].Volume())-0.5 {
+			return false
+		}
+		return res.Cycles >= res.ComputeCycles-1e-9 &&
+			!math.IsNaN(res.Cycles) && !math.IsInf(res.Cycles, 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

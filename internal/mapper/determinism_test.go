@@ -1,0 +1,113 @@
+package mapper
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/dataflows"
+	"repro/internal/workload"
+)
+
+// These regression tests pin seed determinism down to the full trace and
+// across scheduler configurations: the searches parallelize fitness
+// evaluation, so any reduction that depends on completion order (instead of
+// deterministic tie-breaking) shows up as a GOMAXPROCS- or Parallel-
+// dependent result.
+
+type gaOutcome struct {
+	cycles  float64
+	enc     string
+	factors map[string]int
+	trace   []float64
+}
+
+func runGA(t *testing.T, parallel int) gaOutcome {
+	t.Helper()
+	shape, ok := workload.AttentionShapeByName("ViT/16-B")
+	if !ok {
+		t.Fatal("shape not found")
+	}
+	g := workload.Attention(shape)
+	s := &TreeSearch{
+		G: g, Spec: arch.Edge(),
+		Population: 6, Generations: 3, TileRounds: 15, Parallel: parallel,
+		Seed: 20240805,
+	}
+	r := s.Run()
+	if r.Best == nil {
+		t.Fatal("search found nothing")
+	}
+	return gaOutcome{cycles: r.Best.Cycles, enc: r.Encoding.String(), factors: r.Best.Factors, trace: r.Trace}
+}
+
+func (a gaOutcome) equal(b gaOutcome) bool {
+	return a.cycles == b.cycles && a.enc == b.enc &&
+		reflect.DeepEqual(a.factors, b.factors) && reflect.DeepEqual(a.trace, b.trace)
+}
+
+// TestTreeSearchSeedDeterminismFullTrace: same seed, same best point and
+// same generation-by-generation trace across repeat runs and across serial
+// vs parallel fitness evaluation.
+func TestTreeSearchSeedDeterminismFullTrace(t *testing.T) {
+	serial := runGA(t, 1)
+	again := runGA(t, 1)
+	if !serial.equal(again) {
+		t.Fatalf("two serial runs differ:\n%+v\n%+v", serial, again)
+	}
+	wide := runGA(t, 8)
+	if !serial.equal(wide) {
+		t.Fatalf("Parallel=1 and Parallel=8 differ:\n%+v\n%+v", serial, wide)
+	}
+}
+
+// TestTreeSearchSeedDeterminismAcrossGOMAXPROCS: the scheduler setting must
+// not leak into results either.
+func TestTreeSearchSeedDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	wide := runGA(t, 0) // default parallelism at default GOMAXPROCS
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	narrow := runGA(t, 0)
+	if !wide.equal(narrow) {
+		t.Fatalf("GOMAXPROCS=default and GOMAXPROCS=1 differ:\n%+v\n%+v", wide, narrow)
+	}
+}
+
+type mctsOutcome struct {
+	cycles  float64
+	factors map[string]int
+	trace   []float64
+}
+
+func runMCTS(t *testing.T) mctsOutcome {
+	t.Helper()
+	shape, ok := workload.AttentionShapeByName("ViT/16-B")
+	if !ok {
+		t.Fatal("shape not found")
+	}
+	spec := arch.Edge()
+	df := dataflows.FLATRGran(shape, spec)
+	s := &TileSearch{Dataflow: df, Spec: spec, Rounds: 80, Seed: 20240805}
+	best, trace := s.Run()
+	if best == nil {
+		t.Fatal("no valid mapping")
+	}
+	return mctsOutcome{cycles: best.Cycles, factors: best.Factors, trace: trace}
+}
+
+// TestTileSearchSeedDeterminismFullTrace: repeat runs and GOMAXPROCS=1 must
+// reproduce the identical best factors and best-so-far trace.
+func TestTileSearchSeedDeterminismFullTrace(t *testing.T) {
+	a := runMCTS(t)
+	b := runMCTS(t)
+	if a.cycles != b.cycles || !reflect.DeepEqual(a.factors, b.factors) || !reflect.DeepEqual(a.trace, b.trace) {
+		t.Fatalf("two runs differ:\n%+v\n%+v", a, b)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	c := runMCTS(t)
+	if a.cycles != c.cycles || !reflect.DeepEqual(a.factors, c.factors) || !reflect.DeepEqual(a.trace, c.trace) {
+		t.Fatalf("GOMAXPROCS=1 run differs:\n%+v\n%+v", a, c)
+	}
+}

@@ -1,0 +1,40 @@
+package notation
+
+import (
+	"testing"
+)
+
+// FuzzParseRoundTrip checks that printing is a fixpoint of parsing: for any
+// input the parser accepts, Print(Parse(src)) must itself parse, and
+// re-printing must reproduce it byte-for-byte. This is the property the
+// conformance harness and the evaluation service's canonical cache keys
+// rely on.
+func FuzzParseRoundTrip(f *testing.F) {
+	g := sec42Graph()
+	seeds := []string{
+		sec42Source,
+		"leaf t = op A { i:32, l:64, k:32 }\ntile root @L2 = { i:1 } (t)\n",
+		"leaf x = op B { Sp(i:4), i:8, l:64 }\ntile r @L1 = { } (x)\n",
+		"leaf a = op A { i:32, l:64, k:32 }\nleaf b = op B { i:32, l:64 }\ntile f @L1 = { } (a, b)\ntile r @L2 = { } (f)\nbind Para(a, b)\n",
+		"# comment\nleaf t = op C { i:32, j:64, l:64 }\ntile r @L2 = { } (t)",
+		"tile r @L2 = { } ()",     // invalid: no children
+		"leaf t = op Zzz { i:2 }", // invalid: unknown op
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		root, err := Parse(src, g)
+		if err != nil {
+			return // invalid inputs are out of scope; only accepted trees must round-trip
+		}
+		printed := Print(root)
+		root2, err := Parse(printed, g)
+		if err != nil {
+			t.Fatalf("printed form no longer parses: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if again := Print(root2); again != printed {
+			t.Fatalf("print∘parse is not a fixpoint\nfirst:\n%s\nsecond:\n%s", printed, again)
+		}
+	})
+}

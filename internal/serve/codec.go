@@ -27,7 +27,11 @@ type EvaluateRequest struct {
 	Arch     string `json:"arch,omitempty"`
 	ArchSpec string `json:"arch_spec,omitempty"`
 	// Workload is attention:<Table2 name> or conv:<Table3 name>.
-	Workload string `json:"workload"`
+	Workload string `json:"workload,omitempty"`
+	// WorkloadSpec supplies an inline workload graph in the
+	// workload.CanonicalGraph text format instead of a catalog name; it
+	// requires a notation mapping (templates are catalog-shaped).
+	WorkloadSpec string `json:"workload_spec,omitempty"`
 	// Dataflow names a Table 5 template; Factors overrides its tiling
 	// factors (defaults when empty).
 	Dataflow string         `json:"dataflow,omitempty"`
@@ -287,8 +291,11 @@ func resolve(req *EvaluateRequest) (*designPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	if req.Workload == "" {
-		return nil, fmt.Errorf("workload is required")
+	if req.Workload == "" && req.WorkloadSpec == "" {
+		return nil, fmt.Errorf("one of workload or workload_spec is required")
+	}
+	if req.WorkloadSpec != "" && req.Notation == "" {
+		return nil, fmt.Errorf("workload_spec requires a notation mapping (dataflow templates are catalog-shaped)")
 	}
 	switch {
 	case req.Notation != "":
@@ -296,7 +303,15 @@ func resolve(req *EvaluateRequest) (*designPoint, error) {
 			return nil, fmt.Errorf("notation excludes dataflow and tune")
 		}
 		dp.dfName = "notation"
-		if dp.g, err = PickGraph(req.Workload); err != nil {
+		if req.WorkloadSpec != "" {
+			if req.Workload != "" {
+				return nil, fmt.Errorf("workload and workload_spec are mutually exclusive")
+			}
+			dp.g, err = workload.ParseGraph(req.WorkloadSpec)
+		} else {
+			dp.g, err = PickGraph(req.Workload)
+		}
+		if err != nil {
 			return nil, err
 		}
 		if dp.root, err = notation.Parse(req.Notation, dp.g); err != nil {

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/notation"
+	"repro/internal/workload"
+)
+
+// TestEvaluateWorkloadSpec posts an inline (non-catalog) workload graph in
+// the CanonicalGraph text format together with a notation mapping and checks
+// the served result byte-matches a direct core.Evaluate of the same point.
+func TestEvaluateWorkloadSpec(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	g := workload.Matmul(8, 8, 8)
+	spec := arch.Edge()
+	src := `leaf mm = op mm { Sp(m:2), m:4, n:8, k:8 }
+tile root @L2 = { m:1 } (mm)
+`
+	req := EvaluateRequest{
+		Arch:         "edge",
+		WorkloadSpec: workload.CanonicalGraph(g),
+		Notation:     src,
+	}
+	resp, body := postJSON(t, hs.URL+"/v1/evaluate", &req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got EvaluateResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Workload != g.Name {
+		t.Errorf("workload = %q, want parsed graph name %q", got.Workload, g.Name)
+	}
+	root, err := notation.Parse(src, g)
+	if err != nil {
+		t.Fatalf("notation.Parse: %v", err)
+	}
+	res, err := core.Evaluate(root, g, spec, core.Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	want := &EvaluateResponse{Workload: g.Name, Dataflow: "notation", Arch: spec.Name, Result: NewResultJSON(res, spec)}
+	if gotJSON, wantJSON := canonicalJSON(t, &got), canonicalJSON(t, want); gotJSON != wantJSON {
+		t.Errorf("served response differs from direct evaluation:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+}
+
+// TestWorkloadSpecValidation pins the request-shape rules for the inline
+// workload form.
+func TestWorkloadSpecValidation(t *testing.T) {
+	spec := workload.CanonicalGraph(workload.Matmul(4, 4, 4))
+	cases := []struct {
+		name string
+		req  EvaluateRequest
+	}{
+		{"workload_spec without notation", EvaluateRequest{Arch: "edge", WorkloadSpec: spec, Dataflow: "Layerwise"}},
+		{"workload_spec with workload", EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S", WorkloadSpec: spec, Notation: "x"}},
+		{"malformed workload_spec", EvaluateRequest{Arch: "edge", WorkloadSpec: "op broken", Notation: "x"}},
+		{"neither workload form", EvaluateRequest{Arch: "edge", Notation: "x"}},
+	}
+	for _, tc := range cases {
+		if _, err := resolve(&tc.req); err == nil {
+			t.Errorf("%s: want resolve error, got nil", tc.name)
+		}
+	}
+}

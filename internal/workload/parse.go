@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseGraph reads the textual graph format emitted by CanonicalGraph and
+// rebuilds the workload graph, so arbitrary (non-catalog) workloads can
+// travel through the evaluation service and test harnesses as text:
+//
+//	name matmul_4x4x4
+//	op mm kind=mac dims=m:4,n:4,k:4 reads=A[m, k];B[k, n] write=C[m, n]
+//	tensor A dims=[4 4] elem=2 density=1
+//
+// Lines starting with '#' and blank lines are ignored. Tensor lines are
+// optional: shapes are re-inferred from the accesses exactly as NewGraph
+// does, and a tensor line only overrides the element size, the density and
+// (when wider than the inferred reach) the shape. ParseGraph and
+// CanonicalGraph round-trip: ParseGraph(CanonicalGraph(g)) is canonically
+// equal to g.
+func ParseGraph(src string) (*Graph, error) {
+	name := "parsed"
+	var ops []*Operator
+	type tensorLine struct {
+		dims    []int
+		elem    int
+		density float64
+	}
+	tensors := map[string]tensorLine{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		bad := func(why string) error {
+			return fmt.Errorf("workload: line %d: %s: %q", ln+1, why, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "name "):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "name "))
+		case strings.HasPrefix(line, "op "):
+			op, err := parseOpLine(strings.TrimPrefix(line, "op "))
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			ops = append(ops, op)
+		case strings.HasPrefix(line, "tensor "):
+			fields := strings.Fields(strings.TrimPrefix(line, "tensor "))
+			if len(fields) < 1 {
+				return nil, bad("want 'tensor <name> dims=[...] elem=<n> density=<d>'")
+			}
+			tl := tensorLine{elem: WordBytes, density: 1}
+			for _, f := range fields[1:] {
+				switch {
+				case strings.HasPrefix(f, "dims=["):
+					// dims=[4 8] renders with spaces, so re-join the
+					// bracketed fields before splitting on whitespace.
+					i := strings.Index(line, "dims=[")
+					j := strings.Index(line[i:], "]")
+					if j < 0 {
+						return nil, bad("unterminated dims list")
+					}
+					for _, d := range strings.Fields(line[i+len("dims=[") : i+j]) {
+						v, err := strconv.Atoi(d)
+						if err != nil {
+							return nil, bad("bad tensor dim " + d)
+						}
+						tl.dims = append(tl.dims, v)
+					}
+				case strings.HasPrefix(f, "elem="):
+					v, err := strconv.Atoi(strings.TrimPrefix(f, "elem="))
+					if err != nil || v <= 0 {
+						return nil, bad("bad elem size")
+					}
+					tl.elem = v
+				case strings.HasPrefix(f, "density="):
+					v, err := strconv.ParseFloat(strings.TrimPrefix(f, "density="), 64)
+					if err != nil || v <= 0 || v > 1 {
+						return nil, bad("bad density")
+					}
+					tl.density = v
+				}
+			}
+			tensors[fields[0]] = tl
+		default:
+			return nil, bad("expected name/op/tensor")
+		}
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("workload: graph %q has no operators", name)
+	}
+	// NewGraph takes one element size for every tensor; require the tensor
+	// lines to agree on it (the dense default applies when absent).
+	elem := WordBytes
+	seen := false
+	for tn, tl := range tensors {
+		if seen && tl.elem != elem {
+			return nil, fmt.Errorf("workload: tensor %q elem=%d conflicts with %d (uniform element size required)", tn, tl.elem, elem)
+		}
+		elem, seen = tl.elem, true
+	}
+	g, err := NewGraph(name, elem, ops...)
+	if err != nil {
+		return nil, err
+	}
+	for tn, tl := range tensors {
+		t, ok := g.Tensors[tn]
+		if !ok {
+			return nil, fmt.Errorf("workload: tensor line %q names a tensor no operator accesses", tn)
+		}
+		if tl.density < 1 {
+			t.Density = tl.density
+		}
+		if len(tl.dims) > 0 {
+			if len(tl.dims) != len(t.Dims) {
+				return nil, fmt.Errorf("workload: tensor %q rank %d conflicts with accesses (rank %d)", tn, len(tl.dims), len(t.Dims))
+			}
+			for i, d := range tl.dims {
+				if d > t.Dims[i] {
+					t.Dims[i] = d
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// parseOpLine reads "mm kind=mac dims=m:4,k:4 reads=A[m, k] write=C[m]".
+// Accesses contain spaces, so the line is split on the key markers rather
+// than on whitespace.
+func parseOpLine(rest string) (*Operator, error) {
+	cut := func(s, marker string) (before, after string, err error) {
+		i := strings.Index(s, marker)
+		if i < 0 {
+			return "", "", fmt.Errorf("missing %q", strings.TrimSpace(marker))
+		}
+		return strings.TrimSpace(s[:i]), s[i+len(marker):], nil
+	}
+	opName, rest, err := cut(rest, " kind=")
+	if err != nil {
+		return nil, err
+	}
+	kindSrc, rest, err := cut(rest, " dims=")
+	if err != nil {
+		return nil, err
+	}
+	dimsSrc, rest, err := cut(rest, " reads=")
+	if err != nil {
+		return nil, err
+	}
+	readsSrc, writeSrc, err := cut(rest, " write=")
+	if err != nil {
+		return nil, err
+	}
+	op := &Operator{Name: opName}
+	if op.Kind, err = parseOpKind(kindSrc); err != nil {
+		return nil, err
+	}
+	for _, d := range strings.Split(dimsSrc, ",") {
+		dn, ds, ok := strings.Cut(strings.TrimSpace(d), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad dim %q (want name:size)", d)
+		}
+		size, err := strconv.Atoi(ds)
+		if err != nil || size < 1 {
+			return nil, fmt.Errorf("bad dim size in %q", d)
+		}
+		op.Dims = append(op.Dims, Dim{Name: dn, Size: size})
+	}
+	for _, a := range strings.Split(readsSrc, ";") {
+		if strings.TrimSpace(a) == "" {
+			continue
+		}
+		acc, err := parseAccess(a)
+		if err != nil {
+			return nil, err
+		}
+		op.Reads = append(op.Reads, acc)
+	}
+	if op.Write, err = parseAccess(writeSrc); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+func parseOpKind(s string) (OpKind, error) {
+	for _, k := range []OpKind{KindMAC, KindExp, KindMax, KindSum, KindSub, KindDiv, KindCopy} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op kind %q", s)
+}
+
+// parseAccess reads "Q[m, k]" or "Im[h+r, w+2*s+1, c]".
+func parseAccess(s string) (Access, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "[")
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return Access{}, fmt.Errorf("bad access %q (want Tensor[indices])", s)
+	}
+	acc := Access{Tensor: strings.TrimSpace(s[:open])}
+	if acc.Tensor == "" {
+		return Access{}, fmt.Errorf("bad access %q: empty tensor name", s)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return acc, nil
+	}
+	for _, ixSrc := range strings.Split(inner, ",") {
+		ix, err := parseIndexExpr(ixSrc)
+		if err != nil {
+			return Access{}, fmt.Errorf("access %q: %w", s, err)
+		}
+		acc.Index = append(acc.Index, ix)
+	}
+	return acc, nil
+}
+
+// parseIndexExpr reads the Index.String rendering: a '+'-joined list of
+// terms, each "dim", "coef*dim", or a bare integer offset.
+func parseIndexExpr(s string) (Index, error) {
+	var ix Index
+	for _, part := range strings.Split(s, "+") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Index{}, fmt.Errorf("bad index expression %q", s)
+		}
+		if n, err := strconv.Atoi(part); err == nil {
+			ix.Offset += n
+			continue
+		}
+		coef := 1
+		dim := part
+		if cs, ds, ok := strings.Cut(part, "*"); ok {
+			c, err := strconv.Atoi(strings.TrimSpace(cs))
+			if err != nil {
+				return Index{}, fmt.Errorf("bad coefficient in %q", part)
+			}
+			coef, dim = c, strings.TrimSpace(ds)
+		}
+		if dim == "" {
+			return Index{}, fmt.Errorf("bad term %q", part)
+		}
+		ix.Terms = append(ix.Terms, Term{Dim: dim, Coef: coef})
+	}
+	return ix, nil
+}

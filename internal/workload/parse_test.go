@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseGraphRoundTrip pins ParseGraph as the exact inverse of
+// CanonicalGraph on every builder family the repo ships.
+func TestParseGraphRoundTrip(t *testing.T) {
+	att := Attention(AttentionShape{Name: "tiny", Heads: 2, SeqLen: 4, Hidden: 8})
+	sparse := Matmul(8, 8, 8)
+	sparse.Tensors["A"].Density = 0.25
+	sparse.Tensors["B"].Density = 0.5
+	graphs := []*Graph{
+		Matmul(16, 16, 16),
+		sparse,
+		att,
+		AttentionCoarse(AttentionShape{Name: "tiny", Heads: 2, SeqLen: 4, Hidden: 8}),
+		ConvChain(ConvChainShape{Name: "tiny", InC: 4, Height: 8, Width: 8, OutC1: 4, OutC2: 4, Filter: 2}),
+		ConvChainN("chain3", 8, 8, 2, []int{2, 4, 2, 4}),
+		BatchedConv1D(),
+	}
+	for _, g := range graphs {
+		want := CanonicalGraph(g)
+		parsed, err := ParseGraph(want)
+		if err != nil {
+			t.Fatalf("%s: ParseGraph: %v", g.Name, err)
+		}
+		if got := CanonicalGraph(parsed); got != want {
+			t.Errorf("%s: round-trip mismatch\n--- want ---\n%s--- got ---\n%s", g.Name, want, got)
+		}
+	}
+}
+
+// TestParseGraphOffsetsAndCoefs checks the affine index expression parser on
+// forms the builders do not exercise together: coefficients, offsets and
+// bare-constant indices.
+func TestParseGraphOffsetsAndCoefs(t *testing.T) {
+	src := `name strided
+op gather kind=copy dims=i:4,j:2 reads=A[2*i+j+1, 3] write=B[i, j]
+`
+	g, err := ParseGraph(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := g.Ops[0]
+	read := op.Reads[0]
+	if got := read.String(); got != "A[2*i+j+1, 3]" {
+		t.Fatalf("access re-render: got %q", got)
+	}
+	if got := CanonicalGraph(g); !strings.Contains(got, "reads=A[2*i+j+1, 3]") {
+		t.Fatalf("canonical output lost the affine form:\n%s", got)
+	}
+	// Inferred reach: 2*3+1+1+1 = 9 along dim 0, offset-only index reach 4.
+	if dims := g.Tensors["A"].Dims; dims[0] != 9 || dims[1] != 4 {
+		t.Fatalf("inferred A dims = %v, want [9 4]", dims)
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // no ops
+		"op x kind=mac dims=i:4 reads=A[i]", // missing write=
+		"op x kind=wat dims=i:4 reads= write=B[i]", // unknown kind
+		"op x kind=mac dims=i reads= write=B[i]",   // dim without size
+		"op x kind=mac dims=i:4 reads= write=B[q]", // unknown dim in access
+		"bogus line", // unknown directive
+		"op x kind=mac dims=i:4 reads= write=B[i]\ntensor Z dims=[4] elem=2 density=1", // tensor never accessed
+	}
+	for _, src := range cases {
+		if _, err := ParseGraph(src); err == nil {
+			t.Errorf("ParseGraph(%q): want error, got nil", src)
+		}
+	}
+}
+
+func TestParseGraphDensityAndElem(t *testing.T) {
+	src := `name g
+op mm kind=mac dims=m:4,n:4,k:4 reads=A[m, k];B[k, n] write=C[m, n]
+tensor A dims=[4 4] elem=4 density=0.25
+tensor B dims=[4 4] elem=4 density=1
+`
+	g, err := ParseGraph(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Tensors["A"].EffDensity(); d != 0.25 {
+		t.Fatalf("A density = %g, want 0.25", d)
+	}
+	if e := g.Tensors["C"].ElemBytes; e != 4 {
+		t.Fatalf("C elem = %d, want 4 (uniform)", e)
+	}
+	// Conflicting element sizes must be rejected.
+	bad := src + "tensor C dims=[4 4] elem=2 density=1\n"
+	if _, err := ParseGraph(bad); err == nil {
+		t.Fatal("conflicting elem sizes: want error")
+	}
+}
