@@ -1,0 +1,164 @@
+// Command tileflow-lint runs TileFlow's project analyzers (layering,
+// determinism) as a vet tool:
+//
+//	go build -o tileflow-lint ./cmd/tileflow-lint
+//	go vet -vettool=$PWD/tileflow-lint ./...
+//
+// It speaks the go command's unit-checker protocol, reimplemented on the
+// standard library alone (the module has no dependency on golang.org/x/tools):
+//
+//   - `tileflow-lint -V=full` prints a version line the go command hashes
+//     into its action cache key;
+//   - `tileflow-lint -flags` prints the JSON list of analyzer flags the go
+//     command may forward (none);
+//   - `tileflow-lint <unit>.cfg` analyzes one package unit: the config names
+//     the Go files, the import map, and the export-data file per dependency,
+//     so type checking works offline through the compiler's artifacts.
+//
+// Findings print to stderr as file:line:col: message (analyzer) and the tool
+// exits 2, which go vet reports as a failure. An empty facts file is written
+// to the configured output path — these analyzers exchange no facts.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors the fields of the go command's vet.cfg this tool needs
+// (the JSON carries more; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// Must be of the form "<name> version <version>"; the go
+			// command folds the line into its cache key.
+			fmt.Println("tileflow-lint version v1.0.0")
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintln(os.Stderr, "usage: tileflow-lint <unit>.cfg (normally invoked via go vet -vettool)")
+		os.Exit(1)
+	}
+	code, err := run(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tileflow-lint: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// The go command expects the facts file to exist even for units that
+	// produced no findings — and for VetxOnly units (dependencies analyzed
+	// only for facts), writing it is the whole job.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, exportLookup(&cfg)),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	if _, err := tconf.Check(cfg.ImportPath, fset, files, info); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		// Run what we can without types: the syntactic checks still hold.
+		info = nil
+	}
+
+	diags, err := lint.Run(lint.Analyzers(), fset, files, cfg.ImportPath, info)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// exportLookup resolves an import path to its compiler export data using the
+// unit's import map and package-file table, exactly as the toolchain's own
+// vet does.
+func exportLookup(cfg *vetConfig) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}

@@ -7,10 +7,18 @@
 //	tileflow -arch edge -workload attention:Bert-S -dataflow FLAT-RGran -tune 200
 //	tileflow -arch cloud -workload conv:CC1 -dataflow TileFlow -tree
 //	tileflow -arch cloud -workload attention:T5 -dataflow Layerwise
+//	tileflow vet -arch edge -workload attention:Bert-S -notation-file map.tf
+//
+// Exit codes mirror the evaluation service's status taxonomy: 0 success,
+// 1 internal fault (500), 2 invalid request or mapping (400), 3 infeasible
+// design point (422), 4 deadline exceeded (504), 5 canceled (499). The vet
+// subcommand instead exits 0 clean, 1 warnings only, 2 any error.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +26,9 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/mapper"
 	"repro/internal/notation"
 	"repro/internal/serve"
@@ -30,6 +40,9 @@ import (
 var stopProfile = func() {}
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:]))
+	}
 	archName := flag.String("arch", "edge", "accelerator: edge, cloud, validation, a100")
 	archFile := flag.String("arch-file", "", "load a custom accelerator spec from a file (see arch.ParseSpec format)")
 	workloadName := flag.String("workload", "attention:Bert-S", "workload: attention:<Table2 name>, conv:<Table3 name>")
@@ -48,15 +61,7 @@ func main() {
 	fatalIf(startProfile(*profile))
 	defer stopProfile()
 
-	var spec *arch.Spec
-	var err error
-	if *archFile != "" {
-		src, rerr := os.ReadFile(*archFile)
-		fatalIf(rerr)
-		spec, err = arch.ParseSpec(string(src))
-	} else {
-		spec, err = serve.PickArch(*archName)
-	}
+	spec, err := pickSpec(*archFile, *archName)
 	fatalIf(err)
 
 	opts := core.Options{SkipCapacityCheck: *skipCapacity}
@@ -66,15 +71,15 @@ func main() {
 	var tunedFactors map[string]int
 	if *notationFile != "" {
 		src, err := os.ReadFile(*notationFile)
-		fatalIf(err)
+		fatalIf(usageErr(err))
 		g, err = serve.PickGraph(*workloadName)
-		fatalIf(err)
+		fatalIf(usageErr(err))
 		root, err = notation.Parse(string(src), g)
-		fatalIf(err)
+		fatalIf(usageErr(err))
 		dfName = *notationFile
 	} else {
 		df, err := serve.PickDataflow(*dataflowName, *workloadName, spec)
-		fatalIf(err)
+		fatalIf(usageErr(err))
 		g = df.Graph()
 		dfName = df.Name()
 		factors := df.DefaultFactors()
@@ -171,10 +176,165 @@ func startProfile(spec string) error {
 	}
 }
 
+// pickSpec resolves the accelerator from -arch-file or -arch. Failures are
+// caller mistakes (exit 2), the CLI analogue of the service's 400.
+func pickSpec(archFile, archName string) (*arch.Spec, error) {
+	if archFile != "" {
+		src, err := os.ReadFile(archFile)
+		if err != nil {
+			return nil, usageErr(err)
+		}
+		spec, err := arch.ParseSpec(string(src))
+		return spec, usageErr(err)
+	}
+	spec, err := serve.PickArch(archName)
+	return spec, usageErr(err)
+}
+
+// usageError marks a caller mistake — bad flags, unknown catalog names,
+// unreadable input files — so exitCodeFor maps it to 2 like the service
+// maps resolve failures to 400.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+func usageErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &usageError{err: err}
+}
+
+// Process exit codes, one per service status class.
+const (
+	exitOK         = 0 // 200
+	exitInternal   = 1 // 500
+	exitInvalid    = 2 // 400: bad request or structurally invalid mapping
+	exitInfeasible = 3 // 422: over capacity, over the PE budget
+	exitTimeout    = 4 // 504
+	exitCanceled   = 5 // 499
+)
+
+// exitCodeFor classifies an error exactly like the service's statusFor, so
+// scripts can distinguish "fix your mapping" from "shrink your design
+// point" from "the tool broke" without parsing stderr.
+func exitCodeFor(err error) int {
+	var ue *usageError
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.As(err, &ue):
+		return exitInvalid
+	case errors.Is(err, context.DeadlineExceeded):
+		return exitTimeout
+	case errors.Is(err, context.Canceled):
+		return exitCanceled
+	case errors.Is(err, core.ErrInvalidMapping):
+		return exitInvalid
+	case errors.Is(err, core.ErrInfeasible):
+		return exitInfeasible
+	}
+	return exitInternal
+}
+
 func fatalIf(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tileflow:", err)
 		stopProfile()
-		os.Exit(1)
+		os.Exit(exitCodeFor(err))
 	}
+}
+
+// runVet is the static analyzer entry point: it checks a mapping without
+// evaluating it and exits 0 clean, 1 warnings only, 2 any error.
+// printCodes dumps the diagnostic code registry — the source of truth for
+// the table in DESIGN.md. With -json it emits the registry entries as JSON.
+func printCodes(asJSON bool) int {
+	infos := diag.Codes()
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(infos); err != nil {
+			fmt.Fprintln(os.Stderr, "tileflow vet:", err)
+			return 2
+		}
+		return 0
+	}
+	for _, info := range infos {
+		sev := "error"
+		if info.Severity == diag.Warning {
+			sev = "warning"
+		}
+		fmt.Printf("%-14s %-8s %s", info.Code, sev, info.Title)
+		if info.Hint != "" {
+			fmt.Printf(" — %s", info.Hint)
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+func runVet(args []string) int {
+	fs := flag.NewFlagSet("tileflow vet", flag.ExitOnError)
+	archName := fs.String("arch", "edge", "accelerator: edge, cloud, validation, a100")
+	archFile := fs.String("arch-file", "", "load a custom accelerator spec from a file")
+	workloadName := fs.String("workload", "attention:Bert-S", "workload: attention:<Table2 name>, conv:<Table3 name>")
+	dataflowName := fs.String("dataflow", "", "vet a named dataflow template, built with its default factors")
+	notationFile := fs.String("notation-file", "", "vet a mapping written in the tile-centric DSL")
+	skipCapacity := fs.Bool("skip-capacity", false, "ignore buffer capacity limits")
+	skipPE := fs.Bool("skip-pe", false, "ignore PE and instance budgets")
+	jsonOut := fs.Bool("json", false, "print the vet report as JSON (identical to POST /v1/vet)")
+	codes := fs.Bool("codes", false, "print the diagnostic code registry and exit")
+	fs.Parse(args)
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "tileflow vet:", err)
+		return 2
+	}
+	if *codes {
+		return printCodes(*jsonOut)
+	}
+	spec, err := pickSpec(*archFile, *archName)
+	if err != nil {
+		return fail(err)
+	}
+	opts := core.Options{SkipCapacityCheck: *skipCapacity, SkipPECheck: *skipPE}
+
+	var diags diag.List
+	switch {
+	case *notationFile != "":
+		src, err := os.ReadFile(*notationFile)
+		if err != nil {
+			return fail(err)
+		}
+		g, err := serve.PickGraph(*workloadName)
+		if err != nil {
+			return fail(err)
+		}
+		diags = check.AnalyzeSource(string(src), g, spec, opts)
+	case *dataflowName != "":
+		df, err := serve.PickDataflow(*dataflowName, *workloadName, spec)
+		if err != nil {
+			return fail(err)
+		}
+		root, err := df.Build(df.DefaultFactors())
+		if err != nil {
+			return fail(err)
+		}
+		diags = check.Analyze(root, nil, df.Graph(), spec, opts)
+	default:
+		return fail(fmt.Errorf("one of -notation-file or -dataflow is required"))
+	}
+
+	report := check.NewReport(diags)
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			return fail(err)
+		}
+	} else {
+		fmt.Print(diags.String())
+		fmt.Printf("vet: %d error(s), %d warning(s)\n", report.Errors, report.Warnings)
+	}
+	return report.ExitCode()
 }

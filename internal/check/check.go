@@ -1,0 +1,209 @@
+// Package check is the tileflow vet analyzer: it runs the static legality
+// and resource rules over a mapping without compiling a Program, maps every
+// violation to a stable diagnostic code positioned via the notation
+// SourceMap, and adds warnings for legal-but-suspicious design points. The
+// CLI vet subcommand and the evaluation service's /v1/vet endpoint are thin
+// wrappers over this package, sharing the VetReport codec so their JSON
+// output is byte-identical.
+package check
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/notation"
+	"repro/internal/workload"
+)
+
+// Diagnostic codes for the tree-level rules. Each is the public face of one
+// core static rule; the mapping is stable so clients may switch on codes.
+var (
+	CodeArch = diag.Register(diag.Info{Code: "TF-ARCH-001", Title: "invalid architecture spec",
+		Hint: "check level order, fanouts and the PE mesh in the arch spec"})
+
+	CodeLeafChildren = diag.Register(diag.Info{Code: "TF-STRUCT-001", Title: "leaf tile has children",
+		Hint: "a leaf binds one operator; move the children to an enclosing tile"})
+	CodeInteriorEmpty = diag.Register(diag.Info{Code: "TF-STRUCT-002", Title: "interior tile has no children",
+		Hint: "give the tile children or make it a leaf with an operator"})
+	CodeDupOp = diag.Register(diag.Info{Code: "TF-STRUCT-003", Title: "operator mapped to two leaves",
+		Hint: "each operator must appear in exactly one leaf tile"})
+	CodeOpNoLeaf = diag.Register(diag.Info{Code: "TF-STRUCT-004", Title: "operator has no leaf tile",
+		Hint: "every workload operator needs a leaf tile in the tree"})
+	CodeLevelOrder = diag.Register(diag.Info{Code: "TF-STRUCT-005", Title: "child level above parent level",
+		Hint: "memory levels must be monotone along every root-to-leaf path"})
+	CodeLevelRange = diag.Register(diag.Info{Code: "TF-STRUCT-006", Title: "tile level outside the architecture",
+		Hint: "levels range from 0 (innermost) to the DRAM level of the arch spec"})
+
+	CodeLoopExtent = diag.Register(diag.Info{Code: "TF-TILE-001", Title: "loop extent below 1",
+		Hint: "every tiling factor must be a positive integer"})
+	CodeLoopDim = diag.Register(diag.Info{Code: "TF-TILE-002", Title: "loop over a foreign dimension",
+		Hint: "a tile may only iterate dimensions of operators in its subtree"})
+	CodeCoverage = diag.Register(diag.Info{Code: "TF-TILE-003", Title: "tiling does not cover the dimension",
+		Hint: "the loop extents along the leaf-to-root path must multiply to the dim size"})
+
+	CodePEBudget = diag.Register(diag.Info{Code: "TF-RES-001", Title: "spatial fanout exceeds the PE array",
+		Hint: "shrink the Sp(...) loop extents or use a larger architecture"})
+	CodeUnitUsage = diag.Register(diag.Info{Code: "TF-RES-002", Title: "memory-level instances oversubscribed",
+		Hint: "parallel siblings occupy disjoint instances; reduce spatial splits at this level"})
+	CodeCapacity = diag.Register(diag.Info{Code: "TF-CAP-001", Title: "tile footprint exceeds buffer capacity",
+		Hint: "shrink the staged tiles at this level or skip the capacity check"})
+
+	CodeDegenerateLoop = diag.Register(diag.Info{Code: "TF-WARN-001", Severity: diag.Warning,
+		Title: "degenerate loop",
+		Hint:  "an extent-1 loop does nothing; drop it for a cleaner mapping"})
+	CodeUnderutilized = diag.Register(diag.Info{Code: "TF-WARN-002", Severity: diag.Warning,
+		Title: "PE array underutilized",
+		Hint:  "spatial loops cover half the array or less; widen Sp(...) extents"})
+	CodeBandwidthBound = diag.Register(diag.Info{Code: "TF-WARN-003", Severity: diag.Warning,
+		Title: "DRAM bandwidth-bound",
+		Hint:  "compulsory DRAM traffic already exceeds peak compute time; improve fusion or reuse"})
+)
+
+// ruleCode maps core static rule keys to their public diagnostic codes.
+var ruleCode = map[string]diag.Code{
+	core.RuleArch:          CodeArch,
+	core.RuleLeafChildren:  CodeLeafChildren,
+	core.RuleInteriorEmpty: CodeInteriorEmpty,
+	core.RuleDupOp:         CodeDupOp,
+	core.RuleOpNoLeaf:      CodeOpNoLeaf,
+	core.RuleLevelOrder:    CodeLevelOrder,
+	core.RuleLevelRange:    CodeLevelRange,
+	core.RuleLoopExtent:    CodeLoopExtent,
+	core.RuleLoopDim:       CodeLoopDim,
+	core.RuleCoverage:      CodeCoverage,
+	core.RulePEBudget:      CodePEBudget,
+	core.RuleUnitUsage:     CodeUnitUsage,
+	core.RuleCapacity:      CodeCapacity,
+}
+
+// spanFor picks the most precise source span for a violation: the loop item
+// for loop rules, the @L token for level rules, the defining name token
+// otherwise. Architecture- and graph-level violations stay unpositioned.
+func spanFor(sm *notation.SourceMap, v core.Violation) diag.Span {
+	switch v.Rule {
+	case core.RuleLoopExtent, core.RuleLoopDim:
+		return sm.Loop(v.Node, v.Loop)
+	case core.RuleLevelOrder, core.RuleLevelRange:
+		return sm.Level(v.Node)
+	}
+	if v.Node != "" {
+		return sm.Span(v.Node)
+	}
+	return diag.Span{}
+}
+
+// Analyze runs every static rule over a built tree and returns the coded,
+// positioned diagnostics. sm may be nil (programmatic trees); diagnostics
+// are then unpositioned but otherwise identical. When no rule errors, the
+// warning passes run too. No Program is compiled.
+func Analyze(root *core.Node, sm *notation.SourceMap, g *workload.Graph, spec *arch.Spec, opts core.Options) diag.List {
+	var r diag.Reporter
+	for _, v := range core.AnalyzeStatic(root, g, spec, opts) {
+		code, ok := ruleCode[v.Rule]
+		if !ok {
+			// Safety net for a rule added to core but not mapped here: keep
+			// the no-false-clean property, just without a precise code.
+			code = CodeArch
+		}
+		r.Report(diag.Diagnostic{
+			Code:    code,
+			Span:    spanFor(sm, v),
+			Node:    v.Node,
+			Message: strings.TrimPrefix(v.Err.Error(), "core: "),
+		})
+	}
+	if !r.HasErrors() {
+		warn(&r, root, sm, g, spec, opts)
+	}
+	return r.List()
+}
+
+// AnalyzeSource parses notation source and analyzes the resulting tree.
+// Parse errors come back as the diagnostics themselves; the tree rules run
+// only when the source yields a tree.
+func AnalyzeSource(src string, g *workload.Graph, spec *arch.Spec, opts core.Options) diag.List {
+	root, sm, diags := notation.ParseSource(src, g)
+	if root == nil {
+		return diags
+	}
+	out := append(diags, Analyze(root, sm, g, spec, opts)...)
+	out.Sort()
+	return out
+}
+
+// warn runs the legal-but-suspicious passes: degenerate loops, PE-array
+// underutilization and the compulsory-traffic bandwidth bound. They only
+// run on mappings with no errors, where the quantities are meaningful.
+func warn(r *diag.Reporter, root *core.Node, sm *notation.SourceMap, g *workload.Graph, spec *arch.Spec, opts core.Options) {
+	root.Walk(func(n *core.Node) {
+		for i, l := range n.Loops {
+			if l.Extent == 1 {
+				r.Reportf(CodeDegenerateLoop, sm.Loop(n.Name, i), n.Name,
+					"node %q loop %s has extent 1", n.Name, l)
+			}
+		}
+	})
+	if !opts.SkipPECheck {
+		if used, have := core.NumPE(root), spec.TotalPEs(); used*2 <= have {
+			r.Reportf(CodeUnderutilized, sm.Span(root.Name), root.Name,
+				"mapping uses %d of %d PEs (%.1f%%)", used, have, 100*float64(used)/float64(have))
+		}
+	}
+	// Compulsory DRAM traffic: every graph input is read at least once and
+	// every output written at least once, whatever the dataflow. If moving
+	// just that already takes longer than peak-rate compute, the mapping is
+	// bandwidth-bound before any tiling decision.
+	var words float64
+	for _, name := range append(g.InputTensors(), g.OutputTensors()...) {
+		t := g.Tensors[name]
+		words += float64(t.Volume()) * t.EffDensity()
+	}
+	wpc := spec.WordsPerCycle(spec.DRAMLevel())
+	if peak := spec.PeakMACsPerCycle(); wpc > 0 && peak > 0 {
+		computeCycles := float64(g.MACOps()) / peak
+		trafficCycles := words / wpc
+		if trafficCycles > computeCycles {
+			r.Reportf(CodeBandwidthBound, diag.Span{}, root.Name,
+				"compulsory DRAM traffic needs %.4g cycles, peak compute only %.4g", trafficCycles, computeCycles)
+		}
+	}
+}
+
+// VetReport is the JSON document both `tileflow vet -json` and the
+// service's /v1/vet endpoint emit. Both sides encode it with
+// json.NewEncoder().Encode on the same struct, so the outputs are
+// byte-identical for the same input.
+type VetReport struct {
+	Valid       bool      `json:"valid"`
+	Errors      int       `json:"errors"`
+	Warnings    int       `json:"warnings"`
+	Diagnostics diag.List `json:"diagnostics"`
+}
+
+// NewReport summarizes a diagnostic list. Diagnostics is never nil, so the
+// JSON field is always an array.
+func NewReport(l diag.List) VetReport {
+	if l == nil {
+		l = diag.List{}
+	}
+	return VetReport{
+		Valid:       !l.HasErrors(),
+		Errors:      l.Errors(),
+		Warnings:    l.Warnings(),
+		Diagnostics: l,
+	}
+}
+
+// ExitCode is the vet process exit status: 0 clean, 1 warnings only, 2 any
+// error.
+func (v VetReport) ExitCode() int { return v.Diagnostics.ExitCode() }
+
+// WriteJSON encodes the report in the canonical newline-terminated form
+// shared by the CLI and the service.
+func (v VetReport) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(v)
+}

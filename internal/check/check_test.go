@@ -1,0 +1,295 @@
+package check
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/notation"
+	"repro/internal/workload"
+)
+
+// sec42Source is the Sec 4.2 example dataflow (i=32, j=64, l=64, k=32).
+const sec42Source = `
+# Sec 4.2 example: A = Q·K, B = exp(A), C = B·V
+leaf T0_0 = op A { Sp(i:4), l:32, k:32 }
+leaf T1_0 = op B { Sp(i:4), l:32 }
+leaf T2_0 = op C { Sp(i:4), j:16, l:32 }
+tile T0_1 @L1 = { Sp(i:2), l:2 } (T0_0, T1_0)
+tile T1_1 @L1 = { Sp(i:2), j:4, l:2 } (T2_0)
+tile T0_2 @L2 = { i:4 } (T0_1, T1_1)
+bind Pipe(T0_0, T1_0)
+bind Shar(T0_1, T1_1)
+`
+
+func sec42Graph() *workload.Graph {
+	opA := &workload.Operator{
+		Name: "A", Kind: workload.KindMAC,
+		Dims: []workload.Dim{{Name: "i", Size: 32}, {Name: "l", Size: 64}, {Name: "k", Size: 32}},
+		Reads: []workload.Access{
+			{Tensor: "Q", Index: []workload.Index{workload.I("i"), workload.I("k")}},
+			{Tensor: "K", Index: []workload.Index{workload.I("k"), workload.I("l")}},
+		},
+		Write: workload.Access{Tensor: "A", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+	}
+	opB := &workload.Operator{
+		Name: "B", Kind: workload.KindExp,
+		Dims: []workload.Dim{{Name: "i", Size: 32}, {Name: "l", Size: 64}},
+		Reads: []workload.Access{
+			{Tensor: "A", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+		},
+		Write: workload.Access{Tensor: "B", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+	}
+	opC := &workload.Operator{
+		Name: "C", Kind: workload.KindMAC,
+		Dims: []workload.Dim{{Name: "i", Size: 32}, {Name: "j", Size: 64}, {Name: "l", Size: 64}},
+		Reads: []workload.Access{
+			{Tensor: "B", Index: []workload.Index{workload.I("i"), workload.I("l")}},
+			{Tensor: "V", Index: []workload.Index{workload.I("l"), workload.I("j")}},
+		},
+		Write: workload.Access{Tensor: "C", Index: []workload.Index{workload.I("i"), workload.I("j")}},
+	}
+	return workload.MustGraph("sec42", workload.WordBytes, opA, opB, opC)
+}
+
+func textAt(src string, s diag.Span) string {
+	if s.IsZero() {
+		return ""
+	}
+	return src[s.Start.Offset:s.End.Offset]
+}
+
+// TestRuleCodesTotal pins the rule→code mapping: every core static rule has
+// a distinct, registered diagnostic code.
+func TestRuleCodesTotal(t *testing.T) {
+	rules := []string{
+		core.RuleArch, core.RuleLeafChildren, core.RuleDupOp, core.RuleInteriorEmpty,
+		core.RuleLevelOrder, core.RuleOpNoLeaf, core.RuleLevelRange, core.RuleCoverage,
+		core.RuleLoopExtent, core.RuleLoopDim, core.RulePEBudget, core.RuleUnitUsage,
+		core.RuleCapacity,
+	}
+	seen := map[diag.Code]string{}
+	for _, rule := range rules {
+		code, ok := ruleCode[rule]
+		if !ok {
+			t.Errorf("rule %s has no diagnostic code", rule)
+			continue
+		}
+		if info, ok := diag.Lookup(code); !ok {
+			t.Errorf("code %s for rule %s is not registered", code, rule)
+		} else if info.Severity != diag.Error {
+			t.Errorf("code %s is not an error", code)
+		}
+		if prev, dup := seen[code]; dup {
+			t.Errorf("code %s used by both %s and %s", code, prev, rule)
+		}
+		seen[code] = rule
+	}
+	if len(ruleCode) != len(rules) {
+		t.Errorf("ruleCode has %d entries, want %d", len(ruleCode), len(rules))
+	}
+}
+
+func TestAnalyzeSourceCleanMapping(t *testing.T) {
+	diags := AnalyzeSource(sec42Source, sec42Graph(), arch.Cloud(), core.Options{})
+	if diags.HasErrors() {
+		t.Fatalf("errors on the Sec 4.2 example:\n%s", diags)
+	}
+	for _, d := range diags {
+		if _, ok := diag.Lookup(d.Code); !ok {
+			t.Errorf("unregistered code %s", d.Code)
+		}
+		if d.Severity != diag.Warning {
+			t.Errorf("non-warning diagnostic on a valid mapping: %s", d)
+		}
+	}
+	// The 16-PE mapping on Cloud's huge array must trip the utilization
+	// warning, positioned at the root tile's name.
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeUnderutilized {
+			found = true
+			if textAt(sec42Source, d.Span) != "T0_2" {
+				t.Errorf("underutilization span = %q, want T0_2", textAt(sec42Source, d.Span))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no %s warning in:\n%s", CodeUnderutilized, diags)
+	}
+}
+
+// TestAnalyzeSourcePositioned breaks the source in targeted ways and checks
+// the diagnostic lands on the right token with the right code.
+func TestAnalyzeSourcePositioned(t *testing.T) {
+	g := sec42Graph()
+	spec := arch.Cloud()
+
+	// Undertiled k: coverage error anchored at the leaf's name token.
+	src := strings.Replace(sec42Source, "k:32", "k:16", 1)
+	diags := AnalyzeSource(src, g, spec, core.Options{})
+	var cov *diag.Diagnostic
+	for i := range diags {
+		if diags[i].Code == CodeCoverage {
+			cov = &diags[i]
+		}
+	}
+	if cov == nil {
+		t.Fatalf("no %s in:\n%s", CodeCoverage, diags)
+	}
+	if got := textAt(src, cov.Span); got != "T0_0" {
+		t.Errorf("coverage span = %q, want the leaf name", got)
+	}
+	if cov.Span.Start.Line != 3 {
+		t.Errorf("coverage line = %d, want 3", cov.Span.Start.Line)
+	}
+	if !strings.Contains(cov.Message, `dim "k" tiled to 16, want 32`) {
+		t.Errorf("coverage message = %q", cov.Message)
+	}
+	if cov.Hint == "" || cov.Node != "T0_0" {
+		t.Errorf("coverage hint/node not filled: %+v", cov)
+	}
+
+	// Foreign dim: loop-dim error anchored at the loop item itself.
+	src = strings.Replace(sec42Source, "{ i:4 }", "{ i:4, zz:1 }", 1)
+	diags = AnalyzeSource(src, g, spec, core.Options{})
+	var ld *diag.Diagnostic
+	for i := range diags {
+		if diags[i].Code == CodeLoopDim {
+			ld = &diags[i]
+		}
+	}
+	if ld == nil {
+		t.Fatalf("no %s in:\n%s", CodeLoopDim, diags)
+	}
+	if got := textAt(src, ld.Span); got != "zz:1" {
+		t.Errorf("loop-dim span = %q, want the loop item", got)
+	}
+	if ld.Severity != diag.Error {
+		t.Errorf("loop-dim severity = %v", ld.Severity)
+	}
+	// Warnings stay suppressed while errors exist.
+	for _, d := range diags {
+		if d.Severity == diag.Warning {
+			t.Errorf("warning emitted alongside errors: %s", d)
+		}
+	}
+}
+
+func TestAnalyzeSourceParseErrors(t *testing.T) {
+	diags := AnalyzeSource("leaf = op A {", sec42Graph(), arch.Cloud(), core.Options{})
+	if !diags.HasErrors() {
+		t.Fatal("garbage source produced no errors")
+	}
+	for _, d := range diags {
+		if d.Code == "" {
+			t.Errorf("uncoded diagnostic: %s", d)
+		}
+	}
+}
+
+func TestWarnDegenerateLoop(t *testing.T) {
+	// k:1 at the root is legal (coverage of k stays 32) but useless.
+	src := strings.Replace(sec42Source, "{ i:4 }", "{ i:4, k:1 }", 1)
+	diags := AnalyzeSource(src, sec42Graph(), arch.Cloud(), core.Options{})
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors:\n%s", diags)
+	}
+	var deg *diag.Diagnostic
+	for i := range diags {
+		if diags[i].Code == CodeDegenerateLoop {
+			deg = &diags[i]
+		}
+	}
+	if deg == nil {
+		t.Fatalf("no %s in:\n%s", CodeDegenerateLoop, diags)
+	}
+	if got := textAt(src, deg.Span); got != "k:1" {
+		t.Errorf("degenerate span = %q, want k:1", got)
+	}
+	if diags.ExitCode() != 1 {
+		t.Errorf("exit code = %d, want 1 (warnings only)", diags.ExitCode())
+	}
+}
+
+func TestAnalyzeProgrammaticTree(t *testing.T) {
+	// A tree with no source: diagnostics come back unpositioned but coded.
+	g := sec42Graph()
+	root, _, _ := notation.ParseSource(sec42Source, g)
+	if root == nil {
+		t.Fatal("sec42 source did not parse")
+	}
+	root.Loops[0].Extent = 7 // break coverage of i
+	diags := Analyze(root, nil, g, arch.Cloud(), core.Options{})
+	if !diags.HasErrors() {
+		t.Fatal("broken tree produced no errors")
+	}
+	for _, d := range diags {
+		if !d.Span.IsZero() {
+			t.Errorf("positioned diagnostic without a source map: %s", d)
+		}
+	}
+}
+
+func TestVetReportJSON(t *testing.T) {
+	r := NewReport(nil)
+	if !r.Valid || r.Errors != 0 || r.Warnings != 0 {
+		t.Fatalf("empty report = %+v", r)
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"valid":true,"errors":0,"warnings":0,"diagnostics":[]}` + "\n"
+	if b.String() != want {
+		t.Errorf("empty report JSON = %q, want %q", b.String(), want)
+	}
+
+	diags := AnalyzeSource(strings.Replace(sec42Source, "k:32", "k:16", 1), sec42Graph(), arch.Cloud(), core.Options{})
+	r = NewReport(diags)
+	if r.Valid || r.Errors == 0 || r.ExitCode() != 2 {
+		t.Errorf("error report = %+v, exit %d", r, r.ExitCode())
+	}
+}
+
+// FuzzVet: the analyzer never panics, flags every evaluator-rejected input
+// with at least one error diagnostic, and never flags an accepted one.
+func FuzzVet(f *testing.F) {
+	f.Add(sec42Source)
+	f.Add(strings.Replace(sec42Source, "k:32", "k:16", 1))
+	f.Add(strings.Replace(sec42Source, "@L1", "@L9", 1))
+	f.Add(strings.Replace(sec42Source, "bind Pipe", "bind Zip", 1))
+	f.Add("leaf = op A {")
+	f.Add("tile T @L1 = { } ()")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		g := sec42Graph()
+		spec := arch.Edge()
+		opts := core.Options{}
+		diags := AnalyzeSource(src, g, spec, opts)
+
+		root, _, _ := notation.ParseSource(src, g)
+		if root == nil {
+			if !diags.HasErrors() {
+				t.Fatalf("unparseable source with no error diagnostics: %q", src)
+			}
+			return
+		}
+		var pipeErr error
+		p, err := core.Compile(root, g, spec)
+		if err != nil {
+			pipeErr = err
+		} else if _, err := p.Evaluate(context.Background(), opts); err != nil {
+			pipeErr = err
+		}
+		if pipeErr != nil && !diags.HasErrors() {
+			t.Fatalf("false clean: pipeline rejects with %v, vet says ok for:\n%s", pipeErr, src)
+		}
+		if pipeErr == nil && diags.HasErrors() {
+			t.Fatalf("false positive: pipeline accepts, vet errors:\n%s", diags)
+		}
+	})
+}

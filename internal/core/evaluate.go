@@ -216,7 +216,7 @@ func (e *evaluator) run() (*Result, error) {
 		TotalPEs:  spec.TotalPEs(),
 	}
 
-	res.UnitUsage = t.unitUsage(t.root, spec.NumLevels())
+	res.UnitUsage = unitUsage(t.root, spec.NumLevels())
 	if inst := spec.Instances(1); inst > 0 {
 		u := res.UnitUsage[1]
 		if u > inst {

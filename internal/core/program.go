@@ -2,11 +2,21 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/energy"
 	"repro/internal/workload"
 )
+
+// compileCount counts Compile calls process-wide. The static pass promises
+// to allocate no Program; the conformance differential test pins that
+// promise by asserting the counter does not move across AnalyzeStatic and
+// QuickReject calls.
+var compileCount atomic.Int64
+
+// CompileCount returns the number of Compile calls made by this process.
+func CompileCount() int64 { return compileCount.Load() }
 
 // Program is a compiled analysis tree: the output of the Compile half of
 // the Compile → Evaluate pipeline. It owns every result of the
@@ -48,6 +58,7 @@ type Program struct {
 // Program is immutable and safe for concurrent use; its Evaluate method
 // performs only the tiling-dependent work.
 func Compile(root *Node, g *workload.Graph, spec *arch.Spec) (*Program, error) {
+	compileCount.Add(1)
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}

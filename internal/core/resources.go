@@ -30,8 +30,9 @@ func NumPE(n *Node) int {
 // one execution of the subtree occupies. A spatial loop at node n
 // partitions instances of the node's child level, so it multiplies the
 // usage of that level and of every level below it. Sibling usage combines
-// like NumPE: max for Seq/Shar, sum for Para/Pipe.
-func (t *tree) unitUsage(n *Node, numLevels int) []int {
+// like NumPE: max for Seq/Shar, sum for Para/Pipe. It is a pure function
+// of the subtree, shared by the evaluator and the static pass.
+func unitUsage(n *Node, numLevels int) []int {
 	u := make([]int, numLevels)
 	if n.IsLeaf() {
 		for l := range u {
@@ -53,7 +54,7 @@ func (t *tree) unitUsage(n *Node, numLevels int) []int {
 	}
 	inner := make([]int, numLevels)
 	for _, c := range n.Children {
-		cu := t.unitUsage(c, numLevels)
+		cu := unitUsage(c, numLevels)
 		for l := range inner {
 			// Para/Pipe children occupy disjoint units at their own
 			// level and below; they still share everything above

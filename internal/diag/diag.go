@@ -1,0 +1,321 @@
+// Package diag is the diagnostics core of TileFlow's static analysis
+// front-end: stable machine-readable codes, error/warning severities,
+// source spans into the tile-centric notation, and a collecting Reporter
+// that accumulates every problem found instead of stopping at the first.
+//
+// The package is a leaf: it imports nothing from the rest of the repo, so
+// every layer — the notation parser, the internal/check analyzer, the
+// evaluation service, the CLI — can depend on it without cycles.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Severity classifies a diagnostic. Errors mark mappings the evaluator
+// would reject (structural illegality, resource infeasibility); warnings
+// mark legal but suspicious design points (degenerate loops, dominated
+// tilings, bandwidth-doomed mappings).
+type Severity int
+
+// Severities, ordered so that higher is worse.
+const (
+	Warning Severity = iota + 1
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its lowercase name, the form API
+// clients switch on.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the names produced by MarshalJSON.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("diag: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Pos is one position in a notation source text. Offset is a 0-based byte
+// offset; Line and Col are 1-based (Col counts bytes, matching how editors
+// address ASCII notation sources).
+type Pos struct {
+	Offset int `json:"offset"`
+	Line   int `json:"line"`
+	Col    int `json:"col"`
+}
+
+// IsZero reports whether the position is unset.
+func (p Pos) IsZero() bool { return p.Line == 0 }
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Span is a half-open byte range [Start, End) in a notation source. The
+// zero Span means "no source location" (diagnostics produced from trees
+// built programmatically rather than parsed).
+type Span struct {
+	Start Pos `json:"start"`
+	End   Pos `json:"end"`
+}
+
+// IsZero reports whether the span carries no location.
+func (s Span) IsZero() bool { return s.Start.IsZero() }
+
+// String renders "line:col-line:col" (or "line:col" for empty spans).
+func (s Span) String() string {
+	if s.IsZero() {
+		return "-"
+	}
+	if s.End == s.Start || s.End.IsZero() {
+		return s.Start.String()
+	}
+	return s.Start.String() + "-" + s.End.String()
+}
+
+// Code is a stable diagnostic code such as "TF-STRUCT-003" or "TF-CAP-001".
+// Codes never change meaning once released; clients may switch on them.
+type Code string
+
+// Info is the registry entry behind a code: its default severity, a
+// one-line explanation of the rule, and a fix hint.
+type Info struct {
+	Code     Code     `json:"code"`
+	Severity Severity `json:"severity"`
+	Title    string   `json:"title"`
+	Hint     string   `json:"hint,omitempty"`
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[Code]Info{}
+)
+
+// Register records a code in the global registry and returns it, so rule
+// packages can register at init:
+//
+//	var codeOverCap = diag.Register(diag.Info{Code: "TF-CAP-001", ...})
+//
+// Registering the same code twice panics: codes are append-only.
+func Register(info Info) Code {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if info.Code == "" {
+		panic("diag: Register with empty code")
+	}
+	if _, dup := registry[info.Code]; dup {
+		panic(fmt.Sprintf("diag: code %s registered twice", info.Code))
+	}
+	if info.Severity == 0 {
+		info.Severity = Error
+	}
+	registry[info.Code] = info
+	return info.Code
+}
+
+// Lookup returns the registry entry for a code.
+func Lookup(code Code) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	info, ok := registry[code]
+	return info, ok
+}
+
+// Codes lists every registered code sorted lexicographically, for the
+// documentation table and registry tests.
+func Codes() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// Diagnostic is one analysis finding: a coded, positioned, severity-tagged
+// message with an optional fix hint and the name of the tile it concerns.
+type Diagnostic struct {
+	Code     Code     `json:"code"`
+	Severity Severity `json:"severity"`
+	Span     Span     `json:"span"`
+	Node     string   `json:"node,omitempty"`
+	Message  string   `json:"message"`
+	Hint     string   `json:"hint,omitempty"`
+}
+
+// String renders the human one-liner form:
+//
+//	notation:3:14: error[TF-TILE-003]: tile T0_1: dim "i" tiled to 8, want 32 (split the remaining factor across the path)
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if !d.Span.IsZero() {
+		fmt.Fprintf(&b, "notation:%s: ", d.Span.Start)
+	}
+	fmt.Fprintf(&b, "%s[%s]: %s", d.Severity, d.Code, d.Message)
+	if d.Hint != "" {
+		fmt.Fprintf(&b, " (%s)", d.Hint)
+	}
+	return b.String()
+}
+
+// List is an ordered collection of diagnostics.
+type List []Diagnostic
+
+// HasErrors reports whether any diagnostic is an error.
+func (l List) HasErrors() bool {
+	for _, d := range l {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors counts the error-severity diagnostics.
+func (l List) Errors() int {
+	n := 0
+	for _, d := range l {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Warnings counts the warning-severity diagnostics.
+func (l List) Warnings() int { return len(l) - l.Errors() }
+
+// ExitCode is the vet process exit status for this list: 0 clean, 1
+// warnings only, 2 any error.
+func (l List) ExitCode() int {
+	if l.HasErrors() {
+		return 2
+	}
+	if len(l) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Sort orders the list by source position (unpositioned diagnostics last),
+// then severity (errors first), then code, then message — a deterministic
+// order independent of rule execution order.
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i], l[j]
+		if a.Span.IsZero() != b.Span.IsZero() {
+			return !a.Span.IsZero()
+		}
+		if a.Span.Start.Offset != b.Span.Start.Offset {
+			return a.Span.Start.Offset < b.Span.Start.Offset
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// String renders the list one diagnostic per line.
+func (l List) String() string {
+	var b strings.Builder
+	for _, d := range l {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Error makes a non-empty list usable as a Go error summarizing the first
+// error diagnostic and the total count.
+func (l List) Error() string {
+	for _, d := range l {
+		if d.Severity == Error {
+			extra := ""
+			if n := len(l); n > 1 {
+				extra = fmt.Sprintf(" (and %d more diagnostics)", n-1)
+			}
+			return d.String() + extra
+		}
+	}
+	if len(l) > 0 {
+		return l[0].String()
+	}
+	return "no diagnostics"
+}
+
+// Reporter accumulates diagnostics. The zero value is ready to use. It is
+// not safe for concurrent use; analyses are single-goroutine passes.
+type Reporter struct {
+	diags List
+}
+
+// Report appends a fully built diagnostic, filling severity and hint from
+// the registry when unset.
+func (r *Reporter) Report(d Diagnostic) {
+	if info, ok := Lookup(d.Code); ok {
+		if d.Severity == 0 {
+			d.Severity = info.Severity
+		}
+		if d.Hint == "" {
+			d.Hint = info.Hint
+		}
+	} else if d.Severity == 0 {
+		d.Severity = Error
+	}
+	r.diags = append(r.diags, d)
+}
+
+// Reportf reports a diagnostic for code at span concerning node, with a
+// formatted message. Severity and hint come from the code's registry entry.
+func (r *Reporter) Reportf(code Code, span Span, node, format string, args ...any) {
+	r.Report(Diagnostic{
+		Code:    code,
+		Span:    span,
+		Node:    node,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// List returns the accumulated diagnostics, sorted.
+func (r *Reporter) List() List {
+	r.diags.Sort()
+	return r.diags
+}
+
+// Len reports how many diagnostics have been accumulated.
+func (r *Reporter) Len() int { return len(r.diags) }
+
+// HasErrors reports whether any accumulated diagnostic is an error.
+func (r *Reporter) HasErrors() bool { return r.diags.HasErrors() }

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterminismScope lists the packages whose outputs must be bit-for-bit
+// reproducible: the analysis engine and the (seeded) search layer. The
+// determinism tests pin full search traces, so any wall-clock read, global
+// RNG draw, or map-order-dependent accumulation in these packages is a bug.
+var DeterminismScope = []string{
+	"repro/internal/core",
+	"repro/internal/mapper",
+}
+
+// Determinism flags nondeterminism sources inside DeterminismScope:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until);
+//   - draws from the process-global math/rand source (rand.Intn, ...);
+//     constructing a seeded generator via rand.New(rand.NewSource(seed))
+//     is the sanctioned pattern and stays allowed;
+//   - ranging over a map while accumulating ordered output (append, string
+//     concatenation, printing). Collect-then-sort is fine: a function that
+//     calls into sort or slices anywhere is trusted to have restored a
+//     deterministic order, which keeps idioms like mapper's selectChild
+//     (gather keys, sort.Ints, then iterate) quiet.
+//
+// The map check needs type information to recognize map operands and string
+// accumulators; without it (TypesInfo == nil) only the syntactic clock and
+// RNG checks run. Test files are exempt throughout — benchmarks time
+// themselves with time.Now by design.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock, global-RNG, and map-order nondeterminism in model code",
+	Run:  runDeterminism,
+}
+
+var (
+	clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+	// Seeded-generator constructors across math/rand and math/rand/v2.
+	randAllowed = map[string]bool{"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true}
+	printFuncs  = map[string]bool{
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	}
+)
+
+func runDeterminism(pass *Pass) error {
+	inScope := false
+	for _, p := range DeterminismScope {
+		if pass.PkgPath == p {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		imports := fileImports(f)
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, imports, fn.Body)
+				continue
+			}
+			// Package-level initializers can read the clock or RNG too.
+			checkCalls(pass, imports, decl)
+		}
+	}
+	return nil
+}
+
+// checkFunc runs every determinism check over one function body. Sorting
+// anywhere in the same function suppresses the map-order check for all of
+// its ranges.
+func checkFunc(pass *Pass, imports map[string]string, body *ast.BlockStmt) {
+	checkCalls(pass, imports, body)
+	if pass.TypesInfo == nil || sortsSomewhere(imports, body) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if accumulatesOrdered(pass, imports, rng.Body) {
+			pass.Reportf(rng.For, "map iteration order leaks into ordered output; collect the keys and sort them first")
+		}
+		return true
+	})
+}
+
+// checkCalls flags clock reads and global-RNG draws under n.
+func checkCalls(pass *Pass, imports map[string]string, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := pkgCall(imports, call)
+		switch {
+		case pkg == "time" && clockFuncs[name]:
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; model code must be deterministic, so thread times in as parameters", name)
+		case (pkg == "math/rand" || pkg == "math/rand/v2") && !randAllowed[name]:
+			pass.Reportf(call.Pos(), "rand.%s draws from the process-global source; use rand.New(rand.NewSource(seed)) so runs replay", name)
+		}
+		return true
+	})
+}
+
+// pkgCall resolves a call of the form pkgident.Func to (import path, Func),
+// or ("", "") when the callee is anything else.
+func pkgCall(imports map[string]string, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	return imports[id.Name], sel.Sel.Name
+}
+
+// sortsSomewhere reports whether the body calls into sort or slices.
+func sortsSomewhere(imports map[string]string, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pkg, _ := pkgCall(imports, call); pkg == "sort" || pkg == "slices" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// accumulatesOrdered reports whether the loop body builds order-sensitive
+// output: appends to a slice, concatenates strings, or prints. Numeric
+// accumulation (sums, maxima) is order-insensitive and stays quiet.
+func accumulatesOrdered(pass *Pass, imports map[string]string, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				found = true
+			}
+			if pkg, name := pkgCall(imports, n); pkg == "fmt" && printFuncs[name] {
+				found = true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && strings.HasPrefix(sel.Sel.Name, "Write") {
+				found = true
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ADD_ASSIGN || len(n.Lhs) != 1 {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(n.Lhs[0]); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

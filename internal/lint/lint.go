@@ -1,0 +1,122 @@
+// Package lint hosts TileFlow's project-specific static analyzers: small
+// go/analysis-style checkers built only on the standard library's go/ast and
+// go/types (the go.mod has no dependencies, so golang.org/x/tools is out of
+// reach). Two analyzers are defined:
+//
+//   - layering enforces the package dependency discipline with a table-driven
+//     allowlist of internal imports (e.g. internal/memo must never import
+//     internal/serve, internal/core must never import internal/mapper).
+//   - determinism flags nondeterminism sources in the modeling and search
+//     layers: wall-clock reads, the unseeded global math/rand source, and
+//     map iterations that accumulate ordered output without sorting.
+//
+// The analyzers run two ways: in-process via Run (used by the tests, which
+// replay testdata fixtures annotated with // want comments), and under
+// `go vet -vettool=tileflow-lint` via cmd/tileflow-lint, which speaks the
+// unit-checker protocol so the toolchain supplies parsed files and export
+// data per package.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analyzer is one named check over a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax (and, when available, types) to an
+// analyzer. TypesInfo may be nil: analyzers must degrade to their purely
+// syntactic checks rather than fail.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	PkgPath   string
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzers returns every analyzer in this package, in a fixed order.
+func Analyzers() []*Analyzer { return []*Analyzer{Layering, Determinism} }
+
+// Run applies the analyzers to one parsed package and returns the findings
+// sorted by position. info may be nil when type information is unavailable.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkgPath string, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, PkgPath: pkgPath, TypesInfo: info, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// isTestFile reports whether the file came from a _test.go source. Both
+// analyzers exempt tests: fixtures deliberately build forbidden shapes, and
+// benchmarks legitimately read the clock.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}
+
+// fileImports maps the local name of each import in f to its import path
+// (named imports respected, dot and blank imports skipped).
+func fileImports(f *ast.File) map[string]string {
+	m := map[string]string{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "." || name == "_" {
+				continue
+			}
+		}
+		m[name] = path
+	}
+	return m
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// parseDir parses every top-level .go file in dir, _test.go included — the
+// analyzers decide for themselves that test files are exempt.
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no Go files in %s (%v)", dir, err)
+	}
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p, err)
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+// expectation is one `// want` comment: a regexp that must match exactly one
+// diagnostic on its line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				wants = append(wants, &expectation{
+					file: pos.Filename,
+					line: pos.Line,
+					re:   regexp.MustCompile(m[1]),
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture replays one testdata package under the given import path and
+// compares the analyzers' findings against its // want comments, in the
+// style of x/tools' analysistest.
+func runFixture(t *testing.T, dir, pkgPath string, typed bool) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files := parseDir(t, fset, dir)
+	var info *types.Info
+	if typed {
+		info = &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{Importer: importer.Default()}
+		if _, err := conf.Check(pkgPath, fset, files, info); err != nil {
+			t.Fatalf("type-checking %s: %v", dir, err)
+		}
+	}
+	diags, err := Run(Analyzers(), fset, files, pkgPath, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestLayeringFixtures(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "memo"), "repro/internal/memo", false)
+	runFixture(t, filepath.Join("testdata", "src", "corelayer"), "repro/internal/core", false)
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "determinism"), "repro/internal/core", true)
+}
+
+// TestDeterminismOutOfScope: the same fixture analyzed under an import path
+// outside DeterminismScope reports nothing.
+func TestDeterminismOutOfScope(t *testing.T) {
+	fset := token.NewFileSet()
+	files := parseDir(t, fset, filepath.Join("testdata", "src", "determinism"))
+	diags, err := Run([]*Analyzer{Determinism}, fset, files, "repro/internal/serve", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package flagged: %v", diags)
+	}
+}
+
+// TestRepoClean runs both analyzers over every real internal package. The
+// syntactic checks (layering table, clock reads, global RNG) must come back
+// clean; this pins the allowlist table to the actual import graph so table
+// drift fails loudly. The type-dependent map-order check additionally runs
+// under `go vet -vettool=tileflow-lint` in CI, where the toolchain supplies
+// export data.
+func TestRepoClean(t *testing.T) {
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkgPath := "repro/internal/" + e.Name()
+		t.Run(e.Name(), func(t *testing.T) {
+			fset := token.NewFileSet()
+			files := parseDir(t, fset, filepath.Join("..", e.Name()))
+			diags, err := Run(Analyzers(), fset, files, pkgPath, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
+// TestAllowlistCoversRealImports is the inverse guard: every constrained
+// package's allowlist entry must itself be a real package, so stale rows
+// are caught when packages move.
+func TestAllowlistCoversRealImports(t *testing.T) {
+	for pkg, allowed := range allowedImports {
+		for _, p := range append([]string{pkg}, allowed...) {
+			dir := filepath.Join("..", "..", "internal", p[len(internalPrefix):])
+			if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+				t.Errorf("allowlist references %s but %s is not a package directory", p, dir)
+			}
+		}
+	}
+}
+
+// TestDiagnosticString pins the rendering the vettool prints.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "layering",
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 2},
+		Message:  "forbidden import",
+	}
+	want := fmt.Sprintf("%s: %s (%s)", "x.go:3:2", "forbidden import", "layering")
+	if d.String() != want {
+		t.Errorf("String() = %q, want %q", d.String(), want)
+	}
+}

@@ -1,0 +1,18 @@
+// Fixture for the layering analyzer, checked as repro/internal/core: the
+// analysis engine must not depend on the search strategies above it, while
+// its real dependencies (arch, energy, workload) stay legal.
+package core
+
+import (
+	"repro/internal/energy"
+	"repro/internal/mapper" // want `forbidden import of repro/internal/mapper from repro/internal/core`
+	"repro/internal/serve"  // want `forbidden import of repro/internal/serve from repro/internal/core`
+	"repro/internal/workload"
+)
+
+var (
+	_ = energy.Table{}
+	_ = mapper.Evaluation{}
+	_ = serve.Config{}
+	_ = workload.Graph{}
+)

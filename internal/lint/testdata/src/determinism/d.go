@@ -1,0 +1,83 @@
+// Fixture for the determinism analyzer, checked as repro/internal/core with
+// full type information (all imports are standard library, so the offline
+// gc importer resolves them).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+var start = time.Now() // want `time\.Now reads the wall clock`
+
+func stamp() int64 {
+	return time.Now().Unix() // want `time\.Now reads the wall clock`
+}
+
+func elapsed() time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the process-global source`
+}
+
+// seeded is the sanctioned pattern: a constructor draw is deterministic.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order leaks into ordered output`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted is the collect-then-sort idiom the search code uses; the sort
+// call downstream of the range keeps it quiet.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// total accumulates commutatively; order cannot change the answer.
+func total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func dump(m map[string]int) {
+	for k, v := range m { // want `map iteration order leaks into ordered output`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func join(m map[string]int) string {
+	var s string
+	for k := range m { // want `map iteration order leaks into ordered output`
+		s += k
+	}
+	return s
+}
+
+// describe ranges over a slice: ordered output is fine there.
+func describe(ks []string) string {
+	var b strings.Builder
+	for _, k := range ks {
+		b.WriteString(k)
+	}
+	return b.String()
+}

@@ -1,0 +1,13 @@
+// Fixture for the layering analyzer, checked as repro/internal/memo: the
+// cache layer may import nothing internal, so reaching up into the HTTP
+// service is the canonical inversion.
+package memo
+
+import (
+	"fmt"
+
+	"repro/internal/serve" // want `forbidden import of repro/internal/serve from repro/internal/memo`
+)
+
+var _ = fmt.Sprint
+var _ = serve.Config{}

@@ -1,0 +1,11 @@
+// Test files are exempt from layering: differential tests legitimately wire
+// layers together. No diagnostics expected here.
+package memo
+
+import (
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestUsesServe(t *testing.T) { _ = serve.Config{} }

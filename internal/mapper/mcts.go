@@ -194,6 +194,14 @@ func (s *TileSearch) evaluate(ctx context.Context, factors map[string]int) *Eval
 	if err != nil {
 		return nil
 	}
+	// Static pre-screen: QuickReject fails with exactly the error the
+	// pipeline would produce and passes only points no non-capacity rule
+	// rejects, so pruning here discards the same candidates Compile or
+	// Evaluate would — just without allocating a Program for them. Valid
+	// points proceed to full evaluation unchanged.
+	if core.QuickReject(root, s.Dataflow.Graph(), s.Spec, s.Opts) != nil {
+		return nil
+	}
 	res, err := s.evaluateTree(ctx, root)
 	if err != nil {
 		return nil

@@ -1,0 +1,164 @@
+package mapper
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/workload"
+)
+
+// prescreenStream builds the benchmark candidate stream: clones of the
+// canonical FLAT-RGran design point, three of every five mutated to be
+// statically invalid (a doubled loop extent breaks tiling coverage) —
+// modelling a mapper exploring a factor space where many points are
+// illegal.
+func prescreenStream(tb testing.TB, n int) ([]*core.Node, *workload.Graph, *arch.Spec) {
+	tb.Helper()
+	shape, ok := workload.AttentionShapeByName("Bert-S")
+	if !ok {
+		tb.Fatal("attention shape Bert-S not found")
+	}
+	spec := arch.Edge()
+	df := dataflows.FLATRGran(shape, spec)
+	root, err := df.Build(df.DefaultFactors())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cands := make([]*core.Node, n)
+	for i := range cands {
+		c := root.Clone()
+		if i%5 < 3 {
+			breakCoverage(tb, c)
+		}
+		cands[i] = c
+	}
+	return cands, df.Graph(), spec
+}
+
+// breakCoverage doubles the first loop extent it finds, so the extents
+// along that dim's path no longer multiply to the dim size.
+func breakCoverage(tb testing.TB, root *core.Node) {
+	tb.Helper()
+	done := false
+	root.Walk(func(n *core.Node) {
+		if done {
+			return
+		}
+		for i := range n.Loops {
+			if n.Loops[i].Extent > 1 {
+				n.Loops[i].Extent *= 2
+				done = true
+				return
+			}
+		}
+	})
+	if !done {
+		tb.Fatal("no loop to break")
+	}
+}
+
+// TestPrescreenAgreesWithPipeline: on the benchmark stream, QuickReject
+// accepts exactly the candidates the full pipeline accepts and rejects with
+// the identical error — so pruning on it cannot change search results.
+func TestPrescreenAgreesWithPipeline(t *testing.T) {
+	cands, g, spec := prescreenStream(t, 40)
+	valid := 0
+	for i, c := range cands {
+		qerr := core.QuickReject(c, g, spec, core.Options{})
+		_, perr := core.Evaluate(c, g, spec, core.Options{})
+		if (qerr == nil) != (perr == nil) {
+			t.Fatalf("candidate %d: QuickReject=%v pipeline=%v", i, qerr, perr)
+		}
+		if qerr != nil {
+			if qerr.Error() != perr.Error() {
+				t.Errorf("candidate %d: QuickReject %q, pipeline %q", i, qerr, perr)
+			}
+			if !errors.Is(perr, core.ErrInvalidMapping) {
+				t.Errorf("candidate %d: broken clone rejected for the wrong reason: %v", i, perr)
+			}
+		} else {
+			valid++
+		}
+	}
+	if valid != 2*len(cands)/5 {
+		t.Fatalf("stream has %d valid of %d, want two fifths", valid, len(cands))
+	}
+}
+
+// TestPrescreenThroughput asserts the pre-screen contract: on a stream
+// with 60% of its points statically invalid, screening with QuickReject
+// before evaluating is at least 1.5x faster than pushing every candidate
+// through the full pipeline. Timing assertions are flaky on loaded CI
+// machines, so the test only runs when TILEFLOW_BENCH=1.
+func TestPrescreenThroughput(t *testing.T) {
+	if os.Getenv("TILEFLOW_BENCH") != "1" {
+		t.Skip("set TILEFLOW_BENCH=1 to run the timing assertion")
+	}
+	cands, g, spec := prescreenStream(t, 40)
+	opts := core.Options{}
+
+	full := func() {
+		for _, c := range cands {
+			_, _ = core.Evaluate(c, g, spec, opts)
+		}
+	}
+	screened := func() {
+		for _, c := range cands {
+			if core.QuickReject(c, g, spec, opts) != nil {
+				continue
+			}
+			_, _ = core.Evaluate(c, g, spec, opts)
+		}
+	}
+
+	// Warm up, then interleave rounds so CPU frequency drift hits both.
+	full()
+	screened()
+	const rounds = 15
+	var tFull, tScreened time.Duration
+	for i := 0; i < rounds; i++ {
+		s := time.Now()
+		full()
+		tFull += time.Since(s)
+		s = time.Now()
+		screened()
+		tScreened += time.Since(s)
+	}
+	ratio := float64(tFull) / float64(tScreened)
+	t.Logf("full pipeline %v/stream, prescreened %v/stream, speedup %.2fx",
+		tFull/rounds, tScreened/rounds, ratio)
+	if ratio < 1.5 {
+		t.Errorf("prescreened stream only %.2fx faster, want >= 1.5x", ratio)
+	}
+}
+
+// BenchmarkRejectPipeline and BenchmarkRejectPrescreen expose the per-
+// rejection cost difference the throughput test aggregates.
+func BenchmarkRejectPipeline(b *testing.B) {
+	cands, g, spec := prescreenStream(b, 5)
+	bad := cands[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(bad, g, spec, core.Options{}); err == nil {
+			b.Fatal("candidate unexpectedly valid")
+		}
+	}
+}
+
+func BenchmarkRejectPrescreen(b *testing.B) {
+	cands, g, spec := prescreenStream(b, 5)
+	bad := cands[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.QuickReject(bad, g, spec, core.Options{}); err == nil {
+			b.Fatal("candidate unexpectedly valid")
+		}
+	}
+}

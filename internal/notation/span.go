@@ -1,0 +1,184 @@
+package notation
+
+import (
+	"repro/internal/diag"
+)
+
+// Diagnostic codes produced by the notation front-end. Parse-stage codes
+// (TF-PARSE-*) cover grammar violations on a single line; name-resolution
+// codes (TF-NAME-*) cover cross-line references; bind codes (TF-BIND-*)
+// cover the inter-tile binding statements. All are errors: a mapping that
+// trips any of them has no analysis tree at all.
+var (
+	CodeStmt = diag.Register(diag.Info{Code: "TF-PARSE-001", Title: "unrecognized statement",
+		Hint: "every line must be a leaf, tile, or bind statement (or a # comment)"})
+	CodeLeaf = diag.Register(diag.Info{Code: "TF-PARSE-002", Title: "malformed leaf statement",
+		Hint: "write: leaf <name> = op <operator> { <loops> }"})
+	CodeTile = diag.Register(diag.Info{Code: "TF-PARSE-003", Title: "malformed tile statement",
+		Hint: "write: tile <name> @L<level> = { <loops> } (<children>)"})
+	CodeLoop = diag.Register(diag.Info{Code: "TF-PARSE-004", Title: "malformed loop item",
+		Hint: "write dim:extent with extent >= 1, or Sp(dim:extent) for a spatial loop"})
+	CodeBind = diag.Register(diag.Info{Code: "TF-PARSE-005", Title: "malformed bind statement",
+		Hint: "write: bind <Seq|Shar|Para|Pipe>(<tiles>)"})
+
+	CodeUnknownOp = diag.Register(diag.Info{Code: "TF-NAME-001", Title: "unknown operator",
+		Hint: "operators are resolved by name against the workload graph"})
+	CodeDupTile = diag.Register(diag.Info{Code: "TF-NAME-002", Title: "duplicate tile name",
+		Hint: "every leaf and tile needs a distinct name"})
+	CodeUnknownChild = diag.Register(diag.Info{Code: "TF-NAME-003", Title: "unknown child tile",
+		Hint: "children must be defined on an earlier line"})
+	CodeChildReused = diag.Register(diag.Info{Code: "TF-NAME-004", Title: "tile already has a parent",
+		Hint: "each tile may appear in exactly one child list"})
+	CodeRootCount = diag.Register(diag.Info{Code: "TF-NAME-005", Title: "dataflow must have exactly one root tile",
+		Hint: "every tile except the root must appear in some child list"})
+
+	CodeBindPrim = diag.Register(diag.Info{Code: "TF-BIND-001", Title: "unknown binding primitive",
+		Hint: "inter-tile primitives are Seq, Shar, Para, Pipe"})
+	CodeBindTile = diag.Register(diag.Info{Code: "TF-BIND-002", Title: "bind references unknown tile",
+		Hint: "bind targets must be defined leaf or tile names"})
+	CodeBindRoot = diag.Register(diag.Info{Code: "TF-BIND-003", Title: "bind target has no parent",
+		Hint: "bind sets the binding of the targets' common parent; the root has none"})
+	CodeBindSplit = diag.Register(diag.Info{Code: "TF-BIND-004", Title: "bind targets do not share a parent",
+		Hint: "list sibling tiles only; one bind statement sets one parent's binding"})
+)
+
+// NodeSpans locates the pieces of one leaf or tile statement in the source.
+type NodeSpans struct {
+	Stmt     diag.Span   // the whole statement (trimmed line)
+	Name     diag.Span   // the tile name token
+	Level    diag.Span   // the @L<level> token (tiles only)
+	Op       diag.Span   // the operator name (leaves only)
+	Loops    []diag.Span // one per loop item, outermost first
+	Children []diag.Span // one per child reference (tiles only)
+}
+
+// BindSpans locates the pieces of one bind statement in the source.
+type BindSpans struct {
+	Stmt  diag.Span   // the whole statement
+	Prim  diag.Span   // the primitive name
+	Tiles []diag.Span // one per bind target
+}
+
+// SourceMap maps tree nodes back to their defining spans in the notation
+// source, so analyses running on the tree can report positioned
+// diagnostics. A nil SourceMap is valid and yields zero spans everywhere —
+// the case for trees built programmatically rather than parsed.
+type SourceMap struct {
+	nodes map[string]NodeSpans
+	binds []BindSpans
+}
+
+// Node returns the spans of the statement defining the named tile.
+func (m *SourceMap) Node(name string) (NodeSpans, bool) {
+	if m == nil {
+		return NodeSpans{}, false
+	}
+	ns, ok := m.nodes[name]
+	return ns, ok
+}
+
+// Span returns the span of the tile's name token (zero if unknown).
+func (m *SourceMap) Span(name string) diag.Span {
+	ns, _ := m.Node(name)
+	return ns.Name
+}
+
+// Level returns the span of the tile's @L token, falling back to the name.
+func (m *SourceMap) Level(name string) diag.Span {
+	ns, ok := m.Node(name)
+	if !ok {
+		return diag.Span{}
+	}
+	if !ns.Level.IsZero() {
+		return ns.Level
+	}
+	return ns.Name
+}
+
+// Loop returns the span of the i-th loop item of the named tile, falling
+// back to the statement when the index is out of range.
+func (m *SourceMap) Loop(name string, i int) diag.Span {
+	ns, ok := m.Node(name)
+	if !ok {
+		return diag.Span{}
+	}
+	if i >= 0 && i < len(ns.Loops) {
+		return ns.Loops[i]
+	}
+	return ns.Stmt
+}
+
+// Binds returns the spans of the bind statements in source order.
+func (m *SourceMap) Binds() []BindSpans {
+	if m == nil {
+		return nil
+	}
+	return m.binds
+}
+
+// lineScan addresses byte ranges inside one source line.
+type lineScan struct {
+	raw  string // the raw line, without its trailing newline
+	off  int    // absolute byte offset of the line start in the source
+	line int    // 1-based line number
+}
+
+// span builds a Span for the byte range [start, end) of the line.
+func (s lineScan) span(start, end int) diag.Span {
+	if end < start {
+		end = start
+	}
+	return diag.Span{
+		Start: diag.Pos{Offset: s.off + start, Line: s.line, Col: start + 1},
+		End:   diag.Pos{Offset: s.off + end, Line: s.line, Col: end + 1},
+	}
+}
+
+// trimRange narrows [start, end) of s to exclude ASCII whitespace on both
+// sides, the positioned analogue of strings.TrimSpace.
+func trimRange(s string, start, end int) (int, int) {
+	for start < end && isSpaceByte(s[start]) {
+		start++
+	}
+	for end > start && isSpaceByte(s[end-1]) {
+		end--
+	}
+	return start, end
+}
+
+func isSpaceByte(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// splitRanges splits [lo, hi) of s on top-level commas (parenthesis-depth
+// aware, so Sp(i:2) stays one item) and returns the trimmed, non-empty item
+// ranges — the positioned analogue of the old splitList.
+func splitRanges(s string, lo, hi int) [][2]int {
+	var out [][2]int
+	depth, start := 0, lo
+	flush := func(end int) {
+		a, b := trimRange(s, start, end)
+		if a < b {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	for i := lo; i < hi; i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	flush(hi)
+	return out
+}

@@ -9,6 +9,7 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/arch"
@@ -151,14 +152,29 @@ func PickArch(name string) (*arch.Spec, error) {
 	return nil, fmt.Errorf("unknown arch %q (want edge, cloud, validation or a100)", name)
 }
 
-// PickGraph resolves "attention:<name>" or "conv:<name>" to a workload
-// graph.
+// PickGraph resolves "attention:<name>", "conv:<name>", or
+// "matmul:<M>x<N>x<K>" to a workload graph.
 func PickGraph(wl string) (*workload.Graph, error) {
 	kind, name, ok := strings.Cut(wl, ":")
 	if !ok {
-		return nil, fmt.Errorf("workload must be attention:<name> or conv:<name>")
+		return nil, fmt.Errorf("workload must be attention:<name>, conv:<name>, or matmul:<M>x<N>x<K>")
 	}
 	switch kind {
+	case "matmul":
+		dims := strings.Split(name, "x")
+		sizes := make([]int, 0, 3)
+		for _, d := range dims {
+			v, err := strconv.Atoi(d)
+			if err != nil || v < 1 {
+				sizes = nil
+				break
+			}
+			sizes = append(sizes, v)
+		}
+		if len(dims) != 3 || len(sizes) != 3 {
+			return nil, fmt.Errorf("matmul workload must be matmul:<M>x<N>x<K> with positive sizes")
+		}
+		return workload.Matmul(sizes[0], sizes[1], sizes[2]), nil
 	case "attention":
 		shape, ok := workload.AttentionShapeByName(name)
 		if !ok {

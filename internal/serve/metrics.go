@@ -10,7 +10,7 @@ import (
 )
 
 // endpoints the request counter tracks, in stable output order.
-var endpointNames = []string{"evaluate", "evaluate_batch", "search"}
+var endpointNames = []string{"evaluate", "evaluate_batch", "search", "vet"}
 
 // Metrics collects the service counters exported at /metrics in Prometheus
 // text exposition format, using only the standard library.

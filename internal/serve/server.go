@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/mapper"
 	"repro/internal/memo"
 	"repro/internal/notation"
@@ -76,6 +78,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/evaluate/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/vet", s.handleVet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -345,7 +348,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, raw, err := s.evaluateOne(r.Context(), &req)
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeErrorDiags(w, statusFor(err), err, rejectionDiagnostics(&req, statusFor(err)))
 		return
 	}
 	if raw != nil {
@@ -568,11 +571,122 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// errorBody is the JSON error envelope. Structurally invalid (400) and
+// infeasible (422) mappings additionally carry the static analyzer's
+// diagnostics, so API clients get the same coded, positioned findings as
+// `tileflow vet`.
 type errorBody struct {
-	Error string `json:"error"`
+	Error       string    `json:"error"`
+	Diagnostics diag.List `json:"diagnostics,omitempty"`
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeErrorDiags(w, status, err, nil)
+}
+
+func (s *Server) writeErrorDiags(w http.ResponseWriter, status int, err error, diags diag.List) {
 	s.metrics.IncError()
-	s.writeJSON(w, status, &errorBody{Error: err.Error()})
+	s.writeJSON(w, status, &errorBody{Error: err.Error(), Diagnostics: diags})
+}
+
+// vetOne statically analyzes the design point a request names, without
+// evaluating (or even compiling) it. It mirrors resolve()'s request
+// validation, but a mapping that fails analysis is a successful vet: the
+// diagnostics are the answer, not an error.
+func (s *Server) vetOne(req *EvaluateRequest) (check.VetReport, error) {
+	var spec *arch.Spec
+	var err error
+	switch {
+	case req.ArchSpec != "":
+		spec, err = arch.ParseSpec(req.ArchSpec)
+	case req.Arch != "":
+		spec, err = PickArch(req.Arch)
+	default:
+		err = fmt.Errorf("one of arch or arch_spec is required")
+	}
+	if err != nil {
+		return check.VetReport{}, badRequest(err)
+	}
+	opts := core.Options{
+		SkipCapacityCheck: req.SkipCapacityCheck,
+		SkipPECheck:       req.SkipPECheck,
+		DisableRetention:  req.DisableRetention,
+	}
+	switch {
+	case req.Notation != "":
+		if req.Dataflow != "" || req.Tune > 0 {
+			return check.VetReport{}, badRequest(fmt.Errorf("notation excludes dataflow and tune"))
+		}
+		var g *workload.Graph
+		switch {
+		case req.WorkloadSpec != "":
+			if req.Workload != "" {
+				return check.VetReport{}, badRequest(fmt.Errorf("workload and workload_spec are mutually exclusive"))
+			}
+			g, err = workload.ParseGraph(req.WorkloadSpec)
+		case req.Workload != "":
+			g, err = PickGraph(req.Workload)
+		default:
+			err = fmt.Errorf("one of workload or workload_spec is required")
+		}
+		if err != nil {
+			return check.VetReport{}, badRequest(err)
+		}
+		return check.NewReport(check.AnalyzeSource(req.Notation, g, spec, opts)), nil
+	case req.Dataflow != "":
+		if req.Tune > 0 {
+			return check.VetReport{}, badRequest(fmt.Errorf("vet analyzes one concrete mapping; drop tune"))
+		}
+		df, err := PickDataflow(req.Dataflow, req.Workload, spec)
+		if err != nil {
+			return check.VetReport{}, badRequest(err)
+		}
+		factors := df.DefaultFactors()
+		if len(req.Factors) > 0 {
+			factors = req.Factors
+		}
+		root, err := df.Build(factors)
+		if err != nil {
+			return check.VetReport{}, badRequest(err)
+		}
+		return check.NewReport(check.Analyze(root, nil, df.Graph(), spec, opts)), nil
+	}
+	return check.VetReport{}, badRequest(fmt.Errorf("one of dataflow or notation is required"))
+}
+
+// rejectionDiagnostics recomputes the static diagnostics behind a 400/422
+// rejection so the error body can carry them. Requests without one concrete
+// mapping (tuned templates, malformed requests) yield nil — the error
+// string stands alone.
+func rejectionDiagnostics(req *EvaluateRequest, status int) diag.List {
+	if status != http.StatusBadRequest && status != http.StatusUnprocessableEntity {
+		return nil
+	}
+	if req.Tune > 0 {
+		return nil
+	}
+	s := &Server{} // vetOne touches no server state
+	rep, err := s.vetOne(req)
+	if err != nil {
+		return nil
+	}
+	return rep.Diagnostics
+}
+
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("vet")
+	var req EvaluateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	report, err := s.vetOne(&req)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	// Encode with the shared VetReport codec so the body is byte-identical
+	// to `tileflow vet -json` for the same design point.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	report.WriteJSON(w)
 }

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/workload"
+)
+
+const vetMatmulSrc = `leaf mm = op mm { Sp(m:2), m:4, n:8, k:8 }
+tile root @L2 = { m:1 } (mm)
+`
+
+// TestVetEndpoint checks POST /v1/vet answers with the shared VetReport
+// codec, byte-identical to what check.AnalyzeSource + WriteJSON produce —
+// which is exactly what `tileflow vet -json` prints.
+func TestVetEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	g := workload.Matmul(8, 8, 8)
+	canonical := workload.CanonicalGraph(g)
+
+	for _, tc := range []struct {
+		name  string
+		src   string
+		valid bool
+		code  diag.Code
+	}{
+		{"clean mapping", vetMatmulSrc, true, ""},
+		{"undertiled", strings.Replace(vetMatmulSrc, "k:8", "k:4", 1), false, check.CodeCoverage},
+		{"parse error", "nonsense statement\n", false, "TF-PARSE-001"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req := EvaluateRequest{Arch: "edge", WorkloadSpec: canonical, Notation: tc.src}
+			resp, body := postJSON(t, hs.URL+"/v1/vet", &req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			g2, err := workload.ParseGraph(canonical)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want strings.Builder
+			rep := check.NewReport(check.AnalyzeSource(tc.src, g2, arch.Edge(), core.Options{}))
+			if err := rep.WriteJSON(&want); err != nil {
+				t.Fatal(err)
+			}
+			if string(body) != want.String() {
+				t.Errorf("served vet body differs from the CLI codec:\n got %s\nwant %s", body, want.String())
+			}
+			if rep.Valid != tc.valid {
+				t.Errorf("valid = %v, want %v", rep.Valid, tc.valid)
+			}
+			if tc.code != "" {
+				found := false
+				for _, d := range rep.Diagnostics {
+					if d.Code == tc.code {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("no %s in %s", tc.code, body)
+				}
+			}
+		})
+	}
+}
+
+// TestVetRequestValidation pins the request-shape 400s of /v1/vet.
+func TestVetRequestValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	spec := workload.CanonicalGraph(workload.Matmul(4, 4, 4))
+	cases := []struct {
+		name string
+		req  EvaluateRequest
+	}{
+		{"no mapping form", EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S"}},
+		{"no arch", EvaluateRequest{Workload: "attention:Bert-S", Notation: "x"}},
+		{"tune", EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S", Dataflow: "Layerwise", Tune: 5}},
+		{"workload and workload_spec", EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S", WorkloadSpec: spec, Notation: "x"}},
+		{"unknown arch", EvaluateRequest{Arch: "tpu", Workload: "attention:Bert-S", Notation: "x"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, hs.URL+"/v1/vet", &tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+			}
+			var eb struct {
+				Error       string    `json:"error"`
+				Diagnostics diag.List `json:"diagnostics"`
+			}
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+				t.Fatalf("error body %s (%v)", body, err)
+			}
+		})
+	}
+}
+
+// TestMalformedBody pins the codec's 400 on undecodable JSON, for both the
+// evaluate and vet endpoints.
+func TestMalformedBody(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/evaluate", "/v1/vet"} {
+		resp, err := http.Post(hs.URL+path, "application/json", strings.NewReader(`{"arch": edge}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+		if !strings.Contains(eb.Error, "bad request body") {
+			t.Errorf("%s: error = %q", path, eb.Error)
+		}
+		if len(eb.Diagnostics) != 0 {
+			t.Errorf("%s: diagnostics on a codec error: %v", path, eb.Diagnostics)
+		}
+	}
+}
+
+// TestEvaluateErrorCarriesDiagnostics: 400 and 422 rejections from
+// /v1/evaluate carry the analyzer's coded diagnostics alongside the error
+// string.
+func TestEvaluateErrorCarriesDiagnostics(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	canonical := workload.CanonicalGraph(workload.Matmul(8, 8, 8))
+
+	// Structurally invalid: undertiled k → 400 with a positioned TF-TILE-003.
+	req := EvaluateRequest{Arch: "edge", WorkloadSpec: canonical,
+		Notation: strings.Replace(vetMatmulSrc, "k:8", "k:4", 1)}
+	resp, body := postJSON(t, hs.URL+"/v1/evaluate", &req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range eb.Diagnostics {
+		if d.Code == check.CodeCoverage {
+			found = true
+			if d.Span.IsZero() {
+				t.Error("coverage diagnostic is unpositioned")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("400 body has no %s diagnostic: %s", check.CodeCoverage, body)
+	}
+
+	// Infeasible: 128×128 spatial fanout on Edge's 4096 PEs → 422 with
+	// TF-RES-001.
+	big := workload.CanonicalGraph(workload.Matmul(128, 128, 8))
+	req = EvaluateRequest{Arch: "edge", WorkloadSpec: big,
+		Notation: "leaf mm = op mm { Sp(m:128), Sp(n:128), k:8 }\ntile root @L2 = { m:1 } (mm)\n"}
+	resp, body = postJSON(t, hs.URL+"/v1/evaluate", &req)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	eb = errorBody{}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, d := range eb.Diagnostics {
+		if d.Code == check.CodePEBudget {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("422 body has no %s diagnostic: %s", check.CodePEBudget, body)
+	}
+}
