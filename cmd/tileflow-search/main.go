@@ -3,15 +3,25 @@
 // the Sec 6 mapper: a genetic algorithm over ordering/binding encodings
 // with MCTS tiling-factor search per candidate.
 //
+// Long runs survive interruption: -checkpoint writes the search state to a
+// file at every generation boundary (atomically), and -resume continues
+// from such a file with a trajectory identical to an uninterrupted run.
+// The checkpoint format is shared with the evaluation server's async job
+// subsystem.
+//
 // Example:
 //
 //	tileflow-search -arch edge -workload attention:Bert-S -pop 20 -gens 20
+//	tileflow-search -workload attention:Bert-S -checkpoint search.ckpt
+//	tileflow-search -workload attention:Bert-S -resume search.ckpt -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -30,6 +40,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "parallel evaluations (0 = NumCPU)")
 	printTree := flag.Bool("tree", false, "print the winning analysis tree")
+	checkpointFile := flag.String("checkpoint", "", "write a resumable checkpoint to this file at every generation")
+	resumeFile := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint (or the server)")
+	jsonOut := flag.Bool("json", false, "print the result as JSON (same shape as the server's /v1/search)")
 	flag.Parse()
 
 	var spec *arch.Spec
@@ -50,11 +63,39 @@ func main() {
 		Population: *pop, Generations: *gens, TileRounds: *tileRounds,
 		Parallel: *parallel, Seed: *seed,
 	}
-	fmt.Printf("exploring 3D space for %s on %s (%d x %d x %d evaluations)...\n",
-		g.Name, spec.Name, *pop, *gens, *tileRounds)
+	if *resumeFile != "" {
+		src, rerr := os.ReadFile(*resumeFile)
+		fatalIf(rerr)
+		cp, derr := mapper.DecodeCheckpoint(src)
+		fatalIf(derr)
+		fatalIf(s.Resume(cp))
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "resuming from %s at generation %d/%d\n", *resumeFile, cp.NextGen, cp.Generations)
+		}
+	}
+	if *checkpointFile != "" {
+		s.Progress = func(p mapper.ProgressEvent) {
+			if err := writeCheckpoint(*checkpointFile, p.Checkpoint); err != nil {
+				fmt.Fprintln(os.Stderr, "tileflow-search: checkpoint:", err)
+			}
+		}
+	}
+
+	if !*jsonOut {
+		fmt.Printf("exploring 3D space for %s on %s (%d x %d x %d evaluations)...\n",
+			g.Name, spec.Name, *pop, *gens, *tileRounds)
+	}
 	res := s.Run()
 	if res.Best == nil {
 		fatalIf(fmt.Errorf("no valid dataflow found"))
+	}
+	if *jsonOut {
+		resp, err := serve.NewSearchResponse(g, spec, res, false)
+		fatalIf(err)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(resp))
+		return
 	}
 	fmt.Printf("best cycles: %.4g\n", res.Best.Cycles)
 	fmt.Printf("encoding:    %s\n", res.Encoding)
@@ -74,6 +115,20 @@ func main() {
 			fmt.Println("note:", err)
 		}
 	}
+}
+
+// writeCheckpoint persists a checkpoint atomically (tmp + rename), so a
+// kill mid-write leaves the previous checkpoint intact.
+func writeCheckpoint(path string, cp *mapper.Checkpoint) error {
+	b, err := mapper.EncodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatalIf(err error) {

@@ -5,16 +5,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/evaluate        evaluate one design point
-//	POST /v1/evaluate/batch  evaluate many design points concurrently
-//	POST /v1/search          run the GA+MCTS mapper over the 3D space
-//	GET  /healthz            liveness and basic stats
-//	GET  /metrics            Prometheus text metrics
+//	POST   /v1/evaluate        evaluate one design point
+//	POST   /v1/evaluate/batch  evaluate many design points concurrently
+//	POST   /v1/search          run the GA+MCTS mapper over the 3D space
+//	POST   /v1/jobs/search     submit the same search as an async job
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       job status, progress, and result
+//	GET    /v1/jobs/{id}/events  SSE progress stream
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /healthz            liveness and basic stats
+//	GET    /metrics            Prometheus text metrics
+//
+// With -data-dir, jobs survive restarts: SIGTERM checkpoints running
+// searches and re-queues them, and the next start resumes them from the
+// checkpoint with an identical trajectory.
 //
 // Example:
 //
-//	tileflow-serve -addr :8080
-//	curl -s localhost:8080/v1/evaluate -d '{"arch":"edge","workload":"attention:Bert-S","dataflow":"FLAT-RGran"}'
+//	tileflow-serve -addr :8080 -data-dir /var/lib/tileflow
+//	curl -s localhost:8080/v1/jobs/search -d '{"arch":"edge","workload":"attention:Bert-S"}'
 package main
 
 import (
@@ -38,14 +47,22 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent evaluations (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline")
 	maxBatch := flag.Int("max-batch", 256, "max design points per batch request")
+	dataDir := flag.String("data-dir", "", "directory for the durable job store (empty = in-memory jobs)")
+	jobWorkers := flag.Int("job-workers", 1, "concurrent async search jobs")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.Open(serve.Config{
 		CacheEntries: *cacheEntries,
 		Workers:      *workers,
 		Timeout:      *timeout,
 		MaxBatch:     *maxBatch,
+		DataDir:      *dataDir,
+		JobWorkers:   *jobWorkers,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tileflow-serve:", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -61,11 +78,18 @@ func main() {
 		hs.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("tileflow-serve listening on %s (workers=%d cache=%d timeout=%s)",
-		*addr, effectiveWorkers(*workers), *cacheEntries, *timeout)
+	log.Printf("tileflow-serve listening on %s (workers=%d cache=%d timeout=%s data-dir=%q)",
+		*addr, effectiveWorkers(*workers), *cacheEntries, *timeout, *dataDir)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "tileflow-serve:", err)
 		os.Exit(1)
+	}
+	// HTTP is down; drain the job workers so running searches checkpoint
+	// and re-queue before the process exits.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Close(drainCtx); err != nil {
+		log.Printf("tileflow-serve: drain: %v", err)
 	}
 	log.Printf("tileflow-serve: shut down")
 }

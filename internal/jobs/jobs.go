@@ -1,0 +1,78 @@
+// Package jobs is the search-job orchestration subsystem: a durable store
+// (JSONL append log + periodic snapshot) plus a worker-pool manager that
+// runs jobs through an injected Runner, checkpoints them on drain, and
+// recovers interrupted work after a restart.
+//
+// The package is a stdlib-only leaf below internal/serve: the server
+// injects the runner (which closes over its caches and the mapper), so
+// jobs knows nothing about HTTP or search internals. It lives inside the
+// determinism lint scope, so all clock reads go through an injected
+// now() — tests drive it with a fake clock.
+package jobs
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final: the job will never run
+// again and its Result/Error fields are settled.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled
+}
+
+// Job is one unit of durable work. Request, Progress, Checkpoint, and
+// Result are opaque to this package — the runner defines their schema —
+// which keeps the store reusable for future job kinds.
+type Job struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+
+	Request json.RawMessage `json:"request"`
+
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+
+	// Attempts counts how many times a worker picked the job up. A value
+	// above 1 means the job survived a drain, crash, or requeue.
+	Attempts int `json:"attempts,omitempty"`
+
+	// Progress is the runner's latest progress report (for search jobs:
+	// generation counters and best-so-far).
+	Progress json.RawMessage `json:"progress,omitempty"`
+
+	// Checkpoint is the runner's latest resumable state; a recovered or
+	// drained job restarts from it instead of from scratch.
+	Checkpoint   json.RawMessage `json:"checkpoint,omitempty"`
+	CheckpointAt time.Time       `json:"checkpoint_at,omitempty"`
+
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// Clone deep-copies the job so callers can hand snapshots across
+// goroutines without aliasing the store's copy.
+func (j *Job) Clone() *Job {
+	if j == nil {
+		return nil
+	}
+	c := *j
+	c.Request = append(json.RawMessage(nil), j.Request...)
+	c.Progress = append(json.RawMessage(nil), j.Progress...)
+	c.Checkpoint = append(json.RawMessage(nil), j.Checkpoint...)
+	c.Result = append(json.RawMessage(nil), j.Result...)
+	return &c
+}

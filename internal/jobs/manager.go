@@ -1,0 +1,412 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cancellation causes, distinguishable via context.Cause inside a runner
+// and inspected by the worker to pick the job's final state.
+var (
+	// ErrCancelled means a client cancelled the job; it finishes in state
+	// Cancelled.
+	ErrCancelled = errors.New("jobs: cancelled by client")
+	// ErrDraining means the server is shutting down; the job goes back to
+	// Queued with its checkpoint retained, to be resumed after restart.
+	ErrDraining = errors.New("jobs: server draining")
+)
+
+// Runner executes one job. It must honor ctx (returning context.Cause(ctx)
+// once cancelled) and should call upd with fresh progress and checkpoint
+// payloads as it goes — the checkpoint is what makes drain and crash
+// recovery resume instead of restart. On success it returns the job's
+// result payload.
+type Runner func(ctx context.Context, job *Job, upd func(progress, checkpoint json.RawMessage)) (json.RawMessage, error)
+
+// Event is one observation of a job: a state change or a progress update.
+// Seq increases by 1 per job starting at 1, so clients resume streams with
+// "events after seq N".
+type Event struct {
+	Seq int
+	Job *Job
+}
+
+// Config sizes a Manager.
+type Config struct {
+	// Workers is the number of concurrent job executors (min 1).
+	Workers int
+	// Runner executes jobs; required.
+	Runner Runner
+}
+
+// Manager owns the queue and worker pool on top of a Store. Jobs found
+// queued in the store at construction (fresh submissions from a previous
+// process, or running jobs the store re-queued during crash recovery) are
+// scheduled immediately.
+type Manager struct {
+	store   *Store
+	runner  Runner
+	workers int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []string
+	running  map[string]context.CancelCauseFunc
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+
+	evmu   sync.Mutex
+	events map[string]*eventLog
+}
+
+// eventLog is one job's event history plus live subscribers.
+type eventLog struct {
+	seq    int
+	hist   []Event
+	subs   map[chan Event]bool
+	closed bool
+}
+
+// NewManager starts the worker pool. The caller keeps ownership of the
+// store and closes it after Drain.
+func NewManager(store *Store, cfg Config) (*Manager, error) {
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("jobs: config needs a Runner")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	m := &Manager{
+		store:   store,
+		runner:  cfg.Runner,
+		workers: cfg.Workers,
+		running: map[string]context.CancelCauseFunc{},
+		events:  map[string]*eventLog{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for _, j := range store.List() {
+		if j.State == Queued {
+			m.queue = append(m.queue, j.ID)
+		}
+	}
+	for i := 0; i < m.workers; i++ {
+		m.wg.Add(1)
+		go m.work()
+	}
+	return m, nil
+}
+
+// Submit enqueues a new job and returns its stored snapshot.
+func (m *Manager) Submit(kind string, req json.RawMessage) (*Job, error) {
+	m.mu.Lock()
+	if m.draining || m.closed {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.mu.Unlock()
+
+	j, err := m.store.Create(kind, req)
+	if err != nil {
+		return nil, err
+	}
+	m.emit(j)
+
+	m.mu.Lock()
+	// Re-check under the lock: a drain racing the create must not leave a
+	// queued entry for workers that are exiting.
+	if m.draining || m.closed {
+		m.mu.Unlock()
+		return j, nil // stored as queued; recovered on next start
+	}
+	m.queue = append(m.queue, j.ID)
+	m.cond.Signal()
+	m.mu.Unlock()
+	return j, nil
+}
+
+// Get returns a snapshot of one job.
+func (m *Manager) Get(id string) (*Job, bool) { return m.store.Get(id) }
+
+// List returns snapshots of all jobs in creation order.
+func (m *Manager) List() []*Job { return m.store.List() }
+
+// Cancel stops a job. A queued job is finalized immediately; a running
+// job's context is cancelled with ErrCancelled and its worker finalizes
+// it. Cancelling a terminal job is a no-op. The returned snapshot may
+// still show state Running for an in-flight cancellation.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	m.mu.Lock()
+	cancel, isRunning := m.running[id]
+	m.mu.Unlock()
+	if isRunning {
+		cancel(ErrCancelled)
+		j, _ := m.store.Get(id)
+		return j, nil
+	}
+
+	j, ok := m.store.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("jobs: no job %s", id)
+	}
+	if j.State.Terminal() {
+		return j, nil
+	}
+	// Queued: finalize in place; workers skip non-queued entries.
+	j.State = Cancelled
+	j.Error = ErrCancelled.Error()
+	j.FinishedAt = m.store.Now().UTC()
+	if err := m.store.Update(j); err != nil {
+		return nil, err
+	}
+	m.emit(j)
+	return j, nil
+}
+
+// Stats is the metrics view of the job system.
+type Stats struct {
+	QueueDepth int
+	Running    int
+	Done       int
+	Failed     int
+	Cancelled  int
+	// CheckpointAge is the staleness of the most out-of-date checkpoint
+	// among running jobs, 0 when no running job has checkpointed yet.
+	CheckpointAge time.Duration
+}
+
+// Stats derives gauges from the store, so they survive restarts.
+func (m *Manager) Stats() Stats {
+	now := m.store.Now()
+	var st Stats
+	for _, j := range m.store.List() {
+		switch j.State {
+		case Queued:
+			st.QueueDepth++
+		case Running:
+			st.Running++
+			if !j.CheckpointAt.IsZero() {
+				if age := now.Sub(j.CheckpointAt); age > st.CheckpointAge {
+					st.CheckpointAge = age
+				}
+			}
+		case Done:
+			st.Done++
+		case Failed:
+			st.Failed++
+		case Cancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// Drain stops the manager for shutdown: new submissions are refused,
+// running jobs are cancelled with ErrDraining (their runners checkpoint
+// and the workers re-queue them), and Drain blocks until every worker has
+// finished or ctx expires.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.closed = true
+	for _, cancel := range m.running {
+		cancel(ErrDraining)
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: drain timed out: %w", ctx.Err())
+	}
+}
+
+// work is one worker's loop: pop, run, finalize, repeat.
+func (m *Manager) work() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		id := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.runOne(id)
+	}
+}
+
+// runOne executes a single job end to end.
+func (m *Manager) runOne(id string) {
+	j, ok := m.store.Get(id)
+	if !ok || j.State != Queued {
+		return // cancelled while queued, or gone
+	}
+	j.State = Running
+	j.Attempts++
+	j.StartedAt = m.store.Now().UTC()
+	if err := m.store.Update(j); err != nil {
+		return
+	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m.mu.Lock()
+	if m.draining {
+		// Drain won the race: put the job back without running it.
+		m.mu.Unlock()
+		cancel(ErrDraining)
+		j.State = Queued
+		j.StartedAt = time.Time{}
+		j.Attempts--
+		m.store.Update(j)
+		return
+	}
+	m.running[id] = cancel
+	m.mu.Unlock()
+	m.emit(j)
+
+	upd := func(progress, checkpoint json.RawMessage) {
+		if progress != nil {
+			j.Progress = append(json.RawMessage(nil), progress...)
+		}
+		if checkpoint != nil {
+			j.Checkpoint = append(json.RawMessage(nil), checkpoint...)
+			j.CheckpointAt = m.store.Now().UTC()
+		}
+		m.store.Update(j)
+		m.emit(j)
+	}
+
+	result, err := m.runProtected(ctx, j, upd)
+
+	m.mu.Lock()
+	delete(m.running, id)
+	m.mu.Unlock()
+	cancel(nil)
+
+	cause := context.Cause(ctx)
+	switch {
+	case err == nil:
+		j.State = Done
+		j.Result = result
+		j.Error = ""
+		j.FinishedAt = m.store.Now().UTC()
+	case errors.Is(cause, ErrDraining) || errors.Is(err, ErrDraining):
+		// Back to the queue with the latest checkpoint; the next start
+		// resumes it.
+		j.State = Queued
+		j.StartedAt = time.Time{}
+		m.store.Update(j)
+		m.emit(j)
+		return
+	case errors.Is(cause, ErrCancelled) || errors.Is(err, ErrCancelled):
+		j.State = Cancelled
+		j.Error = ErrCancelled.Error()
+		j.FinishedAt = m.store.Now().UTC()
+	default:
+		j.State = Failed
+		j.Error = err.Error()
+		j.FinishedAt = m.store.Now().UTC()
+	}
+	m.store.Update(j)
+	m.emit(j)
+	m.closeEvents(id)
+}
+
+// runProtected invokes the runner, converting a panic into a job failure
+// instead of killing the worker.
+func (m *Manager) runProtected(ctx context.Context, j *Job, upd func(progress, checkpoint json.RawMessage)) (result json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: runner panicked: %v", r)
+		}
+	}()
+	return m.runner(ctx, j, upd)
+}
+
+// emit appends a job snapshot to its event log and fans it out. A
+// subscriber too slow to keep up has its channel closed; it can
+// re-subscribe from the last seq it saw.
+func (m *Manager) emit(j *Job) {
+	snap := j.Clone()
+	m.evmu.Lock()
+	defer m.evmu.Unlock()
+	log := m.eventLogLocked(j.ID)
+	log.seq++
+	ev := Event{Seq: log.seq, Job: snap}
+	log.hist = append(log.hist, ev)
+	for ch := range log.subs {
+		select {
+		case ch <- ev:
+		default:
+			delete(log.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// closeEvents marks a job's stream finished: live subscribers are closed
+// after the history they already received, and later subscribers get the
+// replay followed by an immediate close.
+func (m *Manager) closeEvents(id string) {
+	m.evmu.Lock()
+	defer m.evmu.Unlock()
+	log := m.eventLogLocked(id)
+	log.closed = true
+	for ch := range log.subs {
+		delete(log.subs, ch)
+		close(ch)
+	}
+}
+
+func (m *Manager) eventLogLocked(id string) *eventLog {
+	log, ok := m.events[id]
+	if !ok {
+		log = &eventLog{subs: map[chan Event]bool{}}
+		m.events[id] = log
+	}
+	return log
+}
+
+// Subscribe returns a channel that replays the job's event history with
+// Seq > after and then streams live events. The channel closes when the
+// job reaches a terminal state or the subscriber falls too far behind
+// (re-subscribe with the last seq to continue). The returned stop function
+// must be called when done.
+func (m *Manager) Subscribe(id string, after int) (<-chan Event, func()) {
+	m.evmu.Lock()
+	defer m.evmu.Unlock()
+	log := m.eventLogLocked(id)
+	ch := make(chan Event, len(log.hist)+64)
+	for _, ev := range log.hist {
+		if ev.Seq > after {
+			ch <- ev
+		}
+	}
+	if log.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	log.subs[ch] = true
+	stop := func() {
+		m.evmu.Lock()
+		defer m.evmu.Unlock()
+		if log.subs[ch] {
+			delete(log.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, stop
+}

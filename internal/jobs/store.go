@@ -1,0 +1,288 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	logName      = "jobs.log"
+	snapshotName = "snapshot.json"
+	// snapshotEvery bounds log growth: after this many appended mutations
+	// the store rewrites the snapshot and truncates the log.
+	snapshotEvery = 256
+	// maxRecordBytes caps one log line; checkpoints dominate record size
+	// and stay far below this.
+	maxRecordBytes = 64 << 20
+)
+
+// Store is the durable job store: an in-memory map backed by a JSONL
+// append log (one full job JSON per mutation, last write wins on replay)
+// plus a periodic snapshot. With dir == "" it is memory-only, which tests
+// and ephemeral servers use.
+//
+// Crash safety comes from the append log being redundant with the
+// snapshot: replay applies the snapshot first, then the log on top, and a
+// torn final line (a crash mid-append) is detected and dropped.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	now  func() time.Time
+	jobs map[string]*Job
+	seq  uint64
+	log  *os.File
+	// appends counts log lines since the last snapshot.
+	appends int
+}
+
+// snapshotFile is the on-disk snapshot payload.
+type snapshotFile struct {
+	Seq  uint64 `json:"seq"`
+	Jobs []*Job `json:"jobs"`
+}
+
+// Open loads (or creates) a store under dir. A nil now defaults to the
+// wall clock; tests inject a fake. Jobs found in state Running were
+// interrupted by a crash or kill — Open re-queues them (checkpoint and
+// attempt count retained) so the manager resumes them.
+func Open(dir string, now func() time.Time) (*Store, error) {
+	if now == nil {
+		now = time.Now
+	}
+	s := &Store{dir: dir, now: now, jobs: map[string]*Job{}}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create data dir: %w", err)
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.recover()
+	// Persist recovery edits and fold the replayed log into a fresh
+	// snapshot, so the next open replays nothing.
+	if err := s.compact(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open log: %w", err)
+	}
+	s.log = f
+	return s, nil
+}
+
+// load replays snapshot.json then jobs.log into the in-memory map.
+func (s *Store) load() error {
+	if b, err := os.ReadFile(filepath.Join(s.dir, snapshotName)); err == nil {
+		var snap snapshotFile
+		if err := json.Unmarshal(b, &snap); err != nil {
+			return fmt.Errorf("jobs: corrupt snapshot: %w", err)
+		}
+		s.seq = snap.Seq
+		for _, j := range snap.Jobs {
+			s.jobs[j.ID] = j
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("jobs: read snapshot: %w", err)
+	}
+
+	f, err := os.Open(filepath.Join(s.dir, logName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobs: read log: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), maxRecordBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(line, &j); err != nil || j.ID == "" {
+			// A torn tail from a crash mid-append; everything before it
+			// already applied, so stop replaying here.
+			break
+		}
+		s.jobs[j.ID] = &j
+		if n := idSeq(j.ID); n > s.seq {
+			s.seq = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("jobs: scan log: %w", err)
+	}
+	return nil
+}
+
+// recover re-queues jobs a previous process died while running.
+func (s *Store) recover() {
+	for _, j := range s.jobs {
+		if j.State == Running {
+			j.State = Queued
+			j.StartedAt = time.Time{}
+		}
+	}
+}
+
+// idSeq parses the numeric part of a "jNNNNNNNN" id, 0 if malformed.
+func idSeq(id string) uint64 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// Create appends a new queued job and returns a snapshot of it.
+func (s *Store) Create(kind string, req json.RawMessage) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j%08d", s.seq),
+		Kind:      kind,
+		State:     Queued,
+		Request:   append(json.RawMessage(nil), req...),
+		CreatedAt: s.now().UTC(),
+	}
+	s.jobs[j.ID] = j
+	if err := s.appendLocked(j); err != nil {
+		return nil, err
+	}
+	return j.Clone(), nil
+}
+
+// Get returns a snapshot of one job.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.Clone(), true
+}
+
+// List returns snapshots of all jobs ordered by ID (= creation order).
+func (s *Store) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.Clone())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Update persists a new version of the job (whole-record, last-wins).
+func (s *Store) Update(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[j.ID]; !ok {
+		return fmt.Errorf("jobs: update unknown job %s", j.ID)
+	}
+	c := j.Clone()
+	s.jobs[j.ID] = c
+	return s.appendLocked(c)
+}
+
+// Now returns the store's clock reading (the injected clock in tests).
+func (s *Store) Now() time.Time { return s.now() }
+
+// appendLocked writes one log line and snapshots when the log has grown.
+func (s *Store) appendLocked(j *Job) error {
+	if s.log == nil {
+		return nil
+	}
+	b, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Errorf("jobs: marshal job: %w", err)
+	}
+	if _, err := s.log.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("jobs: append log: %w", err)
+	}
+	s.appends++
+	if s.appends >= snapshotEvery {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// compact writes a snapshot and truncates the log (open-time path, before
+// the append handle exists).
+func (s *Store) compact() error {
+	if err := s.writeSnapshot(); err != nil {
+		return err
+	}
+	if err := os.Truncate(filepath.Join(s.dir, logName), 0); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("jobs: truncate log: %w", err)
+	}
+	s.appends = 0
+	return nil
+}
+
+// rotateLocked is compact for a live store: snapshot, then reset the open
+// append handle.
+func (s *Store) rotateLocked() error {
+	if err := s.writeSnapshot(); err != nil {
+		return err
+	}
+	if err := s.log.Truncate(0); err != nil {
+		return fmt.Errorf("jobs: truncate log: %w", err)
+	}
+	if _, err := s.log.Seek(0, 0); err != nil {
+		return fmt.Errorf("jobs: rewind log: %w", err)
+	}
+	s.appends = 0
+	return nil
+}
+
+// writeSnapshot atomically replaces snapshot.json (tmp + rename).
+func (s *Store) writeSnapshot() error {
+	jobsByID := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobsByID = append(jobsByID, j)
+	}
+	sort.Slice(jobsByID, func(a, b int) bool { return jobsByID[a].ID < jobsByID[b].ID })
+	b, err := json.Marshal(snapshotFile{Seq: s.seq, Jobs: jobsByID})
+	if err != nil {
+		return fmt.Errorf("jobs: marshal snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("jobs: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("jobs: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the append log. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Sync()
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	s.log = nil
+	return err
+}

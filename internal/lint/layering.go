@@ -22,6 +22,9 @@ var allowedImports = map[string][]string{
 	"repro/internal/arch":      {},
 	"repro/internal/workload":  {},
 	"repro/internal/memo":      {},
+	// jobs is a stdlib-only leaf: the server injects the runner, so the
+	// job subsystem must never reach back into serve or the mapper.
+	"repro/internal/jobs": {},
 	"repro/internal/energy":    {"repro/internal/arch"},
 	"repro/internal/core":      {"repro/internal/arch", "repro/internal/energy", "repro/internal/workload"},
 	"repro/internal/notation":  {"repro/internal/core", "repro/internal/diag", "repro/internal/workload"},

@@ -62,6 +62,30 @@ func TestTreeSearchSeedDeterminismFullTrace(t *testing.T) {
 	}
 }
 
+// TestTreeSearchDeterminismAcrossParallelismAndResume: the ISSUE 5
+// satellite check in one place — the same seed with Parallel ∈ {1, 2, 8}
+// and with a mid-run checkpoint/resume (through the JSON codec) all yield
+// the identical best encoding, cycles, factors, and trace.
+func TestTreeSearchDeterminismAcrossParallelismAndResume(t *testing.T) {
+	want := runGA(t, 1)
+	for _, p := range []int{2, 8} {
+		if got := runGA(t, p); !want.equal(got) {
+			t.Fatalf("Parallel=1 and Parallel=%d differ:\n%+v\n%+v", p, got, want)
+		}
+	}
+
+	cp := interruptAt(t, checkpointSearch(t, 2), 2) // gens 1–2 done, 3–5 to go
+	resumed := checkpointSearch(t, 8)               // resume at different parallelism too
+	if err := resumed.Resume(cp); err != nil {
+		t.Fatal(err)
+	}
+	got := outcomeOf(t, resumed.Run())
+	full := outcomeOf(t, checkpointSearch(t, 1).Run())
+	if !got.equal(full) {
+		t.Fatalf("checkpoint/resume run differs from uninterrupted run:\n%+v\n%+v", got, full)
+	}
+}
+
 // TestTreeSearchSeedDeterminismAcrossGOMAXPROCS: the scheduler setting must
 // not leak into results either.
 func TestTreeSearchSeedDeterminismAcrossGOMAXPROCS(t *testing.T) {

@@ -48,6 +48,33 @@ type TreeSearch struct {
 	// searches sharing the cache, such as the evaluation service) skip the
 	// MCTS re-tuning. Nil allocates a private cache for this run.
 	Cache memo.Cache
+
+	// Progress, when set, is called after every completed generation with
+	// the best-so-far and a Checkpoint that resumes the search immediately
+	// after that generation. Callers persist the checkpoint (the job
+	// subsystem writes it to the job store, the CLI to -checkpoint) so a
+	// killed search can continue instead of starting over.
+	Progress func(ProgressEvent)
+	// Checkpoint, when non-nil and valid for this configuration, resumes a
+	// previous run at its recorded generation instead of starting fresh.
+	// Install it via Resume, which validates compatibility; RunContext
+	// silently ignores an incompatible checkpoint (a server recovering a
+	// job after a format change restarts the search rather than failing).
+	Checkpoint *Checkpoint
+}
+
+// ProgressEvent reports one completed GA generation.
+type ProgressEvent struct {
+	// Generation counts completed generations (1-based); Generations is
+	// the total budget.
+	Generation  int
+	Generations int
+	// BestCycles is the best-so-far cycle count, +Inf while no feasible
+	// candidate has been seen; BestEncoding is its Fig 7b rendering.
+	BestCycles   float64
+	BestEncoding string
+	// Checkpoint resumes the search immediately after this generation.
+	Checkpoint *Checkpoint
 }
 
 // TreeSearchResult is the outcome of a 3D-space exploration.
@@ -70,48 +97,118 @@ func (s *TreeSearch) Run() *TreeSearchResult {
 	return s.RunContext(context.Background())
 }
 
-// RunContext is Run with cancellation: the search stops at the next
-// generation boundary once ctx is done and returns the best result found so
-// far.
-func (s *TreeSearch) RunContext(ctx context.Context) *TreeSearchResult {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	pop := s.Population
+// knobs normalizes the GA configuration the same way RunContext applies
+// it, so checkpoints and cache keys agree with the effective values.
+func (s *TreeSearch) knobs() (pop, gens, topK, rounds int) {
+	pop = s.Population
 	if pop <= 0 {
 		pop = 20
 	}
-	gens := s.Generations
+	gens = s.Generations
 	if gens <= 0 {
 		gens = 50
 	}
-	topK := s.TopK
+	topK = s.TopK
 	if topK <= 0 {
 		topK = pop / 4
 		if topK < 2 {
 			topK = 2
 		}
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
+	rounds = s.TileRounds
+	if rounds <= 0 {
+		rounds = 40
+	}
+	return pop, gens, topK, rounds
+}
+
+// RunContext is Run with cancellation: the search stops at the next
+// generation boundary once ctx is done and returns the best result found so
+// far. A cancellation that lands mid-generation discards that generation's
+// partial fitness results — they were cut short of their full MCTS budget,
+// so keeping them would break both determinism and the shared fitness
+// cache — leaving the result exactly at the last completed checkpoint.
+func (s *TreeSearch) RunContext(ctx context.Context) *TreeSearchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pop, gens, topK, rounds := s.knobs()
 	n := len(s.G.Ops)
 
-	individuals := make([]*individual, pop)
-	individuals[0] = &individual{enc: LayerwiseEncoding(n)} // always seed no-fusion
-	for i := 1; i < pop; i++ {
-		individuals[i] = &individual{enc: s.randomEncoding(rng)}
-	}
+	src := &countingSource{src: rand.NewSource(s.Seed)}
+	rng := rand.New(src)
 
 	cache := s.Cache
 	if cache == nil {
 		cache = memo.NewShardedLRU(4096)
 	}
 	prefix := s.fitnessKeyPrefix()
+	fp := strings.TrimSuffix(prefix, "|")
+
 	res := &TreeSearchResult{}
-	for g := 0; g < gens; g++ {
+	tuned := map[string]*TunedStats{}
+	var bestStats *TunedStats
+	startGen := 0
+	var individuals []*individual
+
+	if cp := s.Checkpoint; cp != nil && cp.Fingerprint == fp &&
+		cp.Population == pop && cp.Generations == gens && cp.TopK == topK {
+		// Restore: population, RNG position, per-candidate statistics (also
+		// seeded into the fitness cache so resumed candidates skip MCTS),
+		// best-so-far, and trace.
+		startGen = cp.NextGen
+		src.skip(cp.RNGDraws)
+		individuals = make([]*individual, len(cp.Individuals))
+		for i, es := range cp.Individuals {
+			individuals[i] = &individual{enc: es.encoding()}
+		}
+		for i := range cp.Tuned {
+			ts := cp.Tuned[i]
+			key := ts.Encoding.encoding().String()
+			tuned[key] = &ts
+			if _, ok := cache.Get(prefix + key); !ok {
+				cache.Put(prefix+key, ts.cachedFitness())
+			}
+		}
+		if cp.Best != nil {
+			b := *cp.Best
+			bestStats = &b
+			res.Best = &Evaluation{Factors: cloneFactors(b.Factors), Cycles: float64(b.Cycles)}
+			res.Encoding = b.Encoding.encoding()
+		}
+		res.Trace = make([]float64, len(cp.Trace))
+		for i, v := range cp.Trace {
+			res.Trace[i] = float64(v)
+		}
+	} else {
+		individuals = make([]*individual, pop)
+		individuals[0] = &individual{enc: LayerwiseEncoding(n)} // always seed no-fusion
+		for i := 1; i < pop; i++ {
+			individuals[i] = &individual{enc: s.randomEncoding(rng)}
+		}
+	}
+
+	for g := startGen; g < gens; g++ {
 		if ctx.Err() != nil {
 			break
 		}
 		s.evaluatePopulation(ctx, individuals, cache, prefix)
+		if ctx.Err() != nil {
+			break // mid-generation cancel: discard the partial generation
+		}
+		for _, ind := range individuals {
+			key := ind.enc.String()
+			if _, ok := tuned[key]; ok {
+				continue
+			}
+			st := &TunedStats{Encoding: encodingState(ind.enc), Cycles: cpFloat(ind.cycles), Rounds: rounds}
+			if ind.eval == nil {
+				st.Infeasible = true
+			} else {
+				st.Factors = cloneFactors(ind.eval.Factors)
+			}
+			tuned[key] = st
+		}
 		sort.SliceStable(individuals, func(i, j int) bool {
 			return individuals[i].cycles < individuals[j].cycles
 		})
@@ -119,31 +216,67 @@ func (s *TreeSearch) RunContext(ctx context.Context) *TreeSearchResult {
 			(res.Best == nil || best.cycles < res.Best.Cycles) {
 			res.Best = best.eval
 			res.Encoding = best.enc.Clone()
+			bestStats = tuned[best.enc.String()]
 		}
 		if res.Best != nil {
 			res.Trace = append(res.Trace, res.Best.Cycles)
 		} else {
 			res.Trace = append(res.Trace, math.Inf(1))
 		}
-		if g == gens-1 {
-			break
+		if g < gens-1 {
+			// Next generation: keep the top-K, fill with crossovers and
+			// mutations of survivors.
+			next := make([]*individual, 0, pop)
+			for i := 0; i < topK && i < len(individuals); i++ {
+				next = append(next, &individual{enc: individuals[i].enc.Clone()})
+			}
+			for len(next) < pop {
+				a := individuals[rng.Intn(topK)].enc
+				b := individuals[rng.Intn(topK)].enc
+				child := s.crossover(a, b, rng)
+				s.mutate(child, rng)
+				next = append(next, &individual{enc: child})
+			}
+			individuals = next
 		}
-		// Next generation: keep the top-K, fill with crossovers and
-		// mutations of survivors.
-		next := make([]*individual, 0, pop)
-		for i := 0; i < topK && i < len(individuals); i++ {
-			next = append(next, &individual{enc: individuals[i].enc.Clone()})
+		if s.Progress != nil {
+			bc, be := math.Inf(1), ""
+			if res.Best != nil {
+				bc, be = res.Best.Cycles, res.Encoding.String()
+			}
+			s.Progress(ProgressEvent{
+				Generation:   g + 1,
+				Generations:  gens,
+				BestCycles:   bc,
+				BestEncoding: be,
+				Checkpoint:   s.checkpoint(fp, pop, gens, topK, rounds, g+1, src.draws, individuals, tuned, bestStats, res.Trace),
+			})
 		}
-		for len(next) < pop {
-			a := individuals[rng.Intn(topK)].enc
-			b := individuals[rng.Intn(topK)].enc
-			child := s.crossover(a, b, rng)
-			s.mutate(child, rng)
-			next = append(next, &individual{enc: child})
-		}
-		individuals = next
 	}
+	s.finalize(res)
 	return res
+}
+
+// finalize re-derives the winner's full core.Result when the best came out
+// of a restored checkpoint (checkpoints store factors and cycles, not the
+// whole result). The evaluation is a pure function of the tree, so the
+// rebuilt result is identical to the one the original run computed.
+func (s *TreeSearch) finalize(res *TreeSearchResult) {
+	if res.Best == nil || res.Best.Result != nil {
+		return
+	}
+	gd := NewGeneratedDataflow("candidate", s.G, s.Spec, res.Encoding)
+	root, err := gd.Build(res.Best.Factors)
+	if err != nil {
+		return
+	}
+	r, err := core.Evaluate(root, s.G, s.Spec, s.Opts)
+	if err != nil {
+		return
+	}
+	// Clone rather than mutate: the Result-less Evaluation may be shared
+	// through the fitness cache with concurrent searches.
+	res.Best = &Evaluation{Factors: res.Best.Factors, Cycles: res.Best.Cycles, Result: r}
 }
 
 // cachedFitness is the memoized outcome of tuning one encoding.
@@ -183,6 +316,14 @@ func (s *TreeSearch) evaluatePopulation(ctx context.Context, pop []*individual, 
 		}(j)
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		// The generation was cut short: these fitness values come from
+		// truncated MCTS runs, not the deterministic full-budget outcomes.
+		// Caching them would poison this search's resume path and every
+		// other search sharing the cache, so the whole generation is
+		// discarded.
+		return
+	}
 	for _, j := range jobs {
 		cache.Put(prefix+j.ind.enc.String(), &cachedFitness{cycles: j.ind.cycles, eval: j.ind.eval})
 	}

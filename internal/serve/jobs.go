@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/mapper"
+)
+
+// searchJobKind tags search jobs in the store; future job kinds dispatch
+// on it.
+const searchJobKind = "search"
+
+// SearchProgress is the progress payload attached to a running search
+// job: how far the GA is and the best design point so far. BestCycles is
+// omitted until the first feasible candidate (its value would be +Inf,
+// which JSON cannot carry).
+type SearchProgress struct {
+	Generation  int      `json:"generation"`
+	Generations int      `json:"generations"`
+	BestCycles  *float64 `json:"best_cycles,omitempty"`
+	BestEncoding string  `json:"best_encoding,omitempty"`
+}
+
+// runSearchJob is the jobs.Runner for searchJobKind: it replays the
+// synchronous /v1/search pipeline asynchronously, reusing the same shared
+// fitness cache and worker width, checkpointing at every generation
+// boundary, and resuming from job.Checkpoint when present. On success it
+// also warms the synchronous search cache, so a later POST /v1/search for
+// the same point is a hit.
+func (s *Server) runSearchJob(ctx context.Context, job *jobs.Job, upd func(progress, checkpoint json.RawMessage)) (json.RawMessage, error) {
+	var req SearchRequest
+	if err := json.Unmarshal(job.Request, &req); err != nil {
+		return nil, fmt.Errorf("bad search request: %w", err)
+	}
+	spec, g, err := resolveArchGraph(req.Arch, req.ArchSpec, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		SkipCapacityCheck: req.SkipCapacityCheck,
+		SkipPECheck:       req.SkipPECheck,
+		DisableRetention:  req.DisableRetention,
+	}
+	ts := &mapper.TreeSearch{
+		G: g, Spec: spec, Opts: opts,
+		Population: req.Population, Generations: req.Generations,
+		TileRounds: req.TileRounds, TopK: req.TopK,
+		Parallel: s.pool.Workers(), Seed: req.Seed,
+		Cache: s.cache,
+	}
+	if len(job.Checkpoint) > 0 {
+		// A checkpoint that no longer matches (deploy changed defaults,
+		// hand-edited store) must not poison the job: fall back to a fresh
+		// start, which is always correct, just slower.
+		if cp, err := mapper.DecodeCheckpoint(job.Checkpoint); err == nil {
+			ts.Resume(cp)
+		}
+	}
+	ts.Progress = func(p mapper.ProgressEvent) {
+		prog := SearchProgress{
+			Generation:   p.Generation,
+			Generations:  p.Generations,
+			BestEncoding: p.BestEncoding,
+		}
+		if !math.IsInf(p.BestCycles, 0) {
+			c := p.BestCycles
+			prog.BestCycles = &c
+		}
+		pb, err := json.Marshal(&prog)
+		if err != nil {
+			return
+		}
+		cb, err := mapper.EncodeCheckpoint(p.Checkpoint)
+		if err != nil {
+			return
+		}
+		upd(pb, cb)
+	}
+
+	res := ts.RunContext(ctx)
+	if err := context.Cause(ctx); err != nil {
+		// Cancelled or draining: the manager decides the final state from
+		// the cause; the latest checkpoint is already persisted.
+		return nil, err
+	}
+	if res.Best == nil {
+		return nil, unprocessable(fmt.Errorf("no valid dataflow found for %s on %s", g.Name, spec.Name))
+	}
+	resp, err := NewSearchResponse(g, spec, res, false)
+	if err != nil {
+		return nil, err
+	}
+	key := searchKey(spec, g, req.Population, req.Generations, req.TileRounds, req.TopK, req.Seed, opts)
+	s.cache.Put(key, resp)
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// JobJSON is the API view of a job. Result is the full SearchResponse of
+// a done job; Progress is a SearchProgress while running. The raw
+// checkpoint stays server-side — clients only see that (and when) one
+// exists.
+type JobJSON struct {
+	ID            string          `json:"id"`
+	Kind          string          `json:"kind"`
+	State         string          `json:"state"`
+	CreatedAt     time.Time       `json:"created_at"`
+	StartedAt     *time.Time      `json:"started_at,omitempty"`
+	FinishedAt    *time.Time      `json:"finished_at,omitempty"`
+	Attempts      int             `json:"attempts,omitempty"`
+	Progress      json.RawMessage `json:"progress,omitempty"`
+	HasCheckpoint bool            `json:"has_checkpoint,omitempty"`
+	CheckpointAt  *time.Time      `json:"checkpoint_at,omitempty"`
+	Result        json.RawMessage `json:"result,omitempty"`
+	Error         string          `json:"error,omitempty"`
+}
+
+// NewJobJSON converts a stored job to its API view.
+func NewJobJSON(j *jobs.Job) *JobJSON {
+	v := &JobJSON{
+		ID:            j.ID,
+		Kind:          j.Kind,
+		State:         string(j.State),
+		CreatedAt:     j.CreatedAt,
+		Attempts:      j.Attempts,
+		Progress:      j.Progress,
+		HasCheckpoint: len(j.Checkpoint) > 0,
+		Result:        j.Result,
+		Error:         j.Error,
+	}
+	if !j.StartedAt.IsZero() {
+		t := j.StartedAt
+		v.StartedAt = &t
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt
+		v.FinishedAt = &t
+	}
+	if !j.CheckpointAt.IsZero() {
+		t := j.CheckpointAt
+		v.CheckpointAt = &t
+	}
+	return v
+}
+
+// handleJobSubmit answers POST /v1/jobs/search: validate eagerly (a bad
+// request earns a 400 now, not a failed job later), then enqueue and
+// return 202 with the job snapshot.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("jobs_submit")
+	var req SearchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if _, _, err := resolveArchGraph(req.Arch, req.ArchSpec, req.Workload); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.jobs.Submit(searchJobKind, body)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, jobs.ErrDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, NewJobJSON(j))
+}
+
+// JobListResponse answers GET /v1/jobs.
+type JobListResponse struct {
+	Jobs []*JobJSON `json:"jobs"`
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("jobs_list")
+	all := s.jobs.List()
+	out := &JobListResponse{Jobs: make([]*JobJSON, len(all))}
+	for i, j := range all {
+		out.Jobs[i] = NewJobJSON(j)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("jobs_get")
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", r.PathValue("id")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, NewJobJSON(j))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("jobs_cancel")
+	j, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, NewJobJSON(j))
+}
+
+// handleJobEvents answers GET /v1/jobs/{id}/events with a Server-Sent
+// Events stream of job snapshots: the full history first (or the part
+// after ?after=N / Last-Event-ID), then live updates until the job
+// reaches a terminal state or the client goes away.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("jobs_events")
+	id := r.PathValue("id")
+	if _, ok := s.jobs.Get(id); !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		after, _ = strconv.Atoi(v)
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.Atoi(v)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		ch, stop := s.jobs.Subscribe(id, after)
+		streaming := true
+		for streaming {
+			select {
+			case <-r.Context().Done():
+				stop()
+				return
+			case ev, open := <-ch:
+				if !open {
+					// Terminal job, or this client fell behind and was
+					// dropped; re-subscribing after the last seq resolves
+					// both (the loop ends below if the job is finished).
+					streaming = false
+					break
+				}
+				after = ev.Seq
+				b, err := json.Marshal(NewJobJSON(ev.Job))
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "id: %d\nevent: job\ndata: %s\n\n", ev.Seq, b)
+				flusher.Flush()
+			}
+		}
+		stop()
+		if j, ok := s.jobs.Get(id); !ok || j.State.Terminal() {
+			return
+		}
+	}
+}

@@ -10,7 +10,10 @@ import (
 )
 
 // endpoints the request counter tracks, in stable output order.
-var endpointNames = []string{"evaluate", "evaluate_batch", "search", "vet"}
+var endpointNames = []string{
+	"evaluate", "evaluate_batch", "search", "vet",
+	"jobs_submit", "jobs_list", "jobs_get", "jobs_events", "jobs_cancel",
+}
 
 // Metrics collects the service counters exported at /metrics in Prometheus
 // text exposition format, using only the standard library.
@@ -119,6 +122,26 @@ func (m *Metrics) WritePrometheus(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "# HELP tileflow_worker_slots Worker pool size.\n")
 	fmt.Fprintf(w, "# TYPE tileflow_worker_slots gauge\n")
 	fmt.Fprintf(w, "tileflow_worker_slots %d\n", s.pool.Workers())
+
+	js := s.jobs.Stats()
+	fmt.Fprintf(w, "# HELP tileflow_jobs_queue_depth Search jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_jobs_queue_depth gauge\n")
+	fmt.Fprintf(w, "tileflow_jobs_queue_depth %d\n", js.QueueDepth)
+	fmt.Fprintf(w, "# HELP tileflow_jobs_running Search jobs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_jobs_running gauge\n")
+	fmt.Fprintf(w, "tileflow_jobs_running %d\n", js.Running)
+	fmt.Fprintf(w, "# HELP tileflow_jobs_completed_total Jobs that finished successfully.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_jobs_completed_total counter\n")
+	fmt.Fprintf(w, "tileflow_jobs_completed_total %d\n", js.Done)
+	fmt.Fprintf(w, "# HELP tileflow_jobs_failed_total Jobs that ended in an error.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_jobs_failed_total counter\n")
+	fmt.Fprintf(w, "tileflow_jobs_failed_total %d\n", js.Failed)
+	fmt.Fprintf(w, "# HELP tileflow_jobs_cancelled_total Jobs cancelled by clients.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_jobs_cancelled_total counter\n")
+	fmt.Fprintf(w, "tileflow_jobs_cancelled_total %d\n", js.Cancelled)
+	fmt.Fprintf(w, "# HELP tileflow_job_checkpoint_age_seconds Staleness of the most out-of-date checkpoint among running jobs.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_job_checkpoint_age_seconds gauge\n")
+	fmt.Fprintf(w, "tileflow_job_checkpoint_age_seconds %g\n", js.CheckpointAge.Seconds())
 
 	qs, count, sum := m.latency.quantiles([]float64{0.5, 0.99})
 	fmt.Fprintf(w, "# HELP tileflow_evaluate_latency_seconds Evaluate request latency.\n")

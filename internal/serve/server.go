@@ -13,6 +13,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/jobs"
 	"repro/internal/mapper"
 	"repro/internal/memo"
 	"repro/internal/notation"
@@ -30,6 +31,14 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBatch caps the requests accepted in one batch call (default 256).
 	MaxBatch int
+	// DataDir is where the async job store persists its log and snapshot.
+	// Empty means memory-only jobs: fully functional, lost on restart.
+	DataDir string
+	// JobWorkers bounds concurrently running search jobs (default 1; each
+	// job already parallelizes its fitness evaluation over the pool width).
+	JobWorkers int
+	// Clock overrides the wall clock for job timestamps (tests only).
+	Clock func() time.Time
 }
 
 // Server is the concurrent evaluation service. All mutable state is the
@@ -52,10 +61,26 @@ type Server struct {
 	metrics  *Metrics
 	mux      *http.ServeMux
 	started  time.Time
+	store    *jobs.Store
+	jobs     *jobs.Manager
 }
 
-// New builds a Server with the config's defaults applied.
+// New builds a Server with the config's defaults applied. It panics when
+// the job store cannot be opened; use Open to handle that error (a config
+// without DataDir cannot fail).
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Server, opening (and recovering) the durable job store
+// under cfg.DataDir. Jobs interrupted by a previous crash or drain are
+// queued again and resume from their checkpoints as soon as the job
+// workers start.
+func Open(cfg Config) (*Server, error) {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 8192
 	}
@@ -64,6 +89,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 1
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -75,17 +103,43 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 	}
+	store, err := jobs.Open(cfg.DataDir, cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+	s.jobs, err = jobs.NewManager(store, jobs.Config{Workers: cfg.JobWorkers, Runner: s.runSearchJob})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/evaluate/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/vet", s.handleVet)
+	s.mux.HandleFunc("POST /v1/jobs/search", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler is the HTTP entry point.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the job subsystem and closes the store: running jobs are
+// cancelled with the draining cause, their runners checkpoint, and the
+// jobs go back to queued on disk, to be resumed by the next process.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.jobs.Drain(ctx)
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // CacheStats snapshots the memoization counters.
 func (s *Server) CacheStats() memo.Stats { return s.cache.Stats() }
@@ -506,23 +560,9 @@ func (s *Server) searchOne(ctx context.Context, req *SearchRequest) (*SearchResp
 			}
 			return unprocessable(fmt.Errorf("no valid dataflow found for %s on %s", g.Name, spec.Name))
 		}
-		gd := mapper.NewGeneratedDataflow("best", g, spec, res.Encoding)
-		root, err := gd.Build(res.Best.Factors)
-		if err != nil {
-			return err
-		}
-		resp = &SearchResponse{
-			Workload: g.Name,
-			Arch:     spec.Name,
-			TimedOut: ctx.Err() != nil,
-			Cycles:   res.Best.Cycles,
-			Encoding: res.Encoding.String(),
-			Factors:  res.Best.Factors,
-			Notation: notation.Print(root),
-			Trace:    res.Trace,
-			Result:   NewResultJSON(res.Best.Result, spec),
-		}
-		return nil
+		var err error
+		resp, err = NewSearchResponse(g, spec, res, ctx.Err() != nil)
+		return err
 	})
 	if perr != nil {
 		return nil, perr
@@ -531,6 +571,29 @@ func (s *Server) searchOne(ctx context.Context, req *SearchRequest) (*SearchResp
 		s.cache.Put(key, resp)
 	}
 	return resp, nil
+}
+
+// NewSearchResponse renders a finished search into the shared response
+// shape: it rebuilds the winning tree for the notation dump and result
+// block, so the synchronous endpoint, the async jobs, and the CLI all
+// report a search identically.
+func NewSearchResponse(g *workload.Graph, spec *arch.Spec, res *mapper.TreeSearchResult, timedOut bool) (*SearchResponse, error) {
+	gd := mapper.NewGeneratedDataflow("best", g, spec, res.Encoding)
+	root, err := gd.Build(res.Best.Factors)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchResponse{
+		Workload: g.Name,
+		Arch:     spec.Name,
+		TimedOut: timedOut,
+		Cycles:   res.Best.Cycles,
+		Encoding: res.Encoding.String(),
+		Factors:  res.Best.Factors,
+		Notation: notation.Print(root),
+		Trace:    res.Trace,
+		Result:   NewResultJSON(res.Best.Result, spec),
+	}, nil
 }
 
 // Healthz answers liveness probes.
