@@ -48,7 +48,12 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline")
 	maxBatch := flag.Int("max-batch", 256, "max design points per batch request")
 	dataDir := flag.String("data-dir", "", "directory for the durable job store (empty = in-memory jobs)")
-	jobWorkers := flag.Int("job-workers", 1, "concurrent async search jobs")
+	jobWorkers := flag.Int("job-workers", 0, "concurrent async search jobs (0 = GOMAXPROCS, -1 = none: coordinator-only)")
+	coordinator := flag.String("coordinator", "", "coordinator base URL; set to run as a fleet worker (e.g. http://host:8080)")
+	fleetListen := flag.String("fleet-listen", "", "dedicated listen address for the fleet peer protocol (empty = serve it on -addr)")
+	node := flag.String("node", "", "fleet node name for lease ownership and metrics (default hostname-pid)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "lease TTL granted to fleet workers when coordinating")
+	jobRetention := flag.Duration("job-retention", 0, "evict finished jobs older than this horizon (0 = keep forever)")
 	flag.Parse()
 
 	srv, err := serve.Open(serve.Config{
@@ -58,6 +63,10 @@ func main() {
 		MaxBatch:     *maxBatch,
 		DataDir:      *dataDir,
 		JobWorkers:   *jobWorkers,
+		Coordinator:  *coordinator,
+		FleetNode:    *node,
+		LeaseTTL:     *leaseTTL,
+		JobRetention: *jobRetention,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tileflow-serve:", err)
@@ -69,12 +78,32 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	var fs *http.Server
+	if *fleetListen != "" {
+		// A dedicated peer listener keeps claim/renew/checkpoint traffic
+		// off the public port; the protocol still answers on -addr too.
+		fs = &http.Server{
+			Addr:              *fleetListen,
+			Handler:           srv.FleetHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("tileflow-serve fleet protocol on %s", *fleetListen)
+			if err := fs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("tileflow-serve: fleet listener: %v", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if fs != nil {
+			fs.Shutdown(shutdownCtx)
+		}
 		hs.Shutdown(shutdownCtx)
 	}()
 

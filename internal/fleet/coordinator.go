@@ -1,0 +1,328 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/memo"
+)
+
+// DefaultLeaseTTL is the lease duration granted on claim when the
+// coordinator's config leaves TTL zero. It bounds failover latency: a dead
+// worker's job is re-queued one sweep after this much silence.
+const DefaultLeaseTTL = 15 * time.Second
+
+// Coordinator serves the fleet protocol over one jobs.Store: it leases
+// queued jobs to remote workers, applies their checkpoints and results
+// under fencing-token guard, and re-queues the jobs of workers that stop
+// heartbeating. One process can be coordinator and worker at once — the
+// store's in-process manager claims through the same lease path, so local
+// and remote execution contend safely.
+type Coordinator struct {
+	// Store is the durable job store being leased out; required.
+	Store *jobs.Store
+	// TTL is the lease duration granted on claim (DefaultLeaseTTL if zero).
+	TTL time.Duration
+	// Cache is the shared memoization tier workers consult; nil disables
+	// the memo endpoints (lookups answer "not found").
+	Cache memo.Cache
+	// Codec moves cache values across the wire; required when Cache is set.
+	Codec Codec
+	// OnEvent, when set, observes every job snapshot the protocol mutates —
+	// the composition root fans these into the job event streams so an SSE
+	// watcher on the coordinator follows a search executing on another node.
+	OnEvent func(*jobs.Job)
+	// OnRequeue, when set, is told the ID of every job a sweep (or release)
+	// put back in the queue, so the local manager can schedule it.
+	OnRequeue func(id string)
+
+	claims     atomic.Uint64
+	emptyClaim atomic.Uint64
+	renews     atomic.Uint64
+	stales     atomic.Uint64
+	checkps    atomic.Uint64
+	completes  atomic.Uint64
+	releases   atomic.Uint64
+	failovers  atomic.Uint64
+	sweepCanc  atomic.Uint64
+	memoHits   atomic.Uint64
+	memoMiss   atomic.Uint64
+	memoPuts   atomic.Uint64
+}
+
+// CoordinatorStats is a point-in-time snapshot of the protocol counters,
+// exported on /metrics.
+type CoordinatorStats struct {
+	// Claims counts leases granted; EmptyClaims, claim polls that found an
+	// empty queue.
+	Claims      uint64
+	EmptyClaims uint64
+	// Renews counts successful heartbeats; StaleRejections, writes refused
+	// because the sender's fencing token was superseded.
+	Renews          uint64
+	StaleRejections uint64
+	// Checkpoints counts checkpoint payloads applied; Completes, jobs
+	// finalized by workers; Releases, jobs handed back by draining workers.
+	Checkpoints uint64
+	Completes   uint64
+	Releases    uint64
+	// Failovers counts jobs re-queued by the lease sweep after their worker
+	// went silent; SweepCancels, cancel-requested jobs the sweep finalized.
+	Failovers    uint64
+	SweepCancels uint64
+	// MemoHits/MemoMisses/MemoPuts count shared-cache traffic from workers.
+	MemoHits   uint64
+	MemoMisses uint64
+	MemoPuts   uint64
+}
+
+// Stats snapshots the coordinator counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	return CoordinatorStats{
+		Claims:          c.claims.Load(),
+		EmptyClaims:     c.emptyClaim.Load(),
+		Renews:          c.renews.Load(),
+		StaleRejections: c.stales.Load(),
+		Checkpoints:     c.checkps.Load(),
+		Completes:       c.completes.Load(),
+		Releases:        c.releases.Load(),
+		Failovers:       c.failovers.Load(),
+		SweepCancels:    c.sweepCanc.Load(),
+		MemoHits:        c.memoHits.Load(),
+		MemoMisses:      c.memoMiss.Load(),
+		MemoPuts:        c.memoPuts.Load(),
+	}
+}
+
+func (c *Coordinator) ttl() time.Duration {
+	if c.TTL > 0 {
+		return c.TTL
+	}
+	return DefaultLeaseTTL
+}
+
+// Handler mounts the fleet protocol. The returned handler matches the full
+// /v1/fleet/... paths, so it can be mounted on a shared mux under the
+// "/v1/fleet/" prefix or serve a dedicated peer listener on its own.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fleet/claim", c.handleClaim)
+	mux.HandleFunc("POST /v1/fleet/renew", c.handleRenew)
+	mux.HandleFunc("POST /v1/fleet/checkpoint", c.handleCheckpoint)
+	mux.HandleFunc("POST /v1/fleet/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/fleet/memo/get", c.handleMemoGet)
+	mux.HandleFunc("POST /v1/fleet/memo/put", c.handleMemoPut)
+	return mux
+}
+
+// Sweep re-queues jobs whose leases expired and finalizes expired jobs
+// whose cancellation was requested, reporting both counts. The composition
+// root calls it periodically; claims also sweep implicitly, so a busy fleet
+// fails over even without the timer.
+func (c *Coordinator) Sweep() (requeued, cancelled int) {
+	req, canc := c.Store.SweepExpiredLeases()
+	for _, j := range req {
+		c.failovers.Add(1)
+		c.event(j)
+		if c.OnRequeue != nil {
+			c.OnRequeue(j.ID)
+		}
+	}
+	for _, j := range canc {
+		c.sweepCanc.Add(1)
+		c.event(j)
+	}
+	return len(req), len(canc)
+}
+
+func (c *Coordinator) event(j *jobs.Job) {
+	if c.OnEvent != nil {
+		c.OnEvent(j)
+	}
+}
+
+func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Node == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("claim needs a node name"))
+		return
+	}
+	j, err := c.Store.ClaimNext(req.Node, c.ttl())
+	if errors.Is(err, jobs.ErrNoQueuedJob) {
+		c.emptyClaim.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	c.claims.Add(1)
+	c.event(j)
+	writeJSON(w, http.StatusOK, &claimResponse{Job: j})
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req renewRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	j, err := c.Store.Renew(req.ID, req.Token, c.ttl())
+	if err != nil {
+		c.countStale(err)
+		writeStoreError(w, err)
+		return
+	}
+	c.renews.Add(1)
+	writeJSON(w, http.StatusOK, leaseOf(j))
+}
+
+func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var req checkpointRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	j, err := c.Store.CommitUpdate(req.ID, req.Token, req.Progress, req.Checkpoint)
+	if err != nil {
+		c.countStale(err)
+		writeStoreError(w, err)
+		return
+	}
+	c.checkps.Add(1)
+	c.event(j)
+	writeJSON(w, http.StatusOK, leaseOf(j))
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var j *jobs.Job
+	var err error
+	switch {
+	case req.State == jobs.Queued:
+		// A draining worker hands the job back; its checkpoint stays, so
+		// the next claimant resumes instead of restarting.
+		j, err = c.Store.Release(req.ID, req.Token, false)
+		if err == nil {
+			c.releases.Add(1)
+			c.event(j)
+			if c.OnRequeue != nil {
+				c.OnRequeue(j.ID)
+			}
+		}
+	case req.State.Terminal():
+		j, err = c.Store.Complete(req.ID, req.Token, req.State, req.Result, req.Error)
+		if err == nil {
+			c.completes.Add(1)
+			c.event(j)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadState,
+			fmt.Errorf("complete with state %q; want done, failed, cancelled, or queued", req.State))
+		return
+	}
+	if err != nil {
+		c.countStale(err)
+		writeStoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &completeResponse{Job: j})
+}
+
+func (c *Coordinator) handleMemoGet(w http.ResponseWriter, r *http.Request) {
+	var req memoGetRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if c.Cache != nil && c.Codec.Encode != nil {
+		if v, ok := c.Cache.Get(req.Key); ok {
+			if b, ok := c.Codec.Encode(v); ok {
+				c.memoHits.Add(1)
+				writeJSON(w, http.StatusOK, &memoGetResponse{Found: true, Value: b})
+				return
+			}
+		}
+	}
+	c.memoMiss.Add(1)
+	writeJSON(w, http.StatusOK, &memoGetResponse{Found: false})
+}
+
+func (c *Coordinator) handleMemoPut(w http.ResponseWriter, r *http.Request) {
+	var req memoPutRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if c.Cache == nil || c.Codec.Decode == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	v, err := c.Codec.Decode(req.Value)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad memo value: %w", err))
+		return
+	}
+	// Decode before Put: the coordinator's cache holds native values, so
+	// its own searches and every worker share one evaluation pool.
+	c.Cache.Put(req.Key, v)
+	c.memoPuts.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) countStale(err error) {
+	if errors.Is(err, jobs.ErrStaleLease) {
+		c.stales.Add(1)
+	}
+}
+
+func leaseOf(j *jobs.Job) *leaseResponse {
+	resp := &leaseResponse{CancelRequested: j.CancelRequested}
+	if j.Lease != nil {
+		resp.Expires = j.Lease.Expires
+	}
+	return resp
+}
+
+// writeStoreError maps the store's coded errors onto wire statuses: stale
+// leases are 409 (the caller's claim is gone), unknown jobs 404, claim
+// races 409, anything else a 500.
+func writeStoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrStaleLease):
+		writeError(w, http.StatusConflict, CodeStaleLease, err)
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, CodeUnknownJob, err)
+	case errors.Is(err, jobs.ErrNotQueued):
+		writeError(w, http.StatusConflict, CodeNotQueued, err)
+	default:
+		writeError(w, http.StatusInternalServerError, CodeStoreFailed, err)
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, &errorBody{Error: err.Error(), Code: code})
+}

@@ -1,0 +1,139 @@
+// Package fleet is the multi-node execution layer of the job subsystem: a
+// coordinator that leases jobs out of one durable jobs.Store over a small
+// HTTP peer protocol, and workers on other processes that claim, heartbeat,
+// checkpoint, and complete them.
+//
+// The protocol has four job endpoints plus a shared memoization tier:
+//
+//	POST /v1/fleet/claim       claim the oldest queued job under a TTL lease
+//	POST /v1/fleet/renew       heartbeat: extend the lease, learn of cancels
+//	POST /v1/fleet/checkpoint  ship a progress + checkpoint payload
+//	POST /v1/fleet/complete    finalize (or release) the job under the lease
+//	POST /v1/fleet/memo/get    read the coordinator's shared fitness cache
+//	POST /v1/fleet/memo/put    write-through into the shared fitness cache
+//
+// Safety rests on the store's fencing tokens: every claim carries a token
+// that increases monotonically across the store's lifetime, every write a
+// worker sends quotes it, and the store rejects writes under a superseded
+// token with jobs.ErrStaleLease (wire code "stale_lease"). A partitioned
+// worker whose lease expired can therefore never commit a result — its job
+// was re-queued from its last generation-boundary checkpoint and belongs to
+// whoever claimed it next. Because the checkpoint codec resumes a search
+// with a byte-identical trajectory, migration across nodes is invisible in
+// the job's result and trace.
+//
+// The package sits beside the jobs store in the dependency graph: it
+// imports only internal/jobs and internal/memo, and the fitness-cache value
+// codec is injected (Codec) so fleet never learns the mapper's types. It is
+// inside the determinism lint scope, so all clock reads go through injected
+// now() functions.
+package fleet
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// Codec translates shared-cache values to and from their wire form. The
+// memo tier stores the mapper's unexported fitness values; the composition
+// root (internal/serve) injects the mapper's codec here so the coordinator
+// can hold decoded values in its cache (shared with its own local searches)
+// while workers move them as opaque JSON.
+type Codec struct {
+	// Encode renders a cache value for the wire; ok=false means the value
+	// is not transportable (foreign type in a shared cache) and the lookup
+	// is treated as a miss.
+	Encode func(v any) ([]byte, bool)
+	// Decode parses a wire value back into the cache's native type.
+	Decode func(b []byte) (any, error)
+}
+
+// Wire error codes, mirroring the jobs package's coded errors so a remote
+// worker sees the same taxonomy as an in-process one.
+const (
+	CodeStaleLease  = "stale_lease"
+	CodeUnknownJob  = "unknown_job"
+	CodeNotQueued   = "not_queued"
+	CodeBadRequest  = "bad_request"
+	CodeBadState    = "bad_state"
+	CodeStoreFailed = "store_failed"
+)
+
+// errorBody is the protocol's error envelope: a human-readable message and
+// a stable machine code.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// claimRequest asks for the oldest queued job. Node names the claimant and
+// becomes the lease owner recorded in the store.
+type claimRequest struct {
+	Node string `json:"node"`
+}
+
+// claimResponse hands the claimed job — request, checkpoint, and lease
+// (owner, fencing token, expiry) included — to the worker. An empty queue
+// answers 204 with no body instead.
+type claimResponse struct {
+	Job *jobs.Job `json:"job"`
+}
+
+// renewRequest is the heartbeat: extend the lease on job ID held under
+// Token.
+type renewRequest struct {
+	ID    string `json:"id"`
+	Token uint64 `json:"token"`
+}
+
+// leaseResponse answers renew and checkpoint: the new expiry and whether a
+// client asked to cancel the job (cancellation rides the heartbeat).
+type leaseResponse struct {
+	Expires         time.Time `json:"expires,omitempty"`
+	CancelRequested bool      `json:"cancel_requested,omitempty"`
+}
+
+// checkpointRequest ships one progress + checkpoint payload pair under the
+// lease. Nil fields leave the stored value unchanged.
+type checkpointRequest struct {
+	ID         string          `json:"id"`
+	Token      uint64          `json:"token"`
+	Progress   json.RawMessage `json:"progress,omitempty"`
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// completeRequest finalizes the job under the lease. State must be a
+// terminal jobs state — or "queued", which releases the job back to the
+// queue with its checkpoint intact (the graceful half of failover, used by
+// draining workers).
+type completeRequest struct {
+	ID     string          `json:"id"`
+	Token  uint64          `json:"token"`
+	State  jobs.State      `json:"state"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// completeResponse echoes the finalized job snapshot.
+type completeResponse struct {
+	Job *jobs.Job `json:"job"`
+}
+
+// memoGetRequest looks up one shared-cache key.
+type memoGetRequest struct {
+	Key string `json:"key"`
+}
+
+// memoGetResponse carries the encoded value on a hit.
+type memoGetResponse struct {
+	Found bool            `json:"found"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// memoPutRequest writes one encoded value through to the shared cache.
+type memoPutRequest struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/memo"
+)
+
+// RemoteCache is the worker-side view of the coordinator's shared fitness
+// cache: a memo.Cache that reads through a local tier first and falls back
+// to the peer, and writes through to both. Plugged into the mapper's GA as
+// its fitness cache, it means an encoding tuned on any node is tuned once
+// fleet-wide.
+//
+// Peer failures degrade, never break: an unreachable coordinator turns
+// every remote lookup into a miss and every remote write into a no-op, and
+// the local tier keeps the search correct on its own.
+type RemoteCache struct {
+	// Local is the first-tier cache (required); typically the node's own
+	// service cache, so local and fleet searches share entries too.
+	Local memo.Cache
+	// Coordinator is the peer base URL.
+	Coordinator string
+	// Codec moves values across the wire; values it cannot encode stay
+	// local-only.
+	Codec Codec
+	// Client is the HTTP client for peer calls (default http.DefaultClient).
+	Client *http.Client
+
+	remoteHits   atomic.Uint64
+	remoteMisses atomic.Uint64
+	remotePuts   atomic.Uint64
+	remoteErrors atomic.Uint64
+}
+
+// RemoteStats counts second-tier traffic (the local tier keeps its own
+// memo.Stats).
+type RemoteStats struct {
+	// Hits are local misses served by the coordinator; Misses went to the
+	// peer and came back empty.
+	Hits   uint64
+	Misses uint64
+	// Puts counts values shipped to the coordinator; Errors, peer calls
+	// that failed outright (treated as misses/no-ops).
+	Puts   uint64
+	Errors uint64
+}
+
+// RemoteStats snapshots the second-tier counters.
+func (c *RemoteCache) RemoteStats() RemoteStats {
+	return RemoteStats{
+		Hits:   c.remoteHits.Load(),
+		Misses: c.remoteMisses.Load(),
+		Puts:   c.remotePuts.Load(),
+		Errors: c.remoteErrors.Load(),
+	}
+}
+
+func (c *RemoteCache) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// Get implements memo.Cache: local tier first, then the coordinator. A
+// remote hit is decoded and installed locally, so the next lookup is free.
+func (c *RemoteCache) Get(key string) (any, bool) {
+	if v, ok := c.Local.Get(key); ok {
+		return v, true
+	}
+	v, ok := c.remoteGet(key)
+	if !ok {
+		return nil, false
+	}
+	c.Local.Put(key, v)
+	return v, true
+}
+
+// Put implements memo.Cache: write-through to the local tier and the
+// coordinator.
+func (c *RemoteCache) Put(key string, v any) {
+	c.Local.Put(key, v)
+	c.remotePut(key, v)
+}
+
+// Len implements memo.Cache, reporting the local tier.
+func (c *RemoteCache) Len() int { return c.Local.Len() }
+
+// Stats implements memo.Cache, reporting the local tier; remote traffic is
+// under RemoteStats.
+func (c *RemoteCache) Stats() memo.Stats { return c.Local.Stats() }
+
+func (c *RemoteCache) remoteGet(key string) (any, bool) {
+	if c.Codec.Decode == nil {
+		return nil, false
+	}
+	var resp memoGetResponse
+	if err := c.post("/v1/fleet/memo/get", &memoGetRequest{Key: key}, &resp); err != nil {
+		c.remoteErrors.Add(1)
+		return nil, false
+	}
+	if !resp.Found {
+		c.remoteMisses.Add(1)
+		return nil, false
+	}
+	v, err := c.Codec.Decode(resp.Value)
+	if err != nil {
+		c.remoteErrors.Add(1)
+		return nil, false
+	}
+	c.remoteHits.Add(1)
+	return v, true
+}
+
+func (c *RemoteCache) remotePut(key string, v any) {
+	if c.Codec.Encode == nil {
+		return
+	}
+	b, ok := c.Codec.Encode(v)
+	if !ok {
+		return // not a transportable value; keep it local-only
+	}
+	if err := c.post("/v1/fleet/memo/put", &memoPutRequest{Key: key, Value: b}, nil); err != nil {
+		c.remoteErrors.Add(1)
+		return
+	}
+	c.remotePuts.Add(1)
+}
+
+func (c *RemoteCache) post(path string, body, into any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Post(c.Coordinator+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return &wireError{Status: resp.StatusCode, Code: eb.Code, Msg: eb.Error}
+	}
+	if into != nil && resp.StatusCode != http.StatusNoContent {
+		return json.NewDecoder(resp.Body).Decode(into)
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// ErrLeaseLost is the cancellation cause a worker uses when the coordinator
+// rejected its fencing token (or its lease expired while partitioned): the
+// job now belongs to another node, so the worker abandons its in-flight
+// work without reporting anything — its writes would be refused anyway.
+var ErrLeaseLost = errors.New("fleet: lease lost")
+
+// WorkerConfig wires one fleet worker to a coordinator.
+type WorkerConfig struct {
+	// Coordinator is the peer base URL, e.g. "http://10.0.0.1:8081".
+	Coordinator string
+	// Node names this worker; it becomes the lease owner in the store and
+	// the worker label on /metrics. Required.
+	Node string
+	// Slots is the number of jobs run concurrently (default 1).
+	Slots int
+	// Poll is how long to wait after an empty claim before asking again
+	// (default 500ms).
+	Poll time.Duration
+	// Heartbeat is the lease renewal cadence (default 3s). Keep it well
+	// under the coordinator's lease TTL: a worker that misses every renew
+	// inside one TTL loses its jobs to the sweep.
+	Heartbeat time.Duration
+	// Runner executes claimed jobs; required. It must honor ctx exactly as
+	// the in-process manager's runner does.
+	Runner jobs.Runner
+	// Clock is the injected time source (tests); nil means the wall clock.
+	Clock func() time.Time
+	// Client is the HTTP client for peer calls (default http.DefaultClient).
+	Client *http.Client
+}
+
+// Worker claims jobs from a coordinator and runs them under a heartbeated
+// lease. Start launches the slot loops; Close drains gracefully (jobs are
+// released back with their checkpoints); Kill abandons everything without
+// contacting the coordinator, simulating a crash — the lease sweep then
+// re-queues the work.
+type Worker struct {
+	cfg    WorkerConfig
+	now    func() time.Time
+	client *http.Client
+
+	mu      sync.Mutex
+	running map[string]context.CancelCauseFunc
+	stop    chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+
+	claims      atomic.Uint64
+	emptyClaims atomic.Uint64
+	renews      atomic.Uint64
+	renewNanos  atomic.Int64
+	checkpoints atomic.Uint64
+	completes   atomic.Uint64
+	staleLosses atomic.Uint64
+}
+
+// WorkerStats is the per-worker metrics snapshot.
+type WorkerStats struct {
+	Node string
+	// LeasesHeld is the number of jobs currently running under this
+	// worker's leases.
+	LeasesHeld int
+	// Claims counts successful claims; EmptyClaims, polls that found the
+	// queue empty.
+	Claims      uint64
+	EmptyClaims uint64
+	// Renews counts successful heartbeats; RenewLatency is the most recent
+	// renew round-trip as measured by the injected clock.
+	Renews       uint64
+	RenewLatency time.Duration
+	// CheckpointsShipped counts checkpoint payloads accepted by the
+	// coordinator; Completes, finalizations (or releases) it accepted.
+	CheckpointsShipped uint64
+	Completes          uint64
+	// StaleLosses counts jobs abandoned because the lease was lost.
+	StaleLosses uint64
+}
+
+// NewWorker validates the config and builds a worker; Start launches it.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("fleet: worker needs a coordinator URL")
+	}
+	if cfg.Node == "" {
+		return nil, fmt.Errorf("fleet: worker needs a node name")
+	}
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("fleet: worker needs a runner")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 3 * time.Second
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Worker{
+		cfg:     cfg,
+		now:     now,
+		client:  client,
+		running: map[string]context.CancelCauseFunc{},
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the slot loops.
+func (w *Worker) Start() {
+	for i := 0; i < w.cfg.Slots; i++ {
+		w.wg.Add(1)
+		go w.slot()
+	}
+}
+
+// Stats snapshots the worker counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	held := len(w.running)
+	w.mu.Unlock()
+	return WorkerStats{
+		Node:               w.cfg.Node,
+		LeasesHeld:         held,
+		Claims:             w.claims.Load(),
+		EmptyClaims:        w.emptyClaims.Load(),
+		Renews:             w.renews.Load(),
+		RenewLatency:       time.Duration(w.renewNanos.Load()),
+		CheckpointsShipped: w.checkpoints.Load(),
+		Completes:          w.completes.Load(),
+		StaleLosses:        w.staleLosses.Load(),
+	}
+}
+
+// Close drains the worker: no new claims, running jobs are cancelled with
+// the draining cause (their runners checkpoint), and each job is released
+// back to the coordinator's queue with its checkpoint intact. Blocks until
+// every slot exits or ctx expires.
+func (w *Worker) Close(ctx context.Context) error {
+	w.shutdown(jobs.ErrDraining)
+	done := make(chan struct{})
+	go func() { w.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleet: worker drain timed out: %w", ctx.Err())
+	}
+}
+
+// Kill abandons the worker as a crash would: runners are cancelled with the
+// lease-lost cause and nothing is reported to the coordinator. The jobs
+// stay Running in the store until their leases expire and the sweep hands
+// them to another worker — the failover path under test.
+func (w *Worker) Kill() {
+	w.shutdown(ErrLeaseLost)
+	w.wg.Wait()
+}
+
+func (w *Worker) shutdown(cause error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.stopped {
+		w.stopped = true
+		close(w.stop)
+	}
+	for _, cancel := range w.running {
+		cancel(cause)
+	}
+}
+
+// slot is one claim-run-complete loop.
+func (w *Worker) slot() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		j, err := w.claim()
+		if err != nil || j == nil {
+			// Empty queue or unreachable coordinator: back off one poll.
+			t := time.NewTimer(w.cfg.Poll)
+			select {
+			case <-w.stop:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			continue
+		}
+		w.runJob(j)
+	}
+}
+
+// runJob executes one claimed job under its lease: a heartbeat goroutine
+// renews on a ticker while the runner works, checkpoints ship through upd,
+// and the outcome is reported under the fencing token — unless the lease
+// was lost, in which case the worker walks away silently.
+func (w *Worker) runJob(j *jobs.Job) {
+	token := j.Lease.Token
+	expires := j.Lease.Expires
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	w.mu.Lock()
+	if w.stopped {
+		// Shutdown raced the claim: release the job right back.
+		w.mu.Unlock()
+		cancel(jobs.ErrDraining)
+		w.complete(j.ID, token, jobs.Queued, nil, "")
+		return
+	}
+	w.running[j.ID] = cancel
+	w.mu.Unlock()
+
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go w.heartbeat(ctx, cancel, j.ID, token, expires, hbStop, hbDone)
+
+	upd := func(progress, checkpoint json.RawMessage) {
+		var lease leaseResponse
+		err := w.post("/v1/fleet/checkpoint",
+			&checkpointRequest{ID: j.ID, Token: token, Progress: progress, Checkpoint: checkpoint}, &lease)
+		if err != nil {
+			if isLeaseFatal(err) {
+				cancel(ErrLeaseLost)
+			}
+			return // transient: the next checkpoint or renew retries
+		}
+		w.checkpoints.Add(1)
+		if lease.CancelRequested {
+			cancel(jobs.ErrCancelled)
+		}
+	}
+
+	result, err := w.runProtected(ctx, j, upd)
+
+	close(hbStop)
+	<-hbDone
+	w.mu.Lock()
+	delete(w.running, j.ID)
+	w.mu.Unlock()
+	cancel(nil)
+
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, ErrLeaseLost):
+		// The job belongs to another node now; saying anything would only
+		// earn a stale-lease rejection.
+		w.staleLosses.Add(1)
+	case err == nil:
+		w.complete(j.ID, token, jobs.Done, result, "")
+	case errors.Is(cause, jobs.ErrDraining) || errors.Is(err, jobs.ErrDraining):
+		w.complete(j.ID, token, jobs.Queued, nil, "")
+	case errors.Is(cause, jobs.ErrCancelled) || errors.Is(err, jobs.ErrCancelled):
+		w.complete(j.ID, token, jobs.Cancelled, nil, jobs.ErrCancelled.Error())
+	default:
+		w.complete(j.ID, token, jobs.Failed, nil, err.Error())
+	}
+}
+
+// heartbeat renews the lease on a ticker until the job ends. A stale
+// rejection cancels the runner with ErrLeaseLost; a cancel request rides
+// back on the renew response; and when the coordinator is unreachable past
+// the lease expiry (by this worker's own clock), the worker assumes the
+// sweep took the job and abandons it — the partitioned-worker half of lease
+// safety.
+func (w *Worker) heartbeat(ctx context.Context, cancel context.CancelCauseFunc,
+	id string, token uint64, expires time.Time, stop, done chan struct{}) {
+	defer close(done)
+	tk := time.NewTicker(w.cfg.Heartbeat)
+	defer tk.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-tk.C:
+			start := w.now()
+			var lease leaseResponse
+			err := w.post("/v1/fleet/renew", &renewRequest{ID: id, Token: token}, &lease)
+			if err != nil {
+				if isLeaseFatal(err) {
+					cancel(ErrLeaseLost)
+					return
+				}
+				if !expires.IsZero() && w.now().After(expires) {
+					cancel(ErrLeaseLost)
+					return
+				}
+				continue
+			}
+			w.renews.Add(1)
+			w.renewNanos.Store(int64(w.now().Sub(start)))
+			if !lease.Expires.IsZero() {
+				expires = lease.Expires
+			}
+			if lease.CancelRequested {
+				// Keep renewing while the runner winds down, so the lease
+				// stays ours until the Cancelled completion commits.
+				cancel(jobs.ErrCancelled)
+			}
+		}
+	}
+}
+
+// runProtected converts a runner panic into a job failure.
+func (w *Worker) runProtected(ctx context.Context, j *jobs.Job, upd func(progress, checkpoint json.RawMessage)) (result json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fleet: runner panicked: %v", r)
+		}
+	}()
+	return w.cfg.Runner(ctx, j, upd)
+}
+
+// claim asks the coordinator for a job; nil without error means the queue
+// was empty.
+func (w *Worker) claim() (*jobs.Job, error) {
+	var resp claimResponse
+	status, err := w.postStatus("/v1/fleet/claim", &claimRequest{Node: w.cfg.Node}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent || resp.Job == nil {
+		w.emptyClaims.Add(1)
+		return nil, nil
+	}
+	if resp.Job.Lease == nil {
+		return nil, fmt.Errorf("fleet: claim response carries no lease")
+	}
+	w.claims.Add(1)
+	return resp.Job, nil
+}
+
+func (w *Worker) complete(id string, token uint64, state jobs.State, result json.RawMessage, errMsg string) {
+	var resp completeResponse
+	err := w.post("/v1/fleet/complete",
+		&completeRequest{ID: id, Token: token, State: state, Result: result, Error: errMsg}, &resp)
+	if err != nil {
+		if isLeaseFatal(err) {
+			w.staleLosses.Add(1)
+		}
+		return
+	}
+	w.completes.Add(1)
+}
+
+// wireError is a decoded protocol error response.
+type wireError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *wireError) Error() string {
+	return fmt.Sprintf("fleet: peer answered %d (%s): %s", e.Status, e.Code, e.Msg)
+}
+
+// isLeaseFatal reports whether a peer error means this worker's claim on
+// the job is gone for good (as opposed to a transient network or server
+// hiccup worth retrying).
+func isLeaseFatal(err error) bool {
+	var we *wireError
+	return errors.As(err, &we) && (we.Code == CodeStaleLease || we.Code == CodeUnknownJob)
+}
+
+func (w *Worker) post(path string, body, into any) error {
+	_, err := w.postStatus(path, body, into)
+	return err
+}
+
+// postStatus POSTs JSON to the coordinator, decoding a 2xx body into `into`
+// and a non-2xx body into a *wireError.
+func (w *Worker) postStatus(path string, body, into any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return resp.StatusCode, nil
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return resp.StatusCode, &wireError{Status: resp.StatusCode, Code: eb.Code, Msg: eb.Error}
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			return resp.StatusCode, fmt.Errorf("fleet: bad peer response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -50,6 +50,21 @@ type Job struct {
 	// above 1 means the job survived a drain, crash, or requeue.
 	Attempts int `json:"attempts,omitempty"`
 
+	// Lease is the claim currently held on a running job: which worker owns
+	// it, the fencing token guarding its writes, and when the claim expires.
+	// Nil for jobs that are not running.
+	Lease *Lease `json:"lease,omitempty"`
+
+	// CancelRequested marks a job a client asked to cancel while it was
+	// running under a remote lease. The owning worker learns about it on its
+	// next renew or checkpoint and winds the job down; if the worker is gone,
+	// the lease sweep finalizes the cancellation instead of re-queuing.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+
+	// Tombstone marks a deletion record in the append log (retention sweep).
+	// Tombstoned jobs never appear in the in-memory map or snapshots.
+	Tombstone bool `json:"tombstone,omitempty"`
+
 	// Progress is the runner's latest progress report (for search jobs:
 	// generation counters and best-so-far).
 	Progress json.RawMessage `json:"progress,omitempty"`
@@ -74,5 +89,9 @@ func (j *Job) Clone() *Job {
 	c.Progress = append(json.RawMessage(nil), j.Progress...)
 	c.Checkpoint = append(json.RawMessage(nil), j.Checkpoint...)
 	c.Result = append(json.RawMessage(nil), j.Result...)
+	if j.Lease != nil {
+		l := *j.Lease
+		c.Lease = &l
+	}
 	return &c
 }

@@ -1,0 +1,321 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Lease is a claim on a running job. The Token is a fencing token: it
+// increases monotonically across every claim the store ever grants, so a
+// write stamped with an old token — a worker that lost its lease to a
+// partition, an expiry, or a re-claim — is always distinguishable from the
+// current owner's writes and is rejected with ErrStaleLease.
+//
+// A zero Expires marks a process-local lease: the claim of an in-process
+// worker, valid until the owning process exits. Process-local leases are
+// never swept by the TTL sweeper (the process renews by existing) but are
+// always re-queued by crash recovery at the next Open. Remote leases carry
+// a real expiry and must be renewed before it passes.
+type Lease struct {
+	Owner   string    `json:"owner"`
+	Token   uint64    `json:"token"`
+	Expires time.Time `json:"expires,omitempty"`
+}
+
+// Expired reports whether the lease's TTL has passed at time now.
+// Process-local leases (zero Expires) never expire.
+func (l *Lease) Expired(now time.Time) bool {
+	return l != nil && !l.Expires.IsZero() && !now.Before(l.Expires)
+}
+
+// Coded lease errors. The fleet protocol maps these onto wire codes
+// ("stale_lease", "unknown_job", ...) so a remote worker sees the same
+// taxonomy as an in-process one.
+var (
+	// ErrStaleLease rejects a lease-guarded write whose token no longer
+	// matches the job's current lease — the writer's claim expired, was
+	// re-assigned, or never existed. A worker receiving it must discard its
+	// in-flight work; the job's truth lives with the current lease holder.
+	ErrStaleLease = errors.New("jobs: stale lease")
+	// ErrNoQueuedJob means ClaimNext found nothing to hand out.
+	ErrNoQueuedJob = errors.New("jobs: no queued job")
+	// ErrNotQueued means ClaimID lost the race: the job is running under
+	// someone else's claim, finished, or was cancelled while queued.
+	ErrNotQueued = errors.New("jobs: job not queued")
+	// ErrUnknownJob names a job the store has never seen (or has evicted).
+	ErrUnknownJob = errors.New("jobs: unknown job")
+)
+
+// ClaimNext atomically claims the oldest queued job for owner: the job
+// moves to Running with a fresh fencing token and, for ttl > 0, an expiry
+// of now+ttl. Expired leases are swept first, so a claim after a worker
+// death hands out the dead worker's job (checkpoint intact). Returns
+// ErrNoQueuedJob when the queue is empty.
+func (s *Store) ClaimNext(owner string, ttl time.Duration) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLeasesLocked()
+	ids := make([]string, 0, len(s.jobs))
+	for id, j := range s.jobs {
+		if j.State == Queued && !j.CancelRequested {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, ErrNoQueuedJob
+	}
+	sort.Strings(ids) // oldest first: IDs are zero-padded creation order
+	return s.claimLocked(s.jobs[ids[0]], owner, ttl)
+}
+
+// ClaimID claims one specific queued job (the in-process manager's path:
+// its queue already names the job). Returns ErrNotQueued when the job is
+// no longer claimable and ErrUnknownJob when it does not exist.
+func (s *Store) ClaimID(id, owner string, ttl time.Duration) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.State != Queued {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotQueued, id, j.State)
+	}
+	return s.claimLocked(j, owner, ttl)
+}
+
+func (s *Store) claimLocked(j *Job, owner string, ttl time.Duration) (*Job, error) {
+	s.leaseSeq++
+	lease := &Lease{Owner: owner, Token: s.leaseSeq}
+	if ttl > 0 {
+		lease.Expires = s.now().UTC().Add(ttl)
+	}
+	j.State = Running
+	j.Lease = lease
+	j.Attempts++
+	j.StartedAt = s.now().UTC()
+	if err := s.appendLocked(j); err != nil {
+		return nil, err
+	}
+	return j.Clone(), nil
+}
+
+// leaseWriteLocked validates a lease-guarded write: the job must exist, be
+// running, and carry an unexpired lease with exactly this token.
+func (s *Store) leaseWriteLocked(id string, token uint64) (*Job, error) {
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.State != Running || j.Lease == nil || j.Lease.Token != token {
+		return nil, fmt.Errorf("%w: job %s is not running under token %d", ErrStaleLease, id, token)
+	}
+	if j.Lease.Expired(s.now()) {
+		return nil, fmt.Errorf("%w: lease on %s expired at %s", ErrStaleLease, id, j.Lease.Expires.Format(time.RFC3339))
+	}
+	return j, nil
+}
+
+// Renew extends a lease by ttl from now. It is the heartbeat of the fleet
+// protocol: a renewal that comes back ErrStaleLease tells the worker its
+// claim is gone and its job now belongs to someone else. The returned
+// snapshot carries CancelRequested, so cancellation rides the heartbeat.
+func (s *Store) Renew(id string, token uint64, ttl time.Duration) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseWriteLocked(id, token)
+	if err != nil {
+		return nil, err
+	}
+	if !j.Lease.Expires.IsZero() || ttl > 0 {
+		if ttl <= 0 {
+			return nil, fmt.Errorf("jobs: renew of %s needs a positive ttl", id)
+		}
+		j.Lease.Expires = s.now().UTC().Add(ttl)
+	}
+	if err := s.appendLocked(j); err != nil {
+		return nil, err
+	}
+	return j.Clone(), nil
+}
+
+// CommitUpdate is the lease-guarded progress/checkpoint write. A nil field
+// leaves the stored value unchanged. Renews nothing: pair it with Renew
+// (remote workers ship checkpoints and heartbeats on separate cadences).
+func (s *Store) CommitUpdate(id string, token uint64, progress, checkpoint json.RawMessage) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseWriteLocked(id, token)
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		j.Progress = append(json.RawMessage(nil), progress...)
+	}
+	if checkpoint != nil {
+		j.Checkpoint = append(json.RawMessage(nil), checkpoint...)
+		j.CheckpointAt = s.now().UTC()
+	}
+	if err := s.appendLocked(j); err != nil {
+		return nil, err
+	}
+	return j.Clone(), nil
+}
+
+// Complete finalizes a running job under its lease: state must be Done,
+// Failed, or Cancelled. The lease is consumed. A stale token cannot commit
+// a result — the acceptance rule that makes multi-node execution safe.
+func (s *Store) Complete(id string, token uint64, state State, result json.RawMessage, errMsg string) (*Job, error) {
+	if !state.Terminal() {
+		return nil, fmt.Errorf("jobs: complete with non-terminal state %s", state)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseWriteLocked(id, token)
+	if err != nil {
+		return nil, err
+	}
+	j.State = state
+	j.Result = append(json.RawMessage(nil), result...)
+	j.Error = errMsg
+	j.FinishedAt = s.now().UTC()
+	j.Lease = nil
+	if err := s.appendLocked(j); err != nil {
+		return nil, err
+	}
+	return j.Clone(), nil
+}
+
+// Release hands a running job back to the queue under its lease — the
+// graceful half of failover, used by drains: the checkpoint stays, so the
+// next claimant resumes instead of restarting. decAttempt compensates the
+// claim's increment for a job that was claimed but never actually ran.
+func (s *Store) Release(id string, token uint64, decAttempt bool) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, err := s.leaseWriteLocked(id, token)
+	if err != nil {
+		return nil, err
+	}
+	s.requeueLocked(j)
+	if decAttempt {
+		j.Attempts--
+	}
+	if err := s.appendLocked(j); err != nil {
+		return nil, err
+	}
+	return j.Clone(), nil
+}
+
+// requeueLocked puts a running job back in the queue, keeping checkpoint
+// and attempt count.
+func (s *Store) requeueLocked(j *Job) {
+	j.State = Queued
+	j.StartedAt = time.Time{}
+	j.Lease = nil
+}
+
+// RequestCancel flags a remotely-leased running job for cancellation. The
+// owning worker observes the flag on its next renew or checkpoint; queued
+// and terminal jobs are the manager's to finalize directly.
+func (s *Store) RequestCancel(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.CancelRequested || j.State.Terminal() {
+		return j.Clone(), nil
+	}
+	j.CancelRequested = true
+	if err := s.appendLocked(j); err != nil {
+		return nil, err
+	}
+	return j.Clone(), nil
+}
+
+// SweepExpiredLeases re-queues every running job whose lease TTL has
+// passed — the failover path for a crashed or partitioned worker. A job
+// whose cancellation was requested while its worker died is finalized as
+// Cancelled instead of re-queued. Returns the re-queued and cancelled
+// snapshots so the caller can emit events and notify schedulers.
+func (s *Store) SweepExpiredLeases() (requeued, cancelled []*Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweepLeasesLocked()
+}
+
+func (s *Store) sweepLeasesLocked() (requeued, cancelled []*Job) {
+	now := s.now()
+	ids := make([]string, 0, len(s.jobs))
+	for id, j := range s.jobs {
+		if j.State == Running && j.Lease.Expired(now) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := s.jobs[id]
+		if j.CancelRequested {
+			j.State = Cancelled
+			j.Error = ErrCancelled.Error()
+			j.FinishedAt = s.now().UTC()
+			j.Lease = nil
+			if s.appendLocked(j) == nil {
+				cancelled = append(cancelled, j.Clone())
+			}
+			continue
+		}
+		s.requeueLocked(j)
+		if s.appendLocked(j) == nil {
+			requeued = append(requeued, j.Clone())
+		}
+	}
+	return requeued, cancelled
+}
+
+// SweepRetention deletes terminal jobs whose FinishedAt lies past the
+// retention horizon, oldest first, so the store stops growing forever.
+// Deletions are durable (tombstones in the append log, absent from the
+// next snapshot). Returns the removed job IDs so callers can drop
+// associated state such as event logs. A horizon <= 0 keeps everything.
+func (s *Store) SweepRetention(horizon time.Duration) []string {
+	if horizon <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := s.now().Add(-horizon)
+	type victim struct {
+		id  string
+		fin time.Time
+	}
+	var victims []victim
+	for id, j := range s.jobs {
+		if j.State.Terminal() && !j.FinishedAt.IsZero() && j.FinishedAt.Before(cutoff) {
+			victims = append(victims, victim{id, j.FinishedAt})
+		}
+	}
+	sort.Slice(victims, func(a, b int) bool {
+		if !victims[a].fin.Equal(victims[b].fin) {
+			return victims[a].fin.Before(victims[b].fin)
+		}
+		return victims[a].id < victims[b].id
+	})
+	removed := make([]string, 0, len(victims))
+	for _, v := range victims {
+		// Delete before appending: the append may rotate the log into a
+		// snapshot, and the snapshot must not contain the job the tombstone
+		// is deleting.
+		delete(s.jobs, v.id)
+		if err := s.appendLocked(&Job{ID: v.id, Tombstone: true}); err != nil {
+			break
+		}
+		removed = append(removed, v.id)
+	}
+	return removed
+}

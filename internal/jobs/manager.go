@@ -37,11 +37,24 @@ type Event struct {
 
 // Config sizes a Manager.
 type Config struct {
-	// Workers is the number of concurrent job executors (min 1).
+	// Workers is the number of concurrent job executors. Zero means 1; a
+	// negative value means none — a coordinator-only node that stores and
+	// leases jobs out to fleet workers but never runs one itself.
 	Workers int
 	// Runner executes jobs; required.
 	Runner Runner
 }
+
+// localOwner names the lease owner of this process's own workers. Their
+// leases are process-local (no TTL): they die with the process and are
+// re-queued by crash recovery, not by the sweep.
+const localOwner = "local"
+
+// maxEventHistory bounds one job's retained event history. A long search
+// emits one event per generation; past the cap the oldest events are
+// compacted away and a subscriber replaying from before the retained
+// window simply starts at the oldest retained event.
+const maxEventHistory = 512
 
 // Manager owns the queue and worker pool on top of a Store. Jobs found
 // queued in the store at construction (fresh submissions from a previous
@@ -78,8 +91,11 @@ func NewManager(store *Store, cfg Config) (*Manager, error) {
 	if cfg.Runner == nil {
 		return nil, fmt.Errorf("jobs: config needs a Runner")
 	}
-	if cfg.Workers < 1 {
+	if cfg.Workers == 0 {
 		cfg.Workers = 1
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
 	}
 	m := &Manager{
 		store:   store,
@@ -135,10 +151,13 @@ func (m *Manager) Get(id string) (*Job, bool) { return m.store.Get(id) }
 // List returns snapshots of all jobs in creation order.
 func (m *Manager) List() []*Job { return m.store.List() }
 
-// Cancel stops a job. A queued job is finalized immediately; a running
-// job's context is cancelled with ErrCancelled and its worker finalizes
-// it. Cancelling a terminal job is a no-op. The returned snapshot may
-// still show state Running for an in-flight cancellation.
+// Cancel stops a job. A queued job is finalized immediately; a locally
+// running job's context is cancelled with ErrCancelled and its worker
+// finalizes it; a job running under a remote fleet lease is flagged
+// CancelRequested — the owning worker learns on its next heartbeat, and
+// if that worker is dead, the lease sweep finalizes the cancellation.
+// Cancelling a terminal job is a no-op. The returned snapshot may still
+// show state Running for an in-flight cancellation.
 func (m *Manager) Cancel(id string) (*Job, error) {
 	m.mu.Lock()
 	cancel, isRunning := m.running[id]
@@ -156,6 +175,15 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	if j.State.Terminal() {
 		return j, nil
 	}
+	if j.State == Running {
+		// Running somewhere else: a fleet worker holds the lease.
+		j2, err := m.store.RequestCancel(id)
+		if err != nil {
+			return nil, err
+		}
+		m.emit(j2)
+		return j2, nil
+	}
 	// Queued: finalize in place; workers skip non-queued entries.
 	j.State = Cancelled
 	j.Error = ErrCancelled.Error()
@@ -164,7 +192,57 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 		return nil, err
 	}
 	m.emit(j)
+	m.closeEvents(id)
 	return j, nil
+}
+
+// Requeue schedules an already-queued job on the local worker pool — the
+// coordinator calls it when a lease sweep hands a dead fleet worker's job
+// back. A duplicate entry is harmless: the claim fails for the loser.
+func (m *Manager) Requeue(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining || m.closed {
+		return
+	}
+	m.queue = append(m.queue, id)
+	m.cond.Signal()
+}
+
+// Publish fans a job snapshot mutated outside the manager — by the fleet
+// coordinator's claim/checkpoint/complete handlers — into the job's event
+// stream, closing it when the job reached a terminal state. This is what
+// lets an SSE watcher on the coordinator follow a search executing on a
+// different node.
+func (m *Manager) Publish(j *Job) {
+	m.emit(j)
+	if j.State.Terminal() {
+		m.closeEvents(j.ID)
+	}
+}
+
+// SweepRetention deletes terminal jobs older than the horizon from the
+// store (oldest first) and drops their event logs. Returns how many jobs
+// were evicted.
+func (m *Manager) SweepRetention(horizon time.Duration) int {
+	removed := m.store.SweepRetention(horizon)
+	for _, id := range removed {
+		m.dropEvents(id)
+	}
+	return len(removed)
+}
+
+// dropEvents forgets a deleted job's event history entirely.
+func (m *Manager) dropEvents(id string) {
+	m.evmu.Lock()
+	defer m.evmu.Unlock()
+	if log, ok := m.events[id]; ok {
+		for ch := range log.subs {
+			delete(log.subs, ch)
+			close(ch)
+		}
+		delete(m.events, id)
+	}
 }
 
 // Stats is the metrics view of the job system.
@@ -248,18 +326,16 @@ func (m *Manager) work() {
 	}
 }
 
-// runOne executes a single job end to end.
+// runOne executes a single job end to end. The claim goes through the
+// same lease path fleet workers use — a process-local lease with a
+// fencing token — so every write to a running job, local or remote, is
+// guarded by the same stale-lease check.
 func (m *Manager) runOne(id string) {
-	j, ok := m.store.Get(id)
-	if !ok || j.State != Queued {
-		return // cancelled while queued, or gone
+	j, err := m.store.ClaimID(id, localOwner, 0)
+	if err != nil {
+		return // claimed by a fleet worker, cancelled while queued, or gone
 	}
-	j.State = Running
-	j.Attempts++
-	j.StartedAt = m.store.Now().UTC()
-	if err := m.store.Update(j); err != nil {
-		return
-	}
+	token := j.Lease.Token
 
 	ctx, cancel := context.WithCancelCause(context.Background())
 	m.mu.Lock()
@@ -267,10 +343,7 @@ func (m *Manager) runOne(id string) {
 		// Drain won the race: put the job back without running it.
 		m.mu.Unlock()
 		cancel(ErrDraining)
-		j.State = Queued
-		j.StartedAt = time.Time{}
-		j.Attempts--
-		m.store.Update(j)
+		m.store.Release(id, token, true)
 		return
 	}
 	m.running[id] = cancel
@@ -278,15 +351,9 @@ func (m *Manager) runOne(id string) {
 	m.emit(j)
 
 	upd := func(progress, checkpoint json.RawMessage) {
-		if progress != nil {
-			j.Progress = append(json.RawMessage(nil), progress...)
+		if j2, err := m.store.CommitUpdate(id, token, progress, checkpoint); err == nil {
+			m.emit(j2)
 		}
-		if checkpoint != nil {
-			j.Checkpoint = append(json.RawMessage(nil), checkpoint...)
-			j.CheckpointAt = m.store.Now().UTC()
-		}
-		m.store.Update(j)
-		m.emit(j)
 	}
 
 	result, err := m.runProtected(ctx, j, upd)
@@ -297,31 +364,27 @@ func (m *Manager) runOne(id string) {
 	cancel(nil)
 
 	cause := context.Cause(ctx)
+	var fin *Job
+	var ferr error
 	switch {
 	case err == nil:
-		j.State = Done
-		j.Result = result
-		j.Error = ""
-		j.FinishedAt = m.store.Now().UTC()
+		fin, ferr = m.store.Complete(id, token, Done, result, "")
 	case errors.Is(cause, ErrDraining) || errors.Is(err, ErrDraining):
 		// Back to the queue with the latest checkpoint; the next start
 		// resumes it.
-		j.State = Queued
-		j.StartedAt = time.Time{}
-		m.store.Update(j)
-		m.emit(j)
+		if rel, rerr := m.store.Release(id, token, false); rerr == nil {
+			m.emit(rel)
+		}
 		return
 	case errors.Is(cause, ErrCancelled) || errors.Is(err, ErrCancelled):
-		j.State = Cancelled
-		j.Error = ErrCancelled.Error()
-		j.FinishedAt = m.store.Now().UTC()
+		fin, ferr = m.store.Complete(id, token, Cancelled, nil, ErrCancelled.Error())
 	default:
-		j.State = Failed
-		j.Error = err.Error()
-		j.FinishedAt = m.store.Now().UTC()
+		fin, ferr = m.store.Complete(id, token, Failed, nil, err.Error())
 	}
-	m.store.Update(j)
-	m.emit(j)
+	if ferr != nil {
+		return // lease lost mid-run; the current owner's writes stand
+	}
+	m.emit(fin)
 	m.closeEvents(id)
 }
 
@@ -347,6 +410,14 @@ func (m *Manager) emit(j *Job) {
 	log.seq++
 	ev := Event{Seq: log.seq, Job: snap}
 	log.hist = append(log.hist, ev)
+	if len(log.hist) > maxEventHistory {
+		// Compact: drop the oldest events. Seq numbering is untouched, so a
+		// subscriber resuming from before the retained window replays from
+		// the oldest retained event (and one pointing past the end replays
+		// nothing at all).
+		drop := len(log.hist) - maxEventHistory
+		log.hist = append([]Event(nil), log.hist[drop:]...)
+	}
 	for ch := range log.subs {
 		select {
 		case ch <- ev:

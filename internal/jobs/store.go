@@ -36,15 +36,20 @@ type Store struct {
 	now  func() time.Time
 	jobs map[string]*Job
 	seq  uint64
-	log  *os.File
+	// leaseSeq is the fencing-token counter: monotonic across the store's
+	// whole lifetime (persisted), so a token granted before a restart can
+	// never collide with one granted after.
+	leaseSeq uint64
+	log      *os.File
 	// appends counts log lines since the last snapshot.
 	appends int
 }
 
 // snapshotFile is the on-disk snapshot payload.
 type snapshotFile struct {
-	Seq  uint64 `json:"seq"`
-	Jobs []*Job `json:"jobs"`
+	Seq      uint64 `json:"seq"`
+	LeaseSeq uint64 `json:"lease_seq,omitempty"`
+	Jobs     []*Job `json:"jobs"`
 }
 
 // Open loads (or creates) a store under dir. A nil now defaults to the
@@ -87,6 +92,7 @@ func (s *Store) load() error {
 			return fmt.Errorf("jobs: corrupt snapshot: %w", err)
 		}
 		s.seq = snap.Seq
+		s.leaseSeq = snap.LeaseSeq
 		for _, j := range snap.Jobs {
 			s.jobs[j.ID] = j
 		}
@@ -115,9 +121,16 @@ func (s *Store) load() error {
 			// already applied, so stop replaying here.
 			break
 		}
-		s.jobs[j.ID] = &j
+		if j.Tombstone {
+			delete(s.jobs, j.ID)
+		} else {
+			s.jobs[j.ID] = &j
+		}
 		if n := idSeq(j.ID); n > s.seq {
 			s.seq = n
+		}
+		if j.Lease != nil && j.Lease.Token > s.leaseSeq {
+			s.leaseSeq = j.Lease.Token
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -126,13 +139,22 @@ func (s *Store) load() error {
 	return nil
 }
 
-// recover re-queues jobs a previous process died while running.
+// recover re-queues jobs a previous process died while running. Jobs held
+// under a live remote lease are left alone: the worker renewing that lease
+// is on another node and survived this process's crash — it will keep
+// checkpointing against the recovered store. Process-local leases (zero
+// expiry) died with the process, and expired remote leases are dead by
+// definition; both re-queue, checkpoint and attempts intact.
 func (s *Store) recover() {
+	now := s.now()
 	for _, j := range s.jobs {
-		if j.State == Running {
-			j.State = Queued
-			j.StartedAt = time.Time{}
+		if j.State != Running {
+			continue
 		}
+		if j.Lease != nil && !j.Lease.Expires.IsZero() && now.Before(j.Lease.Expires) {
+			continue // live remote lease: the worker is still out there
+		}
+		s.requeueLocked(j)
 	}
 }
 
@@ -257,7 +279,7 @@ func (s *Store) writeSnapshot() error {
 		jobsByID = append(jobsByID, j)
 	}
 	sort.Slice(jobsByID, func(a, b int) bool { return jobsByID[a].ID < jobsByID[b].ID })
-	b, err := json.Marshal(snapshotFile{Seq: s.seq, Jobs: jobsByID})
+	b, err := json.Marshal(snapshotFile{Seq: s.seq, LeaseSeq: s.leaseSeq, Jobs: jobsByID})
 	if err != nil {
 		return fmt.Errorf("jobs: marshal snapshot: %w", err)
 	}

@@ -13,6 +13,7 @@ import (
 // RNG draw, or map-order-dependent accumulation in these packages is a bug.
 var DeterminismScope = []string{
 	"repro/internal/core",
+	"repro/internal/fleet",
 	"repro/internal/jobs",
 	"repro/internal/mapper",
 }

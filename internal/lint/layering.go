@@ -25,6 +25,10 @@ var allowedImports = map[string][]string{
 	// jobs is a stdlib-only leaf: the server injects the runner, so the
 	// job subsystem must never reach back into serve or the mapper.
 	"repro/internal/jobs": {},
+	// fleet moves jobs and memoized fitness between nodes; the fitness
+	// value codec is injected by the composition root, so fleet must never
+	// import the mapper (or serve) directly.
+	"repro/internal/fleet": {"repro/internal/jobs", "repro/internal/memo"},
 	"repro/internal/energy":    {"repro/internal/arch"},
 	"repro/internal/core":      {"repro/internal/arch", "repro/internal/energy", "repro/internal/workload"},
 	"repro/internal/notation":  {"repro/internal/core", "repro/internal/diag", "repro/internal/workload"},

@@ -1,0 +1,56 @@
+package mapper
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// fitnessWire is the transport form of one memoized fitness entry — the
+// same information TunedStats carries in checkpoints, without the encoding
+// (the cache key already names it). The fleet's shared memo tier moves
+// these between nodes; the cpFloat codec keeps infeasible (+Inf) entries
+// and cycle counts bit-exact across the trip, which the byte-identical
+// migration guarantee depends on.
+type fitnessWire struct {
+	Infeasible bool           `json:"infeasible,omitempty"`
+	Cycles     cpFloat        `json:"cycles"`
+	Factors    map[string]int `json:"factors,omitempty"`
+}
+
+// EncodeFitness renders a fitness-cache value for the wire. ok=false means
+// the value is not a fitness entry (the shared service cache also holds
+// evaluation outcomes and responses, which stay node-local).
+func EncodeFitness(v any) ([]byte, bool) {
+	f, ok := v.(*cachedFitness)
+	if !ok {
+		return nil, false
+	}
+	w := fitnessWire{Cycles: cpFloat(f.cycles), Infeasible: f.eval == nil}
+	if f.eval != nil {
+		w.Factors = f.eval.Factors
+	}
+	b, err := json.Marshal(&w)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// DecodeFitness parses a value produced by EncodeFitness back into the
+// cache's native entry. Like a checkpoint-restored entry, the Evaluation
+// carries no core.Result — the search finalizer re-derives the result for
+// the winner, and nothing else reads it.
+func DecodeFitness(b []byte) (any, error) {
+	var w fitnessWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, fmt.Errorf("mapper: bad fitness value: %w", err)
+	}
+	if w.Infeasible {
+		return &cachedFitness{cycles: math.Inf(1)}, nil
+	}
+	return &cachedFitness{
+		cycles: float64(w.Cycles),
+		eval:   &Evaluation{Factors: cloneFactors(w.Factors), Cycles: float64(w.Cycles)},
+	}, nil
+}

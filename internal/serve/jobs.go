@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/mapper"
+	"repro/internal/memo"
 )
 
 // searchJobKind tags search jobs in the store; future job kinds dispatch
@@ -30,13 +31,19 @@ type SearchProgress struct {
 	BestEncoding string  `json:"best_encoding,omitempty"`
 }
 
-// runSearchJob is the jobs.Runner for searchJobKind: it replays the
-// synchronous /v1/search pipeline asynchronously, reusing the same shared
-// fitness cache and worker width, checkpointing at every generation
-// boundary, and resuming from job.Checkpoint when present. On success it
-// also warms the synchronous search cache, so a later POST /v1/search for
-// the same point is a hit.
+// runSearchJob is the jobs.Runner for searchJobKind on this node's own
+// worker pool, searching against the local service cache.
 func (s *Server) runSearchJob(ctx context.Context, job *jobs.Job, upd func(progress, checkpoint json.RawMessage)) (json.RawMessage, error) {
+	return s.runSearch(ctx, job, upd, s.cache)
+}
+
+// runSearch replays the synchronous /v1/search pipeline asynchronously,
+// reusing the given fitness cache (the local service cache, or the fleet's
+// remote write-through tier on a worker node) and the shared worker width,
+// checkpointing at every generation boundary, and resuming from
+// job.Checkpoint when present. On success it also warms the synchronous
+// search cache, so a later POST /v1/search for the same point is a hit.
+func (s *Server) runSearch(ctx context.Context, job *jobs.Job, upd func(progress, checkpoint json.RawMessage), cache memo.Cache) (json.RawMessage, error) {
 	var req SearchRequest
 	if err := json.Unmarshal(job.Request, &req); err != nil {
 		return nil, fmt.Errorf("bad search request: %w", err)
@@ -55,7 +62,7 @@ func (s *Server) runSearchJob(ctx context.Context, job *jobs.Job, upd func(progr
 		Population: req.Population, Generations: req.Generations,
 		TileRounds: req.TileRounds, TopK: req.TopK,
 		Parallel: s.pool.Workers(), Seed: req.Seed,
-		Cache: s.cache,
+		Cache: cache,
 	}
 	if len(job.Checkpoint) > 0 {
 		// A checkpoint that no longer matches (deploy changed defaults,
@@ -120,6 +127,9 @@ type JobJSON struct {
 	StartedAt     *time.Time      `json:"started_at,omitempty"`
 	FinishedAt    *time.Time      `json:"finished_at,omitempty"`
 	Attempts      int             `json:"attempts,omitempty"`
+	// Worker names the node whose lease the job is running under; empty
+	// unless running. "local" is this process's own worker pool.
+	Worker        string          `json:"worker,omitempty"`
 	Progress      json.RawMessage `json:"progress,omitempty"`
 	HasCheckpoint bool            `json:"has_checkpoint,omitempty"`
 	CheckpointAt  *time.Time      `json:"checkpoint_at,omitempty"`
@@ -139,6 +149,9 @@ func NewJobJSON(j *jobs.Job) *JobJSON {
 		HasCheckpoint: len(j.Checkpoint) > 0,
 		Result:        j.Result,
 		Error:         j.Error,
+	}
+	if j.Lease != nil {
+		v.Worker = j.Lease.Owner
 	}
 	if !j.StartedAt.IsZero() {
 		t := j.StartedAt

@@ -143,6 +143,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "# TYPE tileflow_job_checkpoint_age_seconds gauge\n")
 	fmt.Fprintf(w, "tileflow_job_checkpoint_age_seconds %g\n", js.CheckpointAge.Seconds())
 
+	m.writeFleet(w, s)
+
 	qs, count, sum := m.latency.quantiles([]float64{0.5, 0.99})
 	fmt.Fprintf(w, "# HELP tileflow_evaluate_latency_seconds Evaluate request latency.\n")
 	fmt.Fprintf(w, "# TYPE tileflow_evaluate_latency_seconds summary\n")
@@ -150,4 +152,69 @@ func (m *Metrics) WritePrometheus(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds{quantile=\"0.99\"} %g\n", qs[1])
 	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds_sum %g\n", sum)
 	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds_count %d\n", count)
+}
+
+// writeFleet renders the coordinator-side protocol counters, and — on a
+// node running a fleet worker — the per-worker gauges and the remote memo
+// tier's traffic.
+func (m *Metrics) writeFleet(w io.Writer, s *Server) {
+	cs := s.coord.Stats()
+	fmt.Fprintf(w, "# HELP tileflow_fleet_claims_total Job leases granted to workers.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_claims_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_claims_total %d\n", cs.Claims)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_renews_total Lease heartbeats accepted.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_renews_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_renews_total %d\n", cs.Renews)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_stale_rejections_total Writes refused because the sender's fencing token was superseded.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_stale_rejections_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_stale_rejections_total %d\n", cs.StaleRejections)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_checkpoints_total Checkpoint payloads applied from workers.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_checkpoints_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_checkpoints_total %d\n", cs.Checkpoints)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_completes_total Jobs finalized by fleet workers.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_completes_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_completes_total %d\n", cs.Completes)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_releases_total Jobs handed back to the queue by draining workers.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_releases_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_releases_total %d\n", cs.Releases)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_failovers_total Jobs re-queued after their worker's lease expired.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_failovers_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_failovers_total %d\n", cs.Failovers)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_memo_hits_total Shared-cache lookups from workers that hit.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_memo_hits_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_memo_hits_total %d\n", cs.MemoHits)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_memo_misses_total Shared-cache lookups from workers that missed.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_memo_misses_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_memo_misses_total %d\n", cs.MemoMisses)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_memo_puts_total Shared-cache values written through by workers.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_memo_puts_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_memo_puts_total %d\n", cs.MemoPuts)
+
+	if s.worker == nil {
+		return
+	}
+	ws := s.worker.Stats()
+	fmt.Fprintf(w, "# HELP tileflow_fleet_worker_leases Jobs this node currently runs under fleet leases.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_worker_leases gauge\n")
+	fmt.Fprintf(w, "tileflow_fleet_worker_leases{node=%q} %d\n", ws.Node, ws.LeasesHeld)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_worker_claims_total Jobs this node claimed from the coordinator.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_worker_claims_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_worker_claims_total{node=%q} %d\n", ws.Node, ws.Claims)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_worker_checkpoints_shipped_total Checkpoints this node shipped to the coordinator.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_worker_checkpoints_shipped_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_worker_checkpoints_shipped_total{node=%q} %d\n", ws.Node, ws.CheckpointsShipped)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_worker_renew_latency_seconds Most recent lease renewal round-trip.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_worker_renew_latency_seconds gauge\n")
+	fmt.Fprintf(w, "tileflow_fleet_worker_renew_latency_seconds{node=%q} %g\n", ws.Node, ws.RenewLatency.Seconds())
+	fmt.Fprintf(w, "# HELP tileflow_fleet_worker_stale_losses_total Jobs this node abandoned after losing their lease.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_worker_stale_losses_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_worker_stale_losses_total{node=%q} %d\n", ws.Node, ws.StaleLosses)
+
+	rs := s.remote.RemoteStats()
+	fmt.Fprintf(w, "# HELP tileflow_fleet_remote_memo_hits_total Local cache misses served by the coordinator's memo tier.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_remote_memo_hits_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_remote_memo_hits_total{node=%q} %d\n", ws.Node, rs.Hits)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_remote_memo_misses_total Remote memo lookups that came back empty.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_remote_memo_misses_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_remote_memo_misses_total{node=%q} %d\n", ws.Node, rs.Misses)
 }

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/mapper"
 	"repro/internal/memo"
@@ -34,11 +37,35 @@ type Config struct {
 	// DataDir is where the async job store persists its log and snapshot.
 	// Empty means memory-only jobs: fully functional, lost on restart.
 	DataDir string
-	// JobWorkers bounds concurrently running search jobs (default 1; each
-	// job already parallelizes its fitness evaluation over the pool width).
+	// JobWorkers bounds concurrently running search jobs. Zero scales with
+	// runtime.GOMAXPROCS(0); a negative value runs none — a
+	// coordinator-only node that stores and leases jobs to fleet workers
+	// but never executes one itself.
 	JobWorkers int
 	// Clock overrides the wall clock for job timestamps (tests only).
 	Clock func() time.Time
+
+	// Coordinator, when set, turns this node into a fleet worker: it claims
+	// jobs from the coordinator at this base URL (e.g. "http://host:8080"),
+	// runs them under heartbeated leases, and consults the coordinator's
+	// shared fitness cache through a local write-through tier.
+	Coordinator string
+	// FleetNode names this node in lease ownership and metrics; defaults to
+	// hostname-pid.
+	FleetNode string
+	// LeaseTTL is the lease duration this node grants when acting as
+	// coordinator (default fleet.DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// JobRetention evicts terminal jobs older than this horizon from the
+	// store (oldest first). Zero keeps everything forever.
+	JobRetention time.Duration
+	// SweepEvery is the cadence of the background lease + retention sweep
+	// (default 1s).
+	SweepEvery time.Duration
+	// FleetPoll and FleetHeartbeat tune the worker's claim poll and lease
+	// renewal cadences (defaults 500ms and 3s; tests shrink them).
+	FleetPoll      time.Duration
+	FleetHeartbeat time.Duration
 }
 
 // Server is the concurrent evaluation service. All mutable state is the
@@ -63,6 +90,15 @@ type Server struct {
 	started  time.Time
 	store    *jobs.Store
 	jobs     *jobs.Manager
+
+	// coord serves the fleet peer protocol over this node's store (every
+	// node can coordinate); worker and remote are set only when
+	// cfg.Coordinator points this node at a peer.
+	coord     *fleet.Coordinator
+	worker    *fleet.Worker
+	remote    *fleet.RemoteCache
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
 // New builds a Server with the config's defaults applied. It panics when
@@ -90,8 +126,21 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
 	}
-	if cfg.JobWorkers <= 0 {
-		cfg.JobWorkers = 1
+	if cfg.JobWorkers == 0 {
+		// One searching job saturates roughly one core (its fitness
+		// evaluations fan out over the shared pool), so the default tracks
+		// the core count rather than a flat constant.
+		cfg.JobWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = time.Second
+	}
+	if cfg.FleetNode == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "node"
+		}
+		cfg.FleetNode = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -113,6 +162,50 @@ func Open(cfg Config) (*Server, error) {
 		store.Close()
 		return nil, err
 	}
+	// Every node can coordinate: the peer protocol leases out this node's
+	// own store, sharing the service cache as the fleet memo tier. Job
+	// snapshots the protocol mutates flow into the local event streams, so
+	// SSE watchers here follow searches executing on other nodes.
+	fitnessCodec := fleet.Codec{Encode: mapper.EncodeFitness, Decode: mapper.DecodeFitness}
+	s.coord = &fleet.Coordinator{
+		Store:     store,
+		TTL:       cfg.LeaseTTL,
+		Cache:     s.cache,
+		Codec:     fitnessCodec,
+		OnEvent:   func(j *jobs.Job) { s.jobs.Publish(j) },
+		OnRequeue: func(id string) { s.jobs.Requeue(id) },
+	}
+	if cfg.Coordinator != "" {
+		s.remote = &fleet.RemoteCache{
+			Local:       s.cache,
+			Coordinator: cfg.Coordinator,
+			Codec:       fitnessCodec,
+		}
+		slots := cfg.JobWorkers
+		if slots < 1 {
+			slots = 1
+		}
+		s.worker, err = fleet.NewWorker(fleet.WorkerConfig{
+			Coordinator: cfg.Coordinator,
+			Node:        cfg.FleetNode,
+			Slots:       slots,
+			Poll:        cfg.FleetPoll,
+			Heartbeat:   cfg.FleetHeartbeat,
+			Clock:       cfg.Clock,
+			Runner: func(ctx context.Context, job *jobs.Job, upd func(progress, checkpoint json.RawMessage)) (json.RawMessage, error) {
+				return s.runSearch(ctx, job, upd, s.remote)
+			},
+		})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		s.worker.Start()
+	}
+	s.sweepStop = make(chan struct{})
+	s.sweepDone = make(chan struct{})
+	go s.sweepLoop(cfg.SweepEvery)
+	s.mux.Handle("/v1/fleet/", s.coord.Handler())
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/evaluate/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
@@ -130,11 +223,55 @@ func Open(cfg Config) (*Server, error) {
 // Handler is the HTTP entry point.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the job subsystem and closes the store: running jobs are
-// cancelled with the draining cause, their runners checkpoint, and the
-// jobs go back to queued on disk, to be resumed by the next process.
+// FleetHandler serves only the fleet peer protocol, for a dedicated
+// -fleet-listen port that keeps peer traffic off the public listener.
+func (s *Server) FleetHandler() http.Handler { return s.coord.Handler() }
+
+// sweepLoop periodically fails over expired leases and evicts terminal
+// jobs past the retention horizon. Tests drive the same steps directly via
+// SweepFleet/SweepRetention with an injected clock.
+func (s *Server) sweepLoop(every time.Duration) {
+	defer close(s.sweepDone)
+	tk := time.NewTicker(every)
+	defer tk.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-tk.C:
+			s.SweepFleet()
+			s.SweepRetention()
+		}
+	}
+}
+
+// SweepFleet re-queues jobs whose fleet leases expired (and finalizes
+// expired cancel-requested ones), returning both counts.
+func (s *Server) SweepFleet() (requeued, cancelled int) { return s.coord.Sweep() }
+
+// SweepRetention evicts terminal jobs older than the configured retention
+// horizon, returning how many were removed. A zero horizon keeps all.
+func (s *Server) SweepRetention() int {
+	if s.cfg.JobRetention <= 0 {
+		return 0
+	}
+	return s.jobs.SweepRetention(s.cfg.JobRetention)
+}
+
+// Close shuts the node down: the sweeper stops, a fleet worker drains
+// (its jobs are released back to the coordinator with checkpoints), local
+// jobs are cancelled with the draining cause and re-queued on disk, and
+// the store closes.
 func (s *Server) Close(ctx context.Context) error {
-	err := s.jobs.Drain(ctx)
+	close(s.sweepStop)
+	<-s.sweepDone
+	var err error
+	if s.worker != nil {
+		err = s.worker.Close(ctx)
+	}
+	if derr := s.jobs.Drain(ctx); err == nil {
+		err = derr
+	}
 	if cerr := s.store.Close(); err == nil {
 		err = cerr
 	}

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — multi-process fleet integration smoke test.
+#
+# Starts one coordinator-only tileflow-serve process and two worker
+# processes as real OS processes wired over loopback HTTP, submits a search
+# job to the coordinator, and verifies a worker process executed it under a
+# lease. This is the process-level complement of the in-test fleet suite:
+# it proves the flags, the dedicated -fleet-listen port, and the peer
+# protocol compose outside the Go test harness.
+set -euo pipefail
+
+PORT_C=18080 # coordinator public API
+PORT_F=18081 # coordinator fleet listener
+PORT_W1=18082
+PORT_W2=18083
+DIR="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+echo "== building tileflow-serve"
+go build -o "$DIR/tileflow-serve" ./cmd/tileflow-serve
+
+echo "== starting coordinator (job-workers=-1, fleet on :$PORT_F)"
+"$DIR/tileflow-serve" -addr ":$PORT_C" -fleet-listen ":$PORT_F" \
+  -job-workers -1 -lease-ttl 10s -data-dir "$DIR/coord" \
+  >"$DIR/coord.log" 2>&1 &
+PIDS+=($!)
+
+echo "== starting two workers"
+"$DIR/tileflow-serve" -addr ":$PORT_W1" -coordinator "http://127.0.0.1:$PORT_F" \
+  -node smoke-w1 -job-workers 1 >"$DIR/w1.log" 2>&1 &
+PIDS+=($!)
+"$DIR/tileflow-serve" -addr ":$PORT_W2" -coordinator "http://127.0.0.1:$PORT_F" \
+  -node smoke-w2 -job-workers 1 >"$DIR/w2.log" 2>&1 &
+PIDS+=($!)
+
+wait_http() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$1" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "timeout waiting for $1" >&2
+  return 1
+}
+wait_http "http://127.0.0.1:$PORT_C/healthz"
+wait_http "http://127.0.0.1:$PORT_W1/healthz"
+wait_http "http://127.0.0.1:$PORT_W2/healthz"
+
+echo "== submitting a search job to the coordinator"
+JOB=$(curl -fsS "http://127.0.0.1:$PORT_C/v1/jobs/search" -d '{
+  "arch": "edge", "workload": "attention:Bert-S",
+  "population": 4, "generations": 3, "tile_rounds": 10, "top_k": 2, "seed": 41
+}')
+ID=$(echo "$JOB" | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != "null" ] || { echo "bad submit response: $JOB" >&2; exit 1; }
+echo "   job $ID"
+
+echo "== waiting for the job to finish"
+STATE=""
+for _ in $(seq 1 300); do
+  SNAP=$(curl -fsS "http://127.0.0.1:$PORT_C/v1/jobs/$ID")
+  STATE=$(echo "$SNAP" | jq -r .state)
+  case "$STATE" in
+    done) break ;;
+    failed|cancelled) echo "job ended $STATE: $SNAP" >&2; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$STATE" = "done" ] || { echo "job never finished (last: $STATE)" >&2; exit 1; }
+
+# The coordinator runs -job-workers -1, so it cannot have executed the job
+# itself: its fleet counters and the workers' own gauges prove a worker
+# process claimed and completed it over the peer protocol.
+echo "== checking fleet counters on the coordinator"
+METRICS=$(curl -fsS "http://127.0.0.1:$PORT_C/metrics")
+echo "$METRICS" | grep -q '^tileflow_fleet_claims_total [1-9]' || {
+  echo "coordinator shows no fleet claims" >&2; exit 1; }
+echo "$METRICS" | grep -q '^tileflow_fleet_completes_total [1-9]' || {
+  echo "coordinator shows no fleet completes" >&2; exit 1; }
+
+WORKER=""
+for w in 1 2; do
+  port=$((PORT_W1 + w - 1))
+  if curl -fsS "http://127.0.0.1:$port/metrics" |
+    grep -q "^tileflow_fleet_worker_claims_total{node=\"smoke-w$w\"} [1-9]"; then
+    WORKER="smoke-w$w"
+  fi
+done
+[ -n "$WORKER" ] || { echo "no worker process reports a claim" >&2; exit 1; }
+echo "   executed by $WORKER"
+
+echo "fleet smoke test passed"
