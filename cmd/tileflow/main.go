@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 
@@ -55,7 +56,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print a per-tile profile (fills, updates, latency bound)")
 	skipCapacity := flag.Bool("skip-capacity", false, "ignore buffer capacity limits")
 	jsonOut := flag.Bool("json", false, "print the result as JSON (the evaluation server's codec)")
-	profile := flag.String("profile", "", "profile the tune/evaluate path: cpu=<file> writes a pprof CPU profile")
+	profile := flag.String("profile", "", "profile the tune/evaluate path: cpu=<file> writes a pprof CPU profile, mem=<file> a heap profile at exit")
 	flag.Parse()
 
 	fatalIf(startProfile(*profile))
@@ -145,15 +146,17 @@ func main() {
 	}
 }
 
-// startProfile parses the -profile flag ("cpu=<file>") and starts the
-// requested profiler around the tune/evaluate path.
+// startProfile parses the -profile flag ("cpu=<file>" or "mem=<file>")
+// and starts the requested profiler around the tune/evaluate path. The
+// heap profile is written when the run finishes, after a GC, so it shows
+// live steady-state allocations rather than transient garbage.
 func startProfile(spec string) error {
 	if spec == "" {
 		return nil
 	}
 	kind, file, ok := strings.Cut(spec, "=")
 	if !ok || file == "" {
-		return fmt.Errorf("bad -profile %q: want cpu=<file>", spec)
+		return fmt.Errorf("bad -profile %q: want cpu=<file> or mem=<file>", spec)
 	}
 	switch kind {
 	case "cpu":
@@ -171,8 +174,22 @@ func startProfile(spec string) error {
 			stopProfile = func() {}
 		}
 		return nil
+	case "mem":
+		f, err := os.Create(file)
+		if err != nil {
+			return err
+		}
+		stopProfile = func() {
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "tileflow: write heap profile: %v\n", err)
+			}
+			f.Close()
+			stopProfile = func() {}
+		}
+		return nil
 	default:
-		return fmt.Errorf("bad -profile kind %q: want cpu=<file>", kind)
+		return fmt.Errorf("bad -profile kind %q: want cpu=<file> or mem=<file>", kind)
 	}
 }
 

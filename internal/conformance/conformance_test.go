@@ -30,9 +30,10 @@ func pointBudget() int {
 }
 
 // TestConformance is the differential harness: every generated point runs
-// through all four evaluation routes (cold, compiled, re-bound, notation +
-// HTTP service) and through the slice-enumeration oracle. Any divergence is
-// minimized and written out as a textual reproducer.
+// through all the evaluation routes (cold, compiled, re-bound, batched,
+// delta, notation + HTTP service) and through the slice-enumeration
+// oracle. Any divergence is minimized and written out as a textual
+// reproducer.
 func TestConformance(t *testing.T) {
 	n := pointBudget()
 	srv := serve.New(serve.Config{})

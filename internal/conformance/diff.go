@@ -46,8 +46,12 @@ func resultBytes(res *core.Result, spec *arch.Spec) []byte {
 //  2. core.Compile + Program.Evaluate,
 //  3. Program.WithTiling re-binding (Alt-compiled program evaluating Root,
 //     and Root-compiled program evaluating Alt against a cold Alt run),
-//  4. notation round-trip: Parse(Print(Root)) evaluated locally,
-//  5. the HTTP service: POST /v1/evaluate with arch_spec + workload_spec +
+//  4. Program.EvaluateBatch over [Root, Alt, Root] (the repeat proves the
+//     shared scratch arena carries no state between items),
+//  5. Program.EvaluateDelta chained Root → Alt → Root through one
+//     DeltaState (incremental re-evaluation in both directions),
+//  6. notation round-trip: Parse(Print(Root)) evaluated locally,
+//  7. the HTTP service: POST /v1/evaluate with arch_spec + workload_spec +
 //     notation, for both Root and Alt (the second request exercises the
 //     server-side program cache re-bind), byte-comparing served results.
 //
@@ -106,6 +110,31 @@ func RunPoint(p *Point, baseURL string, client *http.Client) error {
 	}
 	if b := resultBytes(res3b, p.Spec); !bytes.Equal(b, altBytes) {
 		return fail("rebind-alt", diffBytes(altBytes, b))
+	}
+
+	batchRes, batchErrs := prog.EvaluateBatch(context.Background(), []*core.Node{p.Root, p.Alt, p.Root}, p.Opts)
+	wantBatch := [][]byte{refBytes, altBytes, refBytes}
+	for i, berr := range batchErrs {
+		if berr != nil {
+			return fail("batch", fmt.Errorf("item %d: %w", i, berr))
+		}
+		if b := resultBytes(batchRes[i], p.Spec); !bytes.Equal(b, wantBatch[i]) {
+			return fail("batch", fmt.Errorf("item %d: %w", i, diffBytes(wantBatch[i], b)))
+		}
+	}
+
+	ds := prog.NewDelta(p.Opts)
+	for i, step := range []struct {
+		root *core.Node
+		want []byte
+	}{{p.Root, refBytes}, {p.Alt, altBytes}, {p.Root, refBytes}} {
+		res5, err := prog.EvaluateDelta(context.Background(), ds, step.root, p.Opts)
+		if err != nil {
+			return fail("delta", fmt.Errorf("step %d: %w", i, err))
+		}
+		if b := resultBytes(res5, p.Spec); !bytes.Equal(b, step.want) {
+			return fail("delta", fmt.Errorf("step %d: %w", i, diffBytes(step.want, b)))
+		}
 	}
 
 	src := notation.Print(p.Root)

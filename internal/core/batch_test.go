@@ -1,0 +1,213 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/workload"
+)
+
+// perturbedTilings builds n tilings of the benchmark structure by walking
+// the dataflow's factor space with a seeded RNG (one random factor moves
+// to a random divisor per step). Some candidates are infeasible (over
+// capacity), which is exactly what a mapper feeds the batch API.
+func perturbedTilings(tb testing.TB, seed int64, n int) []*core.Node {
+	tb.Helper()
+	_, tilings := perturbedFactorWalk(tb, seed, n)
+	return tilings
+}
+
+func perturbedFactorWalk(tb testing.TB, seed int64, n int) (dataflows.Dataflow, []*core.Node) {
+	tb.Helper()
+	shape, ok := workload.AttentionShapeByName("Bert-S")
+	if !ok {
+		tb.Fatal("attention shape Bert-S not found")
+	}
+	df := dataflows.FLATRGran(shape, arch.Edge())
+	specs := df.Factors()
+	rng := rand.New(rand.NewSource(seed))
+	f := df.DefaultFactors()
+	tilings := make([]*core.Node, 0, n)
+	for len(tilings) < n {
+		nf := make(map[string]int, len(f))
+		for k, v := range f {
+			nf[k] = v
+		}
+		fs := specs[rng.Intn(len(specs))]
+		ch := fs.Choices()
+		nf[fs.Key] = ch[rng.Intn(len(ch))]
+		cand, err := df.Build(nf)
+		if err != nil {
+			continue
+		}
+		f = nf
+		tilings = append(tilings, cand)
+	}
+	return df, tilings
+}
+
+// TestEvaluateBatchMatchesCold pins the batch route to the cold route over
+// 120 seeded design points: identical results (via canonical JSON
+// rendering in the conformance package's spirit — here deep comparison)
+// and identical error texts, item by item.
+func TestEvaluateBatchMatchesCold(t *testing.T) {
+	df, tilings := perturbedFactorWalk(t, 701, 120)
+	root, g, spec := benchDesignPoint(t)
+	prog, err := core.Compile(root, g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := prog.EvaluateBatch(context.Background(), tilings, core.Options{})
+	if len(results) != len(tilings) || len(errs) != len(tilings) {
+		t.Fatalf("batch returned %d results / %d errs for %d tilings", len(results), len(errs), len(tilings))
+	}
+	// The cold route evaluates each tiling against the graph it was built
+	// over (a canonically equal copy of prog's graph; the batch route
+	// matches operators by name).
+	okCount := 0
+	for i, cand := range tilings {
+		cold, coldErr := core.Evaluate(cand, df.Graph(), spec, core.Options{})
+		if (coldErr == nil) != (errs[i] == nil) {
+			t.Fatalf("item %d: cold err %v, batch err %v", i, coldErr, errs[i])
+		}
+		if coldErr != nil {
+			if coldErr.Error() != errs[i].Error() {
+				t.Fatalf("item %d: cold err %q, batch err %q", i, coldErr, errs[i])
+			}
+			continue
+		}
+		okCount++
+		assertResultsIdentical(t, fmt.Sprintf("batch item %d", i), cold, results[i])
+	}
+	if okCount == 0 {
+		t.Fatal("no feasible points in the batch; test exercised nothing")
+	}
+	t.Logf("batch matched cold on %d feasible + %d infeasible points", okCount, len(tilings)-okCount)
+}
+
+// assertResultsIdentical compares every field of two Results for exact
+// (bitwise, for floats) equality.
+func assertResultsIdentical(t *testing.T, what string, a, b *core.Result) {
+	t.Helper()
+	if a.Cycles != b.Cycles || a.ComputeCycles != b.ComputeCycles {
+		t.Fatalf("%s: cycles %v/%v vs %v/%v", what, a.Cycles, a.ComputeCycles, b.Cycles, b.ComputeCycles)
+	}
+	if a.MACs != b.MACs || a.VectorOps != b.VectorOps {
+		t.Fatalf("%s: ops differ", what)
+	}
+	if a.PEsUsed != b.PEsUsed || a.TotalPEs != b.TotalPEs || a.Utilization != b.Utilization {
+		t.Fatalf("%s: PE figures differ", what)
+	}
+	if len(a.DM) != len(b.DM) {
+		t.Fatalf("%s: DM lengths differ", what)
+	}
+	for l := range a.DM {
+		if a.DM[l] != b.DM[l] {
+			t.Fatalf("%s: DM[%d] %+v vs %+v", what, l, a.DM[l], b.DM[l])
+		}
+	}
+	if len(a.TensorDM) != len(b.TensorDM) {
+		t.Fatalf("%s: TensorDM key sets differ: %d vs %d", what, len(a.TensorDM), len(b.TensorDM))
+	}
+	for k, av := range a.TensorDM {
+		bv, ok := b.TensorDM[k]
+		if !ok || len(av) != len(bv) {
+			t.Fatalf("%s: TensorDM[%q] missing or wrong length", what, k)
+		}
+		for l := range av {
+			if av[l] != bv[l] {
+				t.Fatalf("%s: TensorDM[%q][%d] %+v vs %+v", what, k, l, av[l], bv[l])
+			}
+		}
+	}
+	for l := range a.UnitUsage {
+		if a.UnitUsage[l] != b.UnitUsage[l] {
+			t.Fatalf("%s: UnitUsage[%d] differs", what, l)
+		}
+	}
+	for l := range a.FootprintWords {
+		if a.FootprintWords[l] != b.FootprintWords[l] {
+			t.Fatalf("%s: FootprintWords[%d] %d vs %d", what, l, a.FootprintWords[l], b.FootprintWords[l])
+		}
+	}
+	for l := range a.SlowDown {
+		if a.SlowDown[l] != b.SlowDown[l] || a.BandwidthReqGBs[l] != b.BandwidthReqGBs[l] {
+			t.Fatalf("%s: slowdown/bandwidth[%d] differ", what, l)
+		}
+	}
+	if a.Energy.ComputePJ != b.Energy.ComputePJ {
+		t.Fatalf("%s: compute energy differs", what)
+	}
+	for l := range a.Energy.PerLevelPJ {
+		if a.Energy.PerLevelPJ[l] != b.Energy.PerLevelPJ[l] {
+			t.Fatalf("%s: energy[%d] differs", what, l)
+		}
+	}
+}
+
+// TestEvaluateBatchConcurrent runs 8 goroutines through EvaluateBatch on
+// one shared Program (run under -race in CI). Each goroutine checks its
+// own items against the cold route.
+func TestEvaluateBatchConcurrent(t *testing.T) {
+	root, g, spec := benchDesignPoint(t)
+	prog, err := core.Compile(root, g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			df, tilings := perturbedFactorWalk(t, int64(1000+w), 25)
+			results, errs := prog.EvaluateBatch(context.Background(), tilings, core.Options{})
+			for i, cand := range tilings {
+				cold, coldErr := core.Evaluate(cand, df.Graph(), spec, core.Options{})
+				if (coldErr == nil) != (errs[i] == nil) {
+					errCh <- fmt.Errorf("worker %d item %d: cold err %v, batch err %v", w, i, coldErr, errs[i])
+					return
+				}
+				if coldErr != nil {
+					continue
+				}
+				if results[i].Cycles != cold.Cycles || results[i].EnergyPJ() != cold.EnergyPJ() {
+					errCh <- fmt.Errorf("worker %d item %d: result mismatch", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestEvaluateBatchCancellation: once the context is done, remaining items
+// fail with ctx.Err() and are not evaluated.
+func TestEvaluateBatchCancellation(t *testing.T) {
+	tilings := perturbedTilings(t, 42, 10)
+	root, g, spec := benchDesignPoint(t)
+	prog, err := core.Compile(root, g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, errs := prog.EvaluateBatch(ctx, tilings, core.Options{})
+	for i := range tilings {
+		if results[i] != nil || !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("item %d not cancelled: res=%v err=%v", i, results[i], errs[i])
+		}
+	}
+}

@@ -23,6 +23,22 @@ var ErrInfeasible = errors.New("core: infeasible mapping")
 // not a complete, exact tiling of the workload on the architecture.
 var ErrInvalidMapping = errors.New("core: invalid mapping")
 
+// ErrStructureMismatch marks a re-bind rejection: the tree's shape, levels,
+// sibling bindings or operators differ from the compiled structure. Every
+// such error also matches ErrInvalidMapping; the finer mark lets callers on
+// the re-bind fast path (WithTiling, EvaluateDelta, EvaluateBatch) tell a
+// wrong structure — worth recompiling for — from an invalid tiling of the
+// right structure, which a recompile would reject identically.
+var ErrStructureMismatch = errors.New("core: structure mismatch")
+
+// structureError adds the ErrStructureMismatch mark to a re-bind error
+// without altering its message or its ErrInvalidMapping mark.
+type structureError struct{ err error }
+
+func (e *structureError) Error() string        { return e.err.Error() }
+func (e *structureError) Is(target error) bool { return target == ErrStructureMismatch }
+func (e *structureError) Unwrap() error        { return e.err }
+
 // markedError tags a formatted message with a sentinel for errors.Is
 // without altering the message text.
 type markedError struct {
@@ -160,20 +176,28 @@ type Options struct {
 }
 
 // evaluator carries the per-evaluation state. All mutable analysis state
-// lives here, never on the shared Program or its compiled tree, which is
-// what makes concurrent Evaluate calls on one Program safe.
+// lives in the scratch arena, never on the shared Program or its compiled
+// tree, which is what makes concurrent Evaluate calls on one Program safe.
 type evaluator struct {
 	ctx  context.Context
 	p    *Program
 	t    *tree
 	opts Options
-
-	// nodeFill/nodeUpdate are total words crossing each node's upper
-	// boundary over the whole execution, indexed by pre-order node id.
-	nodeFill   []float64
-	nodeUpdate []float64
-	dm         []LevelDM
-	tensorDM   map[string][]LevelDM
+	s    *Scratch
+	// delta, when non-nil, records per-(node,group) volumes as the full
+	// pass computes them, so a later EvaluateDelta can replay unaffected
+	// nodes bit-identically instead of recomputing them.
+	delta *DeltaState
+	// Incremental masks, set only on the delta path (all nil on a full
+	// evaluation): affected[i] false lets accountDataMovement replay node
+	// i's cached volumes; fpNeed[i] false keeps node i's footprint row;
+	// vDirty/vDirtyUp restrict validation to nodes whose checks could
+	// have changed. Clean items cannot fail if the snapshot tiling
+	// passed, so the first reported error is identical to a full run's.
+	affected []bool
+	fpNeed   []bool
+	vDirty   []bool
+	vDirtyUp []bool
 }
 
 // Evaluate runs TileFlow's tree-based analysis for the dataflow rooted at
@@ -197,26 +221,33 @@ func EvaluateContext(ctx context.Context, root *Node, g *workload.Graph, spec *a
 }
 
 // run executes the tiling-dependent analysis phases — the Evaluate half of
-// the Compile → Evaluate pipeline — on the evaluator's bound tree.
+// the Compile → Evaluate pipeline — on the evaluator's bound tree. The
+// returned Result aliases the scratch arena.
 func (e *evaluator) run() (*Result, error) {
-	t, spec, opts := e.t, e.p.spec, e.opts
-	if err := validateTiling(t, e.p.g); err != nil {
+	t, spec, opts, s := e.t, e.p.spec, e.opts, e.s
+	s.reset()
+	if e.vDirty == nil {
+		if err := validateTiling(t, e.p.g); err != nil {
+			return nil, err
+		}
+	} else if err := validateTilingDelta(t, e.p.g, e.vDirty, e.vDirtyUp); err != nil {
 		return nil, err
 	}
 	if err := e.accountDataMovement(); err != nil {
 		return nil, err
 	}
 
-	res := &Result{
-		DM:        e.dm,
-		TensorDM:  e.tensorDM,
+	res := &s.res
+	*res = Result{
+		DM:        s.dm,
+		TensorDM:  s.tensorDM,
 		MACs:      e.p.macs,
 		VectorOps: e.p.vops,
 		PEsUsed:   NumPE(t.root),
 		TotalPEs:  spec.TotalPEs(),
 	}
 
-	res.UnitUsage = unitUsage(t.root, spec.NumLevels())
+	res.UnitUsage = t.unitUsageInto(s.unitBuf, spec.NumLevels())
 	if inst := spec.Instances(1); inst > 0 {
 		u := res.UnitUsage[1]
 		if u > inst {
@@ -236,7 +267,11 @@ func (e *evaluator) run() (*Result, error) {
 		}
 	}
 
-	res.FootprintWords = t.footprint(t.root, spec.NumLevels(), e.p.confine, e.p.density)
+	if e.fpNeed == nil {
+		res.FootprintWords = t.footprintInto(s.fpRows, spec.NumLevels(), e.p.confRel, e.p.density)
+	} else {
+		res.FootprintWords = t.footprintDeltaInto(s.fpRows, spec.NumLevels(), e.p.confRel, e.p.density, e.fpNeed)
+	}
 	if !opts.SkipCapacityCheck {
 		for l := 0; l < spec.DRAMLevel(); l++ {
 			if need, have := res.FootprintWords[l], spec.CapacityWords(l); need > have {
@@ -248,23 +283,23 @@ func (e *evaluator) run() (*Result, error) {
 	if err := e.ctx.Err(); err != nil {
 		return nil, err
 	}
-	res.Cycles = e.latency(t.root, false)
-	res.ComputeCycles = e.latency(t.root, true)
+	res.Cycles = e.latency(0, false)
+	res.ComputeCycles = e.latency(0, true)
 
 	// Energy: per-level accesses plus register operand traffic for the
 	// compute itself (two operand reads per op).
-	accesses := make([]float64, spec.NumLevels())
-	for i := range e.dm {
-		accesses[i] = e.dm[i].Total()
+	accesses := s.accesses
+	for i := range s.dm {
+		accesses[i] = s.dm[i].Total()
 	}
 	accesses[0] += 2 * (res.MACs + res.VectorOps)
-	res.Energy = e.p.etab.Estimate(accesses, res.MACs, res.VectorOps)
+	res.Energy = e.p.etab.EstimateInto(s.perLevel, accesses, res.MACs, res.VectorOps)
 
 	// Slow-down and bandwidth requirement per level (Sec 7.5, Fig 14).
-	res.SlowDown = make([]float64, spec.NumLevels())
-	res.BandwidthReqGBs = make([]float64, spec.NumLevels())
+	res.SlowDown = s.slow
+	res.BandwidthReqGBs = s.bwreq
 	for l := 1; l < spec.NumLevels(); l++ {
-		traffic := e.dm[l].Total()
+		traffic := s.dm[l].Total()
 		accessCycles := 0.0
 		if wpc := spec.WordsPerCycle(l); wpc > 0 {
 			accessCycles = traffic / wpc
@@ -274,6 +309,7 @@ func (e *evaluator) run() (*Result, error) {
 			sd = accessCycles / res.ComputeCycles
 		}
 		res.SlowDown[l] = sd
+		res.BandwidthReqGBs[l] = 0
 		if res.ComputeCycles > 0 {
 			res.BandwidthReqGBs[l] = traffic * float64(spec.WordBytes) * spec.FreqGHz / res.ComputeCycles
 		}
@@ -321,7 +357,7 @@ func vectorOps(g *workload.Graph) float64 {
 // node's level exists on the architecture.
 func validateStructure(t *tree, g *workload.Graph, spec *arch.Spec) error {
 	for _, op := range g.Ops {
-		if t.leafOf[op] == nil {
+		if _, ok := t.st.leafOf[op]; !ok {
 			return invalidf("core: operator %q has no leaf tile in the tree", op.Name)
 		}
 	}
@@ -338,28 +374,87 @@ func validateStructure(t *tree, g *workload.Graph, spec *arch.Spec) error {
 // runs on every Evaluate, since re-binds change only the loops.
 func validateTiling(t *tree, g *workload.Graph) error {
 	for _, op := range g.Ops {
-		leaf := t.leafOf[op]
-		if leaf == nil {
+		leafID, ok := t.st.leafOf[op]
+		if !ok {
 			return invalidf("core: operator %q has no leaf tile in the tree", op.Name)
 		}
 		for _, d := range op.Dims {
-			cov := 1
-			for m := leaf; m != nil; m = t.parent[m] {
-				cov *= m.DimExtent(d.Name)
-			}
-			if cov != d.Size {
+			if cov := t.fullCoverage(leafID, d.Name); cov != d.Size {
 				return invalidf("core: operator %q dim %q tiled to %d, want %d", op.Name, d.Name, cov, d.Size)
 			}
 		}
 	}
-	for _, n := range t.nodeSet {
-		for _, l := range n.Loops {
-			if l.Extent < 1 {
-				return invalidf("core: node %q loop %s has extent < 1", n.Name, l)
+	for i, n := range t.nodeSet {
+		if err := validateNodeLoops(t, i, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fullCoverage is the leaf-to-root extent product of one dimension: the
+// exact-tiling check's quantity. Interned dims take the id-compare path;
+// dims outside the universe (possible only for ops the structure never
+// interned, which validation rejects elsewhere) fall back to strings.
+func (t *tree) fullCoverage(leafID int, dim string) int {
+	cov := 1
+	if id, ok := t.st.dimID[dim]; ok {
+		d := int32(id)
+		for m := leafID; m >= 0; m = t.st.parent[m] {
+			cov *= t.dimExtentAt(m, d)
+		}
+		return cov
+	}
+	for m := leafID; m >= 0; m = t.st.parent[m] {
+		cov *= t.nodeSet[m].DimExtent(dim)
+	}
+	return cov
+}
+
+// validateNodeLoops checks one node's loop list: positive extents, and
+// every loop over a dimension some operator in the subtree iterates. The
+// delta path re-runs it for dirty nodes only.
+func validateNodeLoops(t *tree, i int, n *Node) error {
+	ld := t.ldim[i]
+	mask := t.st.dimMask[i]
+	for li, l := range n.Loops {
+		if l.Extent < 1 {
+			return invalidf("core: node %q loop %s has extent < 1", n.Name, l)
+		}
+		if ld[li] < 0 || !mask[ld[li]] {
+			return invalidf("core: node %q loop over dim %q that no operator in its subtree iterates", n.Name, l.Dim)
+		}
+	}
+	return nil
+}
+
+// validateTilingDelta is validateTiling restricted to items whose inputs
+// changed since the snapshot tiling: operators whose leaf-to-root path
+// contains a dirty node (the coverage product reads exactly that path) and
+// nodes with dirty loop lists. Items are visited in the full pass's order
+// and clean items cannot fail when the snapshot passed, so the first error
+// returned is the one validateTiling would return.
+func validateTilingDelta(t *tree, g *workload.Graph, dirty, dirtyUp []bool) error {
+	for _, op := range g.Ops {
+		leafID, ok := t.st.leafOf[op]
+		if !ok {
+			return invalidf("core: operator %q has no leaf tile in the tree", op.Name)
+		}
+		if !dirty[leafID] && !dirtyUp[leafID] {
+			continue
+		}
+		for _, d := range op.Dims {
+			if cov := t.fullCoverage(leafID, d.Name); cov != d.Size {
+				return invalidf("core: operator %q dim %q tiled to %d, want %d", op.Name, d.Name, cov, d.Size)
 			}
-			if !t.subtreeDims(n)[l.Dim] {
-				return invalidf("core: node %q loop over dim %q that no operator in its subtree iterates", n.Name, l.Dim)
-			}
+		}
+	}
+	for i, n := range t.nodeSet {
+		if !dirty[i] {
+			continue
+		}
+		if err := validateNodeLoops(t, i, n); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -372,87 +467,149 @@ func validateTiling(t *tree, g *workload.Graph) error {
 // passes through.
 func (e *evaluator) accountDataMovement() error {
 	t := e.t
-	for i, n := range t.nodeSet {
+	for i := range t.nodeSet {
 		if err := e.ctx.Err(); err != nil {
 			return err
 		}
-		pLevel, ok := e.parentLevel(n)
-		if !ok {
-			continue // same buffer or root at DRAM: no boundary to cross
+		if e.affected != nil && !e.affected[i] {
+			e.replayNodeDM(i)
+			continue
 		}
-		var fills, updates float64
-		for gi := range t.st.groups[i] {
-			grp := &t.st.groups[i][gi]
-			if lca, ok := e.p.confine[grp.tensor]; ok && t.subtreeContains(n, lca) {
-				continue // confined at or below n: never crosses up
-			}
-			var tf, tu float64
-			if len(grp.reads) > 0 {
-				per := e.fillPerExec(n, grp.reads, grp.evicts)
-				if grp.evicts {
-					// Seq eviction forfeits hierarchical reuse: every
-					// relevant re-execution refetches.
-					tf = per * t.relevantInvocations(n)
-				} else {
-					tf = per * t.invocationsWhere(n, grp.readDims)
-				}
-			}
-			if len(grp.writes) > 0 {
-				per := e.fillPerExec(n, grp.writes, grp.evicts)
-				tu = per * t.invocationsWhere(n, grp.writeDims)
-				// Read-modify-write: if the same output slice drains
-				// more than once (a reduction split above this node),
-				// each extra drain needs a prior refill of partials.
-				w := grp.writes[0]
-				wleaf := t.nodeSet[w.leafID]
-				distinct := float64(t.coveredVolume(n, wleaf, w.acc)) *
-					t.invocationsWhere(n, w.dims)
-				if rmw := tu - distinct; rmw > 0 {
-					tf += rmw
-				}
-			}
-			// Sparse tensors travel in compressed form (Sec 7.7
-			// extension): traffic scales with density.
-			if d, sparse := e.p.density[grp.tensor]; sparse {
-				tf *= d
-				tu *= d
-			}
-			fills += tf
-			updates += tu
-			e.attributeTensor(grp.tensor, n.Level, pLevel, tf, tu)
-		}
-		e.nodeFill[i] += fills
-		e.nodeUpdate[i] += updates
-		// Attribute to levels: enters n.Level, and — unless the
-		// architecture grants the pair direct access (Sec 5.1.2) —
-		// passes through every level between it and the parent level.
-		e.dm[n.Level].Fill += fills
-		e.dm[pLevel].Read += fills
-		e.dm[pLevel].Update += updates
-		if !e.p.spec.HasDirectAccess(n.Level, pLevel) {
-			for l := n.Level + 1; l < pLevel; l++ {
-				e.dm[l].Fill += fills
-				e.dm[l].Read += fills
-				e.dm[l].Update += updates
-			}
+		if err := e.accountNodeDM(i); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// accountNodeDM computes and attributes the data movement of one node's
+// upper boundary. The delta path calls it for affected nodes only and
+// replays cached per-group volumes for the rest.
+func (e *evaluator) accountNodeDM(i int) error {
+	t, s := e.t, e.s
+	pLevel := e.p.pLevel[i]
+	if pLevel < 0 {
+		return nil // same buffer or root at DRAM: no boundary to cross
+	}
+	n := t.nodeSet[i]
+	var fills, updates float64
+	for gi := range t.st.groups[i] {
+		grp := &t.st.groups[i][gi]
+		if e.p.confRel[i][gi] != confNone {
+			continue // confined at or below n: never crosses up
+		}
+		tf, tu := e.groupDM(i, gi, grp)
+		fills += tf
+		updates += tu
+		e.attributeTensor(grp, n.Level, pLevel, tf, tu)
+		if d := e.delta; d != nil {
+			d.tf[i][gi], d.tu[i][gi] = tf, tu
+		}
+	}
+	s.nodeFill[i] += fills
+	s.nodeUpdate[i] += updates
+	if d := e.delta; d != nil {
+		d.fills[i], d.updates[i] = fills, updates
+	}
+	// Attribute to levels: enters n.Level, and — unless the
+	// architecture grants the pair direct access (Sec 5.1.2) —
+	// passes through every level between it and the parent level.
+	s.dm[n.Level].Fill += fills
+	s.dm[pLevel].Read += fills
+	s.dm[pLevel].Update += updates
+	if !e.p.spec.HasDirectAccess(n.Level, pLevel) {
+		for l := n.Level + 1; l < pLevel; l++ {
+			s.dm[l].Fill += fills
+			s.dm[l].Read += fills
+			s.dm[l].Update += updates
+		}
+	}
+	return nil
+}
+
+// replayNodeDM re-attributes node i's cached per-group volumes without
+// recomputing them: when neither i's subtree nor its ancestors changed
+// loops, every input to groupDM is unchanged, so the cached float64s are
+// the exact values a full pass would produce. Attribution runs in the
+// same (node, group) order as accountNodeDM, keeping every floating-point
+// accumulation bit-identical to the cold route.
+func (e *evaluator) replayNodeDM(i int) {
+	t, s, d := e.t, e.s, e.delta
+	pLevel := e.p.pLevel[i]
+	if pLevel < 0 {
+		return
+	}
+	n := t.nodeSet[i]
+	for gi := range t.st.groups[i] {
+		if e.p.confRel[i][gi] != confNone {
+			continue
+		}
+		e.attributeTensor(&t.st.groups[i][gi], n.Level, pLevel, d.tf[i][gi], d.tu[i][gi])
+	}
+	fills, updates := d.fills[i], d.updates[i]
+	s.nodeFill[i] += fills
+	s.nodeUpdate[i] += updates
+	s.dm[n.Level].Fill += fills
+	s.dm[pLevel].Read += fills
+	s.dm[pLevel].Update += updates
+	if !e.p.spec.HasDirectAccess(n.Level, pLevel) {
+		for l := n.Level + 1; l < pLevel; l++ {
+			s.dm[l].Fill += fills
+			s.dm[l].Read += fills
+			s.dm[l].Update += updates
+		}
+	}
+}
+
+// groupDM computes one tensor group's fill and update volumes crossing
+// node i's upper boundary, the per-group body of Sec 5.1.2.
+func (e *evaluator) groupDM(i, gi int, grp *tensorGroup) (tf, tu float64) {
+	t := e.t
+	if len(grp.reads) > 0 {
+		per := e.fillPerExec(i, grp.reads, grp.evicts)
+		if grp.evicts {
+			// Seq eviction forfeits hierarchical reuse: every
+			// relevant re-execution refetches.
+			tf = per * t.invocationsMask(i, nil)
+		} else {
+			tf = per * t.invocationsMask(i, grp.readMask)
+		}
+	}
+	if len(grp.writes) > 0 {
+		per := e.fillPerExec(i, grp.writes, grp.evicts)
+		tu = per * t.invocationsMask(i, grp.writeMask)
+		// Read-modify-write: if the same output slice drains
+		// more than once (a reduction split above this node),
+		// each extra drain needs a prior refill of partials.
+		w := grp.writes[0]
+		distinct := float64(t.coveredVolumeI(i, w.leafID, w.iix)) *
+			t.invocationsMask(i, w.mask)
+		if rmw := tu - distinct; rmw > 0 {
+			tf += rmw
+		}
+	}
+	// Sparse tensors travel in compressed form (Sec 7.7
+	// extension): traffic scales with density.
+	if d, sparse := e.p.density[grp.tensor]; sparse {
+		tf *= d
+		tu *= d
+	}
+	return tf, tu
 }
 
 // fillPerExec computes the words of the tensor group that cross node n's
 // upper boundary inward during one execution of n. Multiple accesses to
 // the same tensor share the staged slice, so the maximum over accesses is
 // taken. Under Seq eviction the slice is refetched on every time step.
-func (e *evaluator) fillPerExec(n *Node, refs []accessRef, evicted bool) float64 {
+func (e *evaluator) fillPerExec(n int, refs []accessRef, evicted bool) float64 {
 	var best float64
-	for _, r := range refs {
-		leaf := e.t.nodeSet[r.leafID]
+	for ri := range refs {
+		r := &refs[ri]
 		var v float64
 		if evicted {
-			v = float64(n.TemporalTrips()) * float64(e.t.sliceVolume(n, leaf, r.acc))
+			v = float64(e.t.nodeSet[n].TemporalTrips()) * float64(e.t.sliceVolumeI(n, r.leafID, r.iix))
 		} else {
-			v = e.t.perExecDM(n, leaf, r.acc, e.retain(n, leaf, r.acc))
+			v = e.perExecDMI(n, r.leafID, r.iix, e.retainI(n, r))
 		}
 		if v > best {
 			best = v
@@ -461,46 +618,43 @@ func (e *evaluator) fillPerExec(n *Node, refs []accessRef, evicted bool) float64
 	return best
 }
 
-// retain is the wrap-around retention predicate: a tensor's swept
+// retainI is the wrap-around retention predicate: a tensor's swept
 // footprint is retained when it occupies at most half of the node's
-// per-instance buffer (disabled by Options.DisableRetention).
-func (e *evaluator) retain(n, leaf *Node, acc workload.Access) bool {
+// per-instance buffer (disabled by Options.DisableRetention). The
+// compile-time maxWords bound short-circuits the covered-volume walk when
+// even the worst-case sweep fits; the exact walk only runs when the bound
+// exceeds the budget.
+func (e *evaluator) retainI(n int, r *accessRef) bool {
 	if e.opts.DisableRetention {
 		return false
 	}
-	cap := e.p.spec.CapacityWords(n.Level)
+	cap := e.p.spec.CapacityWords(e.t.nodeSet[n].Level)
 	if cap == math.MaxInt64 {
 		return true
 	}
-	return e.t.coveredVolumePerInstance(n, leaf, acc) <= cap/2
-}
-
-// parentLevel reports the memory level node n loads from across its upper
-// boundary. A root tile below the DRAM level has an implicit DRAM parent
-// (the paper's trees end at the outermost on-chip level; off-chip memory is
-// always above them). A child at its parent's own level shares the buffer:
-// no boundary exists.
-func (e *evaluator) parentLevel(n *Node) (int, bool) {
-	p := e.t.parent[n]
-	if p == nil {
-		if n.Level < e.p.spec.DRAMLevel() {
-			return e.p.spec.DRAMLevel(), true
-		}
-		return 0, false
+	if r.maxWords <= cap/2 {
+		return true
 	}
-	if p.Level == n.Level {
-		return 0, false
-	}
-	return p.Level, true
+	return e.t.coveredVolumePerInstanceI(n, r.leafID, r.iix) <= cap/2
 }
 
 // attributeTensor records one tensor's share of the traffic crossing a
-// node boundary between childLevel and parentLevel.
-func (e *evaluator) attributeTensor(tensor string, childLevel, parentLevel int, fills, updates float64) {
-	dm, ok := e.tensorDM[tensor]
-	if !ok {
-		dm = make([]LevelDM, len(e.dm))
-		e.tensorDM[tensor] = dm
+// node boundary between childLevel and parentLevel. Attributed tensors
+// carry a compile-time id into the arena's flat row block, so the steady
+// state indexes a slice instead of hashing the tensor name; the map path
+// remains as a defensive fallback for unattributed groups.
+func (e *evaluator) attributeTensor(grp *tensorGroup, childLevel, parentLevel int, fills, updates float64) {
+	var dm []LevelDM
+	if tid := grp.tensorID; tid >= 0 && tid < e.s.nTensors {
+		L := len(e.s.dm)
+		dm = e.s.tensorRows[tid*L : tid*L+L]
+	} else {
+		var ok bool
+		dm, ok = e.s.tensorDM[grp.tensor]
+		if !ok {
+			dm = make([]LevelDM, len(e.s.dm))
+			e.s.tensorDM[grp.tensor] = dm
+		}
 	}
 	dm[childLevel].Fill += fills
 	dm[parentLevel].Read += fills
@@ -517,11 +671,12 @@ func (e *evaluator) attributeTensor(tensor string, childLevel, parentLevel int, 
 // temporalRepeats counts how many times child c executes per single
 // execution of parent n: the product of n's temporal-loop extents over
 // dimensions relevant to c's subtree.
-func (e *evaluator) temporalRepeats(n, c *Node) float64 {
-	rel := e.t.subtreeDims(c)
+func (e *evaluator) temporalRepeats(n, c int) float64 {
+	rel := e.t.st.dimMask[c]
+	ld := e.t.ldim[n]
 	r := 1.0
-	for _, l := range n.Loops {
-		if l.Kind == Temporal && rel[l.Dim] {
+	for li, l := range e.t.nodeSet[n].Loops {
+		if l.Kind == Temporal && ld[li] >= 0 && rel[ld[li]] {
 			r *= float64(l.Extent)
 		}
 	}
@@ -532,13 +687,13 @@ func (e *evaluator) temporalRepeats(n, c *Node) float64 {
 // upper boundary: the narrowest level bandwidth on the path, shared among
 // the concurrent sibling contexts created by ancestor spatial loops and
 // Para/Pipe bindings.
-func (e *evaluator) effBandwidth(n *Node) float64 {
-	pLevel, ok := e.parentLevel(n)
-	if !ok {
+func (e *evaluator) effBandwidth(n int) float64 {
+	pLevel := e.p.pLevel[n]
+	if pLevel < 0 {
 		return math.Inf(1)
 	}
 	bw := math.Inf(1)
-	for l := n.Level + 1; l <= pLevel; l++ {
+	for l := e.t.nodeSet[n].Level + 1; l <= pLevel; l++ {
 		if w := e.p.spec.WordsPerCycle(l); w < bw {
 			bw = w
 		}
@@ -549,8 +704,8 @@ func (e *evaluator) effBandwidth(n *Node) float64 {
 	// Sec 5.3 formula (pipelined stages rarely contend: the vector
 	// stages consume little bandwidth).
 	share := 1.0
-	for a := e.t.parent[n]; a != nil; a = e.t.parent[a] {
-		share *= float64(a.SpatialProduct())
+	for a := e.t.st.parent[n]; a >= 0; a = e.t.st.parent[a] {
+		share *= float64(e.t.nodeSet[a].SpatialProduct())
 	}
 	return bw / share
 }
@@ -559,16 +714,17 @@ func (e *evaluator) effBandwidth(n *Node) float64 {
 // of its (double-buffered) load phase, its children, and its store phase.
 // Children are summed under Seq/Shar and maxed under Para/Pipe, repeated by
 // the node's temporal trip counts. With computeOnly, bandwidth is infinite.
-func (e *evaluator) latency(n *Node, computeOnly bool) float64 {
+func (e *evaluator) latency(n int, computeOnly bool) float64 {
+	nd := e.t.nodeSet[n]
 	var inner float64
-	if n.IsLeaf() {
-		inner = float64(n.TemporalTrips()) * e.leafIterCost(n)
+	if nd.IsLeaf() {
+		inner = float64(nd.TemporalTrips()) * e.leafIterCost(nd)
 		// Gating hardware skips zero iterations of sparse operands.
-		inner *= e.p.opDensity[e.t.id[n]]
+		inner *= e.p.opDensity[n]
 	} else {
-		for _, c := range n.Children {
+		for _, c := range e.t.st.children[n] {
 			lc := e.latency(c, computeOnly) * e.temporalRepeats(n, c)
-			if n.Binding.Spatial() {
+			if nd.Binding.Spatial() {
 				if lc > inner {
 					inner = lc
 				}
@@ -580,13 +736,12 @@ func (e *evaluator) latency(n *Node, computeOnly bool) float64 {
 	if computeOnly {
 		return inner
 	}
-	id := e.t.id[n]
-	inv := e.t.relevantInvocations(n)
+	inv := e.t.invocationsMask(n, nil)
 	bw := e.effBandwidth(n)
 	load, store := 0.0, 0.0
 	if !math.IsInf(bw, 1) && inv > 0 {
-		load = e.nodeFill[id] / inv / bw
-		store = e.nodeUpdate[id] / inv / bw
+		load = e.s.nodeFill[n] / inv / bw
+		store = e.s.nodeUpdate[n] / inv / bw
 	}
 	return math.Max(load, math.Max(inner, store))
 }

@@ -42,19 +42,13 @@ func Explain(root *Node, g *workload.Graph, spec *arch.Spec, opts Options) ([]No
 }
 
 // Explain profiles the Program's bound tree node by node. Like Evaluate it
-// allocates only per-call state, so concurrent calls are safe.
+// runs on a pooled scratch arena, so concurrent calls are safe.
 func (p *Program) Explain(opts Options) ([]NodeReport, error) {
 	t := p.t
-	e := &evaluator{
-		ctx:        context.Background(),
-		p:          p,
-		t:          t,
-		opts:       opts,
-		nodeFill:   make([]float64, len(t.nodeSet)),
-		nodeUpdate: make([]float64, len(t.nodeSet)),
-		dm:         make([]LevelDM, p.spec.NumLevels()),
-		tensorDM:   map[string][]LevelDM{},
-	}
+	s := p.getScratch()
+	defer p.putScratch(s)
+	e := &evaluator{ctx: context.Background(), p: p, t: t, opts: opts, s: s}
+	s.reset()
 	if err := validateTiling(t, p.g); err != nil {
 		return nil, err
 	}
@@ -62,27 +56,23 @@ func (p *Program) Explain(opts Options) ([]NodeReport, error) {
 		return nil, err
 	}
 
-	var reports []NodeReport
-	root := t.root
-	depth := map[*Node]int{root: 0}
-	root.Walk(func(n *Node) {
-		for _, c := range n.Children {
-			depth[c] = depth[n] + 1
-		}
-		id := t.id[n]
-		inv := t.relevantInvocations(n)
-		bw := e.effBandwidth(n)
+	reports := make([]NodeReport, 0, len(t.nodeSet))
+	var visit func(id, depth int)
+	visit = func(id, depth int) {
+		n := t.nodeSet[id]
+		inv := t.relevantInvocations(id)
+		bw := e.effBandwidth(id)
 		load, store := 0.0, 0.0
 		if inv > 0 && bw > 0 && !math.IsInf(bw, 1) {
-			load = e.nodeFill[id] / inv / bw
-			store = e.nodeUpdate[id] / inv / bw
+			load = s.nodeFill[id] / inv / bw
+			store = s.nodeUpdate[id] / inv / bw
 		}
 		var inner float64
 		if n.IsLeaf() {
 			inner = float64(n.TemporalTrips()) * e.leafIterCost(n) * p.opDensity[id]
 		} else {
-			for _, c := range n.Children {
-				lc := e.latency(c, false) * e.temporalRepeats(n, c)
+			for _, c := range t.st.children[id] {
+				lc := e.latency(c, false) * e.temporalRepeats(id, c)
 				if n.Binding.Spatial() {
 					if lc > inner {
 						inner = lc
@@ -99,14 +89,18 @@ func (p *Program) Explain(opts Options) ([]NodeReport, error) {
 			bound = "store"
 		}
 		reports = append(reports, NodeReport{
-			Name: n.Name, Level: n.Level, Depth: depth[n],
+			Name: n.Name, Level: n.Level, Depth: depth,
 			IsLeaf: n.IsLeaf(), Binding: n.Binding,
 			Invocations: inv,
-			FillWords:   e.nodeFill[id], UpdateWords: e.nodeUpdate[id],
+			FillWords:   s.nodeFill[id], UpdateWords: s.nodeUpdate[id],
 			LoadCycles: load, InnerCycles: inner, StoreCycles: store,
 			Bound: bound,
 		})
-	})
+		for _, c := range t.st.children[id] {
+			visit(c, depth+1)
+		}
+	}
+	visit(0, 0)
 	return reports, nil
 }
 

@@ -33,26 +33,30 @@ func TestFigure5SingleTileDM(t *testing.T) {
 	}
 
 	// Slice extents: A is 4×6, B is 4×3, C is 4×4 (Fig 5).
-	if got := tr.sliceExtents(leaf, leaf, accA); got[0] != 4 || got[1] != 6 {
+	exts := func(acc workload.Access) []int64 {
+		return tr.sliceExtentsInto(make([]int64, len(acc.Index)), 0, 0, acc)
+	}
+	if got := exts(accA); got[0] != 4 || got[1] != 6 {
 		t.Errorf("slice extents of A = %v, want [4 6]", got)
 	}
-	if got := tr.sliceExtents(leaf, leaf, accB); got[0] != 4 || got[1] != 3 {
+	if got := exts(accB); got[0] != 4 || got[1] != 3 {
 		t.Errorf("slice extents of B = %v, want [4 3]", got)
 	}
-	if got := tr.sliceExtents(leaf, leaf, op.Write); got[0] != 4 || got[1] != 4 {
+	if got := exts(op.Write); got[0] != 4 || got[1] != 4 {
 		t.Errorf("slice extents of C = %v, want [4 4]", got)
 	}
 
+	e := &evaluator{t: tr, s: &Scratch{}}
 	// The headline number: DM_A = 168 elements.
-	if got := tr.perExecDM(leaf, leaf, accA, false); got != 168 {
+	if got := e.perExecDM(0, 0, accA, false); got != 168 {
 		t.Errorf("perExecDM(A) = %v, want 168", got)
 	}
 	// B is fully reused along j: 12 compulsory + 2×12 when i advances.
-	if got := tr.perExecDM(leaf, leaf, accB, false); got != 36 {
+	if got := e.perExecDM(0, 0, accB, false); got != 36 {
 		t.Errorf("perExecDM(B) = %v, want 36", got)
 	}
 	// C: every output element written exactly once, 12×12 = 144.
-	if got := tr.perExecDM(leaf, leaf, op.Write, false); got != 144 {
+	if got := e.perExecDM(0, 0, op.Write, false); got != 144 {
 		t.Errorf("perExecDM(C) = %v, want 144", got)
 	}
 }
@@ -79,7 +83,8 @@ func TestFigure5LoopOrderMatters(t *testing.T) {
 	// With i innermost, B's slice changes on every i-step: the i boundary
 	// occurs (3−1)·3 = 6 times moving 12 fresh elements, and the j
 	// boundary resets i (full 12-element refetch) twice.
-	got := tr.perExecDM(leaf, leaf, accB, false)
+	e := &evaluator{t: tr, s: &Scratch{}}
+	got := e.perExecDM(0, 0, accB, false)
 	want := 12.0 + 6*12 + 2*12
 	if got != want {
 		t.Errorf("perExecDM(B) with i innermost = %v, want %v", got, want)

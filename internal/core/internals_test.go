@@ -40,11 +40,11 @@ func TestConfinementLCA(t *testing.T) {
 		t.Fatal(err)
 	}
 	conf := tr.confinements(g)
-	if conf["Mid1"] != inner {
-		t.Errorf("Mid1 confined at %v, want inner", conf["Mid1"].Name)
+	if conf["Mid1"] != tr.id[inner] {
+		t.Errorf("Mid1 confined at %v, want inner", tr.nodeSet[conf["Mid1"]].Name)
 	}
-	if conf["Mid2"] != outer {
-		t.Errorf("Mid2 confined at %v, want outer", conf["Mid2"].Name)
+	if conf["Mid2"] != tr.id[outer] {
+		t.Errorf("Mid2 confined at %v, want outer", tr.nodeSet[conf["Mid2"]].Name)
 	}
 	if _, ok := conf["X"]; ok {
 		t.Error("graph input must not be confined")
@@ -65,14 +65,14 @@ func TestChildToward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := tr.childToward(root, leaf); got != mid {
-		t.Errorf("childToward(root) = %s", got.Name)
+	if got := tr.childToward(tr.id[root], tr.id[leaf]); got != tr.id[mid] {
+		t.Errorf("childToward(root) = %s", tr.nodeSet[got].Name)
 	}
-	if got := tr.childToward(mid, leaf); got != leaf {
-		t.Errorf("childToward(mid) = %s", got.Name)
+	if got := tr.childToward(tr.id[mid], tr.id[leaf]); got != tr.id[leaf] {
+		t.Errorf("childToward(mid) = %s", tr.nodeSet[got].Name)
 	}
-	if got := tr.childToward(leaf, leaf); got != leaf {
-		t.Errorf("childToward(leaf) = %s", got.Name)
+	if got := tr.childToward(tr.id[leaf], tr.id[leaf]); got != tr.id[leaf] {
+		t.Errorf("childToward(leaf) = %s", tr.nodeSet[got].Name)
 	}
 }
 
@@ -89,14 +89,14 @@ func TestInvocationsRelevance(t *testing.T) {
 	}
 	// Each leaf re-executes for every relevant ancestor loop iteration:
 	// stage (2·4) × root (2) = 16.
-	if inv := tr.relevantInvocations(lf); inv != 16 {
+	if inv := tr.relevantInvocations(tr.id[lf]); inv != 16 {
 		t.Errorf("invocations = %v, want 16", inv)
 	}
 	// Restricted to dim i only: 2 × 2 = 4.
-	if inv := tr.invocationsWhere(lf, map[string]bool{"i": true}); inv != 4 {
+	if inv := tr.invocationsWhere(tr.id[lf], map[string]bool{"i": true}); inv != 4 {
 		t.Errorf("i-invocations = %v, want 4", inv)
 	}
-	if inv := tr.invocationsWhere(lf, map[string]bool{}); inv != 1 {
+	if inv := tr.invocationsWhere(tr.id[lf], map[string]bool{}); inv != 1 {
 		t.Errorf("empty-set invocations = %v, want 1", inv)
 	}
 }
@@ -115,7 +115,7 @@ func TestStrides(t *testing.T) {
 	if len(tl) != 4 {
 		t.Fatalf("temporal loops = %d", len(tl))
 	}
-	s := tr.strides(leaf, leaf, tl)
+	s := tr.strides(0, 0, tl)
 	// stepCov(j) = spatial 2; inner j loop strides 2, outer j strides 3·2.
 	if s[1] != 2 || s[0] != 6 {
 		t.Errorf("j strides = outer %d inner %d, want 6/2", s[0], s[1])
@@ -221,5 +221,34 @@ func TestExplainProfilesTree(t *testing.T) {
 	out := RenderReports(reports)
 	if !strings.Contains(out, "stage") || !strings.Contains(out, "bound") {
 		t.Error("render incomplete")
+	}
+}
+
+// TestUnitUsageArenaMatchesRecursive pins the arena form of the unit-usage
+// pass (unitUsageInto, used by the evaluator) to the recursive reference
+// form (unitUsage, used by the static analyzer) over several structures.
+func TestUnitUsageArenaMatchesRecursive(t *testing.T) {
+	g := chain3()
+	lf := Leaf("lf", g.Op("F"), T("i", 8), S("i", 2), T("j", 32))
+	lg := Leaf("lg", g.Op("G"), T("i", 16), T("j", 8), S("j", 4))
+	lh := Leaf("lh", g.Op("H"), T("i", 16), T("j", 32))
+	stage := Tile("stage", 1, Shar, []Loop{T("i", 2), S("j", 2)}, lf, lg, lh)
+	root := Tile("root", 2, Seq, []Loop{T("i", 2)}, stage)
+	for _, numLevels := range []int{2, 3, 4} {
+		tr, err := buildTree(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := unitUsage(root, numLevels)
+		buf := make([]int, len(tr.nodeSet)*numLevels)
+		got := tr.unitUsageInto(buf, numLevels)
+		if len(got) != len(want) {
+			t.Fatalf("numLevels=%d: lengths %d vs %d", numLevels, len(got), len(want))
+		}
+		for l := range want {
+			if got[l] != want[l] {
+				t.Errorf("numLevels=%d level %d: arena %d, recursive %d", numLevels, l, got[l], want[l])
+			}
+		}
 	}
 }

@@ -128,8 +128,9 @@ func TestPropertySliceExtentsPositive(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		ev := &evaluator{t: tr, s: &Scratch{}}
 		for _, acc := range op.Accesses() {
-			exts := tr.sliceExtents(leaf, leaf, acc)
+			exts := tr.sliceExtentsInto(make([]int64, len(acc.Index)), 0, 0, acc)
 			vol := int64(1)
 			for _, x := range exts {
 				if x < 1 {
@@ -137,12 +138,12 @@ func TestPropertySliceExtentsPositive(t *testing.T) {
 				}
 				vol *= x
 			}
-			if vol != tr.sliceVolume(leaf, leaf, acc) {
+			if vol != tr.sliceVolume(0, 0, acc) {
 				return false
 			}
 			// Per-exec DM is at least the compulsory slice and at most
 			// slice × temporal trips.
-			dm := tr.perExecDM(leaf, leaf, acc, false)
+			dm := ev.perExecDM(0, 0, acc, false)
 			if dm < float64(vol)-0.5 {
 				return false
 			}

@@ -111,7 +111,7 @@ func AnalyzeStatic(root *Node, g *workload.Graph, spec *arch.Spec, opts Options)
 	// validateStructure, collecting.
 	levelsOK := true
 	for _, op := range g.Ops {
-		if t.leafOf[op] == nil {
+		if _, ok := t.st.leafOf[op]; !ok {
 			v := violation(RuleOpNoLeaf, invalidf("core: operator %q has no leaf tile in the tree", op.Name))
 			v.Op = op.Name
 			vs = append(vs, v)
@@ -128,30 +128,30 @@ func AnalyzeStatic(root *Node, g *workload.Graph, spec *arch.Spec, opts Options)
 
 	// validateTiling, collecting.
 	for _, op := range g.Ops {
-		leaf := t.leafOf[op]
-		if leaf == nil {
+		leafID, ok := t.st.leafOf[op]
+		if !ok {
 			continue // reported above
 		}
 		for _, d := range op.Dims {
 			cov := 1
-			for m := leaf; m != nil; m = t.parent[m] {
-				cov *= m.DimExtent(d.Name)
+			for m := leafID; m >= 0; m = t.st.parent[m] {
+				cov *= t.nodeSet[m].DimExtent(d.Name)
 			}
 			if cov != d.Size {
 				v := violation(RuleCoverage, invalidf("core: operator %q dim %q tiled to %d, want %d", op.Name, d.Name, cov, d.Size))
-				v.Op, v.Dim, v.Node = op.Name, d.Name, leaf.Name
+				v.Op, v.Dim, v.Node = op.Name, d.Name, t.nodeSet[leafID].Name
 				vs = append(vs, v)
 			}
 		}
 	}
-	for _, n := range t.nodeSet {
+	for i, n := range t.nodeSet {
 		for li, l := range n.Loops {
 			if l.Extent < 1 {
 				v := violation(RuleLoopExtent, invalidf("core: node %q loop %s has extent < 1", n.Name, l))
 				v.Node, v.Dim, v.Loop = n.Name, l.Dim, li
 				vs = append(vs, v)
 			}
-			if !t.subtreeDims(n)[l.Dim] {
+			if !t.subtreeDims(i)[l.Dim] {
 				v := violation(RuleLoopDim, invalidf("core: node %q loop over dim %q that no operator in its subtree iterates", n.Name, l.Dim))
 				v.Node, v.Dim, v.Loop = n.Name, l.Dim, li
 				vs = append(vs, v)
@@ -180,12 +180,10 @@ func AnalyzeStatic(root *Node, g *workload.Graph, spec *arch.Spec, opts Options)
 		}
 	}
 	if !opts.SkipCapacityCheck {
-		conf := t.confinements(g)
-		confine := make(map[string]int, len(conf))
-		for tensor, n := range conf {
-			confine[tensor] = t.id[n]
-		}
-		fp := t.footprint(root, spec.NumLevels(), confine, densityOf(g))
+		confine := t.confinements(g)
+		rel := confRelTable(t, confine)
+		rows := make([]int64, len(t.nodeSet)*spec.NumLevels())
+		fp := t.footprintInto(rows, spec.NumLevels(), rel, densityOf(g))
 		for l := 0; l < spec.DRAMLevel(); l++ {
 			if need, have := fp[l], spec.CapacityWords(l); need > have {
 				v := violation(RuleCapacity, &CapacityError{Level: l, LevelName: spec.Levels[l].Name, NeedWords: need, HaveWords: have})

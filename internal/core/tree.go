@@ -247,19 +247,34 @@ func (n *Node) render(b *strings.Builder, depth int) {
 	}
 }
 
-// tree is the evaluation-time view of an analysis tree with parent links and
-// per-leaf paths precomputed. Nodes are numbered in pre-order; the numbering
-// indexes the tiling-independent tables of st, which are shared between a
-// compiled template tree and its rebind copies, so a tree must never mutate
-// st after buildTree returns.
+// tree is the evaluation-time view of an analysis tree. Nodes are numbered
+// in pre-order; every topological relation — parent links, children lists,
+// subtree intervals, leaf indices — lives in the shared structure tables
+// indexed by that numbering, so a tiling re-bind only has to produce a new
+// nodeSet slice. The structure is shared between a compiled template tree
+// and its rebind views and must never be mutated after buildTree returns.
 type tree struct {
 	root    *Node
-	parent  map[*Node]*Node
-	leaves  []*Node
-	leafOf  map[*workload.Operator]*Node
-	nodeSet []*Node       // pre-order; nodeSet[id[n]] == n
-	id      map[*Node]int // pre-order ids, stable across rebinds
-	st      *structure
+	nodeSet []*Node // pre-order; nodeSet[i] is the node with id i
+	// id maps template nodes to their pre-order ids. It exists only on
+	// trees built by buildTree (templates); rebind views leave it nil —
+	// the evaluator works purely on ids and never needs the map.
+	id map[*Node]int
+	st *structure
+	// ldim[i][k] is the interned dim id of nodeSet[i].Loops[k] (-1 when
+	// the dim is outside the structure's dim universe). It is the one
+	// tiling-dependent table the tree carries: the hot analysis loops
+	// compare these int32s instead of hashing dim strings. Recomputed by
+	// every rebind; rows share the ldimBuf backing so a steady-state
+	// re-bind allocates nothing.
+	ldim    [][]int32
+	ldimBuf []int32
+	// ext[i][d]/sext[i][d] are the products of node i's loop extents over
+	// interned dim d — all loops and spatial loops respectively — the
+	// constant-time form of DimExtent/SpatialExtent the coverage walks
+	// read. Recomputed by setLdim on every rebind; rows share extBuf.
+	ext, sext [][]int64
+	extBuf    []int64
 }
 
 // structure holds every analysis table that depends only on the tree's
@@ -267,12 +282,26 @@ type tree struct {
 // by pre-order node id. One structure is computed per Compile and shared,
 // read-only, by every tiling re-bind of the same shape.
 type structure struct {
+	// parent is the pre-order id of each node's parent; -1 for the root.
+	parent []int
+	// children lists each node's child ids in execution order.
+	children [][]int
 	// size is the subtree node count, making subtree membership an
 	// O(1) pre-order interval test.
 	size []int
+	// leafOf maps each template operator to its leaf's pre-order id.
+	leafOf map[*workload.Operator]int
 	// dims is the set of iteration dimensions of all operators in the
 	// subtree.
 	dims []map[string]bool
+	// dimID interns every dimension name any operator declares to a dense
+	// id in [0, numDims), in first-leaf-declaration order. The hot
+	// analysis loops run on these ids (loop compares, mask tests) instead
+	// of string hashing.
+	dimID   map[string]int
+	numDims int
+	// dimMask is dims as a bitset over dim ids, per node.
+	dimMask [][]bool
 	// groups lists, per node, the tensors its subtree accesses with all
 	// per-tensor access closures precomputed, in first-use order.
 	groups [][]tensorGroup
@@ -280,27 +309,30 @@ type structure struct {
 
 func buildTree(root *Node) (*tree, error) {
 	t := &tree{
-		root:   root,
-		parent: map[*Node]*Node{},
-		leafOf: map[*workload.Operator]*Node{},
-		id:     map[*Node]int{},
+		root: root,
+		id:   map[*Node]int{},
 	}
+	st := &structure{leafOf: map[*workload.Operator]int{}}
+	leafNode := map[*workload.Operator]*Node{}
 	var err error
-	var visit func(n *Node)
-	visit = func(n *Node) {
-		t.id[n] = len(t.nodeSet)
+	var visit func(n *Node, parent int)
+	visit = func(n *Node, parent int) {
+		id := len(t.nodeSet)
+		t.id[n] = id
 		t.nodeSet = append(t.nodeSet, n)
+		st.parent = append(st.parent, parent)
+		st.children = append(st.children, nil)
 		if n.IsLeaf() {
 			if len(n.Children) > 0 {
 				err = invalidf("core: leaf %q has children", n.Name)
 				return
 			}
-			if prev := t.leafOf[n.Op]; prev != nil {
+			if prev := leafNode[n.Op]; prev != nil {
 				err = invalidf("core: operator %q appears in two leaves (%q, %q)", n.Op.Name, prev.Name, n.Name)
 				return
 			}
-			t.leafOf[n.Op] = n
-			t.leaves = append(t.leaves, n)
+			leafNode[n.Op] = n
+			st.leafOf[n.Op] = id
 			return
 		}
 		if len(n.Children) == 0 {
@@ -312,73 +344,158 @@ func buildTree(root *Node) (*tree, error) {
 				err = invalidf("core: child %q at level %d above parent %q at level %d", c.Name, c.Level, n.Name, n.Level)
 				return
 			}
-			t.parent[c] = n
-			visit(c)
+			st.children[id] = append(st.children[id], len(t.nodeSet))
+			visit(c, id)
 			if err != nil {
 				return
 			}
 		}
 	}
-	visit(root)
+	visit(root, -1)
 	if err != nil {
 		return nil, err
 	}
-	t.st = buildStructure(t)
+	t.st = st
+	internDims(t)
+	buildStructure(t)
+	t.setLdim()
 	return t, nil
+}
+
+// internDims assigns every dimension name declared by the tree's operators
+// a dense id, in first-leaf-declaration (pre-order) order, so the
+// assignment is deterministic. Loop dims outside this universe intern to
+// -1; validation rejects them before any analysis loop compares ids.
+func internDims(t *tree) {
+	st := t.st
+	st.dimID = map[string]int{}
+	for _, n := range t.nodeSet {
+		if !n.IsLeaf() {
+			continue
+		}
+		for _, d := range n.Op.Dims {
+			if _, ok := st.dimID[d.Name]; !ok {
+				st.dimID[d.Name] = st.numDims
+				st.numDims++
+			}
+		}
+	}
+}
+
+// setLdim recomputes the per-loop interned dim ids for the tree's current
+// nodeSet. Rows alias one flat backing buffer that is reused across
+// re-binds, so steady-state calls allocate nothing.
+func (t *tree) setLdim() {
+	total := 0
+	for _, n := range t.nodeSet {
+		total += len(n.Loops)
+	}
+	if cap(t.ldimBuf) < total {
+		t.ldimBuf = make([]int32, total)
+	}
+	buf := t.ldimBuf[:total]
+	if cap(t.ldim) < len(t.nodeSet) {
+		t.ldim = make([][]int32, 0, len(t.nodeSet))
+	}
+	t.ldim = t.ldim[:0]
+	nn, nd := len(t.nodeSet), t.st.numDims
+	if cap(t.extBuf) < 2*nn*nd {
+		t.extBuf = make([]int64, 2*nn*nd)
+	}
+	ebuf := t.extBuf[:2*nn*nd]
+	for i := range ebuf {
+		ebuf[i] = 1
+	}
+	if cap(t.ext) < nn {
+		t.ext = make([][]int64, 0, nn)
+		t.sext = make([][]int64, 0, nn)
+	}
+	t.ext, t.sext = t.ext[:0], t.sext[:0]
+	off := 0
+	for i, n := range t.nodeSet {
+		row := buf[off : off+len(n.Loops) : off+len(n.Loops)]
+		off += len(n.Loops)
+		erow := ebuf[i*nd : (i+1)*nd : (i+1)*nd]
+		srow := ebuf[(nn+i)*nd : (nn+i+1)*nd : (nn+i+1)*nd]
+		for li, l := range n.Loops {
+			if id, ok := t.st.dimID[l.Dim]; ok {
+				row[li] = int32(id)
+				erow[id] *= int64(l.Extent)
+				if l.Kind == Spatial {
+					srow[id] *= int64(l.Extent)
+				}
+			} else {
+				row[li] = -1
+			}
+		}
+		t.ldim = append(t.ldim, row)
+		t.ext = append(t.ext, erow)
+		t.sext = append(t.sext, srow)
+	}
 }
 
 // rebind builds the tree view of newRoot reusing t's compiled structure
 // tables. newRoot must match t.root's structure — same shape, levels,
 // bindings among siblings, and operators (by identity, or by name for
 // canonically equal graphs) — while its loop nests are free to differ.
-// The per-binding maps are rebuilt in one walk; everything in t.st is
-// shared, which is what makes a tiling re-bind cheap.
+// Because every topological table is id-indexed and shared, the re-bind
+// only fills a new nodeSet slice in one lockstep walk: a handful of
+// allocations regardless of tree size.
 func (t *tree) rebind(newRoot *Node) (*tree, error) {
-	nt := &tree{
-		root:    newRoot,
-		parent:  make(map[*Node]*Node, len(t.parent)),
-		leaves:  make([]*Node, 0, len(t.leaves)),
-		leafOf:  make(map[*workload.Operator]*Node, len(t.leafOf)),
-		nodeSet: make([]*Node, 0, len(t.nodeSet)),
-		id:      make(map[*Node]int, len(t.nodeSet)),
-		st:      t.st,
-	}
-	var walk func(tpl, n *Node) error
-	walk = func(tpl, n *Node) error {
-		if (tpl.Op == nil) != (n.Op == nil) || len(tpl.Children) != len(n.Children) {
-			return invalidf("core: tree shape at %q differs from the compiled structure", n.Name)
-		}
-		if tpl.Level != n.Level {
-			return invalidf("core: node %q at level %d, compiled structure has level %d", n.Name, n.Level, tpl.Level)
-		}
-		if tpl.Op != nil && tpl.Op != n.Op && tpl.Op.Name != n.Op.Name {
-			return invalidf("core: leaf %q computes %q, compiled structure has %q", n.Name, n.Op.Name, tpl.Op.Name)
-		}
-		// Binding only matters between siblings; single-child and leaf
-		// bindings are ignored by the analysis.
-		if tpl.Op == nil && len(tpl.Children) > 1 && tpl.Binding != n.Binding {
-			return invalidf("core: node %q bound %s, compiled structure has %s", n.Name, n.Binding, tpl.Binding)
-		}
-		nt.id[n] = len(nt.nodeSet)
-		nt.nodeSet = append(nt.nodeSet, n)
-		if n.Op != nil {
-			// Key by the template's operator: the structure tables and the
-			// compiled Program's graph reference those.
-			nt.leafOf[tpl.Op] = n
-			nt.leaves = append(nt.leaves, n)
-		}
-		for i, c := range n.Children {
-			nt.parent[c] = n
-			if err := walk(tpl.Children[i], c); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := walk(t.root, newRoot); err != nil {
+	nt := &tree{}
+	if err := t.rebindInto(nt, newRoot); err != nil {
 		return nil, err
 	}
 	return nt, nil
+}
+
+// rebindInto is rebind writing into a caller-owned tree view, reusing its
+// nodeSet backing array. It is what makes the batch and delta evaluation
+// paths allocation-free: one view is re-filled per candidate.
+func (t *tree) rebindInto(nt *tree, newRoot *Node) error {
+	nt.root = newRoot
+	nt.id = nil
+	nt.st = t.st
+	if cap(nt.nodeSet) < len(t.nodeSet) {
+		nt.nodeSet = make([]*Node, 0, len(t.nodeSet))
+	}
+	nt.nodeSet = nt.nodeSet[:0]
+	if err := t.rebindWalk(nt, newRoot); err != nil {
+		return &structureError{err: err}
+	}
+	nt.setLdim()
+	return nil
+}
+
+// rebindWalk validates one node against the template node at the same
+// pre-order position and appends it to the view's nodeSet.
+func (t *tree) rebindWalk(nt *tree, n *Node) error {
+	pos := len(nt.nodeSet)
+	if pos >= len(t.nodeSet) {
+		return invalidf("core: tree shape at %q differs from the compiled structure", n.Name)
+	}
+	tpl := t.nodeSet[pos]
+	if (tpl.Op == nil) != (n.Op == nil) || len(tpl.Children) != len(n.Children) {
+		return invalidf("core: tree shape at %q differs from the compiled structure", n.Name)
+	}
+	if tpl.Level != n.Level {
+		return invalidf("core: node %q at level %d, compiled structure has level %d", n.Name, n.Level, tpl.Level)
+	}
+	if tpl.Op != nil && tpl.Op != n.Op && tpl.Op.Name != n.Op.Name {
+		return invalidf("core: leaf %q computes %q, compiled structure has %q", n.Name, n.Op.Name, tpl.Op.Name)
+	}
+	// Binding only matters between siblings; single-child and leaf
+	// bindings are ignored by the analysis.
+	if tpl.Op == nil && len(tpl.Children) > 1 && tpl.Binding != n.Binding {
+		return invalidf("core: node %q bound %s, compiled structure has %s", n.Name, n.Binding, tpl.Binding)
+	}
+	nt.nodeSet = append(nt.nodeSet, n)
+	for _, c := range n.Children {
+		if err := t.rebindWalk(nt, c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // StructureSignature renders the tiling-independent structure of a tree —
@@ -406,54 +523,40 @@ func writeSignature(b *strings.Builder, n *Node) {
 	b.WriteByte(')')
 }
 
-// pathToRoot lists the node and its ancestors, innermost first.
-func (t *tree) pathToRoot(n *Node) []*Node {
-	var out []*Node
-	for m := n; m != nil; m = t.parent[m] {
-		out = append(out, m)
+// lcaIDs returns the least common ancestor of the given node ids: the first
+// ancestor of ids[0] whose pre-order interval contains every id.
+func (t *tree) lcaIDs(ids []int) int {
+	if len(ids) == 0 {
+		return -1
 	}
-	return out
-}
-
-// ancestors lists the strict ancestors of n, nearest first.
-func (t *tree) ancestors(n *Node) []*Node {
-	p := t.pathToRoot(n)
-	return p[1:]
-}
-
-// lca returns the least common ancestor of the given nodes.
-func (t *tree) lca(nodes []*Node) *Node {
-	if len(nodes) == 0 {
-		return nil
-	}
-	onPath := map[*Node]int{}
-	for _, n := range nodes {
-		for _, a := range t.pathToRoot(n) {
-			onPath[a]++
+	a := ids[0]
+	for {
+		all := true
+		for _, id := range ids {
+			if !t.subtreeContains(a, id) {
+				all = false
+				break
+			}
 		}
-	}
-	// Walk up from the first node; the first ancestor on every path is
-	// the LCA.
-	for _, a := range t.pathToRoot(nodes[0]) {
-		if onPath[a] == len(nodes) {
+		if all || t.st.parent[a] < 0 {
 			return a
 		}
+		a = t.st.parent[a]
 	}
-	return t.root
 }
 
-// subtreeContains reports whether n's subtree contains the node with the
-// given pre-order id: an O(1) interval test against the structure tables.
-func (t *tree) subtreeContains(n *Node, id int) bool {
-	ni := t.id[n]
-	return ni <= id && id < ni+t.st.size[ni]
+// subtreeContains reports whether node n's subtree contains the node with
+// the given pre-order id: an O(1) interval test against the structure
+// tables.
+func (t *tree) subtreeContains(n, id int) bool {
+	return n <= id && id < n+t.st.size[n]
 }
 
 // childToward returns n's direct child on the path to leaf (or leaf itself
-// when n is the leaf).
-func (t *tree) childToward(n, leaf *Node) *Node {
+// when n is the leaf). All arguments and results are pre-order ids.
+func (t *tree) childToward(n, leaf int) int {
 	child := leaf
-	for m := leaf; m != nil && m != n; m = t.parent[m] {
+	for m := leaf; m >= 0 && m != n; m = t.st.parent[m] {
 		child = m
 	}
 	return child
@@ -462,10 +565,10 @@ func (t *tree) childToward(n, leaf *Node) *Node {
 // covBelow is the chunk of dimension dim covered per iteration step of node
 // n along the path toward leaf: the product of extents of dim loops at all
 // path nodes strictly below n.
-func (t *tree) covBelow(n *Node, leaf *Node, dim string) int {
+func (t *tree) covBelow(n, leaf int, dim string) int {
 	cov := 1
-	for m := leaf; m != nil && m != n; m = t.parent[m] {
-		cov *= m.DimExtent(dim)
+	for m := leaf; m >= 0 && m != n; m = t.st.parent[m] {
+		cov *= t.nodeSet[m].DimExtent(dim)
 	}
 	return cov
 }
@@ -475,12 +578,51 @@ func (t *tree) covBelow(n *Node, leaf *Node, dim string) int {
 // everything below. This is the slice-defining quantity of Sec 5.1.1 — the
 // slice extent stays constant across time steps and is determined by the
 // spatial loops (and the subtree chunk).
-func (t *tree) stepCov(n *Node, leaf *Node, dim string) int {
-	return n.SpatialExtent(dim) * t.covBelow(n, leaf, dim)
+func (t *tree) stepCov(n, leaf int, dim string) int {
+	return t.nodeSet[n].SpatialExtent(dim) * t.covBelow(n, leaf, dim)
 }
 
 // covAt is the full extent of dim covered by node n (all loops at n and
 // below, along the path to leaf).
-func (t *tree) covAt(n *Node, leaf *Node, dim string) int {
-	return n.DimExtent(dim) * t.covBelow(n, leaf, dim)
+func (t *tree) covAt(n, leaf int, dim string) int {
+	return t.nodeSet[n].DimExtent(dim) * t.covBelow(n, leaf, dim)
+}
+
+// dimExtentAt is DimExtent on interned dim ids: the product of all loop
+// extents of node m whose dim interned to dim. The hot analysis loops use
+// these forms to replace string hashing with int32 compares; each is the
+// exact same product, term for term, as its string counterpart.
+func (t *tree) dimExtentAt(m int, dim int32) int {
+	if dim < 0 {
+		// Dims outside the universe match no loop.
+		return 1
+	}
+	return int(t.ext[m][dim])
+}
+
+// spatialExtentAt is SpatialExtent on interned dim ids.
+func (t *tree) spatialExtentAt(m int, dim int32) int {
+	if dim < 0 {
+		return 1
+	}
+	return int(t.sext[m][dim])
+}
+
+// covBelowID is covBelow on interned dim ids.
+func (t *tree) covBelowID(n, leaf int, dim int32) int {
+	cov := 1
+	for m := leaf; m >= 0 && m != n; m = t.st.parent[m] {
+		cov *= t.dimExtentAt(m, dim)
+	}
+	return cov
+}
+
+// stepCovID is stepCov on interned dim ids.
+func (t *tree) stepCovID(n, leaf int, dim int32) int {
+	return t.spatialExtentAt(n, dim) * t.covBelowID(n, leaf, dim)
+}
+
+// covAtID is covAt on interned dim ids.
+func (t *tree) covAtID(n, leaf int, dim int32) int {
+	return t.dimExtentAt(n, dim) * t.covBelowID(n, leaf, dim)
 }

@@ -2,6 +2,7 @@ package dataflows
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -27,6 +28,75 @@ type fusedAttention struct {
 	stageDims []string
 	binding   core.Binding
 	fuseLV    bool
+
+	// prepOnce/prep lazily cache every factor-independent derivation Build
+	// needs (dim sizes, core/sub splits, factor keys, the fused operator
+	// list and its mesh budget), so the mapper's per-candidate Build does
+	// no graph scans or string concatenation. One Dataflow is shared across
+	// the GA's parallel fitness workers, hence the Once.
+	prepOnce sync.Once
+	prep     *attnPrep
+}
+
+// attnPrep is the factor-independent precomputation behind Build.
+type attnPrep struct {
+	cd, sd         string
+	cdSize, sdSize int
+	cloud          bool
+	size           map[string]int // graph dim name -> size
+	tKeys          []string       // "t_"+outer[i], parallel to outer
+	outerSizes     []int          // dim size of outer[i]
+	hasM           bool           // hasOuter("m")
+	mSize          int
+	stageSizes     []int // dim size of stageDims[i]
+	fusedOps       []*workload.Operator
+	// leafRed[i] is fusedOps[i]'s is-reduction mask parallel to its Dims,
+	// fed to leafLoops so per-candidate builds skip the recomputation.
+	leafRed [][]bool
+	budget  int
+}
+
+// prepare computes (once) and returns the Build-path cache.
+func (d *fusedAttention) prepare() *attnPrep {
+	d.prepOnce.Do(func() {
+		p := &attnPrep{
+			cd:    d.coreDim(),
+			sd:    d.subDim(),
+			cloud: d.cloud(),
+			size:  map[string]int{},
+			hasM:  d.hasOuter("m"),
+		}
+		for _, dim := range d.g.AllDims() {
+			// DimSize, not dim.Size: the graph-wide maximum is what every
+			// d.dimSize call this cache replaces returned.
+			p.size[dim.Name] = d.g.DimSize(dim.Name)
+		}
+		p.cdSize, p.sdSize = p.size[p.cd], p.size[p.sd]
+		p.mSize = p.size["m"]
+		for _, dim := range d.outer {
+			p.tKeys = append(p.tKeys, "t_"+dim)
+			p.outerSizes = append(p.outerSizes, p.size[dim])
+		}
+		for _, dim := range d.stageDims {
+			p.stageSizes = append(p.stageSizes, p.size[dim])
+		}
+		fused := []string{"QK", "RowMax", "Sub", "Exp", "RowSum", "Div"}
+		if d.fuseLV {
+			fused = append(fused, "LV")
+		}
+		for _, name := range fused {
+			op := d.g.Op(name)
+			red := make([]bool, len(op.Dims))
+			for i, dim := range op.Dims {
+				red[i] = op.IsReduction(dim.Name)
+			}
+			p.fusedOps = append(p.fusedOps, op)
+			p.leafRed = append(p.leafRed, red)
+		}
+		p.budget = macLeafBudget(d.spec, d.binding, p.fusedOps)
+		d.prep = p
+	})
+	return d.prep
 }
 
 // Attention dataflow constructors (Table 5). The granularity ladder follows
@@ -229,43 +299,41 @@ func (d *fusedAttention) DefaultFactors() map[string]int {
 // Edge they all sit at the L1 stage; on Cloud they sit at the L2 mid node
 // with u_m refining the L1 staging.
 func (d *fusedAttention) Build(f map[string]int) (*core.Node, error) {
+	pp := d.prepare()
 	r := &factorReader{f: f}
 	spec := d.spec
 
 	// Per-dim products of all outer factors.
-	outerProd := map[string]int{}
-	mul := func(dim string, v int) {
-		if outerProd[dim] == 0 {
-			outerProd[dim] = 1
-		}
-		outerProd[dim] *= v
-	}
+	var opDims [8]string
+	var opProd [8]int
+	outerProd := &outerProds{dims: opDims[:0], prod: opProd[:0]}
+	mul := outerProd.mul
 	var rootSp, granT, stageSp, stageT []placed
 
-	cd, sd := d.coreDim(), d.subDim()
+	cd, sd := pp.cd, pp.sd
 	if cd != "" {
-		v := r.get("sp_c", d.dimSize(cd))
+		v := r.get("sp_c", pp.cdSize)
 		if v > 1 {
 			rootSp = append(rootSp, placed{cd, v})
 		}
 		mul(cd, v)
 	}
-	if d.cloud() && sd != "" {
-		v := r.get("sp_s", d.dimSize(sd))
+	if pp.cloud && sd != "" {
+		v := r.get("sp_s", pp.sdSize)
 		if v > 1 {
 			stageSp = append(stageSp, placed{sd, v})
 		}
 		mul(sd, v)
 	}
-	for _, dim := range d.outer {
-		v := r.get("t_"+dim, d.dimSize(dim))
+	for i, dim := range d.outer {
+		v := r.get(pp.tKeys[i], pp.outerSizes[i])
 		if v > 1 {
 			granT = append(granT, placed{dim, v})
 		}
 		mul(dim, v)
 	}
-	if d.cloud() && d.hasOuter("m") {
-		v := r.get("u_m", d.dimSize("m"))
+	if pp.cloud && pp.hasM {
+		v := r.get("u_m", pp.mSize)
 		if v > 1 {
 			stageT = append(stageT, placed{"m", v})
 		}
@@ -275,17 +343,17 @@ func (d *fusedAttention) Build(f map[string]int) (*core.Node, error) {
 		return nil, err
 	}
 	// Divisibility of the combined products.
-	for dim, p := range outerProd {
-		if d.dimSize(dim)%p != 0 {
-			return nil, fmt.Errorf("dataflow %s: outer factors %d do not divide %s=%d", d.name, p, dim, d.dimSize(dim))
+	for di, dim := range outerProd.dims {
+		if p := outerProd.prod[di]; pp.size[dim]%p != 0 {
+			return nil, fmt.Errorf("dataflow %s: outer factors %d do not divide %s=%d", d.name, p, dim, pp.size[dim])
 		}
 	}
 
 	// Stage-consumed dims (Uni-pipe's untiled heads) advance temporally
 	// at the innermost staging node, chunk by chunk, in full.
-	for _, dim := range d.stageDims {
-		sz := d.dimSize(dim)
-		o := outerProd[dim]
+	for i, dim := range d.stageDims {
+		sz := pp.stageSizes[i]
+		o := outerProd.of(dim)
 		if o == 0 {
 			o = 1
 		}
@@ -299,24 +367,16 @@ func (d *fusedAttention) Build(f map[string]int) (*core.Node, error) {
 	}
 	// On Edge there is no L2 node: the granularity loops fold into the
 	// stage node itself.
-	if !d.cloud() {
+	if !pp.cloud {
 		stageT = append(granT, stageT...)
 		granT = nil
 	}
 
 	// Leaves for the fused stage.
-	fused := []string{"QK", "RowMax", "Sub", "Exp", "RowSum", "Div"}
-	if d.fuseLV {
-		fused = append(fused, "LV")
-	}
-	var fusedOps []*workload.Operator
-	for _, name := range fused {
-		fusedOps = append(fusedOps, d.g.Op(name))
-	}
-	budget := macLeafBudget(d.spec, d.binding, fusedOps)
-	var stageKids []*core.Node
-	for _, op := range fusedOps {
-		leaf, err := d.buildLeaf(op, outerProd, budget)
+	budget := pp.budget
+	stageKids := make([]*core.Node, 0, len(pp.fusedOps))
+	for oi, op := range pp.fusedOps {
+		leaf, err := d.buildLeaf(op, outerProd, budget, pp.leafRed[oi])
 		if err != nil {
 			return nil, err
 		}
@@ -334,7 +394,7 @@ func (d *fusedAttention) Build(f map[string]int) (*core.Node, error) {
 	// Subtree under the root: optionally wrapped in the Cloud L2 node
 	// carrying the coarse granularity loops.
 	var body *core.Node = stage
-	if d.cloud() {
+	if pp.cloud {
 		var loops []core.Loop
 		for _, p := range granT {
 			loops = append(loops, core.T(p.dim, p.ext))
@@ -361,40 +421,49 @@ func (d *fusedAttention) Build(f map[string]int) (*core.Node, error) {
 	return root, nil
 }
 
+// Canonical spatial preferences per attention stage: Q×K maps (m,l) to the
+// array, L×V maps (m,n), and the softmax operators map l onto the vector
+// lanes. Package-level so the per-candidate Build path allocates none.
+var (
+	spatialQK      = []string{"m", "l"}
+	spatialLV      = []string{"m", "n"}
+	spatialSoftmax = []string{"l"}
+)
+
 // buildLeaf constructs one operator's leaf with the canonical spatial dims
-// per stage: Q×K maps (m,l) to the array, L×V maps (m,n), and the softmax
-// operators map l onto the vector lanes.
-func (d *fusedAttention) buildLeaf(op *workload.Operator, outer map[string]int, budget int) (*core.Node, error) {
-	rem, err := remaining(op, outer)
+// per stage.
+func (d *fusedAttention) buildLeaf(op *workload.Operator, outer *outerProds, budget int, red []bool) (*core.Node, error) {
+	var remBuf [8]int
+	rem, err := remaining(remBuf[:0], op, outer)
 	if err != nil {
 		return nil, fmt.Errorf("dataflow %s, op %s: %w", d.name, op.Name, err)
 	}
 	var spatial []string
 	switch op.Name {
 	case "QK":
-		spatial = []string{"m", "l"}
+		spatial = spatialQK
 	case "LV":
-		spatial = []string{"m", "n"}
+		spatial = spatialLV
 	default:
-		spatial = []string{"l"}
+		spatial = spatialSoftmax
 	}
-	return core.Leaf(op.Name, op, leafLoops(op, d.spec, rem, spatial, budget)...), nil
+	return core.Leaf(op.Name, op, leafLoops(op, d.spec, rem, spatial, budget, red)...), nil
 }
 
 // buildUnfusedLV gives L×V its own subtree when it is outside the fusion
 // (Uni-pipe, Chimera): the softmax output L then travels through DRAM. The
 // subtree mirrors the Cloud mid node's loops over L×V's own dimensions so
 // both root children tile their shared dims identically.
-func (d *fusedAttention) buildUnfusedLV(outer map[string]int, granT, stageSp, stageT []placed) (*core.Node, error) {
+func (d *fusedAttention) buildUnfusedLV(outer *outerProds, granT, stageSp, stageT []placed) (*core.Node, error) {
 	op := d.g.Op("LV")
 	// L×V shares the outer factors for its own dims (b, h, m, l); n is
 	// untiled outside. The subtree mirrors the fused side's staging loops
 	// over those dims so both root children tile their shared dims
 	// identically.
-	lvOuter := map[string]int{}
+	lvOuter := &outerProds{}
 	for _, dim := range op.DimNames() {
-		if v := outer[dim]; v > 1 {
-			lvOuter[dim] = v
+		if v := outer.of(dim); v > 1 {
+			lvOuter.mul(dim, v)
 		}
 	}
 	var lvStageLoops []core.Loop
@@ -408,7 +477,7 @@ func (d *fusedAttention) buildUnfusedLV(outer map[string]int, granT, stageSp, st
 			lvStageLoops = append(lvStageLoops, core.T(p.dim, p.ext))
 		}
 	}
-	leaf, err := d.buildLeaf(op, lvOuter, 0)
+	leaf, err := d.buildLeaf(op, lvOuter, 0, nil)
 	if err != nil {
 		return nil, err
 	}

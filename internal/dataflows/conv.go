@@ -101,13 +101,10 @@ func (d *fusedConv) DefaultFactors() map[string]int {
 
 func (d *fusedConv) Build(f map[string]int) (*core.Node, error) {
 	r := &factorReader{f: f}
-	outerProd := map[string]int{}
-	mul := func(dim string, v int) {
-		if outerProd[dim] == 0 {
-			outerProd[dim] = 1
-		}
-		outerProd[dim] *= v
-	}
+	var opDims [8]string
+	var opProd [8]int
+	outerProd := &outerProds{dims: opDims[:0], prod: opProd[:0]}
+	mul := outerProd.mul
 	var granT []placed
 	cloud := d.spec.NumLevels() >= 4
 	// Convolution parallelism comes from the channel dimensions mapped
@@ -125,16 +122,17 @@ func (d *fusedConv) Build(f map[string]int) (*core.Node, error) {
 	if err := r.err(); err != nil {
 		return nil, err
 	}
-	for dim, p := range outerProd {
-		if d.g.DimSize(dim)%p != 0 {
+	for di, dim := range outerProd.dims {
+		if p := outerProd.prod[di]; d.g.DimSize(dim)%p != 0 {
 			return nil, fmt.Errorf("dataflow %s: outer factors %d do not divide %s=%d", d.name, p, dim, d.g.DimSize(dim))
 		}
 	}
 
 	aggX, aggY := d.spec.AggregateMesh()
 	var kids []*core.Node
+	var remBuf [8]int
 	for _, op := range d.g.Ops {
-		rem, err := remaining(op, outerProd)
+		rem, err := remaining(remBuf[:0], op, outerProd)
 		if err != nil {
 			return nil, fmt.Errorf("dataflow %s, op %s: %w", d.name, op.Name, err)
 		}
@@ -146,7 +144,7 @@ func (d *fusedConv) Build(f map[string]int) (*core.Node, error) {
 			budget = aggX * aggY / len(d.g.Ops)
 		}
 		leaf := core.Leaf(op.Name, op,
-			leafLoopsCapped(op, d.spec, rem, convLeafSpatial(op), budget, aggX, aggY)...)
+			leafLoopsCapped(op, d.spec, rem, convLeafSpatial(op), budget, aggX, aggY, nil)...)
 		kids = append(kids, leaf)
 	}
 	var stageLoops []core.Loop

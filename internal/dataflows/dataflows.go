@@ -87,9 +87,15 @@ func Divisors(n int) []int {
 // DivisorAtMost returns the largest divisor of n that is ≤ cap (at least 1).
 func DivisorAtMost(n, cap int) int {
 	best := 1
-	for _, d := range Divisors(n) {
+	for d := 1; d*d <= n; d++ {
+		if n%d != 0 {
+			continue
+		}
 		if d <= cap && d > best {
 			best = d
+		}
+		if q := n / d; q <= cap && q > best {
+			best = q
 		}
 	}
 	return best
@@ -136,22 +142,64 @@ func (r *factorReader) err() error {
 	return r.errs[0]
 }
 
+// outerProds accumulates the per-dim products of outer tiling factors. A
+// template touches a handful of dims per build, so a linear assoc list
+// beats a map on the mapper's per-candidate path; of() returns 0 for a dim
+// never multiplied, matching the map-lookup miss it replaced.
+type outerProds struct {
+	dims []string
+	prod []int
+}
+
+func (o *outerProds) mul(dim string, v int) {
+	for i, d := range o.dims {
+		if d == dim {
+			o.prod[i] *= v
+			return
+		}
+	}
+	o.dims = append(o.dims, dim)
+	o.prod = append(o.prod, v)
+}
+
+func (o *outerProds) of(dim string) int {
+	for i, d := range o.dims {
+		if d == dim {
+			return o.prod[i]
+		}
+	}
+	return 0
+}
+
+// dimIndex is the position of dim in op.Dims, or -1 when the operator does
+// not iterate it (a spatial preference that does not apply).
+func dimIndex(op *workload.Operator, dim string) int {
+	for i, d := range op.Dims {
+		if d.Name == dim {
+			return i
+		}
+	}
+	return -1
+}
+
 // leafLoops picks the loops for a leaf with the sub-core mesh as the
 // spatial bound: it splits up to two dimensions of the remaining extents
 // across the available lanes (the PE mesh for MAC operators, the vector
 // unit width for the rest), capped by peBudget so that pipelined stages
 // share the array, returning the loops in canonical order (temporal loops
-// first with reductions innermost, then spatial). peBudget <= 0 means the
-// whole mesh.
-func leafLoops(op *workload.Operator, spec *arch.Spec, rem map[string]int, spatialDims []string, peBudget int) []core.Loop {
-	return leafLoopsCapped(op, spec, rem, spatialDims, peBudget, spec.MeshX, spec.MeshY)
+// first with reductions innermost, then spatial). rem holds the remaining
+// extents positionally parallel to op.Dims. peBudget <= 0 means the whole
+// mesh. red, when non-nil, is op's precomputed is-reduction mask parallel
+// to op.Dims (templates that build the same leaves per candidate cache it);
+// nil recomputes it.
+func leafLoops(op *workload.Operator, spec *arch.Spec, rem []int, spatialDims []string, peBudget int, red []bool) []core.Loop {
+	return leafLoopsCapped(op, spec, rem, spatialDims, peBudget, spec.MeshX, spec.MeshY, red)
 }
 
 // leafLoopsCapped is leafLoops with explicit per-dimension spatial caps,
 // for mappings whose spatial extent spans sub-cores (convolution channel
 // mappings bounded by the aggregate array edges).
-func leafLoopsCapped(op *workload.Operator, spec *arch.Spec, rem map[string]int, spatialDims []string, peBudget, capX, capY int) []core.Loop {
-	var loops []core.Loop
+func leafLoopsCapped(op *workload.Operator, spec *arch.Spec, rem []int, spatialDims []string, peBudget, capX, capY int, red []bool) []core.Loop {
 	meshX, meshY := capX, capY
 	if meshX <= 0 {
 		meshX = spec.MeshX
@@ -163,45 +211,90 @@ func leafLoopsCapped(op *workload.Operator, spec *arch.Spec, rem map[string]int,
 		peBudget = meshX * meshY
 	}
 	lanes := spec.VectorLanesPerSubcore
-	spat := map[string]int{}
+	// Up to two spatial splits, tracked by op.Dims position. A preference
+	// dim the operator does not iterate gets extent 0, so its split
+	// degenerates to 1 and never emits a loop.
+	si0, si1 := -1, -1
+	sv0, sv1 := 0, 0
+	remOf := func(dim string) (int, int) {
+		i := dimIndex(op, dim)
+		if i < 0 {
+			return i, 0
+		}
+		return i, rem[i]
+	}
 	if op.Kind.Vector() {
 		if len(spatialDims) > 0 {
-			d := spatialDims[0]
-			spat[d] = DivisorAtMost(rem[d], lanes)
+			i, r := remOf(spatialDims[0])
+			si0, sv0 = i, DivisorAtMost(r, lanes)
 		}
 	} else {
 		used := 1
 		if len(spatialDims) > 0 {
-			d := spatialDims[0]
-			spat[d] = DivisorAtMost(rem[d], min(meshX, peBudget))
-			used = spat[d]
+			i, r := remOf(spatialDims[0])
+			si0, sv0 = i, DivisorAtMost(r, min(meshX, peBudget))
+			used = sv0
 		}
 		if len(spatialDims) > 1 && used > 0 {
-			d := spatialDims[1]
-			spat[d] = DivisorAtMost(rem[d], min(meshY, max(1, peBudget/used)))
+			i, r := remOf(spatialDims[1])
+			si1, sv1 = i, DivisorAtMost(r, min(meshY, max(1, peBudget/used)))
 		}
+	}
+	if si1 >= 0 && si1 == si0 {
+		// A repeated spatial preference keeps the later split, matching the
+		// map-overwrite semantics this replaced.
+		si0 = -1
+	}
+	spatOf := func(i int) int {
+		switch i {
+		case si0:
+			return sv0
+		case si1:
+			return sv1
+		}
+		return 0
 	}
 	// Canonical order: temporal loops over every dim (outer), spatial
 	// loops innermost. Reduction dims go innermost among the temporals so
-	// outputs accumulate in place.
-	dims := append([]workload.Dim(nil), op.Dims...)
-	sort.SliceStable(dims, func(i, j int) bool {
-		ri, rj := op.IsReduction(dims[i].Name), op.IsReduction(dims[j].Name)
-		return !ri && rj
-	})
-	for _, d := range dims {
-		e := rem[d.Name]
-		if e <= 0 {
-			e = 1
+	// outputs accumulate in place. Two passes give the same stable
+	// partition a stable sort on is-reduction would, without the sort.
+	var redBuf [16]bool
+	if red == nil {
+		if len(op.Dims) <= len(redBuf) {
+			red = redBuf[:len(op.Dims)]
+		} else {
+			red = make([]bool, len(op.Dims))
 		}
-		t := e / max(1, spat[d.Name])
-		if t > 1 {
-			loops = append(loops, core.T(d.Name, t))
+		for i, d := range op.Dims {
+			red[i] = op.IsReduction(d.Name)
 		}
 	}
-	for _, d := range dims {
-		if s := spat[d.Name]; s > 1 {
-			loops = append(loops, core.S(d.Name, s))
+	loops := make([]core.Loop, 0, len(op.Dims)+2)
+	for pass := 0; pass < 2; pass++ {
+		wantRed := pass == 1
+		for i, d := range op.Dims {
+			if red[i] != wantRed {
+				continue
+			}
+			e := rem[i]
+			if e <= 0 {
+				e = 1
+			}
+			t := e / max(1, spatOf(i))
+			if t > 1 {
+				loops = append(loops, core.T(d.Name, t))
+			}
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		wantRed := pass == 1
+		for i, d := range op.Dims {
+			if red[i] != wantRed {
+				continue
+			}
+			if s := spatOf(i); s > 1 {
+				loops = append(loops, core.S(d.Name, s))
+			}
 		}
 	}
 	return loops
@@ -261,19 +354,21 @@ func macLeafBudgetFor(spec *arch.Spec, binding core.Binding, ops []*workload.Ope
 }
 
 // remaining computes the leaf extents of each dim of op after the outer
-// factors have been applied. outer maps dim name to the product of all
-// outer tiling factors over that dim.
-func remaining(op *workload.Operator, outer map[string]int) (map[string]int, error) {
-	rem := map[string]int{}
+// factors have been applied, positionally parallel to op.Dims. outer maps
+// dim name to the product of all outer tiling factors over that dim. The
+// result is appended into dst (pass a stack buffer's [:0] to avoid the
+// allocation on the mapper's hot path).
+func remaining(dst []int, op *workload.Operator, outer *outerProds) ([]int, error) {
+	dst = dst[:0]
 	for _, d := range op.Dims {
-		o := outer[d.Name]
+		o := outer.of(d.Name)
 		if o == 0 {
 			o = 1
 		}
 		if d.Size%o != 0 {
 			return nil, fmt.Errorf("dim %s: outer factors %d do not divide %d", d.Name, o, d.Size)
 		}
-		rem[d.Name] = d.Size / o
+		dst = append(dst, d.Size/o)
 	}
-	return rem, nil
+	return dst, nil
 }

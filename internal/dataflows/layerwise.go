@@ -130,17 +130,19 @@ func (d *layerwise) Build(f map[string]int) (*core.Node, error) {
 // node carrying the spatial core split and the temporal chunking, then (on
 // Cloud) an L1 node with the sub-core split, then the leaf.
 func (d *layerwise) opSubtree(op *workload.Operator, spC, spS, t int) (*core.Node, error) {
-	outer := map[string]int{}
+	var oDims [4]string
+	var oProd [4]int
+	outer := &outerProds{dims: oDims[:0], prod: oProd[:0]}
 	var topLoops, midLoops []core.Loop
 	if d.coreDim != "" && op.HasDim(d.coreDim) && spC > 1 {
 		if op.DimSize(d.coreDim)%spC != 0 {
 			return nil, fmt.Errorf("layerwise %s: sp_c=%d does not divide %s", op.Name, spC, d.coreDim)
 		}
 		topLoops = append(topLoops, core.S(d.coreDim, spC))
-		outer[d.coreDim] = spC
+		outer.mul(d.coreDim, spC)
 	}
 	if op.HasDim(d.chunkDim) && t > 1 {
-		prev := outer[d.chunkDim]
+		prev := outer.of(d.chunkDim)
 		if prev == 0 {
 			prev = 1
 		}
@@ -148,11 +150,11 @@ func (d *layerwise) opSubtree(op *workload.Operator, spC, spS, t int) (*core.Nod
 			return nil, fmt.Errorf("layerwise %s: t=%d does not divide %s", op.Name, t, d.chunkDim)
 		}
 		topLoops = append(topLoops, core.T(d.chunkDim, t))
-		outer[d.chunkDim] = prev * t
+		outer.mul(d.chunkDim, t)
 	}
 	cloud := d.spec.NumLevels() >= 4
 	if cloud && d.subDim != "" && op.HasDim(d.subDim) && spS > 1 {
-		prev := outer[d.subDim]
+		prev := outer.of(d.subDim)
 		if prev == 0 {
 			prev = 1
 		}
@@ -160,18 +162,19 @@ func (d *layerwise) opSubtree(op *workload.Operator, spC, spS, t int) (*core.Nod
 			return nil, fmt.Errorf("layerwise %s: sp_s=%d does not divide %s", op.Name, spS, d.subDim)
 		}
 		midLoops = append(midLoops, core.S(d.subDim, spS))
-		outer[d.subDim] = prev * spS
+		outer.mul(d.subDim, spS)
 	}
-	rem, err := remaining(op, outer)
+	var remBuf [8]int
+	rem, err := remaining(remBuf[:0], op, outer)
 	if err != nil {
 		return nil, fmt.Errorf("layerwise %s: %w", op.Name, err)
 	}
 	var leaf *core.Node
 	if d.aggregate {
 		aggX, aggY := d.spec.AggregateMesh()
-		leaf = core.Leaf(op.Name, op, leafLoopsCapped(op, d.spec, rem, d.spatialOf(op), aggX*aggY, aggX, aggY)...)
+		leaf = core.Leaf(op.Name, op, leafLoopsCapped(op, d.spec, rem, d.spatialOf(op), aggX*aggY, aggX, aggY, nil)...)
 	} else {
-		leaf = core.Leaf(op.Name, op, leafLoops(op, d.spec, rem, d.spatialOf(op), 0)...)
+		leaf = core.Leaf(op.Name, op, leafLoops(op, d.spec, rem, d.spatialOf(op), 0, nil)...)
 	}
 	if cloud {
 		l1 := core.Tile(op.Name+"@L1", 1, core.Seq, midLoops, leaf)

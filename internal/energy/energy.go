@@ -124,10 +124,19 @@ func (b Breakdown) String() string {
 // and op counts. accesses[i] is the total number of word accesses at level i
 // (fill + read + update, as produced by the core data-movement analysis).
 func (t *Table) Estimate(accesses []float64, macs, vectorOps float64) Breakdown {
-	b := Breakdown{PerLevelPJ: make([]float64, len(t.PerAccessPJ))}
+	return t.EstimateInto(make([]float64, len(t.PerAccessPJ)), accesses, macs, vectorOps)
+}
+
+// EstimateInto is Estimate writing the per-level energies into a
+// caller-owned buffer (len ≥ len(PerAccessPJ)), for allocation-free
+// steady-state evaluation. The returned Breakdown aliases dst.
+func (t *Table) EstimateInto(dst []float64, accesses []float64, macs, vectorOps float64) Breakdown {
+	b := Breakdown{PerLevelPJ: dst[:len(t.PerAccessPJ)]}
 	for i := range t.PerAccessPJ {
 		if i < len(accesses) {
 			b.PerLevelPJ[i] = accesses[i] * t.PerAccessPJ[i]
+		} else {
+			b.PerLevelPJ[i] = 0
 		}
 	}
 	b.ComputePJ = macs*t.MACPJ + vectorOps*t.VectorPJ

@@ -6,9 +6,9 @@ package mapper
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -42,18 +42,38 @@ type TileSearch struct {
 	// prog is the compiled program of the template's structure, reused
 	// across rollouts when the dataflow declares StructureStable: each
 	// candidate then pays only a tiling re-bind plus the evaluate half of
-	// the pipeline instead of a full compile.
-	prog *core.Program
+	// the pipeline instead of a full compile. delta carries the incremental
+	// re-evaluation state across rollouts — successive MCTS candidates
+	// differ by a handful of factors, so most of the tree's analysis is
+	// replayed from the cache instead of recomputed.
+	prog  *core.Program
+	delta *core.DeltaState
+
+	// Reusable per-round buffers (one RunContext at a time per TileSearch,
+	// which prog/delta already require).
+	selBuf  []int
+	pathBuf []*mctsNode
+	assign  []int
+	factors map[string]int
 }
 
 // mctsNode is one node of the search tree: a prefix of factor decisions.
+// children is indexed by choice position and allocated on first use (leaf
+// nodes never allocate one); a nil entry is an unexpanded choice.
 type mctsNode struct {
 	visits   int
 	total    float64 // sum of rewards
-	children map[int]*mctsNode
+	children []*mctsNode
 }
 
-func newMctsNode() *mctsNode { return &mctsNode{children: map[int]*mctsNode{}} }
+func newMctsNode() *mctsNode { return &mctsNode{} }
+
+// ensureChildren sizes the node's child slice for its choice list.
+func (n *mctsNode) ensureChildren(k int) {
+	if n.children == nil {
+		n.children = make([]*mctsNode, k)
+	}
+}
 
 // Run searches for the factor assignment minimizing cycles. It returns the
 // best evaluation found and the best-so-far cycle count after every round
@@ -97,23 +117,38 @@ func (s *TileSearch) RunContext(ctx context.Context) (*Evaluation, []float64) {
 	// Seed with the template's default factors so the search never
 	// returns something worse than the untuned mapping.
 	if ev := s.evaluate(ctx, s.Dataflow.DefaultFactors()); ev != nil {
+		ev.Result = ev.Result.Clone() // detach from the delta arena
 		best = ev
 		worst = ev.Cycles
 	}
 
-	for r := 0; r < rounds; r++ {
+	// Opening window: the first len(choices[0]) rounds each expand a fresh
+	// root child picked by the RNG alone — no selection in this window
+	// reads a reward — so their candidates can be constructed up front and
+	// evaluated in one EvaluateBatch call without changing the search
+	// trajectory. A GA generation tunes every individual through here, so
+	// each individual's opening rollouts are amortized over one arena pass.
+	startRound := 0
+	if len(specs) > 0 && dataflows.IsStructureStable(s.Dataflow) {
+		startRound = s.openingBatch(ctx, root, specs, choices, rng, rounds, &best, &worst, &trace)
+	}
+
+	if s.factors == nil {
+		s.factors = make(map[string]int, len(specs))
+	}
+	for r := startRound; r < rounds; r++ {
 		if ctx.Err() != nil {
 			break
 		}
 		// Selection + expansion.
 		node := root
-		path := []*mctsNode{root}
-		assign := make([]int, 0, len(specs))
+		path := append(s.pathBuf[:0], root)
+		assign := s.assign[:0]
 		depth := 0
 		for depth < len(specs) {
 			ci := s.selectChild(node, choices[depth], explore, rng)
-			child, ok := node.children[ci]
-			if !ok {
+			child := node.children[ci]
+			if child == nil {
 				child = newMctsNode()
 				node.children[ci] = child
 				assign = append(assign, ci)
@@ -131,7 +166,9 @@ func (s *TileSearch) RunContext(ctx context.Context) (*Evaluation, []float64) {
 		for d := depth; d < len(specs); d++ {
 			assign = append(assign, rng.Intn(len(choices[d])))
 		}
-		factors := map[string]int{}
+		s.pathBuf, s.assign = path, assign
+		factors := s.factors
+		clear(factors)
 		for i, f := range specs {
 			factors[f.Key] = choices[i][assign[i]]
 		}
@@ -143,6 +180,13 @@ func (s *TileSearch) RunContext(ctx context.Context) (*Evaluation, []float64) {
 			}
 			reward = 1.0 / (1.0 + ev.Cycles/math.Max(1, worst))
 			if best == nil || ev.Cycles < best.Cycles {
+				ev.Result = ev.Result.Clone() // detach from the delta arena
+				// Detach the factor map too: the rollout buffer is reused
+				// next round.
+				ev.Factors = make(map[string]int, len(factors))
+				for k, v := range factors {
+					ev.Factors[k] = v
+				}
 				best = ev
 			}
 		}
@@ -159,27 +203,134 @@ func (s *TileSearch) RunContext(ctx context.Context) (*Evaluation, []float64) {
 	return best, trace
 }
 
+// openingBatch runs the first min(len(choices[0]), rounds) MCTS rounds as
+// one batched generation: it replays the sequential rounds' RNG draws to
+// construct each round's candidate (every round in this window expands an
+// unexpanded root child and completes the assignment randomly), evaluates
+// all of them through Program.EvaluateBatch, and then backpropagates the
+// rewards in round order. Candidate selection, RNG consumption, reward
+// normalization, statistics, best-so-far, and trace are identical to the
+// sequential rounds — the batch only amortizes the evaluation setup.
+// Returns the number of rounds consumed.
+func (s *TileSearch) openingBatch(ctx context.Context, root *mctsNode, specs []dataflows.FactorSpec, choices [][]int, rng *rand.Rand, rounds int, best **Evaluation, worst *float64, trace *[]float64) int {
+	k := len(choices[0])
+	if k > rounds {
+		k = rounds
+	}
+	type cand struct {
+		child   *mctsNode
+		factors map[string]int
+	}
+	cands := make([]cand, 0, k)
+	trees := make([]*core.Node, 0, k)
+	root.ensureChildren(len(choices[0]))
+	for r := 0; r < k; r++ {
+		// Replicate selectChild on a root with unexpanded children.
+		unexpanded := s.selBuf[:0]
+		for i := range choices[0] {
+			if root.children[i] == nil {
+				unexpanded = append(unexpanded, i)
+			}
+		}
+		s.selBuf = unexpanded
+		ci := unexpanded[rng.Intn(len(unexpanded))]
+		child := newMctsNode()
+		root.children[ci] = child
+		factors := map[string]int{specs[0].Key: choices[0][ci]}
+		for d := 1; d < len(specs); d++ {
+			factors[specs[d].Key] = choices[d][rng.Intn(len(choices[d]))]
+		}
+		tree, err := s.Dataflow.Build(factors)
+		if err != nil {
+			tree = nil
+		}
+		cands = append(cands, cand{child: child, factors: factors})
+		trees = append(trees, tree)
+	}
+	// Make sure a compiled program exists (the default-factors seed
+	// usually established it; a failed seed Build leaves it nil).
+	if s.prog == nil {
+		for _, tree := range trees {
+			if tree == nil {
+				continue
+			}
+			if p, err := core.Compile(tree, s.Dataflow.Graph(), s.Spec); err == nil {
+				s.prog = p
+				s.delta = p.NewDelta(s.Opts)
+				break
+			}
+		}
+	}
+	var results []*core.Result
+	var errs []error
+	if s.prog != nil {
+		results, errs = s.prog.EvaluateBatch(ctx, trees, s.Opts)
+	}
+	for r := 0; r < k; r++ {
+		if ctx.Err() != nil {
+			return r
+		}
+		var ev *Evaluation
+		switch {
+		case trees[r] == nil || s.prog == nil:
+			// Build or compile failed: the sequential round would have
+			// discarded the candidate the same way.
+		case errs[r] == nil:
+			ev = &Evaluation{Factors: cands[r].factors, Cycles: results[r].Cycles, Result: results[r]}
+		case errors.Is(errs[r], core.ErrStructureMismatch):
+			// Same fallback as evaluateTree: a mis-declared stable
+			// structure recompiles. A genuinely invalid tiling (any other
+			// ErrInvalidMapping) is discarded exactly as the sequential
+			// round would discard it.
+			if res, err := s.evaluateTree(ctx, trees[r]); err == nil {
+				ev = &Evaluation{Factors: cands[r].factors, Cycles: res.Cycles, Result: res}
+			}
+		}
+		reward := 0.0
+		if ev != nil {
+			if ev.Cycles > *worst {
+				*worst = ev.Cycles
+			}
+			reward = 1.0 / (1.0 + ev.Cycles/math.Max(1, *worst))
+			if *best == nil || ev.Cycles < (*best).Cycles {
+				ev.Result = ev.Result.Clone() // detach from the batch/delta arena
+				*best = ev
+			}
+		}
+		root.visits++
+		root.total += reward
+		cands[r].child.visits++
+		cands[r].child.total += reward
+		if *best != nil {
+			*trace = append(*trace, (*best).Cycles)
+		} else {
+			*trace = append(*trace, math.Inf(1))
+		}
+	}
+	return k
+}
+
 // selectChild applies UCB1 over the expanded children, preferring an
 // unexpanded choice when one exists.
 func (s *TileSearch) selectChild(n *mctsNode, choices []int, explore float64, rng *rand.Rand) int {
-	var unexpanded []int
+	n.ensureChildren(len(choices))
+	unexpanded := s.selBuf[:0]
 	for i := range choices {
-		if _, ok := n.children[i]; !ok {
+		if n.children[i] == nil {
 			unexpanded = append(unexpanded, i)
 		}
 	}
+	s.selBuf = unexpanded
 	if len(unexpanded) > 0 {
 		return unexpanded[rng.Intn(len(unexpanded))]
 	}
 	bestIdx, bestScore := 0, math.Inf(-1)
-	// Deterministic iteration order for reproducibility.
-	idxs := make([]int, 0, len(n.children))
-	for i := range n.children {
-		idxs = append(idxs, i)
-	}
-	sort.Ints(idxs)
-	for _, i := range idxs {
-		c := n.children[i]
+	// Ascending index order (what the map form's sorted iteration gave),
+	// for reproducibility.
+	for i, c := range n.children {
+		if c == nil {
+			continue
+		}
 		score := c.total/float64(c.visits) +
 			explore*math.Sqrt(math.Log(float64(n.visits+1))/float64(c.visits))
 		if score > bestScore {
@@ -189,18 +340,26 @@ func (s *TileSearch) selectChild(n *mctsNode, choices []int, explore float64, rn
 	return bestIdx
 }
 
+// evaluate builds and evaluates one factor assignment. On the compiled
+// fast path the returned Evaluation's Result aliases the search's delta
+// arena and is valid only until the next rollout; RunContext clones it when
+// it becomes the best-so-far.
 func (s *TileSearch) evaluate(ctx context.Context, factors map[string]int) *Evaluation {
 	root, err := s.Dataflow.Build(factors)
 	if err != nil {
 		return nil
 	}
-	// Static pre-screen: QuickReject fails with exactly the error the
-	// pipeline would produce and passes only points no non-capacity rule
-	// rejects, so pruning here discards the same candidates Compile or
-	// Evaluate would — just without allocating a Program for them. Valid
-	// points proceed to full evaluation unchanged.
-	if core.QuickReject(root, s.Dataflow.Graph(), s.Spec, s.Opts) != nil {
-		return nil
+	if !dataflows.IsStructureStable(s.Dataflow) {
+		// Static pre-screen: QuickReject fails with exactly the error the
+		// pipeline would produce and passes only points no non-capacity
+		// rule rejects, so pruning here discards the same candidates
+		// Compile or Evaluate would — just without allocating a Program
+		// for them. On the compiled path below the pre-screen is skipped:
+		// the delta evaluator rejects the same points with the same errors
+		// at a fraction of a full static pass's cost.
+		if core.QuickReject(root, s.Dataflow.Graph(), s.Spec, s.Opts) != nil {
+			return nil
+		}
 	}
 	res, err := s.evaluateTree(ctx, root)
 	if err != nil {
@@ -211,8 +370,9 @@ func (s *TileSearch) evaluate(ctx context.Context, factors map[string]int) *Eval
 
 // evaluateTree evaluates one candidate tree. When the dataflow declares a
 // stable structure the template is compiled once and every further
-// candidate re-binds the compiled program to its tiling; otherwise each
-// candidate compiles from scratch.
+// candidate re-binds into the incremental evaluator, paying only for the
+// subtrees whose loop nests changed since the previous rollout; otherwise
+// each candidate compiles from scratch.
 func (s *TileSearch) evaluateTree(ctx context.Context, root *core.Node) (*core.Result, error) {
 	if !dataflows.IsStructureStable(s.Dataflow) {
 		return core.EvaluateContext(ctx, root, s.Dataflow.Graph(), s.Spec, s.Opts)
@@ -223,18 +383,28 @@ func (s *TileSearch) evaluateTree(ctx context.Context, root *core.Node) (*core.R
 			return nil, err
 		}
 		s.prog = p
+		s.delta = p.NewDelta(s.Opts)
 	}
-	p, err := s.prog.WithTiling(root)
-	if err != nil {
-		// A template that mis-declares stability falls back to a fresh
-		// compile rather than failing the candidate.
-		p, err = core.Compile(root, s.Dataflow.Graph(), s.Spec)
-		if err != nil {
-			return nil, err
-		}
-		s.prog = p
+	res, err := s.prog.EvaluateDelta(ctx, s.delta, root, s.Opts)
+	if err == nil {
+		return res, nil
 	}
-	return p.Evaluate(ctx, s.Opts)
+	if !errors.Is(err, core.ErrStructureMismatch) {
+		// A genuinely invalid tiling of the compiled structure: a fresh
+		// compile would reproduce the identical validation error (the delta
+		// pass is pinned to the full pass's first error), so return it
+		// without paying for one.
+		return nil, err
+	}
+	// The re-bind rejected this tree's shape: the template mis-declares a
+	// stable structure. A fresh compile adopts the new structure.
+	p, cerr := core.Compile(root, s.Dataflow.Graph(), s.Spec)
+	if cerr != nil {
+		return nil, cerr
+	}
+	s.prog = p
+	s.delta = p.NewDelta(s.Opts)
+	return s.prog.EvaluateDelta(ctx, s.delta, root, s.Opts)
 }
 
 // Tune is the convenience entry point the experiments use: it MCTS-tunes a

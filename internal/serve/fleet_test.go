@@ -122,7 +122,11 @@ func progressSequence(evs []JobJSON) []string {
 func TestFleetMigrationEquivalence(t *testing.T) {
 	req := SearchRequest{
 		Arch: "edge", Workload: "attention:Bert-S",
-		Population: 6, Generations: 5, TileRounds: 50, TopK: 2, Seed: 21,
+		// TileRounds sized so each generation outlasts a 5ms status poll:
+		// with the batched/delta evaluator a 50-round generation completes
+		// between polls and the boundary-kill choreography can never catch
+		// the worker mid-run.
+		Population: 8, Generations: 5, TileRounds: 1000, TopK: 2, Seed: 21,
 	}
 
 	// Control: the same job, uninterrupted, on a plain single node.

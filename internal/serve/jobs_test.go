@@ -308,7 +308,11 @@ func TestJobMetricsScrape(t *testing.T) {
 func TestServerRestartRecovery(t *testing.T) {
 	req := SearchRequest{
 		Arch: "edge", Workload: "attention:Bert-S",
-		Population: 8, Generations: 24, TileRounds: 60, TopK: 2, Seed: 17,
+		// Sized so the search runs long past its first per-generation
+		// checkpoint: the batched/delta evaluator clears ~50k evals/sec,
+		// so a small request would finish between two 5ms polls and the
+		// test could never interrupt it.
+		Population: 16, Generations: 96, TileRounds: 120, TopK: 2, Seed: 17,
 	}
 
 	// Control: the same job on an undisturbed server.

@@ -221,13 +221,20 @@ func (o *Operator) ReductionDims() []string {
 }
 
 // IsReduction reports whether dim is a reduction dimension of the operator.
+// It is equivalent to scanning ReductionDims but allocation-free: dataflow
+// builders call it per dim per leaf on the mapper's hot path.
 func (o *Operator) IsReduction(dim string) bool {
-	for _, d := range o.ReductionDims() {
-		if d == dim {
-			return true
+	if !o.HasDim(dim) {
+		return false
+	}
+	for _, ix := range o.Write.Index {
+		for _, t := range ix.Terms {
+			if t.Dim == dim {
+				return false
+			}
 		}
 	}
-	return false
+	return true
 }
 
 // OpCount is the total number of scalar operations the operator performs:
