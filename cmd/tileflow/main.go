@@ -34,86 +34,192 @@ import (
 	"repro/internal/notation"
 	"repro/internal/serve"
 	"repro/internal/workload"
+	"repro/internal/yamlfe"
 )
 
-// stopProfile finalizes any active profiler. fatalIf calls it before
-// os.Exit so a profile is flushed even on error paths.
+// stopProfile finalizes any active profiler. runMain calls it before
+// returning an error exit code so a profile is flushed even on error
+// paths.
 var stopProfile = func() {}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "vet" {
 		os.Exit(runVet(os.Args[2:]))
 	}
-	archName := flag.String("arch", "edge", "accelerator: edge, cloud, validation, a100")
-	archFile := flag.String("arch-file", "", "load a custom accelerator spec from a file (see arch.ParseSpec format)")
-	workloadName := flag.String("workload", "attention:Bert-S", "workload: attention:<Table2 name>, conv:<Table3 name>")
-	dataflowName := flag.String("dataflow", "FLAT-RGran", "dataflow: Layerwise, Uni-pipe, FLAT-{M,B,H,R}Gran, Chimera, TileFlow, Fused-Layer, ISOS")
-	tune := flag.Int("tune", 0, "MCTS rounds to tune tiling factors (0 = defaults)")
-	seed := flag.Int64("seed", 1, "search seed")
-	printTree := flag.Bool("tree", false, "print the analysis tree")
-	printNotation := flag.Bool("notation", false, "print the tile-centric notation")
-	notationFile := flag.String("notation-file", "", "evaluate a dataflow written in the tile-centric DSL instead of a named template")
-	explain := flag.Bool("explain", false, "print a per-tile profile (fills, updates, latency bound)")
-	skipCapacity := flag.Bool("skip-capacity", false, "ignore buffer capacity limits")
-	jsonOut := flag.Bool("json", false, "print the result as JSON (the evaluation server's codec)")
-	profile := flag.String("profile", "", "profile the tune/evaluate path: cpu=<file> writes a pprof CPU profile, mem=<file> a heap profile at exit")
-	flag.Parse()
+	os.Exit(runMain(os.Args[1:]))
+}
 
-	fatalIf(startProfile(*profile))
+// flagShape mirrors the explicitly-set design-point flags onto an
+// EvaluateRequest shape, so serve.SelectInput enforces the same input
+// mutual exclusion on the CLI that the HTTP codec enforces on requests.
+// Field values are placeholders; only presence matters here.
+func flagShape(fs *flag.FlagSet) *serve.EvaluateRequest {
+	req := &serve.EvaluateRequest{}
+	fs.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "config":
+			req.ConfigYAML = "set"
+		case "notation-file":
+			req.Notation = "set"
+		case "dataflow":
+			req.Dataflow = "set"
+		case "arch":
+			req.Arch = "set"
+		case "arch-file":
+			req.ArchSpec = "set"
+		case "workload":
+			req.Workload = "set"
+		case "tune":
+			req.Tune = 1
+		}
+	})
+	return req
+}
+
+// runMain is the evaluate entry point behind main, returning the process
+// exit code instead of exiting so tests can drive the whole
+// flag-to-exit-code path in-process.
+func runMain(args []string) int {
+	fs := flag.NewFlagSet("tileflow", flag.ExitOnError)
+	archName := fs.String("arch", "edge", "accelerator: edge, cloud, validation, a100")
+	archFile := fs.String("arch-file", "", "load a custom accelerator spec from a file (see arch.ParseSpec format)")
+	workloadName := fs.String("workload", "attention:Bert-S", "workload: attention:<Table2 name>, conv:<Table3 name>")
+	dataflowName := fs.String("dataflow", "FLAT-RGran", "dataflow: Layerwise, Uni-pipe, FLAT-{M,B,H,R}Gran, Chimera, TileFlow, Fused-Layer, ISOS")
+	tune := fs.Int("tune", 0, "MCTS rounds to tune tiling factors (0 = defaults)")
+	seed := fs.Int64("seed", 1, "search seed")
+	printTree := fs.Bool("tree", false, "print the analysis tree")
+	printNotation := fs.Bool("notation", false, "print the tile-centric notation")
+	notationFile := fs.String("notation-file", "", "evaluate a dataflow written in the tile-centric DSL instead of a named template")
+	configFile := fs.String("config", "", "evaluate a Timeloop-style YAML config file (architecture + problem + mapping; excludes the other design-point flags)")
+	explain := fs.Bool("explain", false, "print a per-tile profile (fills, updates, latency bound)")
+	skipCapacity := fs.Bool("skip-capacity", false, "ignore buffer capacity limits")
+	jsonOut := fs.Bool("json", false, "print the result as JSON (the evaluation server's codec)")
+	profile := fs.String("profile", "", "profile the tune/evaluate path: cpu=<file> writes a pprof CPU profile, mem=<file> a heap profile at exit")
+	fs.Parse(args)
+
+	if err := evalMain(fs, evalFlags{
+		arch: *archName, archFile: *archFile, workload: *workloadName,
+		dataflow: *dataflowName, tune: *tune, seed: *seed,
+		tree: *printTree, notation: *printNotation,
+		notationFile: *notationFile, config: *configFile,
+		explain: *explain, skipCapacity: *skipCapacity,
+		jsonOut: *jsonOut, profile: *profile,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "tileflow:", err)
+		stopProfile()
+		return exitCodeFor(err)
+	}
+	return exitOK
+}
+
+// evalFlags carries the parsed evaluate-path flags into evalMain.
+type evalFlags struct {
+	arch, archFile, workload, dataflow string
+	notationFile, config, profile      string
+	tune                               int
+	seed                               int64
+	tree, notation, explain            bool
+	skipCapacity, jsonOut              bool
+}
+
+func evalMain(fs *flag.FlagSet, f evalFlags) error {
+	// One input-selection rule across CLI and service: a config file is
+	// self-contained, notation excludes templates and tuning. Flags left
+	// at their defaults select the template form.
+	shape := flagShape(fs)
+	if shape.ConfigYAML == "" && shape.Notation == "" && shape.Dataflow == "" {
+		shape.Dataflow = "set"
+	}
+	if _, err := serve.SelectInput(shape); err != nil {
+		return usageErr(err)
+	}
+
+	if err := startProfile(f.profile); err != nil {
+		return err
+	}
 	defer stopProfile()
 
-	spec, err := pickSpec(*archFile, *archName)
-	fatalIf(err)
-
-	opts := core.Options{SkipCapacityCheck: *skipCapacity}
+	opts := core.Options{SkipCapacityCheck: f.skipCapacity}
+	var spec *arch.Spec
 	var root *core.Node
 	var g *workload.Graph
 	var dfName string
 	var tunedFactors map[string]int
-	if *notationFile != "" {
-		src, err := os.ReadFile(*notationFile)
-		fatalIf(usageErr(err))
-		g, err = serve.PickGraph(*workloadName)
-		fatalIf(usageErr(err))
-		root, err = notation.Parse(string(src), g)
-		fatalIf(usageErr(err))
-		dfName = *notationFile
-	} else {
-		df, err := serve.PickDataflow(*dataflowName, *workloadName, spec)
-		fatalIf(usageErr(err))
+	var err error
+	if f.config == "" {
+		if spec, err = pickSpec(f.archFile, f.arch); err != nil {
+			return err
+		}
+	}
+	switch {
+	case f.config != "":
+		src, err := os.ReadFile(f.config)
+		if err != nil {
+			return usageErr(err)
+		}
+		cfg, err := yamlfe.LoadStrict(string(src))
+		if err != nil {
+			return usageErr(err)
+		}
+		spec, g, root = cfg.Spec, cfg.Graph, cfg.Root
+		// The name the server reports for this input form, keeping the
+		// -json output byte-comparable to POST /v1/evaluate.
+		dfName = "config"
+	case f.notationFile != "":
+		src, err := os.ReadFile(f.notationFile)
+		if err != nil {
+			return usageErr(err)
+		}
+		if g, err = serve.PickGraph(f.workload); err != nil {
+			return usageErr(err)
+		}
+		if root, err = notation.Parse(string(src), g); err != nil {
+			return usageErr(err)
+		}
+		dfName = f.notationFile
+	default:
+		df, err := serve.PickDataflow(f.dataflow, f.workload, spec)
+		if err != nil {
+			return usageErr(err)
+		}
 		g = df.Graph()
 		dfName = df.Name()
 		factors := df.DefaultFactors()
-		if *tune > 0 {
-			ev := mapper.Tune(df, spec, opts, *tune, *seed)
+		if f.tune > 0 {
+			ev := mapper.Tune(df, spec, opts, f.tune, f.seed)
 			if ev == nil {
-				fatalIf(fmt.Errorf("no valid mapping found for %s", df.Name()))
+				return fmt.Errorf("no valid mapping found for %s", df.Name())
 			}
 			factors = ev.Factors
 			tunedFactors = factors
-			if !*jsonOut {
+			if !f.jsonOut {
 				fmt.Printf("tuned factors: %v\n", factors)
 			}
 		}
-		root, err = df.Build(factors)
-		fatalIf(err)
+		if root, err = df.Build(factors); err != nil {
+			return err
+		}
 	}
-	if *printTree {
+	if f.tree {
 		fmt.Print(root.String())
 	}
-	if *printNotation {
+	if f.notation {
 		fmt.Print(notation.Print(root))
 	}
-	if *explain {
+	if f.explain {
 		reports, err := core.Explain(root, g, spec, opts)
-		fatalIf(err)
+		if err != nil {
+			return err
+		}
 		fmt.Print(core.RenderReports(reports))
 	}
 	res, err := core.Evaluate(root, g, spec, opts)
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
 	stopProfile()
 
-	if *jsonOut {
+	if f.jsonOut {
 		// The exact EvaluateResponse the server returns for this design
 		// point, so CLI and server outputs are byte-comparable.
 		resp := &serve.EvaluateResponse{
@@ -123,8 +229,7 @@ func main() {
 			TunedFactors: tunedFactors,
 			Result:       serve.NewResultJSON(res, spec),
 		}
-		fatalIf(json.NewEncoder(os.Stdout).Encode(resp))
-		return
+		return json.NewEncoder(os.Stdout).Encode(resp)
 	}
 
 	fmt.Printf("workload:       %s\n", g.Name)
@@ -138,12 +243,13 @@ func main() {
 	}
 	fmt.Printf("energy:         %.4g pJ (%s)\n", res.EnergyPJ(), res.Energy.String())
 	fmt.Printf("PEs used:       %d / %d, sub-core utilization %.1f%%\n", res.PEsUsed, res.TotalPEs, 100*res.Utilization)
-	for i, f := range res.FootprintWords {
+	for i, fp := range res.FootprintWords {
 		if i == spec.DRAMLevel() {
 			continue
 		}
-		fmt.Printf("footprint %-5s %d KB / %d KB\n", spec.Levels[i].Name, f*int64(spec.WordBytes)/1024, spec.Levels[i].CapacityBytes/1024)
+		fmt.Printf("footprint %-5s %d KB / %d KB\n", spec.Levels[i].Name, fp*int64(spec.WordBytes)/1024, spec.Levels[i].CapacityBytes/1024)
 	}
+	return nil
 }
 
 // startProfile parses the -profile flag ("cpu=<file>" or "mem=<file>")
@@ -255,14 +361,6 @@ func exitCodeFor(err error) int {
 	return exitInternal
 }
 
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tileflow:", err)
-		stopProfile()
-		os.Exit(exitCodeFor(err))
-	}
-}
-
 // runVet is the static analyzer entry point: it checks a mapping without
 // evaluating it and exits 0 clean, 1 warnings only, 2 any error.
 // printCodes dumps the diagnostic code registry — the source of truth for
@@ -299,6 +397,7 @@ func runVet(args []string) int {
 	workloadName := fs.String("workload", "attention:Bert-S", "workload: attention:<Table2 name>, conv:<Table3 name>")
 	dataflowName := fs.String("dataflow", "", "vet a named dataflow template, built with its default factors")
 	notationFile := fs.String("notation-file", "", "vet a mapping written in the tile-centric DSL")
+	configFile := fs.String("config", "", "vet a Timeloop-style YAML config file (architecture + problem + mapping)")
 	skipCapacity := fs.Bool("skip-capacity", false, "ignore buffer capacity limits")
 	skipPE := fs.Bool("skip-pe", false, "ignore PE and instance budgets")
 	jsonOut := fs.Bool("json", false, "print the vet report as JSON (identical to POST /v1/vet)")
@@ -312,14 +411,39 @@ func runVet(args []string) int {
 	if *codes {
 		return printCodes(*jsonOut)
 	}
-	spec, err := pickSpec(*archFile, *archName)
-	if err != nil {
+	// The same input-selection rule the evaluate path and the service
+	// enforce: a config is self-contained and excludes the other forms.
+	shape := flagShape(fs)
+	if shape.ConfigYAML == "" && shape.Notation == "" && shape.Dataflow == "" {
+		return fail(fmt.Errorf("one of -config, -notation-file or -dataflow is required"))
+	}
+	if _, err := serve.SelectInput(shape); err != nil {
 		return fail(err)
 	}
 	opts := core.Options{SkipCapacityCheck: *skipCapacity, SkipPECheck: *skipPE}
 
+	var spec *arch.Spec
+	var err error
+	if *configFile == "" {
+		if spec, err = pickSpec(*archFile, *archName); err != nil {
+			return fail(err)
+		}
+	}
 	var diags diag.List
 	switch {
+	case *configFile != "":
+		src, err := os.ReadFile(*configFile)
+		if err != nil {
+			return fail(err)
+		}
+		// A config that fails to load is a successful vet whose
+		// diagnostics are the answer, exactly like POST /v1/vet.
+		cfg, cdiags := yamlfe.Load(string(src))
+		diags = cdiags
+		if cfg != nil {
+			diags = append(diags, check.Analyze(cfg.Root, nil, cfg.Graph, cfg.Spec, opts)...)
+			diags.Sort()
+		}
 	case *notationFile != "":
 		src, err := os.ReadFile(*notationFile)
 		if err != nil {
@@ -330,7 +454,7 @@ func runVet(args []string) int {
 			return fail(err)
 		}
 		diags = check.AnalyzeSource(string(src), g, spec, opts)
-	case *dataflowName != "":
+	default:
 		df, err := serve.PickDataflow(*dataflowName, *workloadName, spec)
 		if err != nil {
 			return fail(err)
@@ -340,8 +464,6 @@ func runVet(args []string) int {
 			return fail(err)
 		}
 		diags = check.Analyze(root, nil, df.Graph(), spec, opts)
-	default:
-		return fail(fmt.Errorf("one of -notation-file or -dataflow is required"))
 	}
 
 	report := check.NewReport(diags)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/notation"
 	"repro/internal/serve"
 	"repro/internal/workload"
+	"repro/internal/yamlfe"
 )
 
 // Divergence reports a disagreement between two evaluation routes (or
@@ -53,7 +54,10 @@ func resultBytes(res *core.Result, spec *arch.Spec) []byte {
 //  6. notation round-trip: Parse(Print(Root)) evaluated locally,
 //  7. the HTTP service: POST /v1/evaluate with arch_spec + workload_spec +
 //     notation, for both Root and Alt (the second request exercises the
-//     server-side program cache re-bind), byte-comparing served results.
+//     server-side program cache re-bind), byte-comparing served results,
+//  8. YAML config round-trip: yamlfe.Render(spec, graph, Root) loaded back
+//     and evaluated locally, then POST /v1/evaluate with config_yaml —
+//     the Timeloop-style frontend must name the same design point.
 //
 // baseURL may be empty to skip the HTTP route (used by the minimizer,
 // which re-checks candidates locally for speed unless the divergence was
@@ -150,6 +154,19 @@ func RunPoint(p *Point, baseURL string, client *http.Client) error {
 		return fail("notation", diffBytes(refBytes, b))
 	}
 
+	ysrc := yamlfe.Render(p.Spec, p.Graph, p.Root)
+	cfg, err := yamlfe.LoadStrict(ysrc)
+	if err != nil {
+		return fail("yaml", fmt.Errorf("reload of rendered config: %w\n%s", err, ysrc))
+	}
+	res6, err := core.Evaluate(cfg.Root, cfg.Graph, cfg.Spec, p.Opts)
+	if err != nil {
+		return fail("yaml", err)
+	}
+	if b := resultBytes(res6, cfg.Spec); !bytes.Equal(b, refBytes) {
+		return fail("yaml", diffBytes(refBytes, b))
+	}
+
 	if baseURL != "" {
 		if err := checkHTTP(p, baseURL, client, src, refBytes); err != nil {
 			return fail("http", err)
@@ -157,6 +174,48 @@ func RunPoint(p *Point, baseURL string, client *http.Client) error {
 		if err := checkHTTP(p, baseURL, client, notation.Print(p.Alt), altBytes); err != nil {
 			return fail("http-alt", err)
 		}
+		if err := checkHTTPConfig(p, baseURL, client, ysrc, refBytes); err != nil {
+			return fail("http-yaml", err)
+		}
+	}
+	return nil
+}
+
+// checkHTTPConfig posts the rendered YAML config through the config_yaml
+// field and byte-compares the served result to the local reference.
+func checkHTTPConfig(p *Point, baseURL string, client *http.Client, ysrc string, want []byte) error {
+	req := serve.EvaluateRequest{
+		ConfigYAML:        ysrc,
+		SkipCapacityCheck: p.Opts.SkipCapacityCheck,
+		SkipPECheck:       p.Opts.SkipPECheck,
+		DisableRetention:  p.Opts.DisableRetention,
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := client.Post(baseURL+"/v1/evaluate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", httpResp.StatusCode, raw)
+	}
+	var resp serve.EvaluateResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	got, err := json.Marshal(resp.Result)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return diffBytes(want, got)
 	}
 	return nil
 }

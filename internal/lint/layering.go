@@ -46,6 +46,12 @@ var allowedImports = map[string][]string{
 		"repro/internal/workload",
 	},
 	"repro/internal/timeloop":  {"repro/internal/arch", "repro/internal/energy", "repro/internal/workload"},
+	// yamlfe translates Timeloop-style configs into the same triple the
+	// notation route produces; it must not reach into serve or check.
+	"repro/internal/yamlfe": {
+		"repro/internal/arch", "repro/internal/core", "repro/internal/diag",
+		"repro/internal/workload",
+	},
 	"repro/internal/graphmodel": {
 		"repro/internal/arch", "repro/internal/timeloop", "repro/internal/workload",
 	},

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataflows"
 	"repro/internal/notation"
 	"repro/internal/workload"
+	"repro/internal/yamlfe"
 )
 
 // EvaluateRequest selects one design point: an architecture, a workload
@@ -40,6 +41,10 @@ type EvaluateRequest struct {
 	// Notation gives the mapping in the tile-centric DSL instead of a
 	// template.
 	Notation string `json:"notation,omitempty"`
+	// ConfigYAML supplies the whole design point — architecture, problem
+	// and mapping — as one Timeloop-style YAML config (internal/yamlfe).
+	// It is self-contained and excludes every other design-point field.
+	ConfigYAML string `json:"config_yaml,omitempty"`
 	// Tune > 0 runs that many MCTS rounds to tune the template's factors
 	// before evaluating (deterministic given Seed).
 	Tune int   `json:"tune,omitempty"`
@@ -295,7 +300,19 @@ func resolve(req *EvaluateRequest) (*designPoint, error) {
 		tune: req.Tune,
 		seed: req.Seed,
 	}
-	var err error
+	form, err := SelectInput(req)
+	if err != nil {
+		return nil, err
+	}
+	if form == inputConfig {
+		cfg, err := yamlfe.LoadStrict(req.ConfigYAML)
+		if err != nil {
+			return nil, err
+		}
+		dp.spec, dp.g, dp.root = cfg.Spec, cfg.Graph, cfg.Root
+		dp.dfName = "config"
+		return dp, nil
+	}
 	switch {
 	case req.ArchSpec != "":
 		dp.spec, err = arch.ParseSpec(req.ArchSpec)
@@ -313,11 +330,8 @@ func resolve(req *EvaluateRequest) (*designPoint, error) {
 	if req.WorkloadSpec != "" && req.Notation == "" {
 		return nil, fmt.Errorf("workload_spec requires a notation mapping (dataflow templates are catalog-shaped)")
 	}
-	switch {
-	case req.Notation != "":
-		if req.Dataflow != "" || req.Tune > 0 {
-			return nil, fmt.Errorf("notation excludes dataflow and tune")
-		}
+	switch form {
+	case inputNotation:
 		dp.dfName = "notation"
 		if req.WorkloadSpec != "" {
 			if req.Workload != "" {
@@ -333,7 +347,7 @@ func resolve(req *EvaluateRequest) (*designPoint, error) {
 		if dp.root, err = notation.Parse(req.Notation, dp.g); err != nil {
 			return nil, err
 		}
-	case req.Dataflow != "":
+	case inputDataflow:
 		dp.dfName = req.Dataflow
 		if dp.df, err = PickDataflow(req.Dataflow, req.Workload, dp.spec); err != nil {
 			return nil, err
@@ -352,8 +366,6 @@ func resolve(req *EvaluateRequest) (*designPoint, error) {
 		} else if len(req.Factors) > 0 {
 			return nil, fmt.Errorf("factors and tune are mutually exclusive")
 		}
-	default:
-		return nil, fmt.Errorf("one of dataflow or notation is required")
 	}
 	return dp, nil
 }

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/diag"
+	"repro/internal/notation"
+	"repro/internal/workload"
+	"repro/internal/yamlfe"
+)
+
+// configFixture renders a matmul design point as a YAML config alongside
+// the equivalent notation-route request.
+func configFixture(t *testing.T) (string, EvaluateRequest) {
+	t.Helper()
+	g := workload.Matmul(8, 8, 8)
+	root, err := notation.Parse(vetMatmulSrc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := arch.Edge()
+	cfg := yamlfe.Render(spec, g, root)
+	ref := EvaluateRequest{
+		ArchSpec:     arch.FormatSpec(spec),
+		WorkloadSpec: workload.CanonicalGraph(g),
+		Notation:     vetMatmulSrc,
+	}
+	return cfg, ref
+}
+
+// TestConfigEvaluate: POST /v1/evaluate with config_yaml answers the same
+// result bytes as the equivalent notation-route request.
+func TestConfigEvaluate(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	cfg, ref := configFixture(t)
+
+	resp, body := postJSON(t, hs.URL+"/v1/evaluate", &EvaluateRequest{ConfigYAML: cfg})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("config route status %d: %s", resp.StatusCode, body)
+	}
+	var got EvaluateResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataflow != "config" {
+		t.Errorf("dataflow = %q, want config", got.Dataflow)
+	}
+
+	resp, body = postJSON(t, hs.URL+"/v1/evaluate", &ref)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("notation route status %d: %s", resp.StatusCode, body)
+	}
+	var want EvaluateResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := json.Marshal(got.Result)
+	wb, _ := json.Marshal(want.Result)
+	if string(gb) != string(wb) {
+		t.Errorf("config result differs from notation result:\n got %s\nwant %s", gb, wb)
+	}
+}
+
+// TestConfigVet: /v1/vet accepts config_yaml; a config that fails to load
+// is a successful vet whose body carries the positioned TF-YAML codes.
+func TestConfigVet(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	cfg, _ := configFixture(t)
+
+	resp, body := postJSON(t, hs.URL+"/v1/vet", &EvaluateRequest{ConfigYAML: cfg})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Valid       bool      `json:"valid"`
+		Diagnostics diag.List `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid {
+		t.Errorf("clean config vets invalid: %s", body)
+	}
+
+	resp, body = postJSON(t, hs.URL+"/v1/vet", &EvaluateRequest{ConfigYAML: "just a scalar"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("broken config: status %d, want 200 (diagnostics are the answer): %s", resp.StatusCode, body)
+	}
+	rep.Valid = true
+	rep.Diagnostics = nil
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid {
+		t.Errorf("broken config vets valid: %s", body)
+	}
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Code == yamlfe.CodeKind {
+			found = true
+			if d.Span.IsZero() {
+				t.Error("TF-YAML diagnostic is unpositioned")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no %s in vet body: %s", yamlfe.CodeKind, body)
+	}
+}
+
+// TestConfigInputSelection pins the unified mutual-exclusion check: mixing
+// config_yaml with any other input form is a 400 carrying TF-REQ-001, on
+// both endpoints.
+func TestConfigInputSelection(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	cfg, _ := configFixture(t)
+	cases := []struct {
+		name string
+		req  EvaluateRequest
+	}{
+		{"config and notation", EvaluateRequest{ConfigYAML: cfg, Notation: "x"}},
+		{"config and dataflow", EvaluateRequest{ConfigYAML: cfg, Dataflow: "Layerwise"}},
+		{"config and arch", EvaluateRequest{ConfigYAML: cfg, Arch: "edge"}},
+		{"config and workload", EvaluateRequest{ConfigYAML: cfg, Workload: "attention:Bert-S"}},
+		{"config and tune", EvaluateRequest{ConfigYAML: cfg, Tune: 5}},
+		{"config and factors", EvaluateRequest{ConfigYAML: cfg, Factors: map[string]int{"m": 2}}},
+		{"nothing at all", EvaluateRequest{}},
+	}
+	for _, tc := range cases {
+		for _, path := range []string{"/v1/evaluate", "/v1/vet"} {
+			t.Run(tc.name+path, func(t *testing.T) {
+				resp, body := postJSON(t, hs.URL+path, &tc.req)
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+				}
+				var eb struct {
+					Error       string    `json:"error"`
+					Diagnostics diag.List `json:"diagnostics"`
+				}
+				if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+					t.Fatalf("error body %s (%v)", body, err)
+				}
+				found := false
+				for _, d := range eb.Diagnostics {
+					if d.Code == CodeRequest {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("400 body has no %s: %s", CodeRequest, body)
+				}
+			})
+		}
+	}
+}
+
+// TestConfigEvaluateInvalid: an invalid config on /v1/evaluate is a coded
+// 400, never an uncoded error.
+func TestConfigEvaluateInvalid(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, body := postJSON(t, hs.URL+"/v1/evaluate", &EvaluateRequest{ConfigYAML: "just a scalar"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var eb struct {
+		Error       string    `json:"error"`
+		Diagnostics diag.List `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("error body %s (%v)", body, err)
+	}
+	found := false
+	for _, d := range eb.Diagnostics {
+		if d.Code == yamlfe.CodeKind {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("400 body carries no TF-YAML code: %s", body)
+	}
+}

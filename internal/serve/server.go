@@ -21,6 +21,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/notation"
 	"repro/internal/workload"
+	"repro/internal/yamlfe"
 )
 
 // Config tunes the evaluation service.
@@ -539,7 +540,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, raw, err := s.evaluateOne(r.Context(), &req)
 	if err != nil {
-		s.writeErrorDiags(w, statusFor(err), err, rejectionDiagnostics(&req, statusFor(err)))
+		s.writeErrorDiags(w, statusFor(err), err, rejectionDiagnostics(&req, err, statusFor(err)))
 		return
 	}
 	if raw != nil {
@@ -969,8 +970,28 @@ func (s *Server) writeErrorDiags(w http.ResponseWriter, status int, err error, d
 // validation, but a mapping that fails analysis is a successful vet: the
 // diagnostics are the answer, not an error.
 func (s *Server) vetOne(req *EvaluateRequest) (check.VetReport, error) {
+	form, err := SelectInput(req)
+	if err != nil {
+		return check.VetReport{}, badRequest(err)
+	}
+	opts := core.Options{
+		SkipCapacityCheck: req.SkipCapacityCheck,
+		SkipPECheck:       req.SkipPECheck,
+		DisableRetention:  req.DisableRetention,
+	}
+	if form == inputConfig {
+		// A config that fails to load is a successful vet: the positioned
+		// TF-YAML diagnostics are the answer. A config that loads merges
+		// any loader warnings with the analyzer's findings.
+		cfg, diags := yamlfe.Load(req.ConfigYAML)
+		if cfg == nil {
+			return check.NewReport(diags), nil
+		}
+		diags = append(diags, check.Analyze(cfg.Root, nil, cfg.Graph, cfg.Spec, opts)...)
+		diags.Sort()
+		return check.NewReport(diags), nil
+	}
 	var spec *arch.Spec
-	var err error
 	switch {
 	case req.ArchSpec != "":
 		spec, err = arch.ParseSpec(req.ArchSpec)
@@ -982,16 +1003,8 @@ func (s *Server) vetOne(req *EvaluateRequest) (check.VetReport, error) {
 	if err != nil {
 		return check.VetReport{}, badRequest(err)
 	}
-	opts := core.Options{
-		SkipCapacityCheck: req.SkipCapacityCheck,
-		SkipPECheck:       req.SkipPECheck,
-		DisableRetention:  req.DisableRetention,
-	}
-	switch {
-	case req.Notation != "":
-		if req.Dataflow != "" || req.Tune > 0 {
-			return check.VetReport{}, badRequest(fmt.Errorf("notation excludes dataflow and tune"))
-		}
+	switch form {
+	case inputNotation:
 		var g *workload.Graph
 		switch {
 		case req.WorkloadSpec != "":
@@ -1008,7 +1021,7 @@ func (s *Server) vetOne(req *EvaluateRequest) (check.VetReport, error) {
 			return check.VetReport{}, badRequest(err)
 		}
 		return check.NewReport(check.AnalyzeSource(req.Notation, g, spec, opts)), nil
-	case req.Dataflow != "":
+	case inputDataflow:
 		if req.Tune > 0 {
 			return check.VetReport{}, badRequest(fmt.Errorf("vet analyzes one concrete mapping; drop tune"))
 		}
@@ -1026,14 +1039,17 @@ func (s *Server) vetOne(req *EvaluateRequest) (check.VetReport, error) {
 		}
 		return check.NewReport(check.Analyze(root, nil, df.Graph(), spec, opts)), nil
 	}
-	return check.VetReport{}, badRequest(fmt.Errorf("one of dataflow or notation is required"))
+	return check.VetReport{}, badRequest(fmt.Errorf("unreachable input form %q", form))
 }
 
 // rejectionDiagnostics recomputes the static diagnostics behind a 400/422
 // rejection so the error body can carry them. Requests without one concrete
 // mapping (tuned templates, malformed requests) yield nil — the error
 // string stands alone.
-func rejectionDiagnostics(req *EvaluateRequest, status int) diag.List {
+func rejectionDiagnostics(req *EvaluateRequest, err error, status int) diag.List {
+	if diags := requestDiagnostics(err); diags != nil {
+		return diags
+	}
 	if status != http.StatusBadRequest && status != http.StatusUnprocessableEntity {
 		return nil
 	}
@@ -1056,7 +1072,7 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 	}
 	report, err := s.vetOne(&req)
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeErrorDiags(w, statusFor(err), err, requestDiagnostics(err))
 		return
 	}
 	// Encode with the shared VetReport codec so the body is byte-identical

@@ -1,0 +1,90 @@
+package yamlfe
+
+import "repro/internal/diag"
+
+// Diagnostic codes for the Timeloop-style YAML config frontend. Every
+// loader failure surfaces as one of these, positioned at the offending
+// token, mirroring the TF-PARSE/TF-NAME/TF-BIND taxonomy of
+// internal/notation.
+var (
+	// CodeSyntax covers malformed YAML in the supported subset: tabs in
+	// indentation, unterminated quotes or flow collections, missing ':'
+	// in a mapping entry, bad indentation.
+	CodeSyntax = diag.Register(diag.Info{
+		Code:  "TF-YAML-001",
+		Title: "YAML syntax error",
+		Hint:  "the loader reads a YAML subset: block mappings, block/flow sequences, plain or quoted scalars, '#' comments",
+	})
+
+	// CodeKind marks a node of the wrong kind, e.g. a scalar where a
+	// mapping is required.
+	CodeKind = diag.Register(diag.Info{
+		Code:  "TF-YAML-002",
+		Title: "wrong YAML node kind",
+	})
+
+	// CodeMissing marks a required field that is absent.
+	CodeMissing = diag.Register(diag.Info{
+		Code:  "TF-YAML-003",
+		Title: "missing required field",
+	})
+
+	// CodeUnknownField marks a field the loader does not understand; it
+	// is skipped.
+	CodeUnknownField = diag.Register(diag.Info{
+		Code:     "TF-YAML-004",
+		Severity: diag.Warning,
+		Title:    "unknown field ignored",
+	})
+
+	// CodeScalar marks a scalar that does not parse as the expected type
+	// (integer, float, capacity, identifier, ...).
+	CodeScalar = diag.Register(diag.Info{
+		Code:  "TF-YAML-005",
+		Title: "bad scalar value",
+	})
+
+	// CodeDupKey marks a duplicated mapping key; the first wins.
+	CodeDupKey = diag.Register(diag.Info{
+		Code:  "TF-YAML-006",
+		Title: "duplicate mapping key",
+	})
+
+	// CodeArch marks an architecture section that does not describe a
+	// valid linear memory hierarchy.
+	CodeArch = diag.Register(diag.Info{
+		Code:  "TF-YAML-007",
+		Title: "invalid architecture section",
+		Hint:  "the architecture must be a linear subtree chain of storage levels over a PE array",
+	})
+
+	// CodeProblem marks a problem section that does not assemble into a
+	// valid operator graph.
+	CodeProblem = diag.Register(diag.Info{
+		Code:  "TF-YAML-008",
+		Title: "invalid problem section",
+	})
+
+	// CodeMapping marks a mapping section that does not assemble into a
+	// valid analysis tree.
+	CodeMapping = diag.Register(diag.Info{
+		Code:  "TF-YAML-009",
+		Title: "invalid mapping section",
+	})
+
+	// CodeUnknownRef marks a reference to an undeclared name: an op the
+	// problem does not define, a target level the architecture lacks, a
+	// dimension no op iterates.
+	CodeUnknownRef = diag.Register(diag.Info{
+		Code:  "TF-YAML-010",
+		Title: "unknown reference",
+	})
+
+	// CodeNotModeled marks an attribute the loader accepts for
+	// compatibility but the cost model ignores (split, multicast).
+	CodeNotModeled = diag.Register(diag.Info{
+		Code:     "TF-YAML-011",
+		Severity: diag.Warning,
+		Title:    "attribute accepted but not modeled",
+	})
+)

@@ -1,0 +1,132 @@
+// Corpus conformance: every golden config under testdata/cases must load
+// cleanly, evaluate, and answer byte-identical results along four routes:
+// direct core.Evaluate, the Render round-trip, POST /v1/evaluate with
+// config_yaml, and the equivalent notation-route request.
+//
+// This file lives in package yamlfe_test because it drives internal/serve,
+// which itself imports yamlfe.
+package yamlfe_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/notation"
+	"repro/internal/serve"
+	"repro/internal/workload"
+	"repro/internal/yamlfe"
+)
+
+// corpusFiles lists the valid golden configs, skipping the invalid/ tree.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "cases", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden configs under testdata/cases")
+	}
+	return files
+}
+
+func postEvaluate(t *testing.T, url string, req *serve.EvaluateRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/evaluate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.EvaluateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	res, err := json.Marshal(out.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, res
+}
+
+// TestCorpus loads every golden config and checks the four evaluation
+// routes agree byte-for-byte.
+func TestCorpus(t *testing.T) {
+	hs := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer hs.Close()
+
+	for _, file := range corpusFiles(t) {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, diags := yamlfe.Load(string(src))
+			if cfg == nil {
+				t.Fatalf("load failed:\n%s", diags)
+			}
+			if diags.HasErrors() {
+				t.Errorf("unexpected error diagnostics:\n%s", diags)
+			}
+
+			res, err := core.Evaluate(cfg.Root, cfg.Graph, cfg.Spec, core.Options{})
+			if err != nil {
+				t.Fatalf("evaluate: %v", err)
+			}
+			ref, err := json.Marshal(serve.NewResultJSON(res, cfg.Spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Route 2: Render round-trip through the loader.
+			rendered := yamlfe.Render(cfg.Spec, cfg.Graph, cfg.Root)
+			rcfg, err := yamlfe.LoadStrict(rendered)
+			if err != nil {
+				t.Fatalf("round-trip load: %v", err)
+			}
+			rres, err := core.Evaluate(rcfg.Root, rcfg.Graph, rcfg.Spec, core.Options{})
+			if err != nil {
+				t.Fatalf("round-trip evaluate: %v", err)
+			}
+			rb, err := json.Marshal(serve.NewResultJSON(rres, rcfg.Spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rb, ref) {
+				t.Errorf("round-trip result differs:\n got %s\nwant %s", rb, ref)
+			}
+
+			// Route 3: the config_yaml HTTP route.
+			status, hb := postEvaluate(t, hs.URL, &serve.EvaluateRequest{ConfigYAML: string(src)})
+			if status != http.StatusOK {
+				t.Fatalf("config route status %d", status)
+			}
+			if !bytes.Equal(hb, ref) {
+				t.Errorf("config route result differs:\n got %s\nwant %s", hb, ref)
+			}
+
+			// Route 4: the equivalent notation-route request.
+			status, nb := postEvaluate(t, hs.URL, &serve.EvaluateRequest{
+				ArchSpec:     arch.FormatSpec(cfg.Spec),
+				WorkloadSpec: workload.CanonicalGraph(cfg.Graph),
+				Notation:     notation.Print(cfg.Root),
+			})
+			if status != http.StatusOK {
+				t.Fatalf("notation route status %d", status)
+			}
+			if !bytes.Equal(nb, ref) {
+				t.Errorf("notation route result differs:\n got %s\nwant %s", nb, ref)
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package yamlfe
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+// FuzzYAML checks the loader's invariants on arbitrary input, seeded from
+// the golden corpus (valid and invalid fixtures alike):
+//
+//   - Load never panics and never answers an uncoded failure: a nil
+//     Config exactly when an error diagnostic was reported.
+//   - Every diagnostic carries a registered code and an in-bounds span.
+//   - Accepted configs reach a render fixpoint: Render(Load(src)) loads
+//     strictly, and re-rendering reproduces it byte-for-byte. This is
+//     the property the conformance YAML route relies on.
+func FuzzYAML(f *testing.F) {
+	for _, pat := range []string{
+		filepath.Join("testdata", "cases", "*.yaml"),
+		filepath.Join("testdata", "cases", "invalid", "*.yaml"),
+	} {
+		files, err := filepath.Glob(pat)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+	f.Add("architecture: 1\nproblem: 2\nmapping: 3\n")
+	f.Add("a:\n - b\n - c: {d: [1, 2}\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		cfg, diags := Load(src)
+		if (cfg == nil) != diags.HasErrors() {
+			t.Fatalf("cfg==nil is %v but HasErrors is %v", cfg == nil, diags.HasErrors())
+		}
+		lines := strings.Count(src, "\n") + 1
+		for _, d := range diags {
+			if _, ok := diag.Lookup(d.Code); !ok {
+				t.Fatalf("unregistered code %q", d.Code)
+			}
+			if d.Span.IsZero() {
+				continue
+			}
+			if d.Span.Start.Line < 1 || d.Span.Start.Line > lines || d.Span.Start.Col < 1 {
+				t.Fatalf("span %v out of bounds for %d-line input", d.Span, lines)
+			}
+		}
+		if cfg == nil {
+			return
+		}
+		rendered := Render(cfg.Spec, cfg.Graph, cfg.Root)
+		cfg2, err := LoadStrict(rendered)
+		if err != nil {
+			t.Fatalf("rendered form no longer loads: %v\nrendered:\n%s", err, rendered)
+		}
+		if again := Render(cfg2.Spec, cfg2.Graph, cfg2.Root); again != rendered {
+			t.Fatalf("render∘load is not a fixpoint\nfirst:\n%s\nsecond:\n%s", rendered, again)
+		}
+	})
+}

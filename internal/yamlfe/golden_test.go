@@ -1,0 +1,112 @@
+package yamlfe
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+// The invalid-config fixtures under testdata/cases/invalid pin the exact
+// diagnostics the loader answers, one comment per expected diagnostic:
+//
+//	# want TF-YAML-00X L:C `message regexp`
+//
+// mirroring the `// want` harness of internal/lint. Comments sit at the
+// end of each fixture so they never perturb the spans they pin. The
+// harness is exact in both directions: every want must match a
+// diagnostic, and every diagnostic must be claimed by a want.
+
+var wantRE = regexp.MustCompile("^\\s*# want (TF-YAML-\\d{3}) (\\d+):(\\d+) `(.*)`\\s*$")
+
+type wantDiag struct {
+	code      string
+	line, col int
+	msg       *regexp.Regexp
+}
+
+func (w wantDiag) String() string {
+	return fmt.Sprintf("want %s %d:%d `%s`", w.code, w.line, w.col, w.msg)
+}
+
+func parseWants(t *testing.T, src string) []wantDiag {
+	t.Helper()
+	var wants []wantDiag
+	for i, line := range strings.Split(src, "\n") {
+		if !strings.Contains(line, "# want ") {
+			continue
+		}
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed want comment %q", i+1, line)
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		re, err := regexp.Compile(m[4])
+		if err != nil {
+			t.Fatalf("line %d: bad want regexp: %v", i+1, err)
+		}
+		wants = append(wants, wantDiag{code: m[1], line: ln, col: col, msg: re})
+	}
+	return wants
+}
+
+func (w wantDiag) matches(d diag.Diagnostic) bool {
+	return string(d.Code) == w.code &&
+		d.Span.Start.Line == w.line && d.Span.Start.Col == w.col &&
+		w.msg.MatchString(d.Message)
+}
+
+// TestGoldenDiagnostics checks every invalid fixture against its pinned
+// want comments: codes, positions, and messages must all line up.
+func TestGoldenDiagnostics(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "cases", "invalid", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no invalid fixtures under testdata/cases/invalid")
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(raw)
+			wants := parseWants(t, src)
+			if len(wants) == 0 {
+				t.Fatal("fixture has no want comments")
+			}
+
+			cfg, diags := Load(src)
+			if (cfg == nil) != diags.HasErrors() {
+				t.Errorf("cfg==nil is %v but HasErrors is %v", cfg == nil, diags.HasErrors())
+			}
+
+			claimed := make([]bool, len(diags))
+			for _, w := range wants {
+				hit := false
+				for i, d := range diags {
+					if w.matches(d) {
+						claimed[i] = true
+						hit = true
+					}
+				}
+				if !hit {
+					t.Errorf("unmatched %s", w)
+				}
+			}
+			for i, d := range diags {
+				if !claimed[i] {
+					t.Errorf("unclaimed diagnostic: %s", d.String())
+				}
+			}
+		})
+	}
+}

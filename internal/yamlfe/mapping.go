@@ -1,0 +1,425 @@
+package yamlfe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/workload"
+)
+
+// mapLoader carries the per-mapping state: the graph and spec to resolve
+// names against, used node labels, and a counter for synthesized names.
+type mapLoader struct {
+	ld    *loader
+	g     *workload.Graph
+	spec  *arch.Spec
+	names map[string]bool
+	tiles int
+}
+
+// loadMapping assembles the mapping node tree — Scope / Tile / Op nodes —
+// into a core.Node analysis tree.
+func (ld *loader) loadMapping(n *node, g *workload.Graph, spec *arch.Spec) *core.Node {
+	mm := ld.mapping(n, "mapping")
+	if mm == nil {
+		return nil
+	}
+	ml := &mapLoader{ld: ld, g: g, spec: spec, names: map[string]bool{}}
+	if nt, _ := ml.nodeType(mm); nt != "tile" {
+		ld.r.Reportf(CodeMapping, mm.span, "", "mapping root must be a Tile node, got %q", nt)
+		return nil
+	}
+	root := ml.loadNode(mm)
+	if ld.r.HasErrors() {
+		return nil
+	}
+	return root
+}
+
+// nodeType reads a node's node-type field, lowercased.
+func (ml *mapLoader) nodeType(m *node) (string, diag.Span) {
+	f := fieldEither(m, "node-type", "node_type")
+	if f == nil {
+		ml.ld.r.Reportf(CodeMissing, m.span, "", "mapping node: missing %q", "node-type")
+		return "", m.span
+	}
+	s, ok := ml.ld.str(f, "node-type")
+	if !ok {
+		return "", f.span
+	}
+	return strings.ToLower(s), f.span
+}
+
+// loadNode loads one Tile or Op node. Scope nodes are handled by their
+// parent Tile and rejected elsewhere.
+func (ml *mapLoader) loadNode(n *node) *core.Node {
+	m := ml.ld.mapping(n, "mapping node")
+	if m == nil {
+		return nil
+	}
+	nt, ntSpan := ml.nodeType(m)
+	switch nt {
+	case "tile":
+		return ml.loadTile(m)
+	case "op":
+		return ml.loadOpNode(m)
+	case "scope":
+		ml.ld.r.Reportf(CodeMapping, ntSpan, "", "a Scope node must be the sole child of a Tile node")
+		return nil
+	case "":
+		return nil
+	default:
+		ml.ld.r.Reportf(CodeMapping, ntSpan, "", "unknown node-type %q (want Tile, Scope or Op)", nt)
+		return nil
+	}
+}
+
+// claimName registers a node label, rejecting duplicates.
+func (ml *mapLoader) claimName(name string, span diag.Span) bool {
+	if ml.names[name] {
+		ml.ld.r.Reportf(CodeMapping, span, name, "duplicate mapping node name %q", name)
+		return false
+	}
+	ml.names[name] = true
+	return true
+}
+
+// loadTile loads a Tile node: a loop nest staged at a target level over a
+// subtree of children, optionally bound through a sole Scope child.
+func (ml *mapLoader) loadTile(m *node) *core.Node {
+	ld := ml.ld
+	ld.checkFields(m, "Tile node",
+		"node-type", "node_type", "name", "target", "type", "factors", "permutation", "split", "multicast", "subtree")
+	name := fmt.Sprintf("tile%d", ml.tiles)
+	ml.tiles++
+	nameSpan := m.span
+	if f := m.field("name"); f != nil {
+		if s, ok := ld.ident(f, "Tile name"); ok {
+			name, nameSpan = s, f.span
+		}
+	}
+	if !ml.claimName(name, nameSpan) {
+		return nil
+	}
+	level := -1
+	tgt := m.field("target")
+	if tgt == nil {
+		ld.r.Reportf(CodeMissing, m.span, name, "Tile %s: missing %q", name, "target")
+		return nil
+	}
+	if s, ok := ld.str(tgt, "Tile target"); ok {
+		if v, err := strconv.Atoi(s); err == nil {
+			if v < 0 || v >= ml.spec.NumLevels() {
+				ld.r.Reportf(CodeUnknownRef, tgt.span, name, "Tile %s: target level %d out of range (arch has %d levels)", name, v, ml.spec.NumLevels())
+				return nil
+			}
+			level = v
+		} else if level = ml.spec.LevelIndex(s); level < 0 {
+			ld.r.Reportf(CodeUnknownRef, tgt.span, name, "Tile %s: unknown target level %q", name, s)
+			return nil
+		}
+	} else {
+		return nil
+	}
+	loops := ml.parseFactors(m, name, nil)
+	if f := m.field("permutation"); f != nil {
+		loops = ml.applyPermutation(f, name, loops)
+	}
+	for _, extra := range []string{"split", "multicast"} {
+		if f := m.field(extra); f != nil {
+			ld.r.Reportf(CodeNotModeled, f.span, name, "Tile %s: %q is accepted but not modeled", name, extra)
+		}
+	}
+	sub := m.field("subtree")
+	if sub == nil {
+		ld.r.Reportf(CodeMissing, m.span, name, "Tile %s: missing %q (interior tiles need children)", name, "subtree")
+		return nil
+	}
+	seq := ld.sequence(sub, "Tile subtree")
+	if seq == nil || len(seq.items) == 0 {
+		if seq != nil {
+			ld.r.Reportf(CodeMapping, seq.span, name, "Tile %s: empty subtree", name)
+		}
+		return nil
+	}
+	binding := core.Seq
+	items := seq.items
+	// A sole Scope child sets the inter-tile binding of this tile's
+	// children, which are the scope's own subtree.
+	if len(items) == 1 && peekNodeType(items[0]) == "scope" {
+		var ok bool
+		binding, items, ok = ml.loadScope(items[0])
+		if !ok {
+			return nil
+		}
+	}
+	kids := make([]*core.Node, 0, len(items))
+	for _, item := range items {
+		kid := ml.loadNode(item)
+		if kid == nil {
+			return nil
+		}
+		if kid.Level > level {
+			ld.r.Reportf(CodeMapping, item.span, name, "Tile %s: child %q targets level %d above its parent's level %d", name, kid.Name, kid.Level, level)
+			return nil
+		}
+		kids = append(kids, kid)
+	}
+	return core.Tile(name, level, binding, loops, kids...)
+}
+
+// scopeBindings maps Scope type names onto the inter-tile primitives of
+// Table 1.
+var scopeBindings = map[string]core.Binding{
+	"sharing":    core.Shar,
+	"temporal":   core.Seq,
+	"sequential": core.Seq,
+	"spatial":    core.Para,
+	"parallel":   core.Para,
+	"pipeline":   core.Pipe,
+}
+
+// peekNodeType reads a node's node-type without reporting, for the
+// sole-Scope-child lookahead.
+func peekNodeType(n *node) string {
+	if n == nil || n.kind != kindMapping {
+		return ""
+	}
+	f := fieldEither(n, "node-type", "node_type")
+	if f == nil || f.kind != kindScalar {
+		return ""
+	}
+	return strings.ToLower(f.text)
+}
+
+// loadScope reads a Scope node's binding and child list.
+func (ml *mapLoader) loadScope(n *node) (core.Binding, []*node, bool) {
+	ld := ml.ld
+	m := ld.mapping(n, "Scope node")
+	if m == nil {
+		return 0, nil, false
+	}
+	ld.checkFields(m, "Scope node", "node-type", "node_type", "type", "subtree")
+	binding := core.Seq
+	tf := m.field("type")
+	if tf == nil {
+		ld.r.Reportf(CodeMissing, m.span, "", "Scope node: missing %q", "type")
+		return 0, nil, false
+	}
+	s, ok := ld.str(tf, "Scope type")
+	if !ok {
+		return 0, nil, false
+	}
+	binding, known := scopeBindings[strings.ToLower(s)]
+	if !known {
+		ld.r.Reportf(CodeMapping, tf.span, "", "unknown Scope type %q (want Sharing, Temporal, Spatial or Pipeline)", s)
+		return 0, nil, false
+	}
+	sub := m.field("subtree")
+	if sub == nil {
+		ld.r.Reportf(CodeMissing, m.span, "", "Scope node: missing %q", "subtree")
+		return 0, nil, false
+	}
+	seq := ld.sequence(sub, "Scope subtree")
+	if seq == nil || len(seq.items) == 0 {
+		if seq != nil {
+			ld.r.Reportf(CodeMapping, seq.span, "", "Scope node: empty subtree")
+		}
+		return 0, nil, false
+	}
+	return binding, seq.items, true
+}
+
+// loadOpNode loads an Op leaf: the operator it computes, an optional
+// iteration-name binding, and its register-level loops.
+func (ml *mapLoader) loadOpNode(m *node) *core.Node {
+	ld := ml.ld
+	ld.checkFields(m, "Op node", "node-type", "node_type", "name", "label", "binding", "factors")
+	opName := ""
+	var opSpan diag.Span
+	if f := m.field("name"); f != nil {
+		opName, _ = ld.ident(f, "Op name")
+		opSpan = f.span
+	} else {
+		ld.r.Reportf(CodeMissing, m.span, "", "Op node: missing %q (the operator name)", "name")
+		return nil
+	}
+	if opName == "" {
+		return nil
+	}
+	op := ml.g.Op(opName)
+	if op == nil {
+		ld.r.Reportf(CodeUnknownRef, opSpan, "", "Op node: the problem defines no operator %q", opName)
+		return nil
+	}
+	label := "t_" + opName
+	labelSpan := opSpan
+	if f := m.field("label"); f != nil {
+		if s, ok := ld.ident(f, "Op label"); ok {
+			label, labelSpan = s, f.span
+		}
+	}
+	if !ml.claimName(label, labelSpan) {
+		return nil
+	}
+	rename := map[string]string{}
+	if f := m.field("binding"); f != nil {
+		if bm := ld.mapping(f, "Op binding"); bm != nil {
+			for i, iter := range bm.keys {
+				if d, ok := ld.ident(bm.vals[i], "Op binding target"); ok {
+					rename[iter] = d
+				}
+			}
+		}
+	}
+	loops := ml.parseFactors(m, label, func(dim string, span diag.Span) (string, bool) {
+		if d, ok := rename[dim]; ok {
+			dim = d
+		}
+		if !op.HasDim(dim) {
+			ld.r.Reportf(CodeUnknownRef, span, label, "Op %s: operator %q has no dimension %q", label, opName, dim)
+			return "", false
+		}
+		return dim, true
+	})
+	return core.Leaf(label, op, loops...)
+}
+
+// parseFactors reads a node's factors — "m=4 s:n=2 k=8" as one scalar or
+// a sequence of such items — into loops. The node's `type` field sets the
+// default loop kind; an s:/t: prefix overrides it per factor. resolve, when
+// non-nil, maps and validates each dimension name.
+func (ml *mapLoader) parseFactors(m *node, nodeName string, resolve func(string, diag.Span) (string, bool)) []core.Loop {
+	ld := ml.ld
+	defKind := core.Temporal
+	if f := m.field("type"); f != nil {
+		if s, ok := ld.str(f, "node type"); ok {
+			switch strings.ToLower(s) {
+			case "temporal":
+			case "spatial":
+				defKind = core.Spatial
+			default:
+				ld.r.Reportf(CodeScalar, f.span, nodeName, "%s: bad loop type %q (want temporal or spatial)", nodeName, s)
+			}
+		}
+	}
+	f := m.field("factors")
+	if f == nil {
+		return nil
+	}
+	type factorItem struct {
+		text string
+		span diag.Span
+	}
+	var items []factorItem
+	switch f.kind {
+	case kindSequence:
+		for _, it := range f.items {
+			if s, ok := ld.str(it, "factor"); ok {
+				items = append(items, factorItem{text: s, span: it.span})
+			}
+		}
+	case kindScalar:
+		// Plain scalars are raw source substrings, so item spans can be
+		// derived from the node span by offset.
+		base := f.span.Start
+		pos := 0
+		for pos < len(f.text) {
+			for pos < len(f.text) && (f.text[pos] == ' ' || f.text[pos] == ',') {
+				pos++
+			}
+			start := pos
+			for pos < len(f.text) && f.text[pos] != ' ' && f.text[pos] != ',' {
+				pos++
+			}
+			if start == pos {
+				continue
+			}
+			sp := f.span
+			if !f.quoted {
+				sp = diag.Span{
+					Start: diag.Pos{Offset: base.Offset + start, Line: base.Line, Col: base.Col + start},
+					End:   diag.Pos{Offset: base.Offset + pos, Line: base.Line, Col: base.Col + pos},
+				}
+			}
+			items = append(items, factorItem{text: f.text[start:pos], span: sp})
+		}
+	default:
+		ld.r.Reportf(CodeKind, f.span, nodeName, "%s: factors must be a scalar or a sequence", nodeName)
+		return nil
+	}
+	var loops []core.Loop
+	for _, it := range items {
+		kind := defKind
+		text := it.text
+		switch {
+		case strings.HasPrefix(text, "s:"):
+			kind, text = core.Spatial, text[2:]
+		case strings.HasPrefix(text, "t:"):
+			kind, text = core.Temporal, text[2:]
+		}
+		dim, extStr, ok := strings.Cut(text, "=")
+		if !ok || dim == "" {
+			ld.r.Reportf(CodeScalar, it.span, nodeName, "%s: bad factor %q (want dim=extent)", nodeName, it.text)
+			continue
+		}
+		ext, err := strconv.Atoi(extStr)
+		if err != nil || ext < 1 {
+			ld.r.Reportf(CodeScalar, it.span, nodeName, "%s: bad extent in factor %q", nodeName, it.text)
+			continue
+		}
+		if !isIdent(dim) {
+			ld.r.Reportf(CodeScalar, it.span, nodeName, "%s: bad dimension in factor %q", nodeName, it.text)
+			continue
+		}
+		if resolve != nil {
+			dim, ok = resolve(dim, it.span)
+			if !ok {
+				continue
+			}
+		} else if ml.g.DimSize(dim) == 0 {
+			ld.r.Reportf(CodeUnknownRef, it.span, nodeName, "%s: no operator iterates dimension %q", nodeName, dim)
+			continue
+		}
+		loops = append(loops, core.Loop{Dim: dim, Extent: ext, Kind: kind})
+	}
+	return loops
+}
+
+// applyPermutation reorders loops by the given dimension order. It
+// requires the factor dimensions to be unique.
+func (ml *mapLoader) applyPermutation(f *node, nodeName string, loops []core.Loop) []core.Loop {
+	ld := ml.ld
+	names, _ := ld.nameList(f, "permutation")
+	if len(names) == 0 {
+		return loops
+	}
+	byDim := map[string]int{}
+	for i, l := range loops {
+		if _, dup := byDim[l.Dim]; dup {
+			ld.r.Reportf(CodeMapping, f.span, nodeName, "%s: permutation requires unique factor dimensions (%q repeats)", nodeName, l.Dim)
+			return loops
+		}
+		byDim[l.Dim] = i
+	}
+	if len(names) != len(loops) {
+		ld.r.Reportf(CodeMapping, f.span, nodeName, "%s: permutation lists %d dimensions, factors have %d", nodeName, len(names), len(loops))
+		return loops
+	}
+	out := make([]core.Loop, 0, len(loops))
+	seen := map[string]bool{}
+	for _, d := range names {
+		i, ok := byDim[d]
+		if !ok || seen[d] {
+			ld.r.Reportf(CodeMapping, f.span, nodeName, "%s: permutation entry %q does not name a distinct factor dimension", nodeName, d)
+			return loops
+		}
+		seen[d] = true
+		out = append(out, loops[i])
+	}
+	return out
+}

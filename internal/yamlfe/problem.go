@@ -1,0 +1,411 @@
+package yamlfe
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/diag"
+	"repro/internal/workload"
+)
+
+// loadProblem assembles the multi-op problem section into a workload
+// graph: global dimensions and sizes, per-op data-spaces with
+// product-of-sum-of-products projections, and ins/out tensor bindings.
+func (ld *loader) loadProblem(n *node, keySpan diag.Span) *workload.Graph {
+	m := ld.mapping(n, "problem")
+	if m == nil {
+		return nil
+	}
+	ld.checkFields(m, "problem",
+		"version", "name", "elem_bytes", "io", "dimensions", "instance", "densities", "ops")
+	name := "graph"
+	if f := m.field("name"); f != nil {
+		if s, ok := ld.ident(f, "problem name"); ok {
+			name = s
+		}
+	}
+	elem := workload.WordBytes
+	if f := m.field("elem_bytes"); f != nil {
+		if v, ok := ld.integer(f, "elem_bytes"); ok && v > 0 {
+			elem = v
+		}
+	}
+	var globalDims []string
+	if f := m.field("dimensions"); f != nil {
+		globalDims, _ = ld.nameList(f, "problem dimensions")
+	}
+	globalSizes := ld.sizeMap(m.field("instance"), "problem instance")
+	opsN := m.field("ops")
+	if opsN == nil {
+		ld.r.Reportf(CodeMissing, m.span, "", "problem: missing %q", "ops")
+		return nil
+	}
+	seq := ld.sequence(opsN, "problem ops")
+	if seq == nil || len(seq.items) == 0 {
+		if seq != nil {
+			ld.r.Reportf(CodeProblem, seq.span, "", "problem: ops must list at least one operator")
+		}
+		return nil
+	}
+	var ops []*workload.Operator
+	seenOps := map[string]bool{}
+	for _, item := range seq.items {
+		op := ld.loadOp(item, globalDims, globalSizes)
+		if op == nil {
+			continue
+		}
+		if seenOps[op.Name] {
+			ld.r.Reportf(CodeProblem, item.span, op.Name, "duplicate operator %q", op.Name)
+			continue
+		}
+		seenOps[op.Name] = true
+		ops = append(ops, op)
+	}
+	if ld.r.HasErrors() {
+		return nil
+	}
+	g, err := workload.NewGraph(name, elem, ops...)
+	if err != nil {
+		ld.r.Reportf(CodeProblem, keySpan, "", "problem: %v", err)
+		return nil
+	}
+	if f := m.field("densities"); f != nil {
+		if dm := ld.mapping(f, "densities"); dm != nil {
+			for i, t := range dm.keys {
+				v, ok := ld.float(dm.vals[i], "density of "+t)
+				if !ok {
+					continue
+				}
+				if err := g.SetDensity(t, v); err != nil {
+					ld.r.Reportf(CodeUnknownRef, dm.keySpans[i], "", "densities: %v", err)
+				}
+			}
+		}
+	}
+	if f := m.field("io"); f != nil {
+		ld.checkIO(f, g)
+	}
+	if ld.r.HasErrors() {
+		return nil
+	}
+	return g
+}
+
+// sizeMap reads a {dim: size} mapping.
+func (ld *loader) sizeMap(n *node, what string) map[string]int {
+	out := map[string]int{}
+	if n == nil {
+		return out
+	}
+	m := ld.mapping(n, what)
+	if m == nil {
+		return out
+	}
+	for i, k := range m.keys {
+		if v, ok := ld.integer(m.vals[i], what+" size of "+k); ok {
+			if v < 1 {
+				ld.r.Reportf(CodeScalar, m.vals[i].span, "", "%s: size of %q must be positive", what, k)
+				continue
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// checkIO validates the io section's tensor names against the graph.
+func (ld *loader) checkIO(n *node, g *workload.Graph) {
+	m := ld.mapping(n, "io")
+	if m == nil {
+		return
+	}
+	ld.checkFields(m, "io", "ins", "outs", "out")
+	check := func(f *node, what string) {
+		names, spans := ld.nameList(f, what)
+		for i, t := range names {
+			if _, ok := g.Tensors[t]; !ok {
+				ld.r.Reportf(CodeUnknownRef, spans[i], "", "io: unknown tensor %q", t)
+			}
+		}
+	}
+	if f := m.field("ins"); f != nil {
+		check(f, "io ins")
+	}
+	if f := m.field("outs"); f != nil {
+		check(f, "io outs")
+	} else if f := m.field("out"); f != nil {
+		check(f, "io out")
+	}
+}
+
+// dataSpace is one parsed data-space entry of an op.
+type dataSpace struct {
+	name      string
+	span      diag.Span
+	index     []workload.Index
+	readWrite bool
+}
+
+// loadOp assembles one problem op into a workload.Operator.
+func (ld *loader) loadOp(n *node, globalDims []string, globalSizes map[string]int) *workload.Operator {
+	m := ld.mapping(n, "problem op")
+	if m == nil {
+		return nil
+	}
+	ld.checkFields(m, "problem op",
+		"name", "kind", "dimensions", "instance", "data-spaces", "data_spaces", "ins", "out", "outs")
+	name := ""
+	if f := m.field("name"); f != nil {
+		name, _ = ld.ident(f, "op name")
+	} else {
+		ld.r.Reportf(CodeMissing, m.span, "", "problem op: missing %q", "name")
+	}
+	if name == "" {
+		return nil
+	}
+	kind := workload.KindMAC
+	if f := m.field("kind"); f != nil {
+		if s, ok := ld.str(f, "op kind"); ok {
+			k, known := parseOpKind(s)
+			if !known {
+				ld.r.Reportf(CodeScalar, f.span, "", "op %s: unknown kind %q (want mac, exp, max, sum, sub, div or copy)", name, s)
+				return nil
+			}
+			kind = k
+		}
+	}
+	sizes := map[string]int{}
+	for k, v := range globalSizes {
+		sizes[k] = v
+	}
+	for k, v := range ld.sizeMap(m.field("instance"), "op "+name+" instance") {
+		sizes[k] = v
+	}
+	var declared []string
+	declaredSet := map[string]bool{}
+	if f := m.field("dimensions"); f != nil {
+		names, spans := ld.nameList(f, "op "+name+" dimensions")
+		for i, d := range names {
+			if declaredSet[d] {
+				ld.r.Reportf(CodeProblem, spans[i], name, "op %s: dimension %q listed twice", name, d)
+				continue
+			}
+			declaredSet[d] = true
+			declared = append(declared, d)
+		}
+	}
+	dsN := m.field("data-spaces")
+	if dsN == nil {
+		dsN = m.field("data_spaces")
+	}
+	if dsN == nil {
+		ld.r.Reportf(CodeMissing, m.span, name, "op %s: missing %q", name, "data-spaces")
+		return nil
+	}
+	seq := ld.sequence(dsN, "op "+name+" data-spaces")
+	if seq == nil {
+		return nil
+	}
+	outNames, _ := ld.nameList(fieldEither(m, "out", "outs"), "op "+name+" out")
+	insNames, insSpans := ld.nameList(m.field("ins"), "op "+name+" ins")
+	var spaces []dataSpace
+	var usedDims []string
+	usedSet := map[string]bool{}
+	seenTensor := map[string]bool{}
+	for _, item := range seq.items {
+		dsm := ld.mapping(item, "data-space")
+		if dsm == nil {
+			continue
+		}
+		ld.checkFields(dsm, "data-space", "name", "projection", "read-write", "read_write")
+		ds := dataSpace{span: item.span}
+		if f := dsm.field("name"); f != nil {
+			ds.name, _ = ld.ident(f, "data-space name")
+			ds.span = f.span
+		}
+		if ds.name == "" {
+			ld.r.Reportf(CodeMissing, dsm.span, name, "op %s: data-space missing %q", name, "name")
+			continue
+		}
+		if seenTensor[ds.name] {
+			ld.r.Reportf(CodeProblem, ds.span, name, "op %s: tensor %q has two data-spaces", name, ds.name)
+			continue
+		}
+		seenTensor[ds.name] = true
+		proj := dsm.field("projection")
+		if proj == nil {
+			ld.r.Reportf(CodeMissing, dsm.span, name, "op %s: data-space %q missing %q", name, ds.name, "projection")
+			continue
+		}
+		ds.index = ld.parseProjection(proj, name, ds.name, declaredSet, &usedDims, usedSet)
+		if f := fieldEither(dsm, "read-write", "read_write"); f != nil {
+			ds.readWrite, _ = ld.boolean(f, "read-write")
+		}
+		for _, o := range outNames {
+			if o == ds.name {
+				ds.readWrite = true
+			}
+		}
+		spaces = append(spaces, ds)
+	}
+	var write *dataSpace
+	var reads []workload.Access
+	for i := range spaces {
+		ds := &spaces[i]
+		if ds.readWrite {
+			if write != nil {
+				ld.r.Reportf(CodeProblem, ds.span, name, "op %s: both %q and %q marked as outputs", name, write.name, ds.name)
+				return nil
+			}
+			write = ds
+		} else {
+			reads = append(reads, workload.Access{Tensor: ds.name, Index: ds.index})
+		}
+	}
+	if write == nil {
+		ld.r.Reportf(CodeProblem, seq.span, name, "op %s: no output data-space (mark one read-write or list it under out)", name)
+		return nil
+	}
+	for i, in := range insNames {
+		found := false
+		for _, r := range reads {
+			if r.Tensor == in {
+				found = true
+				break
+			}
+		}
+		if !found {
+			ld.r.Reportf(CodeUnknownRef, insSpans[i], name, "op %s: ins lists %q which has no read data-space", name, in)
+		}
+	}
+	dims := declared
+	if len(dims) == 0 {
+		dims = usedDims
+	}
+	var opDims []workload.Dim
+	for _, d := range dims {
+		size, ok := sizes[d]
+		if !ok {
+			ld.r.Reportf(CodeProblem, m.span, name, "op %s: no instance size for dimension %q", name, d)
+			return nil
+		}
+		opDims = append(opDims, workload.Dim{Name: d, Size: size})
+	}
+	if len(opDims) == 0 {
+		ld.r.Reportf(CodeProblem, m.span, name, "op %s: no iteration dimensions", name)
+		return nil
+	}
+	return &workload.Operator{
+		Name:  name,
+		Kind:  kind,
+		Dims:  opDims,
+		Reads: reads,
+		Write: workload.Access{Tensor: write.name, Index: write.index},
+	}
+}
+
+func fieldEither(m *node, key, alt string) *node {
+	if f := m.field(key); f != nil {
+		return f
+	}
+	return m.field(alt)
+}
+
+// parseProjection reads a Timeloop product-of-sum-of-products projection:
+// one sequence per tensor dimension, each a sum of terms. A term is a
+// dimension name (coefficient 1), [dim], [dim, coef], or a bare integer
+// offset.
+func (ld *loader) parseProjection(n *node, opName, tensor string, declared map[string]bool, usedDims *[]string, usedSet map[string]bool) []workload.Index {
+	seq := ld.sequence(n, "projection of "+tensor)
+	if seq == nil {
+		return nil
+	}
+	useDim := func(d string, span diag.Span) bool {
+		if len(declared) > 0 && !declared[d] {
+			ld.r.Reportf(CodeUnknownRef, span, opName, "op %s: projection of %q uses undeclared dimension %q", opName, tensor, d)
+			return false
+		}
+		if !usedSet[d] {
+			usedSet[d] = true
+			*usedDims = append(*usedDims, d)
+		}
+		return true
+	}
+	out := make([]workload.Index, 0, len(seq.items))
+	for _, dimN := range seq.items {
+		ix := workload.Index{}
+		addScalar := func(s *node) {
+			text, ok := ld.scalar(s, "projection term")
+			if !ok {
+				return
+			}
+			if v, err := strconv.Atoi(text); err == nil {
+				ix.Offset += v
+				return
+			}
+			if !isIdent(text) {
+				ld.r.Reportf(CodeScalar, s.span, opName, "op %s: bad projection term %q", opName, text)
+				return
+			}
+			if useDim(text, s.span) {
+				ix.Terms = append(ix.Terms, workload.Term{Dim: text, Coef: 1})
+			}
+		}
+		switch dimN.kind {
+		case kindScalar:
+			addScalar(dimN)
+		case kindSequence:
+			for _, term := range dimN.items {
+				switch term.kind {
+				case kindScalar:
+					addScalar(term)
+				case kindSequence:
+					if len(term.items) < 1 || len(term.items) > 2 {
+						ld.r.Reportf(CodeProblem, term.span, opName, "op %s: projection term must be [dim] or [dim, coef]", opName)
+						continue
+					}
+					d, ok := ld.ident(term.items[0], "projection dimension")
+					if !ok {
+						continue
+					}
+					coef := 1
+					if len(term.items) == 2 {
+						if v, okC := ld.integer(term.items[1], "projection coefficient"); okC {
+							coef = v
+						}
+					}
+					if useDim(d, term.items[0].span) {
+						ix.Terms = append(ix.Terms, workload.Term{Dim: d, Coef: coef})
+					}
+				default:
+					ld.r.Reportf(CodeKind, term.span, opName, "op %s: bad projection term", opName)
+				}
+			}
+		default:
+			ld.r.Reportf(CodeKind, dimN.span, opName, "op %s: projection entries must be sequences or dimension names", opName)
+		}
+		out = append(out, ix)
+	}
+	return out
+}
+
+// parseOpKind maps the kind names of workload.OpKind.String.
+func parseOpKind(s string) (workload.OpKind, bool) {
+	switch strings.ToLower(s) {
+	case "mac":
+		return workload.KindMAC, true
+	case "exp":
+		return workload.KindExp, true
+	case "max":
+		return workload.KindMax, true
+	case "sum":
+		return workload.KindSum, true
+	case "sub":
+		return workload.KindSub, true
+	case "div":
+		return workload.KindDiv, true
+	case "copy":
+		return workload.KindCopy, true
+	}
+	return workload.KindMAC, false
+}

@@ -1,0 +1,220 @@
+package yamlfe
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/notation"
+	"repro/internal/workload"
+)
+
+// matmulChain is a 2-op fused matmul chain: S = A×B, C = S×D.
+func matmulChain(t *testing.T) *workload.Graph {
+	t.Helper()
+	op1 := &workload.Operator{
+		Name: "mm1", Kind: workload.KindMAC,
+		Dims: []workload.Dim{{Name: "m", Size: 64}, {Name: "k", Size: 64}, {Name: "l", Size: 64}},
+		Reads: []workload.Access{
+			{Tensor: "A", Index: []workload.Index{workload.I("m"), workload.I("k")}},
+			{Tensor: "B", Index: []workload.Index{workload.I("k"), workload.I("l")}},
+		},
+		Write: workload.Access{Tensor: "S", Index: []workload.Index{workload.I("m"), workload.I("l")}},
+	}
+	op2 := &workload.Operator{
+		Name: "mm2", Kind: workload.KindMAC,
+		Dims: []workload.Dim{{Name: "m", Size: 64}, {Name: "l", Size: 64}, {Name: "n", Size: 64}},
+		Reads: []workload.Access{
+			{Tensor: "S", Index: []workload.Index{workload.I("m"), workload.I("l")}},
+			{Tensor: "D", Index: []workload.Index{workload.I("l"), workload.I("n")}},
+		},
+		Write: workload.Access{Tensor: "C", Index: []workload.Index{workload.I("m"), workload.I("n")}},
+	}
+	g, err := workload.NewGraph("mmchain", workload.WordBytes, op1, op2)
+	if err != nil {
+		t.Fatalf("matmulChain: %v", err)
+	}
+	return g
+}
+
+// testTree builds a small fused tree over the matmul-chain graph.
+func testTree(g *workload.Graph) *core.Node {
+	op1, op2 := g.Ops[0], g.Ops[1]
+	l1 := core.Leaf("t_"+op1.Name, op1, core.S("m", 4), core.T("k", 8))
+	l2 := core.Leaf("t_"+op2.Name, op2, core.S("m", 4), core.T("n", 8))
+	fuse := core.Tile("fuse0", 1, core.Pipe, []core.Loop{core.T("m", 16)}, l1, l2)
+	return core.Tile("root", 2, core.Seq, []core.Loop{core.T("m", 8)}, fuse)
+}
+
+func mustLoad(t *testing.T, src string) *Config {
+	t.Helper()
+	cfg, diags := Load(src)
+	if cfg == nil {
+		t.Fatalf("Load failed:\n%s\nsource:\n%s", diags, numbered(src))
+	}
+	return cfg
+}
+
+func numbered(src string) string {
+	var b strings.Builder
+	for i, line := range strings.Split(src, "\n") {
+		b.WriteString(strings.TrimRight(strings.Repeat(" ", 0)+itoa(i+1)+": "+line, " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func itoa(v int) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+// TestRenderLoadRoundTrip checks that Load(Render(point)) reconstructs
+// the spec, graph and tree exactly, across the built-in accelerators and
+// a fused workload.
+func TestRenderLoadRoundTrip(t *testing.T) {
+	specs := []*arch.Spec{arch.Edge(), arch.Cloud(), arch.Validation(), arch.A100Like()}
+	for _, spec := range specs {
+		g := matmulChain(t)
+		root := testTree(g)
+		src := Render(spec, g, root)
+		cfg := mustLoad(t, src)
+		if got, want := arch.FormatSpec(cfg.Spec), arch.FormatSpec(spec); got != want {
+			t.Errorf("%s: spec mismatch\ngot:\n%s\nwant:\n%s", spec.Name, got, want)
+		}
+		if got, want := workload.CanonicalGraph(cfg.Graph), workload.CanonicalGraph(g); got != want {
+			t.Errorf("%s: graph mismatch\ngot:\n%s\nwant:\n%s", spec.Name, got, want)
+		}
+		if got, want := notation.Print(cfg.Root), notation.Print(root); got != want {
+			t.Errorf("%s: tree mismatch\ngot:\n%s\nwant:\n%s", spec.Name, got, want)
+		}
+		if cfg.Root.Binding != core.Seq || cfg.Root.Children[0].Binding != core.Pipe {
+			t.Errorf("%s: bindings not preserved: root=%s fuse=%s", spec.Name, cfg.Root.Binding, cfg.Root.Children[0].Binding)
+		}
+		// Fixpoint: rendering the loaded config reproduces the bytes.
+		if again := Render(cfg.Spec, cfg.Graph, cfg.Root); again != src {
+			t.Errorf("%s: render not a fixpoint\nfirst:\n%s\nsecond:\n%s", spec.Name, src, again)
+		}
+	}
+}
+
+// TestLoadHandWritten exercises the Timeloop-flavored spellings the
+// renderer does not emit: depth/block-size/word-bits capacities,
+// read_bandwidth, level names as targets, permutation, a derived mesh,
+// and scalar name lists.
+func TestLoadHandWritten(t *testing.T) {
+	src := `
+# A 2-level toy accelerator over a single matmul.
+architecture:
+  name: toy
+  attributes:
+    freq_ghz: 1
+    word_bits: 16
+  subtree:
+    - name: system
+      local:
+        - name: DRAM
+          class: DRAM
+          attributes: {bandwidth_gbs: 60}
+      subtree:
+        - name: pe[0..15]
+          local:
+            - name: Reg
+              attributes:
+                depth: 64
+                block-size: 4
+                word-bits: 16
+            - name: MAC
+              class: intmac
+problem:
+  name: toymm
+  dimensions: m k n
+  instance: {m: 64, k: 64, n: 64}
+  ops:
+    - name: mm
+      dimensions: [m, k, n]
+      data-spaces:
+        - name: A
+          projection: [[[m]], [[k]]]
+        - name: B
+          projection: [[[k]], [[n]]]
+        - name: C
+          projection: [[[m]], [[n]]]
+          read-write: true
+      ins: A B
+      out: C
+mapping:
+  node-type: Tile
+  target: DRAM
+  type: temporal
+  factors: m=16 n=16
+  permutation: [n, m]
+  subtree:
+    - node-type: Op
+      name: mm
+      factors: s:m=4 s:n=4 k=64
+`
+	cfg := mustLoad(t, src)
+	if cfg.Spec.Name != "toy" || cfg.Spec.NumLevels() != 2 {
+		t.Fatalf("spec: got %s with %d levels", cfg.Spec.Name, cfg.Spec.NumLevels())
+	}
+	if got := cfg.Spec.Levels[0].CapacityBytes; got != 64*4*2 {
+		t.Errorf("Reg capacity: got %d, want %d", got, 64*4*2)
+	}
+	if cfg.Spec.MeshX*cfg.Spec.MeshY != 16 {
+		t.Errorf("mesh: got %dx%d, want product 16", cfg.Spec.MeshX, cfg.Spec.MeshY)
+	}
+	if cfg.Spec.LevelIndex("DRAM") != 1 {
+		t.Errorf("DRAM not outermost")
+	}
+	if len(cfg.Graph.Ops) != 1 || cfg.Graph.Ops[0].Name != "mm" {
+		t.Fatalf("graph: %v", cfg.Graph)
+	}
+	root := cfg.Root
+	if root.Level != 1 {
+		t.Errorf("root target: got level %d, want 1", root.Level)
+	}
+	if len(root.Loops) != 2 || root.Loops[0].Dim != "n" || root.Loops[1].Dim != "m" {
+		t.Errorf("permutation not applied: %v", root.Loops)
+	}
+	leaf := root.Children[0]
+	if !leaf.IsLeaf() || leaf.Name != "t_mm" {
+		t.Fatalf("leaf: %v", leaf)
+	}
+	if leaf.SpatialProduct() != 16 {
+		t.Errorf("leaf spatial product: got %d, want 16", leaf.SpatialProduct())
+	}
+}
+
+// TestLoadErrors pins a few coded failures end to end.
+func TestLoadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		code string
+	}{
+		{"empty", "", "TF-YAML-003"},
+		{"tab", "\tarchitecture: x", "TF-YAML-001"},
+		{"scalar-top", "just a scalar", "TF-YAML-002"},
+		{"dup-key", "architecture: a\narchitecture: b", "TF-YAML-006"},
+	}
+	for _, tc := range cases {
+		cfg, diags := Load(tc.src)
+		if cfg != nil {
+			t.Errorf("%s: Load unexpectedly succeeded", tc.name)
+			continue
+		}
+		found := false
+		for _, d := range diags {
+			if string(d.Code) == tc.code {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: want code %s, got:\n%s", tc.name, tc.code, diags)
+		}
+	}
+}
