@@ -46,6 +46,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "vet" {
 		os.Exit(runVet(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		os.Exit(runAnalyze(os.Args[2:]))
+	}
 	os.Exit(runMain(os.Args[1:]))
 }
 
@@ -388,6 +391,115 @@ func printCodes(asJSON bool) int {
 		fmt.Println()
 	}
 	return 0
+}
+
+// runAnalyze is the search-space analyzer entry point: it narrows a design
+// point's tiling-factor space against the static legality rules without
+// sampling it, proving values (or the whole space) infeasible. A dataflow
+// selects the named template's factor space; notation and config inputs
+// analyze the retiling space of the concrete mapping. It exits 0 when
+// nothing was pruned, 1 when values were pruned or the narrowing was
+// incomplete, and 2 when the space is provably empty.
+func runAnalyze(args []string) int {
+	fs := flag.NewFlagSet("tileflow analyze", flag.ExitOnError)
+	archName := fs.String("arch", "edge", "accelerator: edge, cloud, validation, a100")
+	archFile := fs.String("arch-file", "", "load a custom accelerator spec from a file")
+	workloadName := fs.String("workload", "attention:Bert-S", "workload: attention:<Table2 name>, conv:<Table3 name>")
+	dataflowName := fs.String("dataflow", "", "analyze a named dataflow template's factor space")
+	notationFile := fs.String("notation-file", "", "analyze the retiling space of a mapping written in the tile-centric DSL")
+	configFile := fs.String("config", "", "analyze the retiling space of a Timeloop-style YAML config file")
+	maxProbes := fs.Int("max-probes", 0, "design-point probe budget (0 = spaceck default); larger spaces are narrowed witness-only")
+	skipCapacity := fs.Bool("skip-capacity", false, "ignore buffer capacity limits")
+	skipPE := fs.Bool("skip-pe", false, "ignore PE and instance budgets")
+	jsonOut := fs.Bool("json", false, "print the space report as JSON (identical to POST /v1/analyze)")
+	fs.Parse(args)
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "tileflow analyze:", err)
+		return 2
+	}
+	// Build the exact request POST /v1/analyze would receive and run it
+	// through the same function, so -json output is byte-identical to the
+	// service's response body.
+	req := &serve.EvaluateRequest{
+		SkipCapacityCheck: *skipCapacity,
+		SkipPECheck:       *skipPE,
+		MaxProbes:         *maxProbes,
+	}
+	switch {
+	case *configFile != "":
+		if *notationFile != "" || *dataflowName != "" {
+			return fail(fmt.Errorf("-config excludes -notation-file and -dataflow"))
+		}
+		src, err := os.ReadFile(*configFile)
+		if err != nil {
+			return fail(err)
+		}
+		req.ConfigYAML = string(src)
+	case *notationFile != "":
+		src, err := os.ReadFile(*notationFile)
+		if err != nil {
+			return fail(err)
+		}
+		req.Notation = string(src)
+		req.Workload = *workloadName
+	case *dataflowName != "":
+		req.Dataflow = *dataflowName
+		req.Workload = *workloadName
+	default:
+		return fail(fmt.Errorf("one of -config, -notation-file or -dataflow is required"))
+	}
+	if req.ConfigYAML == "" {
+		if *archFile != "" {
+			src, err := os.ReadFile(*archFile)
+			if err != nil {
+				return fail(err)
+			}
+			req.ArchSpec = string(src)
+		} else {
+			req.Arch = *archName
+		}
+	}
+
+	report, err := serve.AnalyzeSpace(req)
+	if err != nil {
+		return fail(err)
+	}
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			return fail(err)
+		}
+		return report.ExitCode()
+	}
+
+	fmt.Printf("dataflow:  %s\n", report.Dataflow)
+	fmt.Printf("space:     %d points, %d kept", report.SpaceSize, report.KeptSize)
+	if !report.Complete {
+		fmt.Printf(" (incomplete: witness-only, %d probes)", report.Probes)
+	}
+	fmt.Println()
+	for _, d := range report.Factors {
+		fmt.Printf("  %-24s kept %v", d.Key, d.Kept)
+		if len(d.Removed) > 0 {
+			fmt.Printf("  removed:")
+			for _, rm := range d.Removed {
+				fmt.Printf(" %d(%s)", rm.Value, rm.Rule)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Print(report.Diagnostics.String())
+	if report.Empty {
+		fmt.Println("analyze: search space provably empty")
+	} else {
+		pruned := 0
+		for _, d := range report.Factors {
+			pruned += len(d.Removed)
+		}
+		fmt.Printf("analyze: %d factor value(s) pruned across %d factor(s), %d probes\n",
+			pruned, len(report.Factors), report.Probes)
+	}
+	return report.ExitCode()
 }
 
 func runVet(args []string) int {

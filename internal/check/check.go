@@ -80,6 +80,14 @@ var ruleCode = map[string]diag.Code{
 	core.RuleCapacity:      CodeCapacity,
 }
 
+// RuleCode reports the public diagnostic code behind a core static rule
+// key, for packages (the search-space analyzer) that attribute findings to
+// rules without re-running the vet passes.
+func RuleCode(rule string) (diag.Code, bool) {
+	c, ok := ruleCode[rule]
+	return c, ok
+}
+
 // spanFor picks the most precise source span for a violation: the loop item
 // for loop rules, the @L token for level rules, the defining name token
 // otherwise. Architecture- and graph-level violations stay unpositioned.

@@ -1,0 +1,109 @@
+package core
+
+// Monotonicity metadata: how each static rule's violation set behaves as a
+// single loop extent in the tree grows, everything else held fixed. The
+// search-space analyzer (internal/spaceck) uses the declarations to order
+// its probes — high-pressure corners first when hunting refutations of a
+// monotone-increasing rule, low-pressure corners first when hunting
+// witnesses — and DESIGN.md §12 builds its soundness argument on them. The
+// declarations are pinned against brute force in monotone_test.go: for
+// every rule the observed violation set over a swept extent must be
+// upward-closed, downward-closed, constant, or (for MonoExact) provably
+// neither.
+
+// Monotonicity classifies one rule's violation predicate as a function of
+// any single loop extent.
+type Monotonicity int
+
+const (
+	// MonoIndependent: the rule never reads loop extents; its verdict is a
+	// function of tree structure, bindings, and the architecture alone.
+	MonoIndependent Monotonicity = iota
+	// MonoIncreasing: the violation set is upward-closed — if the rule
+	// fires at extent x it fires at every extent y >= x (resource usage is
+	// non-decreasing in every extent, so exceeding a budget is permanent).
+	MonoIncreasing
+	// MonoDecreasing: the violation set is downward-closed — if the rule
+	// fires at extent x it fires at every extent y <= x.
+	MonoDecreasing
+	// MonoExact: an equality or divisor constraint; the violation set is
+	// neither upward- nor downward-closed in general.
+	MonoExact
+)
+
+// String implements fmt.Stringer.
+func (m Monotonicity) String() string {
+	switch m {
+	case MonoIndependent:
+		return "independent"
+	case MonoIncreasing:
+		return "increasing"
+	case MonoDecreasing:
+		return "decreasing"
+	case MonoExact:
+		return "exact"
+	}
+	return "unknown"
+}
+
+// ruleMono declares the monotonicity of every static rule. The table is
+// exhaustive over the Rule* constants; RuleMonotonicity panics on an
+// unknown key so a rule added without a declaration fails loudly in tests
+// rather than silently defaulting.
+var ruleMono = map[string]Monotonicity{
+	// Structural rules look only at the node tree, operators and levels.
+	RuleArch:          MonoIndependent,
+	RuleLeafChildren:  MonoIndependent,
+	RuleDupOp:         MonoIndependent,
+	RuleInteriorEmpty: MonoIndependent,
+	RuleLevelOrder:    MonoIndependent,
+	RuleOpNoLeaf:      MonoIndependent,
+	RuleLevelRange:    MonoIndependent,
+	// A loop over a foreign dim is foreign at any extent.
+	RuleLoopDim: MonoIndependent,
+
+	// extent < 1 is downward-closed.
+	RuleLoopExtent: MonoDecreasing,
+
+	// The leaf-to-root product must equal the dim size exactly; the
+	// violation set has holes at every divisor completion.
+	RuleCoverage: MonoExact,
+
+	// Spatial fanout, instance occupancy, and staged footprints are all
+	// products of (subsets of) the extents, so usage is non-decreasing in
+	// every extent and budget overruns are upward-closed.
+	RulePEBudget:  MonoIncreasing,
+	RuleUnitUsage: MonoIncreasing,
+	RuleCapacity:  MonoIncreasing,
+}
+
+// RuleMonotonicity reports the declared monotonicity of a static rule's
+// violation predicate in any single loop extent. It panics on a rule key
+// outside the Rule* constants.
+func RuleMonotonicity(rule string) Monotonicity {
+	m, ok := ruleMono[rule]
+	if !ok {
+		panic("core: no monotonicity declared for rule " + rule)
+	}
+	return m
+}
+
+// RuleKeys lists every static rule key in a stable order, for exhaustive
+// table-driven tests over the rule set.
+func RuleKeys() []string {
+	return []string{
+		RuleArch,
+		RuleLeafChildren,
+		RuleDupOp,
+		RuleInteriorEmpty,
+		RuleLevelOrder,
+		RuleOpNoLeaf,
+		RuleLevelRange,
+		RuleCoverage,
+		RuleLoopExtent,
+		RuleLoopDim,
+		RulePEBudget,
+		RuleUnitUsage,
+		RuleCapacity,
+	}
+}

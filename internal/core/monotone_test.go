@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/workload"
+)
+
+// monoGraph is a single-operator graph (O[i] += Q[i,k]) whose tiny rule
+// surface makes resource usage predictable for the brute-force sweeps.
+func monoGraph(i, k int) *workload.Graph {
+	op := &workload.Operator{
+		Name: "A", Kind: workload.KindMAC,
+		Dims: []workload.Dim{{Name: "i", Size: i}, {Name: "k", Size: k}},
+		Reads: []workload.Access{
+			{Tensor: "Q", Index: []workload.Index{workload.I("i"), workload.I("k")}},
+		},
+		Write: workload.Access{Tensor: "O", Index: []workload.Index{workload.I("i")}},
+	}
+	return workload.MustGraph("mono", workload.WordBytes, op)
+}
+
+// monoSweep drives one rule's brute-force check: mk builds the design point
+// with the designated loop extent set to e, and the sweep observes for which
+// extents the rule fires.
+type monoSweep struct {
+	rule    string
+	extents []int
+	mk      func(e int) (*Node, *workload.Graph, *arch.Spec)
+}
+
+// monoSweeps covers every static rule with a sweep whose designated extent
+// can influence the rule if anything can. Structural rules use a broken
+// sec42 tree whose defect is independent of the swept extent.
+func monoSweeps() []monoSweep {
+	structural := func(mut func(g *workload.Graph, root *Node) *Node) func(e int) (*Node, *workload.Graph, *arch.Spec) {
+		return func(e int) (*Node, *workload.Graph, *arch.Spec) {
+			g := sec42Graph(32, 64, 64, 32)
+			root := mut(g, sec42Tree(g))
+			root.Loops[0].Extent = e
+			return root, g, arch.Cloud()
+		}
+	}
+	small := []int{1, 2, 3, 4, 5, 6}
+	return []monoSweep{
+		{RuleArch, small, func(e int) (*Node, *workload.Graph, *arch.Spec) {
+			g := sec42Graph(32, 64, 64, 32)
+			root := sec42Tree(g)
+			root.Loops[0].Extent = e
+			spec := arch.Cloud()
+			spec.MeshX = 0
+			return root, g, spec
+		}},
+		{RuleLeafChildren, small, structural(func(g *workload.Graph, root *Node) *Node {
+			root.Children[0].Children[0].Children = []*Node{Leaf("extra", g.Op("B"))}
+			return root
+		})},
+		{RuleDupOp, small, structural(func(g *workload.Graph, root *Node) *Node {
+			root.Children[1].Children = append(root.Children[1].Children, Leaf("again", g.Op("B")))
+			return root
+		})},
+		{RuleInteriorEmpty, small, structural(func(g *workload.Graph, root *Node) *Node {
+			root.Children[1].Children = nil
+			root.Children[1].Op = nil
+			return root
+		})},
+		{RuleLevelOrder, small, structural(func(g *workload.Graph, root *Node) *Node {
+			root.Children[0].Level = 3
+			return root
+		})},
+		{RuleOpNoLeaf, small, structural(func(g *workload.Graph, root *Node) *Node {
+			return Tile(root.Name, root.Level, root.Binding, root.Loops, root.Children[0])
+		})},
+		{RuleLevelRange, small, structural(func(g *workload.Graph, root *Node) *Node {
+			root.Level = 99
+			return root
+		})},
+		{RuleLoopDim, small, func(e int) (*Node, *workload.Graph, *arch.Spec) {
+			g := sec42Graph(32, 64, 64, 32)
+			root := sec42Tree(g)
+			root.Children[1].Loops = append(root.Children[1].Loops, T("zz", e))
+			return root, g, arch.Cloud()
+		}},
+		{RuleLoopExtent, []int{-2, -1, 0, 1, 2, 3}, func(e int) (*Node, *workload.Graph, *arch.Spec) {
+			g := sec42Graph(32, 64, 64, 32)
+			root := sec42Tree(g)
+			root.Loops[0].Extent = e
+			return root, g, arch.Cloud()
+		}},
+		// Coverage needs e*2 == 8: the violation set {1,2,3,5,6} is neither
+		// upward- nor downward-closed — the MonoExact witness.
+		{RuleCoverage, small, func(e int) (*Node, *workload.Graph, *arch.Spec) {
+			g := monoGraph(8, 4)
+			leaf := Leaf("lf", g.Op("A"), T("i", 2), T("k", 4))
+			root := Tile("r", 2, Seq, []Loop{T("i", e)}, leaf)
+			return root, g, arch.Edge()
+		}},
+		// Edge has 4096 PEs; the spatial extent is the PE usage.
+		{RulePEBudget, []int{1024, 2048, 4096, 8192, 16384}, func(e int) (*Node, *workload.Graph, *arch.Spec) {
+			g := monoGraph(16384, 4)
+			leaf := Leaf("lf", g.Op("A"), S("i", e))
+			root := Tile("r", 2, Seq, nil, leaf)
+			return root, g, arch.Edge()
+		}},
+		// Edge has 4 L1 instances; a root spatial loop occupies e of them.
+		{RuleUnitUsage, []int{1, 2, 4, 8, 16}, func(e int) (*Node, *workload.Graph, *arch.Spec) {
+			g := monoGraph(16384, 4)
+			leaf := Leaf("lf", g.Op("A"))
+			t1 := Tile("t1", 1, Seq, nil, leaf)
+			root := Tile("r", 2, Seq, []Loop{S("i", e)}, t1)
+			return root, g, arch.Edge()
+		}},
+		// Edge's L1 holds 2M words; the intermediates A and B are confined
+		// at the fused L1 tile and stage e×1024-word slices there.
+		{RuleCapacity, []int{128, 256, 512, 1024}, func(e int) (*Node, *workload.Graph, *arch.Spec) {
+			g := sec42Graph(1024, 1024, 1024, 1024)
+			t00 := Leaf("c0", g.Op("A"), T("i", e), T("l", 1024), T("k", 1024))
+			t10 := Leaf("c1", g.Op("B"), T("i", e), T("l", 1024))
+			t20 := Leaf("c2", g.Op("C"), T("i", e), T("j", 1024), T("l", 1024))
+			t01 := Tile("c01", 1, Seq, nil, t00, t10, t20)
+			root := Tile("croot", 2, Seq, nil, t01)
+			return root, g, arch.Edge()
+		}},
+	}
+}
+
+func fires(rule string, root *Node, g *workload.Graph, spec *arch.Spec) bool {
+	for _, v := range AnalyzeStatic(root, g, spec, Options{}) {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRuleMonotonicityBruteForce pins every rule's declared monotonicity
+// against the observed violation set over its sweep: upward-closed for
+// MonoIncreasing, downward-closed for MonoDecreasing, constant for
+// MonoIndependent, and provably neither for MonoExact. Increasing and
+// decreasing sweeps must also witness both verdicts, so a vacuously-closed
+// sweep (never fires, always fires) cannot pass.
+func TestRuleMonotonicityBruteForce(t *testing.T) {
+	covered := map[string]bool{}
+	for _, sw := range monoSweeps() {
+		covered[sw.rule] = true
+		t.Run(sw.rule, func(t *testing.T) {
+			hits := make([]bool, len(sw.extents))
+			for i, e := range sw.extents {
+				root, g, spec := sw.mk(e)
+				hits[i] = fires(sw.rule, root, g, spec)
+			}
+			anyFire, anyClean := false, false
+			upward, downward := true, true
+			for i, h := range hits {
+				if h {
+					anyFire = true
+				} else {
+					anyClean = true
+				}
+				if i > 0 {
+					if hits[i-1] && !h {
+						upward = false
+					}
+					if !hits[i-1] && h {
+						downward = false
+					}
+				}
+			}
+			switch m := RuleMonotonicity(sw.rule); m {
+			case MonoIndependent:
+				if anyFire && anyClean {
+					t.Errorf("declared %v but verdict varies with the extent: %v", m, hits)
+				}
+				if !anyFire {
+					t.Errorf("sweep never fires %s; the case proves nothing", sw.rule)
+				}
+			case MonoIncreasing:
+				if !upward {
+					t.Errorf("declared %v but violation set not upward-closed: %v", m, hits)
+				}
+				if !anyFire || !anyClean {
+					t.Errorf("sweep must witness both verdicts, got %v", hits)
+				}
+			case MonoDecreasing:
+				if !downward {
+					t.Errorf("declared %v but violation set not downward-closed: %v", m, hits)
+				}
+				if !anyFire || !anyClean {
+					t.Errorf("sweep must witness both verdicts, got %v", hits)
+				}
+			case MonoExact:
+				if upward || downward {
+					t.Errorf("declared %v but violation set is monotone: %v", m, hits)
+				}
+			}
+		})
+	}
+	for _, rule := range RuleKeys() {
+		if !covered[rule] {
+			t.Errorf("rule %s has no monotonicity sweep", rule)
+		}
+	}
+}
+
+// TestRuleMonotonicityTable: the declaration table is exhaustive over the
+// rule keys, stringifies, and panics on unknown rules.
+func TestRuleMonotonicityTable(t *testing.T) {
+	if len(RuleKeys()) != 13 {
+		t.Fatalf("rule key list has %d entries, want 13", len(RuleKeys()))
+	}
+	seen := map[string]bool{}
+	for _, rule := range RuleKeys() {
+		if seen[rule] {
+			t.Errorf("duplicate rule key %s", rule)
+		}
+		seen[rule] = true
+		m := RuleMonotonicity(rule) // must not panic
+		if m.String() == "unknown" {
+			t.Errorf("rule %s has unprintable monotonicity %d", rule, m)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RuleMonotonicity on an unknown rule did not panic")
+		}
+	}()
+	RuleMonotonicity("no-such-rule")
+}

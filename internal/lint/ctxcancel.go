@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxCancel flags context cancel functions that can never run, in the
+// style of x/tools' lostcancel but purely syntactic:
+//
+//   - the cancel result of context.WithCancel / WithTimeout / WithDeadline
+//     (and their *Cause variants) assigned to the blank identifier — the
+//     derived context can then never be released before its parent;
+//   - a named cancel variable that is never referenced again anywhere in
+//     the enclosing function: not called, not deferred, not passed along
+//     and not returned.
+//
+// A single reference suffices to stay quiet — whether every path reaches
+// it is control-flow analysis this stdlib-only checker does not attempt.
+// Test files are exempt like the other analyzers, though the fixtures
+// still replay the patterns there.
+var CtxCancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc:  "flag discarded or never-used context cancel functions",
+	Run:  runCtxCancel,
+}
+
+// cancelFuncs are the context constructors whose last result releases the
+// derived context's resources.
+var cancelFuncs = map[string]bool{
+	"WithCancel": true, "WithCancelCause": true,
+	"WithTimeout": true, "WithTimeoutCause": true,
+	"WithDeadline": true, "WithDeadlineCause": true,
+}
+
+func runCtxCancel(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		imports := fileImports(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCancels(pass, imports, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkCancels finds every cancel-returning assignment in the body and
+// verifies the cancel identifier is referenced somewhere else in it.
+func checkCancels(pass *Pass, imports map[string]string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := pkgCall(imports, call)
+		if pkg != "context" || !cancelFuncs[name] {
+			return true
+		}
+		cancel, ok := assign.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cancel.Name == "_" {
+			pass.Reportf(cancel.Pos(),
+				"the cancel function returned by context.%s is discarded; the derived context leaks until its parent ends", name)
+			return true
+		}
+		// := defines the variable; plain = may rebind one defined earlier,
+		// in which case earlier references don't belong to this cancel.
+		if !referencedElsewhere(body, cancel, assign.Tok == token.ASSIGN) {
+			pass.Reportf(cancel.Pos(),
+				"cancel function %q is never used; defer %s() so the context.%s context is released", cancel.Name, cancel.Name, name)
+		}
+		return true
+	})
+}
+
+// referencedElsewhere reports whether an identifier with def's name occurs
+// in body at a position other than def itself — after def when afterOnly is
+// set, anywhere otherwise (closures may call the cancel before its textual
+// assignment).
+func referencedElsewhere(body *ast.BlockStmt, def *ast.Ident, afterOnly bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != def.Name || id.Pos() == def.Pos() {
+			return !found
+		}
+		if afterOnly && id.Pos() < def.Pos() {
+			return !found
+		}
+		found = true
+		return false
+	})
+	return found
+}

@@ -52,6 +52,13 @@ var allowedImports = map[string][]string{
 		"repro/internal/arch", "repro/internal/core", "repro/internal/diag",
 		"repro/internal/workload",
 	},
+	// spaceck interprets the legality rules over factor domains; it sits
+	// beside the mapper (which consumes its narrowed domains as plain data,
+	// never the package) and must not reach into search or serve layers.
+	"repro/internal/spaceck": {
+		"repro/internal/arch", "repro/internal/check", "repro/internal/core",
+		"repro/internal/dataflows", "repro/internal/diag", "repro/internal/workload",
+	},
 	"repro/internal/graphmodel": {
 		"repro/internal/arch", "repro/internal/timeloop", "repro/internal/workload",
 	},

@@ -1,7 +1,7 @@
 // Package lint hosts TileFlow's project-specific static analyzers: small
 // go/analysis-style checkers built only on the standard library's go/ast and
 // go/types (the go.mod has no dependencies, so golang.org/x/tools is out of
-// reach). Two analyzers are defined:
+// reach). Three analyzers are defined:
 //
 //   - layering enforces the package dependency discipline with a table-driven
 //     allowlist of internal imports (e.g. internal/memo must never import
@@ -9,6 +9,9 @@
 //   - determinism flags nondeterminism sources in the modeling and search
 //     layers: wall-clock reads, the unseeded global math/rand source, and
 //     map iterations that accumulate ordered output without sorting.
+//   - ctxcancel flags context cancel functions that can never run: the
+//     cancel result of context.WithCancel/WithTimeout/WithDeadline dropped
+//     into the blank identifier or never referenced again.
 //
 // The analyzers run two ways: in-process via Run (used by the tests, which
 // replay testdata fixtures annotated with // want comments), and under
@@ -68,7 +71,7 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzers returns every analyzer in this package, in a fixed order.
-func Analyzers() []*Analyzer { return []*Analyzer{Layering, Determinism} }
+func Analyzers() []*Analyzer { return []*Analyzer{Layering, Determinism, CtxCancel} }
 
 // Run applies the analyzers to one parsed package and returns the findings
 // sorted by position. info may be nil when type information is unavailable.

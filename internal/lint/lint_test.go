@@ -118,6 +118,14 @@ func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, filepath.Join("testdata", "src", "determinism"), "repro/internal/core", true)
 }
 
+// TestCtxCancelFixture replays the ctxcancel patterns untyped — the
+// analyzer is purely syntactic, so no type information is needed. The
+// import path is deliberately outside DeterminismScope (the fixture reads
+// time.Now, which is the determinism analyzer's business, not this one's).
+func TestCtxCancelFixture(t *testing.T) {
+	runFixture(t, filepath.Join("testdata", "src", "ctxcancel"), "repro/internal/lintfixture", false)
+}
+
 // TestDeterminismOutOfScope: the same fixture analyzed under an import path
 // outside DeterminismScope reports nothing.
 func TestDeterminismOutOfScope(t *testing.T) {

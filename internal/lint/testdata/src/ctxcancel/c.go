@@ -1,0 +1,64 @@
+// Package ctxcancel is a lint fixture: each // want comment pins one
+// diagnostic of the ctxcancel analyzer.
+package ctxcancel
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `cancel function returned by context.WithCancel is discarded`
+	return ctx
+}
+
+func discardedCause(parent context.Context) context.Context {
+	ctx, _ := context.WithCancelCause(parent) // want `cancel function returned by context.WithCancelCause is discarded`
+	return ctx
+}
+
+func neverUsed(parent context.Context) context.Context {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want `cancel function "cancel" is never used`
+	return ctx
+}
+
+func deferred(parent context.Context) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	return ctx
+}
+
+func passedAlong(parent context.Context, sink func(context.CancelFunc)) context.Context {
+	ctx, cancel := context.WithDeadline(parent, time.Now())
+	sink(cancel)
+	return ctx
+}
+
+func returned(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+func rebound(parent context.Context) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	// The defer above captured the first cancel; this one has no reference
+	// after its assignment and leaks.
+	ctx, cancel = context.WithDeadline(ctx, time.Now()) // want `cancel function "cancel" is never used`
+	return ctx
+}
+
+func reboundAndUsed(parent context.Context) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	cancel()
+	ctx, cancel = context.WithCancelCause(ctx)
+	cancel(errors.New("done"))
+	return ctx
+}
+
+func closureUse(parent context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(parent)
+	stop := func() { cancel() }
+	return ctx, stop
+}

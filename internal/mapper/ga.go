@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/dataflows"
 	"repro/internal/memo"
 	"repro/internal/workload"
 )
@@ -61,6 +62,16 @@ type TreeSearch struct {
 	// silently ignores an incompatible checkpoint (a server recovering a
 	// job after a format change restarts the search rather than failing).
 	Checkpoint *Checkpoint
+
+	// Narrow, when set, is called once per candidate dataflow before its
+	// MCTS tuning and returns narrowed per-factor domains for
+	// TileSearch.Domains (typically spaceck.Analyze(...).AllowedMap(),
+	// injected by the composition root so the mapper never imports the
+	// analyzer). It must be deterministic and sound — narrowing changes
+	// which mappings MCTS samples, so its presence is part of the fitness
+	// cache key and two searches sharing a cache must install the same
+	// function. Nil means no narrowing.
+	Narrow func(df dataflows.Dataflow) map[string][]int
 }
 
 // ProgressEvent reports one completed GA generation.
@@ -345,8 +356,8 @@ func (s *TreeSearch) fitnessKeyPrefix() string {
 	b.WriteString("tileflow/v1/ga-fitness\n")
 	b.WriteString(arch.FormatSpec(s.Spec))
 	b.WriteString(workload.CanonicalGraph(s.G))
-	fmt.Fprintf(&b, "opts: skipcap=%v skippe=%v noretention=%v tile=%d seed=%d\n",
-		s.Opts.SkipCapacityCheck, s.Opts.SkipPECheck, s.Opts.DisableRetention, rounds, s.Seed)
+	fmt.Fprintf(&b, "opts: skipcap=%v skippe=%v noretention=%v tile=%d seed=%d narrow=%v\n",
+		s.Opts.SkipCapacityCheck, s.Opts.SkipPECheck, s.Opts.DisableRetention, rounds, s.Seed, s.Narrow != nil)
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:]) + "|"
 }
@@ -374,6 +385,9 @@ func (s *TreeSearch) fitness(ctx context.Context, enc *Encoding, seed int64) (fl
 		rounds = 40
 	}
 	ts := &TileSearch{Dataflow: gd, Spec: s.Spec, Opts: s.Opts, Rounds: rounds, Seed: seed}
+	if s.Narrow != nil {
+		ts.Domains = s.Narrow(gd)
+	}
 	best, _ := ts.RunContext(ctx)
 	if best == nil {
 		return math.Inf(1), nil

@@ -38,6 +38,16 @@ type TileSearch struct {
 	Seed int64
 	// Explore is the UCB exploration constant (default √2).
 	Explore float64
+	// Domains, when set, restricts each factor's candidate list to the
+	// given values before the search starts — the narrowed per-factor
+	// domains of the search-space analyzer (spaceck.Report.AllowedMap),
+	// passed as plain data so the mapper never depends on the analyzer.
+	// Keys absent from the map keep their full divisor list; a key mapped
+	// to an empty (or disjoint) set proves the space empty and the search
+	// returns immediately. Domains must be sound — only values no
+	// feasible point uses may be missing — or the search will skip valid
+	// mappings.
+	Domains map[string][]int
 
 	// prog is the compiled program of the template's structure, reused
 	// across rollouts when the dataflow declares StructureStable: each
@@ -101,10 +111,22 @@ func (s *TileSearch) RunContext(ctx context.Context) (*Evaluation, []float64) {
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
 
-	// Choice lists per factor, in a fixed decision order.
+	// Choice lists per factor, in a fixed decision order, narrowed to the
+	// analyzer's domains when the caller provides them: MCTS never expands
+	// a pruned value, so the whole subtree under it is skipped rather than
+	// sampled and rejected.
 	choices := make([][]int, len(specs))
 	for i, f := range specs {
 		choices[i] = f.Choices()
+		if dom, ok := s.Domains[f.Key]; ok {
+			choices[i] = intersectChoices(choices[i], dom)
+			if len(choices[i]) == 0 {
+				// The analyzer proved every value of this factor infeasible:
+				// the space has no valid point, matching "no valid mapping"
+				// (nil best, empty trace).
+				return nil, nil
+			}
+		}
 	}
 
 	root := newMctsNode()
@@ -405,6 +427,22 @@ func (s *TileSearch) evaluateTree(ctx context.Context, root *core.Node) (*core.R
 	s.prog = p
 	s.delta = p.NewDelta(s.Opts)
 	return s.prog.EvaluateDelta(ctx, s.delta, root, s.Opts)
+}
+
+// intersectChoices keeps the values of choices present in dom, preserving
+// the choice order so the narrowed search stays deterministic.
+func intersectChoices(choices, dom []int) []int {
+	set := make(map[int]bool, len(dom))
+	for _, v := range dom {
+		set[v] = true
+	}
+	out := make([]int, 0, len(choices))
+	for _, v := range choices {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Tune is the convenience entry point the experiments use: it MCTS-tunes a

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/notation"
+	"repro/internal/spaceck"
+	"repro/internal/workload"
+	"repro/internal/yamlfe"
+)
+
+// AnalyzeSpace runs the search-space abstract interpreter over the design
+// point a request names: narrowed per-factor domains, rule-attributed
+// removals, and an emptiness proof when no assignment is feasible. The
+// request selects its input with the same mutual-exclusion rule as evaluate
+// and vet (SelectInput). A dataflow form analyzes the named template's own
+// factor space; notation and config_yaml forms analyze the retiling space
+// of the concrete tree (spaceck.Retile) — every legal reassignment of its
+// loop extents. The CLI's `tileflow analyze -json` calls this same
+// function, so the two JSON outputs are byte-identical.
+func AnalyzeSpace(req *EvaluateRequest) (*spaceck.Report, error) {
+	form, err := SelectInput(req)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if req.Tune > 0 {
+		return nil, badRequest(fmt.Errorf("analyze explores the whole factor space; drop tune"))
+	}
+	if len(req.Factors) > 0 {
+		return nil, badRequest(fmt.Errorf("analyze explores the whole factor space; drop factors"))
+	}
+	opt := spaceck.Options{
+		MaxProbes: req.MaxProbes,
+		Core: core.Options{
+			SkipCapacityCheck: req.SkipCapacityCheck,
+			SkipPECheck:       req.SkipPECheck,
+			DisableRetention:  req.DisableRetention,
+		},
+	}
+	if form == inputConfig {
+		// Analysis needs a loadable design point: unlike vet, a config that
+		// fails to load is a bad request (its diagnostics ride the error
+		// body), not an analysis answer.
+		cfg, err := yamlfe.LoadStrict(req.ConfigYAML)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		df, err := spaceck.Retile("config", cfg.Root, cfg.Graph)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		return spaceck.Analyze(df, cfg.Spec, opt), nil
+	}
+	var spec *arch.Spec
+	switch {
+	case req.ArchSpec != "":
+		spec, err = arch.ParseSpec(req.ArchSpec)
+	case req.Arch != "":
+		spec, err = PickArch(req.Arch)
+	default:
+		err = fmt.Errorf("one of arch or arch_spec is required")
+	}
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	switch form {
+	case inputNotation:
+		var g *workload.Graph
+		switch {
+		case req.WorkloadSpec != "":
+			if req.Workload != "" {
+				return nil, badRequest(fmt.Errorf("workload and workload_spec are mutually exclusive"))
+			}
+			g, err = workload.ParseGraph(req.WorkloadSpec)
+		case req.Workload != "":
+			g, err = PickGraph(req.Workload)
+		default:
+			err = fmt.Errorf("one of workload or workload_spec is required")
+		}
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		root, err := notation.Parse(req.Notation, g)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		df, err := spaceck.Retile("notation", root, g)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		return spaceck.Analyze(df, spec, opt), nil
+	case inputDataflow:
+		df, err := PickDataflow(req.Dataflow, req.Workload, spec)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		return spaceck.Analyze(df, spec, opt), nil
+	}
+	return nil, badRequest(fmt.Errorf("unreachable input form %q", form))
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IncRequest("analyze")
+	var req EvaluateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	report, err := AnalyzeSpace(&req)
+	if err != nil {
+		s.writeErrorDiags(w, statusFor(err), err, requestDiagnostics(err))
+		return
+	}
+	// Encode with the shared Report codec so the body is byte-identical to
+	// `tileflow analyze -json` for the same design point.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	report.WriteJSON(w)
+}

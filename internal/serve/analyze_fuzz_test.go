@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/spaceck"
+)
+
+// FuzzAnalyze pushes arbitrary config text through the full analyze path —
+// yamlfe load, retiling adapter, abstract interpretation, report codec —
+// seeded from the yamlfe golden corpus (valid and invalid fixtures alike).
+// Invariants:
+//
+//   - AnalyzeSpace never panics; a failed load is an error, never both an
+//     error and a report.
+//   - Every diagnostic in a report carries a registered code.
+//   - The report is internally consistent (kept never exceeds the space,
+//     emptiness matches a zero kept count, exit codes stay in 0..2).
+//   - WriteJSON output round-trips: decoding and re-encoding reproduces
+//     the bytes, which is what keeps the CLI and HTTP answers identical.
+func FuzzAnalyze(f *testing.F) {
+	for _, pat := range []string{
+		filepath.Join("..", "yamlfe", "testdata", "cases", "*.yaml"),
+		filepath.Join("..", "yamlfe", "testdata", "cases", "invalid", "*.yaml"),
+	} {
+		files, err := filepath.Glob(pat)
+		if err != nil || len(files) == 0 {
+			f.Fatalf("no seed corpus at %s (%v)", pat, err)
+		}
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+	f.Add("architecture: 1\nproblem: 2\nmapping: 3\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		req := EvaluateRequest{ConfigYAML: src, MaxProbes: 200}
+		rep, err := AnalyzeSpace(&req)
+		if err != nil {
+			if rep != nil {
+				t.Fatalf("error %v alongside a report", err)
+			}
+			return
+		}
+		if rep == nil {
+			t.Fatal("nil report without error")
+		}
+		if rep.KeptSize > rep.SpaceSize || rep.KeptSize < 0 {
+			t.Fatalf("kept %d outside space %d", rep.KeptSize, rep.SpaceSize)
+		}
+		if rep.Complete && rep.Empty != (rep.KeptSize == 0) {
+			t.Fatalf("complete sweep: empty=%v but kept=%d", rep.Empty, rep.KeptSize)
+		}
+		if ec := rep.ExitCode(); ec < 0 || ec > 2 {
+			t.Fatalf("exit code %d out of range", ec)
+		}
+		for _, d := range rep.Diagnostics {
+			if _, ok := diag.Lookup(d.Code); !ok {
+				t.Fatalf("unregistered diagnostic code %q", d.Code)
+			}
+		}
+		var buf strings.Builder
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var back spaceck.Report
+		if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		var again strings.Builder
+		if err := back.WriteJSON(&again); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if buf.String() != again.String() {
+			t.Fatalf("codec not a fixpoint:\n%s\nvs\n%s", buf.String(), again.String())
+		}
+	})
+}

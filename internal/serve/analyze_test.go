@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/spaceck"
+	"repro/internal/workload"
+)
+
+// TestAnalyzeEndpoint checks POST /v1/analyze answers with the shared
+// spaceck.Report codec, byte-identical to AnalyzeSpace + WriteJSON — which
+// is exactly what `tileflow analyze -json` prints.
+func TestAnalyzeEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	canonical := workload.CanonicalGraph(workload.Matmul(8, 8, 8))
+
+	for _, tc := range []struct {
+		name string
+		req  EvaluateRequest
+	}{
+		{"dataflow template", EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S", Dataflow: "FLAT-RGran"}},
+		{"notation retiling", EvaluateRequest{Arch: "edge", WorkloadSpec: canonical, Notation: vetMatmulSrc}},
+		{"config retiling", EvaluateRequest{ConfigYAML: analyzeConfigYAML(t)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, hs.URL+"/v1/analyze", &tc.req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			rep, err := AnalyzeSpace(&tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want strings.Builder
+			if err := rep.WriteJSON(&want); err != nil {
+				t.Fatal(err)
+			}
+			if string(body) != want.String() {
+				t.Errorf("served analyze body differs from the CLI codec:\n got %s\nwant %s", body, want.String())
+			}
+			var back spaceck.Report
+			if err := json.Unmarshal(body, &back); err != nil {
+				t.Fatalf("response does not round-trip: %v", err)
+			}
+			if back.SpaceSize <= 0 || len(back.Factors) == 0 {
+				t.Errorf("degenerate report: %s", body)
+			}
+		})
+	}
+}
+
+// analyzeConfigYAML loads the matmul golden config from the yamlfe corpus.
+func analyzeConfigYAML(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("../yamlfe/testdata/cases/matmul.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestAnalyzeRequestValidation pins the request-shape 400s of /v1/analyze.
+func TestAnalyzeRequestValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  EvaluateRequest
+	}{
+		{"no mapping form", EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S"}},
+		{"no arch", EvaluateRequest{Workload: "attention:Bert-S", Notation: "x"}},
+		{"tune", EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S", Dataflow: "Layerwise", Tune: 5}},
+		{"factors", EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S", Dataflow: "Layerwise",
+			Factors: map[string]int{"t_m": 2}}},
+		{"unknown arch", EvaluateRequest{Arch: "tpu", Workload: "attention:Bert-S", Notation: "x"}},
+		{"bad notation", EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S", Notation: "nonsense\n"}},
+		{"bad config", EvaluateRequest{ConfigYAML: "not: [valid"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, hs.URL+"/v1/analyze", &tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+			}
+			var eb struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+				t.Fatalf("error body %s (%v)", body, err)
+			}
+		})
+	}
+}
+
+// tinyArchSpec is a 1-PE accelerator in arch.ParseSpec's text format; it
+// starves the spatial loops of the notation below so the analyzer narrows
+// their factors down to 1.
+const tinyArchSpec = `arch tiny
+mesh 1 1
+freq 1
+word 2
+macs-per-pe 1
+vector-lanes 1
+level Reg  1KB 0   1
+level L1   1MB 100 1
+level DRAM inf 10  1
+`
+
+// TestAnalyzeNarrowsOverInlineArch: on a 1-PE arch the spatial loops of the
+// leaf can only take the value 1, and the removals carry a pe-budget
+// attribution.
+func TestAnalyzeNarrowsOverInlineArch(t *testing.T) {
+	big := workload.CanonicalGraph(workload.Matmul(128, 128, 8))
+	req := EvaluateRequest{ArchSpec: tinyArchSpec, WorkloadSpec: big,
+		Notation: "leaf mm = op mm { Sp(m:128), Sp(n:128), k:8 }\ntile root @L2 = { m:1 } (mm)\n"}
+	rep, err := AnalyzeSpace(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || rep.Empty {
+		t.Fatalf("want a complete, non-empty sweep; got complete=%v empty=%v", rep.Complete, rep.Empty)
+	}
+	if rep.KeptSize >= rep.SpaceSize {
+		t.Fatalf("1-PE arch should narrow the space: kept %d of %d", rep.KeptSize, rep.SpaceSize)
+	}
+	found := false
+	for _, d := range rep.Factors {
+		for _, rm := range d.Removed {
+			if rm.Code == "TF-RES-001" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no pe-budget attribution in %+v", rep.Factors)
+	}
+	if ec := rep.ExitCode(); ec != 1 {
+		t.Errorf("exit code %d, want 1 (pruned values warn)", ec)
+	}
+}
+
+// TestAnalyzeEmptySpaceOverHTTP: a tile level the architecture does not
+// have fails every retiling at build time, so the whole space collapses to
+// a complete emptiness proof with TF-SPACE-001 (and a TF-SPACE-004 build
+// attribution).
+func TestAnalyzeEmptySpaceOverHTTP(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	big := workload.CanonicalGraph(workload.Matmul(128, 128, 8))
+	resp, body := postJSON(t, hs.URL+"/v1/analyze", &EvaluateRequest{
+		ArchSpec: tinyArchSpec, WorkloadSpec: big,
+		Notation: "leaf mm = op mm { Sp(m:128), Sp(n:128), k:8 }\ntile root @L7 = { m:1 } (mm)\n"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var back spaceck.Report
+	if err := json.Unmarshal(body, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Complete {
+		t.Fatalf("space of %d points should sweep exactly", back.SpaceSize)
+	}
+	if !back.Empty {
+		t.Fatalf("tile level beyond the arch should empty the space: %s", body)
+	}
+	var haveEmpty, haveBuild bool
+	for _, d := range back.Diagnostics {
+		switch d.Code {
+		case spaceck.CodeEmptySpace:
+			haveEmpty = true
+		case spaceck.CodeBuildReject:
+			haveBuild = true
+		}
+	}
+	if !haveEmpty {
+		t.Errorf("no %s diagnostic: %s", spaceck.CodeEmptySpace, body)
+	}
+	if !haveBuild {
+		t.Errorf("no %s build attribution: %s", spaceck.CodeBuildReject, body)
+	}
+	if ec := back.ExitCode(); ec != 2 {
+		t.Errorf("exit code %d, want 2", ec)
+	}
+	if !back.Diagnostics.HasErrors() {
+		t.Error("emptiness proof should be error severity")
+	}
+}
+
+// TestAnalyzeMaxProbes: a probe budget smaller than the space yields an
+// incomplete report that prunes nothing (soundness) and says so.
+func TestAnalyzeMaxProbes(t *testing.T) {
+	req := EvaluateRequest{Arch: "edge", Workload: "attention:Bert-S",
+		Dataflow: "FLAT-RGran", MaxProbes: 3}
+	rep, err := AnalyzeSpace(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Fatalf("budget 3 over %d points should be incomplete", rep.SpaceSize)
+	}
+	for _, d := range rep.Factors {
+		if len(d.Removed) != 0 {
+			t.Fatalf("incomplete analysis must prune nothing: %+v", d)
+		}
+	}
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Code == spaceck.CodeIncomplete {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no %s diagnostic in %v", spaceck.CodeIncomplete, rep.Diagnostics)
+	}
+}

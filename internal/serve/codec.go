@@ -54,6 +54,11 @@ type EvaluateRequest struct {
 	SkipPECheck       bool `json:"skip_pe_check,omitempty"`
 	DisableRetention  bool `json:"disable_retention,omitempty"`
 
+	// MaxProbes bounds the design points the /v1/analyze space analyzer
+	// evaluates (0 = spaceck.DefaultMaxProbes). Ignored by the other
+	// endpoints.
+	MaxProbes int `json:"max_probes,omitempty"`
+
 	// TimeoutMS bounds this request below the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the memoization cache (the result is still stored).

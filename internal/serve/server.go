@@ -211,6 +211,7 @@ func Open(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/evaluate/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/vet", s.handleVet)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/jobs/search", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)

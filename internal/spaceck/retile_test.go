@@ -1,0 +1,144 @@
+package spaceck
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// retileTree is a small valid two-level tiling of the tiny graph:
+//
+//	r @2:  T(i,2)
+//	t1 @1: T(i,2)
+//	lf @0: T(i,2) T(k,2)   (i: 2*2*2 = 8 ✓, k: 2 ✓)
+func retileTree(g *workload.Graph) *core.Node {
+	lf := core.Leaf("lf", g.Op("A"), core.T("i", 2), core.T("k", 2))
+	t1 := core.Tile("t1", 1, core.Seq, []core.Loop{core.T("i", 2)}, lf)
+	return core.Tile("r", 2, core.Seq, []core.Loop{core.T("i", 2)}, t1)
+}
+
+func treeEqual(a, b *core.Node) bool {
+	if a.Name != b.Name || a.Level != b.Level || a.Binding != b.Binding ||
+		!reflect.DeepEqual(a.Loops, b.Loops) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !treeEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRetileDefaultsReproduceInput(t *testing.T) {
+	g := tinyGraph(8, 2)
+	orig := retileTree(g)
+	df, err := Retile("rt", orig, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := df.Build(df.DefaultFactors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !treeEqual(got, orig) {
+		t.Errorf("Build(DefaultFactors()) != input tree:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestRetileFactorSpace(t *testing.T) {
+	g := tinyGraph(8, 2)
+	df, err := Retile("rt", retileTree(g), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := df.Factors()
+	// Remainders held back: the leaf's first temporal loop per dim (i and
+	// k). Searchable factors: r's T(i), t1's T(i).
+	if len(specs) != 2 {
+		t.Fatalf("factors = %+v, want 2 (leaf temporal loops are remainders)", specs)
+	}
+	for _, f := range specs {
+		if f.Total != 8 {
+			t.Errorf("factor %s total = %d, want 8", f.Key, f.Total)
+		}
+	}
+
+	// Any dividing assignment rebuilds a coverage-valid tree.
+	root, err := df.Build(map[string]int{specs[0].Key: 4, specs[1].Key: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := core.AnalyzeStatic(root, g, arch.Edge(), core.Options{}); len(vs) > 0 {
+		for _, v := range vs {
+			if v.Rule == core.RuleCoverage || v.Rule == core.RuleLoopExtent {
+				t.Errorf("retiled tree breaks %s: %v", v.Rule, v.Err)
+			}
+		}
+	}
+	// The leaf remainder shrank to cover i: 4*2*rem = 8 → rem = 1.
+	lf := root.Children[0].Children[0]
+	if lf.Loops[0].Extent != 1 {
+		t.Errorf("leaf remainder extent = %d, want 1", lf.Loops[0].Extent)
+	}
+
+	// Non-dividing path products fail to build: 4*4 = 16 > 8.
+	if _, err := df.Build(map[string]int{specs[0].Key: 4, specs[1].Key: 4}); err == nil {
+		t.Error("Build accepted factors multiplying past the dim size")
+	}
+}
+
+func TestRetileAnalyzeSound(t *testing.T) {
+	g := tinyGraph(8, 2)
+	df, err := Retile("rt", retileTree(g), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := arch.Edge()
+	rep := Analyze(df, spec, Options{})
+	if !rep.Complete {
+		t.Fatalf("retiling space of %d points should sweep exactly", rep.SpaceSize)
+	}
+	if rep.Empty {
+		t.Fatal("the input tree itself is feasible; space cannot be empty")
+	}
+	// The defaults (the input tree) must survive narrowing.
+	if !rep.Contains(df.DefaultFactors()) {
+		t.Errorf("narrowing pruned the input tree's own factors: %+v", rep.Factors)
+	}
+}
+
+func TestRetileRejectsNilInputs(t *testing.T) {
+	g := tinyGraph(8, 2)
+	if _, err := Retile("rt", nil, g); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := Retile("rt", retileTree(g), nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+// TestRetileSpatialLoopsAreFactors pins that spatial loops (never
+// remainders) become searchable factors even at leaves.
+func TestRetileSpatialLoopsAreFactors(t *testing.T) {
+	g := tinyGraph(8, 2)
+	lf := core.Leaf("lf", g.Op("A"), core.T("i", 2), core.T("k", 2), core.S("i", 2))
+	t1 := core.Tile("t1", 1, core.Seq, nil, lf)
+	root := core.Tile("r", 2, core.Seq, []core.Loop{core.T("i", 2)}, t1)
+	df, err := Retile("rt", root, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range df.Factors() {
+		if f.Key == "lf.i#2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leaf spatial loop missing from factors: %+v", df.Factors())
+	}
+}

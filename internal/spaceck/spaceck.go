@@ -1,0 +1,490 @@
+// Package spaceck is the search-space abstract interpreter: it evaluates
+// the static legality pipeline over factor *domains* instead of concrete
+// tilings. For a dataflow template it takes the per-factor candidate sets
+// (the divisors of each trip count, exactly as mapper.TileSearch enumerates
+// them via Dataflow.Factors) and returns narrowed per-factor domains in
+// which every removed value is attributed to the rule that refutes it, a
+// proof when a subspace is entirely infeasible, and a machine-readable
+// SpaceReport shared byte-for-byte by `tileflow analyze` and the service's
+// /v1/analyze endpoint.
+//
+// The abstract domain is the divisor lattice: one subset of Divisors(Total)
+// per factor, ordered by inclusion, with the concretization "every
+// assignment drawing each factor from its subset". The transfer function is
+// slice refutation: a value v of factor k is removed only when every point
+// of the slice {k=v} has been evaluated through core.AnalyzeStatic (plus
+// the template's own Build divisibility checks) and rejected. Soundness is
+// therefore absolute by construction — a value is never removed on the
+// strength of a heuristic — while completeness is best-effort: when the
+// product space exceeds the probe budget the analyzer only certifies
+// witnesses (values it has *seen* in an accepted point) and removes
+// nothing. The per-rule monotonicity metadata of internal/core
+// (core.RuleMonotonicity) orders the sweep so low-pressure corners are
+// probed first: the monotone-increasing resource rules (pe-budget,
+// unit-usage, capacity) make small-factor corners the likeliest witnesses,
+// which lets valid-heavy spaces terminate after a handful of probes.
+package spaceck
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/dataflows"
+	"repro/internal/diag"
+)
+
+// Diagnostic codes of the search-space analyzer.
+var (
+	// CodeEmptySpace proves the whole factor space infeasible: no
+	// assignment the template builds passes the static rules.
+	CodeEmptySpace = diag.Register(diag.Info{Code: "TF-SPACE-001",
+		Title: "search space provably empty",
+		Hint:  "every factor assignment violates a static rule; relax the architecture or the tiling template"})
+	// CodePrunedValue marks one removed factor value.
+	CodePrunedValue = diag.Register(diag.Info{Code: "TF-SPACE-002", Severity: diag.Warning,
+		Title: "factor value infeasible",
+		Hint:  "no completion of the other factors makes this value legal; the mapper skips it"})
+	// CodeIncomplete reports a space too large for exact narrowing.
+	CodeIncomplete = diag.Register(diag.Info{Code: "TF-SPACE-003", Severity: diag.Warning,
+		Title: "search-space narrowing incomplete",
+		Hint:  "the space exceeds the probe budget; domains are witness-only and nothing was pruned"})
+	// CodeBuildReject summarizes assignments the template itself rejects.
+	CodeBuildReject = diag.Register(diag.Info{Code: "TF-SPACE-004", Severity: diag.Warning,
+		Title: "factor assignments fail to build",
+		Hint:  "the template's divisibility checks reject these assignments before any rule runs"})
+)
+
+// RuleBuild is the pseudo-rule attributed to values refuted by the
+// template's Build rejecting every completion, before any core rule runs.
+const RuleBuild = "template-build"
+
+// DefaultMaxProbes bounds how many concrete design points Analyze
+// evaluates when Options.MaxProbes is zero.
+const DefaultMaxProbes = 100_000
+
+// Options configures one analysis.
+type Options struct {
+	// MaxProbes bounds the concrete points evaluated. Spaces no larger
+	// than the budget are narrowed exactly; larger spaces get a
+	// witness-only pass that removes nothing. 0 means DefaultMaxProbes.
+	MaxProbes int
+	// Core is forwarded to the static rules, so the narrowed domains match
+	// a pipeline run under the same skip flags.
+	Core core.Options
+}
+
+// Removal is one factor value proven infeasible, attributed to the static
+// rule (or RuleBuild) that rejected every point of its slice.
+type Removal struct {
+	Value int       `json:"value"`
+	Rule  string    `json:"rule"`
+	Code  diag.Code `json:"code,omitempty"`
+}
+
+// Domain is one factor's narrowed candidate set.
+type Domain struct {
+	Key     string    `json:"key"`
+	Total   int       `json:"total"`
+	Kept    []int     `json:"kept"`
+	Removed []Removal `json:"removed,omitempty"`
+}
+
+// Has reports whether v survived the narrowing.
+func (d *Domain) Has(v int) bool {
+	for _, k := range d.Kept {
+		if k == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Report is the machine-readable result of one space analysis: the
+// SpaceReport codec both `tileflow analyze -json` and POST /v1/analyze
+// emit. Both sides encode the same struct with json.NewEncoder().Encode,
+// so the outputs are byte-identical for the same input.
+type Report struct {
+	Dataflow string   `json:"dataflow"`
+	Factors  []Domain `json:"factors"`
+	// Empty is the infeasibility proof: the space was exhaustively swept
+	// and no assignment passed.
+	Empty bool `json:"empty"`
+	// Complete reports whether the narrowing is exact (the space fit the
+	// probe budget). When false the kept sets are unpruned supersets.
+	Complete  bool  `json:"complete"`
+	Probes    int   `json:"probes"`
+	SpaceSize int64 `json:"space_size"`
+	KeptSize  int64 `json:"kept_size"`
+	// BuildRejects counts probed assignments the template's own Build
+	// refused (divisibility and the like) before any rule ran. Purely
+	// informational: build rejections only gate the exit status when a
+	// value's removal is attributed to them (TF-SPACE-004).
+	BuildRejects int `json:"build_rejects,omitempty"`
+	// Diagnostics carries the positioned TF-SPACE-* findings.
+	Diagnostics diag.List `json:"diagnostics"`
+}
+
+// Domain returns the narrowed domain for a factor key, or nil.
+func (r *Report) Domain(key string) *Domain {
+	for i := range r.Factors {
+		if r.Factors[i].Key == key {
+			return &r.Factors[i]
+		}
+	}
+	return nil
+}
+
+// Allowed filters a choice list down to the values the narrowing kept. An
+// unknown key passes the list through unchanged, so stale reports degrade
+// to no pruning rather than wrong pruning.
+func (r *Report) Allowed(key string, choices []int) []int {
+	d := r.Domain(key)
+	if d == nil {
+		return choices
+	}
+	out := make([]int, 0, len(choices))
+	for _, v := range choices {
+		if d.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AllowedMap renders the kept domains as plain per-key choice lists — the
+// form mapper.TileSearch and the GA consume without importing this package.
+func (r *Report) AllowedMap() map[string][]int {
+	out := make(map[string][]int, len(r.Factors))
+	for _, d := range r.Factors {
+		out[d.Key] = append([]int(nil), d.Kept...)
+	}
+	return out
+}
+
+// Contains reports whether every factor of a concrete assignment lies in
+// its kept domain (factors the report does not know pass).
+func (r *Report) Contains(f map[string]int) bool {
+	for k, v := range f {
+		if d := r.Domain(k); d != nil && !d.Has(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExitCode is the analyze process exit status: 0 clean, 1 warnings only
+// (values pruned or narrowing incomplete), 2 when the space is empty.
+func (r *Report) ExitCode() int { return r.Diagnostics.ExitCode() }
+
+// WriteJSON encodes the report in the canonical newline-terminated form
+// shared by the CLI and the service.
+func (r *Report) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r)
+}
+
+// Analyze narrows a dataflow template's factor space against the static
+// legality rules under spec. See the package comment for the soundness
+// contract: a removed value provably cannot appear in any design point the
+// Compile/Evaluate pipeline accepts under the same core options.
+func Analyze(df dataflows.Dataflow, spec *arch.Spec, opt Options) *Report {
+	specs := df.Factors()
+	budget := opt.MaxProbes
+	if budget <= 0 {
+		budget = DefaultMaxProbes
+	}
+
+	n := len(specs)
+	choices := make([][]int, n)
+	spaceSize := int64(1)
+	for i, f := range specs {
+		choices[i] = orderForSweep(f.Choices())
+		if len(choices[i]) == 0 {
+			spaceSize = 0
+		} else if spaceSize > 0 && spaceSize <= math.MaxInt64/int64(len(choices[i])) {
+			spaceSize *= int64(len(choices[i]))
+		} else if spaceSize > 0 {
+			spaceSize = math.MaxInt64
+		}
+	}
+
+	rep := &Report{Dataflow: df.Name(), SpaceSize: spaceSize}
+	if spaceSize == 0 {
+		// A factor with no candidate values: the space has no points at all.
+		rep.Empty, rep.Complete = true, true
+		rep.Factors = emptyDomains(specs, choices)
+		var r diag.Reporter
+		r.Reportf(CodeEmptySpace, diag.Span{}, "",
+			"dataflow %s: a factor has no candidate values; the space has no points", df.Name())
+		rep.Diagnostics = r.List()
+		return rep
+	}
+
+	st := &sweep{
+		df: df, spec: spec, opts: opt.Core,
+		specs: specs, choices: choices,
+		witness: make([][]bool, n),
+		rejects: make([]map[int]map[string]int, n),
+		factors: make(map[string]int, n),
+	}
+	remaining := 0
+	for i := range specs {
+		st.witness[i] = make([]bool, len(choices[i]))
+		st.rejects[i] = make(map[int]map[string]int, len(choices[i]))
+		remaining += len(choices[i])
+	}
+	st.unwitnessed = remaining
+
+	if spaceSize <= int64(budget) {
+		st.exhaust()
+		rep.Complete = true
+	} else {
+		st.sample(budget)
+	}
+	rep.Probes = st.probes
+
+	// Assemble domains and diagnostics.
+	var r diag.Reporter
+	anyWitness := false
+	rep.KeptSize = 1
+	for i, f := range specs {
+		dom := Domain{Key: f.Key, Total: f.Total, Kept: []int{}}
+		vals := append([]int(nil), choices[i]...)
+		sort.Ints(vals)
+		for _, v := range vals {
+			vi := indexOf(choices[i], v)
+			switch {
+			case st.witness[i][vi]:
+				anyWitness = true
+				dom.Kept = append(dom.Kept, v)
+			case !rep.Complete:
+				// Unwitnessed but unproven: keep (soundness over precision).
+				dom.Kept = append(dom.Kept, v)
+			default:
+				rule := dominantRule(st.rejects[i][vi])
+				code, ok := check.RuleCode(rule)
+				if !ok {
+					code = CodeBuildReject
+				}
+				dom.Removed = append(dom.Removed, Removal{Value: v, Rule: rule, Code: code})
+			}
+		}
+		if len(dom.Kept) == 0 {
+			rep.KeptSize = 0
+		} else if rep.KeptSize <= math.MaxInt64/int64(len(dom.Kept)) {
+			rep.KeptSize *= int64(len(dom.Kept))
+		}
+		rep.Factors = append(rep.Factors, dom)
+	}
+	rep.Empty = rep.Complete && !anyWitness
+	if rep.Empty {
+		rep.KeptSize = 0
+		r.Reportf(CodeEmptySpace, diag.Span{}, "",
+			"dataflow %s: all %d assignments of %d factors are rejected (dominant rule %s)",
+			df.Name(), rep.Probes, n, dominantRule(st.allRejects))
+	} else {
+		for _, dom := range rep.Factors {
+			for _, rm := range dom.Removed {
+				r.Reportf(CodePrunedValue, diag.Span{}, "",
+					"factor %s=%d: every completion violates %s [%s]", dom.Key, rm.Value, rm.Rule, rm.Code)
+			}
+		}
+	}
+	if !rep.Complete {
+		r.Reportf(CodeIncomplete, diag.Span{}, "",
+			"space of %d points exceeds the %d-probe budget; %d of %d factor values witnessed feasible, none pruned",
+			rep.SpaceSize, budget, remaining-st.unwitnessed, remaining)
+	}
+	rep.BuildRejects = st.buildFails
+	buildAttributed := rep.Empty && dominantRule(st.allRejects) == RuleBuild
+	for _, dom := range rep.Factors {
+		for _, rm := range dom.Removed {
+			if rm.Rule == RuleBuild {
+				buildAttributed = true
+			}
+		}
+	}
+	if buildAttributed {
+		r.Reportf(CodeBuildReject, diag.Span{}, "",
+			"%d of %d probed assignments fail to build", st.buildFails, st.probes)
+	}
+	rep.Diagnostics = r.List()
+	return rep
+}
+
+// sweep carries the probe state of one analysis.
+type sweep struct {
+	df      dataflows.Dataflow
+	spec    *arch.Spec
+	opts    core.Options
+	specs   []dataflows.FactorSpec
+	choices [][]int
+
+	witness     [][]bool
+	rejects     []map[int]map[string]int
+	allRejects  map[string]int
+	unwitnessed int
+	probes      int
+	buildFails  int
+	factors     map[string]int
+}
+
+// probe evaluates one assignment given by per-factor choice indices,
+// updating witnesses or rule attributions.
+func (st *sweep) probe(idx []int) {
+	st.probes++
+	clear(st.factors)
+	for i, f := range st.specs {
+		st.factors[f.Key] = st.choices[i][idx[i]]
+	}
+	rule := st.verdict()
+	if rule == "" {
+		for i, vi := range idx {
+			if !st.witness[i][vi] {
+				st.witness[i][vi] = true
+				st.unwitnessed--
+			}
+		}
+		return
+	}
+	if st.allRejects == nil {
+		st.allRejects = map[string]int{}
+	}
+	st.allRejects[rule]++
+	for i, vi := range idx {
+		m := st.rejects[i][vi]
+		if m == nil {
+			m = map[string]int{}
+			st.rejects[i][vi] = m
+		}
+		m[rule]++
+	}
+}
+
+// verdict evaluates the current factor assignment: "" when the point
+// passes every static rule, otherwise the first refuting rule key.
+func (st *sweep) verdict() string {
+	root, err := st.df.Build(st.factors)
+	if err != nil {
+		st.buildFails++
+		return RuleBuild
+	}
+	vs := core.AnalyzeStatic(root, st.df.Graph(), st.spec, st.opts)
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0].Rule
+}
+
+// exhaust sweeps the whole product space with an odometer, stopping early
+// once every factor value has a feasibility witness (nothing left to
+// prune). The per-factor choice lists are pre-ordered low-pressure-first
+// (orderForSweep), so under the monotone-increasing resource rules the
+// early witnesses arrive in the first corners visited.
+func (st *sweep) exhaust() {
+	idx := make([]int, len(st.specs))
+	for {
+		st.probe(idx)
+		if st.unwitnessed == 0 {
+			return
+		}
+		// Advance the odometer, last factor fastest.
+		i := len(idx) - 1
+		for i >= 0 {
+			idx[i]++
+			if idx[i] < len(st.choices[i]) {
+				break
+			}
+			idx[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// sample is the witness-only pass for spaces beyond the probe budget: a
+// deterministic PRNG draws assignments (seeded with the template's default
+// factors first), marking values seen in accepted points. It never removes
+// anything.
+func (st *sweep) sample(budget int) {
+	if def := st.df.DefaultFactors(); def != nil {
+		idx := make([]int, len(st.specs))
+		ok := true
+		for i, f := range st.specs {
+			vi := indexOf(st.choices[i], def[f.Key])
+			if vi < 0 {
+				ok = false
+				break
+			}
+			idx[i] = vi
+		}
+		if ok {
+			st.probe(idx)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	idx := make([]int, len(st.specs))
+	for st.probes < budget && st.unwitnessed > 0 {
+		for i := range idx {
+			idx[i] = rng.Intn(len(st.choices[i]))
+		}
+		st.probe(idx)
+	}
+}
+
+// orderForSweep returns the candidate values smallest-first: the probe
+// order that reaches low-pressure corners (the likeliest witnesses under
+// the monotone-increasing rules) earliest.
+func orderForSweep(vals []int) []int {
+	out := append([]int(nil), vals...)
+	sort.Ints(out)
+	return out
+}
+
+func indexOf(vals []int, v int) int {
+	for i, x := range vals {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// dominantRule picks the most frequent rule of an attribution count map,
+// breaking ties toward the lexicographically smallest key so reports are
+// deterministic.
+func dominantRule(m map[string]int) string {
+	best, bestN := "", -1
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if m[k] > bestN {
+			best, bestN = k, m[k]
+		}
+	}
+	return best
+}
+
+// emptyDomains renders the all-removed domain list for a space with no
+// points (a factor had no candidates).
+func emptyDomains(specs []dataflows.FactorSpec, choices [][]int) []Domain {
+	out := make([]Domain, 0, len(specs))
+	for i, f := range specs {
+		dom := Domain{Key: f.Key, Total: f.Total, Kept: []int{}}
+		for _, v := range choices[i] {
+			dom.Removed = append(dom.Removed, Removal{Value: v, Rule: RuleBuild, Code: CodeBuildReject})
+		}
+		out = append(out, dom)
+	}
+	return out
+}

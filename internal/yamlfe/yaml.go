@@ -247,15 +247,19 @@ func keyColon(ln yline, from int) int {
 }
 
 // parseSequence parses a block sequence whose dashes sit at column col.
+// Like parseMapping, the first item may start mid-line (a nested sequence
+// after an outer dash, "- - x"), where the line's indent is the outer
+// column; continuation dashes are full lines indented exactly col.
 func (p *parser) parseSequence(col int) *node {
 	n := &node{kind: kindSequence}
 	first := p.cur()
 	n.span = p.span(first, col, col+1)
 	for p.i < len(p.lines) {
 		ln := p.cur()
-		if ln.indent != col || !isDashAt(ln, col) {
+		if !isDashAt(ln, col) || (len(n.items) > 0 && ln.indent != col) {
 			break
 		}
+		start := p.i
 		rest := col + 1
 		for rest < ln.hi && ln.raw[rest] == ' ' {
 			rest++
@@ -273,6 +277,11 @@ func (p *parser) parseSequence(col int) *node {
 		}
 		n.items = append(n.items, item)
 		n.span.End = item.span.End
+		if p.i == start {
+			// The item consumed nothing (degenerate nesting); skip the
+			// line rather than loop on it forever.
+			p.i++
+		}
 	}
 	return n
 }

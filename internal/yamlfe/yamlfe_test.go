@@ -200,6 +200,9 @@ func TestLoadErrors(t *testing.T) {
 		{"tab", "\tarchitecture: x", "TF-YAML-001"},
 		{"scalar-top", "just a scalar", "TF-YAML-002"},
 		{"dup-key", "architecture: a\narchitecture: b", "TF-YAML-006"},
+		// A nested sequence item starts mid-line after the outer dash; the
+		// parser once looped forever on this shape (found by FuzzAnalyze).
+		{"nested-sequence", "architecture:\n  subtree:\n    - - e: \n", "TF-YAML-003"},
 	}
 	for _, tc := range cases {
 		cfg, diags := Load(tc.src)

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# govulncheck_gate.sh — run govulncheck pinned to an exact version and fail
+# on any vulnerability not matched by the explicit allowlist.
+#
+# The allowlist (scripts/govulncheck_allowlist.txt) holds one extended
+# regexp per line (typically a GO- or CVE identifier with a justification
+# comment above it). The module has no dependencies, so findings can only
+# come from the standard library; an offline toolchain skips the gate.
+set -euo pipefail
+
+VERSION="v1.1.3"
+ALLOWLIST="$(dirname "$0")/govulncheck_allowlist.txt"
+
+if ! go install "golang.org/x/vuln/cmd/govulncheck@${VERSION}"; then
+  echo "govulncheck ${VERSION} not installable (offline toolchain); skipped"
+  exit 0
+fi
+
+rc=0
+out="$("$(go env GOPATH)/bin/govulncheck" ./... 2>&1)" || rc=$?
+if [ "$rc" -eq 0 ]; then
+  echo "govulncheck ${VERSION}: clean"
+  exit 0
+fi
+
+patterns="$(mktemp)"
+trap 'rm -f "$patterns"' EXIT
+grep -Ev '^[[:space:]]*(#|$)' "$ALLOWLIST" > "$patterns" || true
+
+# Keep only the vulnerability identifiers; tolerate the ones allowlisted.
+ids="$(printf '%s\n' "$out" | grep -Eo 'GO-[0-9]{4}-[0-9]+' | sort -u || true)"
+remaining="$(printf '%s\n' "$ids" | sed '/^[[:space:]]*$/d' | grep -Evf "$patterns" || true)"
+if [ -n "$remaining" ]; then
+  echo "govulncheck ${VERSION} vulnerabilities outside the allowlist:"
+  printf '%s\n' "$out"
+  exit 1
+fi
+echo "govulncheck ${VERSION}: findings all allowlisted"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# staticcheck_gate.sh — run staticcheck pinned to an exact version and fail
+# on any finding not matched by the explicit allowlist.
+#
+# The allowlist (scripts/staticcheck_allowlist.txt) holds one extended
+# regexp per line; a finding must match one of them to be tolerated, so
+# every suppression is reviewable in the diff that introduced it. The
+# module itself is dependency-free — the linter binary is installed on
+# demand, and an offline toolchain skips the gate rather than failing it.
+set -euo pipefail
+
+VERSION="2024.1.1"
+ALLOWLIST="$(dirname "$0")/staticcheck_allowlist.txt"
+
+if ! go install "honnef.co/go/tools/cmd/staticcheck@${VERSION}"; then
+  echo "staticcheck ${VERSION} not installable (offline toolchain); skipped"
+  exit 0
+fi
+
+out="$("$(go env GOPATH)/bin/staticcheck" ./... 2>&1)" || true
+
+patterns="$(mktemp)"
+trap 'rm -f "$patterns"' EXIT
+grep -Ev '^[[:space:]]*(#|$)' "$ALLOWLIST" > "$patterns" || true
+
+remaining="$(printf '%s\n' "$out" | sed '/^[[:space:]]*$/d' | grep -Evf "$patterns" || true)"
+if [ -n "$remaining" ]; then
+  echo "staticcheck ${VERSION} findings outside the allowlist:"
+  printf '%s\n' "$remaining"
+  exit 1
+fi
+echo "staticcheck ${VERSION}: clean (allowlist: $(wc -l < "$patterns") patterns)"
