@@ -9,19 +9,30 @@
 // The checkpoint format is shared with the evaluation server's async job
 // subsystem.
 //
+// With -server, the search is submitted to a tileflow-serve instance as
+// an async job instead of running locally: -tenant and -class feed the
+// server's multi-tenant scheduler, -warm-start seeds the GA from the best
+// finished search of the same structure, and a tenant-quota refusal
+// relays the server's 429 body byte-for-byte and exits with code 3.
+//
 // Example:
 //
 //	tileflow-search -arch edge -workload attention:Bert-S -pop 20 -gens 20
 //	tileflow-search -workload attention:Bert-S -checkpoint search.ckpt
 //	tileflow-search -workload attention:Bert-S -resume search.ckpt -json
+//	tileflow-search -server http://host:8080 -tenant alice -class interactive -workload attention:Bert-S
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -43,7 +54,24 @@ func main() {
 	checkpointFile := flag.String("checkpoint", "", "write a resumable checkpoint to this file at every generation")
 	resumeFile := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint (or the server)")
 	jsonOut := flag.Bool("json", false, "print the result as JSON (same shape as the server's /v1/search)")
+	server := flag.String("server", "", "submit the search as an async job to a tileflow-serve instance at this base URL instead of running locally")
+	tenant := flag.String("tenant", "", "tenant the job is billed to (server mode)")
+	class := flag.String("class", "", "priority class: interactive, batch, or bulk (server mode; default batch)")
+	warmStart := flag.Bool("warm-start", false, "seed the GA from the best checkpoint of a structurally identical finished search (server mode)")
+	maxAttempts := flag.Int("max-attempts", 0, "failovers before the job is quarantined as poisoned (server mode; 0 = server default)")
 	flag.Parse()
+
+	if *server != "" {
+		code, err := runRemote(&remoteOpts{
+			server: *server, archName: *archName, archFile: *archFile,
+			workload: *workloadName, pop: *pop, gens: *gens,
+			tileRounds: *tileRounds, seed: *seed,
+			tenant: *tenant, class: *class, warmStart: *warmStart,
+			maxAttempts: *maxAttempts, jsonOut: *jsonOut,
+		}, os.Stdout)
+		fatalIf(err)
+		os.Exit(code)
+	}
 
 	var spec *arch.Spec
 	var err error
@@ -115,6 +143,121 @@ func main() {
 			fmt.Println("note:", err)
 		}
 	}
+}
+
+// remoteOpts carries the server-submit parameters.
+type remoteOpts struct {
+	server, archName, archFile, workload string
+	pop, gens, tileRounds                int
+	seed                                 int64
+	tenant, class                        string
+	warmStart                            bool
+	maxAttempts                          int
+	jsonOut                              bool
+}
+
+// exitQuota is the exit code for a tenant-quota refusal (HTTP 429), kept
+// distinct from 1 (any other failure) so sweep scripts can back off and
+// retry instead of aborting.
+const exitQuota = 3
+
+// runRemote submits the search to a tileflow-serve instance as an async
+// job and follows it to completion, returning the process exit code.
+// Error bodies from the server are relayed to stdout byte-for-byte — a
+// quota 429 renders identically here and over raw HTTP.
+func runRemote(o *remoteOpts, stdout io.Writer) (int, error) {
+	req := serve.SearchRequest{
+		Arch:        o.archName,
+		Workload:    o.workload,
+		Population:  o.pop,
+		Generations: o.gens,
+		TileRounds:  o.tileRounds,
+		Seed:        o.seed,
+		Tenant:      o.tenant,
+		Class:       o.class,
+		WarmStart:   o.warmStart,
+		MaxAttempts: o.maxAttempts,
+	}
+	if o.archFile != "" {
+		src, err := os.ReadFile(o.archFile)
+		if err != nil {
+			return 1, err
+		}
+		req.Arch, req.ArchSpec = "", string(src)
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return 1, err
+	}
+	resp, err := http.Post(o.server+"/v1/jobs/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 1, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 1, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		// Relay the server's error envelope untouched; the bytes are the
+		// contract (tests diff them against a direct HTTP call).
+		stdout.Write(raw)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return exitQuota, nil
+		}
+		return 1, nil
+	}
+	var job serve.JobJSON
+	if err := json.Unmarshal(raw, &job); err != nil {
+		return 1, err
+	}
+	if !o.jsonOut {
+		fmt.Fprintf(os.Stderr, "submitted job %s (tenant=%q class=%s)\n", job.ID, job.Tenant, job.Class)
+	}
+
+	for !terminalState(job.State) {
+		time.Sleep(200 * time.Millisecond)
+		r, err := http.Get(o.server + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return 1, err
+		}
+		b, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			return 1, err
+		}
+		if r.StatusCode != http.StatusOK {
+			stdout.Write(b)
+			return 1, nil
+		}
+		if err := json.Unmarshal(b, &job); err != nil {
+			return 1, err
+		}
+	}
+	if job.State != "done" {
+		return 1, fmt.Errorf("job %s ended %s: %s", job.ID, job.State, job.Error)
+	}
+	if o.jsonOut {
+		stdout.Write(job.Result)
+		fmt.Fprintln(stdout)
+		return 0, nil
+	}
+	var res serve.SearchResponse
+	if err := json.Unmarshal(job.Result, &res); err != nil {
+		return 1, err
+	}
+	fmt.Fprintf(stdout, "best cycles: %.4g\n", res.Cycles)
+	fmt.Fprintf(stdout, "encoding:    %s\n", res.Encoding)
+	fmt.Fprintf(stdout, "factors:     %v\n", res.Factors)
+	return 0, nil
+}
+
+func terminalState(s string) bool {
+	switch s {
+	case "done", "failed", "cancelled", "poisoned":
+		return true
+	}
+	return false
 }
 
 // writeCheckpoint persists a checkpoint atomically (tmp + rename), so a

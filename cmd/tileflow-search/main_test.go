@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestQuota429ByteIdenticalWithHTTP is the acceptance differential for
+// coded quota refusals: the error body the CLI's server mode relays must
+// be byte-for-byte what a raw HTTP client receives for the same
+// submission — same envelope, same code — and the CLI must signal the
+// refusal with its dedicated exit code.
+func TestQuota429ByteIdenticalWithHTTP(t *testing.T) {
+	// No job workers: submissions stay queued, so one job fills the
+	// tenant's active quota deterministically.
+	s := serve.New(serve.Config{JobWorkers: -1, TenantMaxActive: 1})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	opts := &remoteOpts{
+		server: hs.URL, archName: "edge", workload: "attention:Bert-S",
+		pop: 3, gens: 1, tileRounds: 3, seed: 1,
+		tenant: "alice", class: "bulk", jsonOut: true,
+	}
+
+	// First submission is admitted; it parks in the queue.
+	body := []byte(`{"arch":"edge","workload":"attention:Bert-S","population":3,"generations":1,"tile_rounds":3,"seed":1,"tenant":"alice","class":"bulk"}`)
+	resp, err := http.Post(hs.URL+"/v1/jobs/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submission: status %d", resp.StatusCode)
+	}
+
+	// Reference refusal straight over HTTP.
+	resp, err = http.Post(hs.URL+"/v1/jobs/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("reference refusal: status %d body %s", resp.StatusCode, httpBody)
+	}
+
+	// Same refusal through the CLI's server mode.
+	var out bytes.Buffer
+	code, err := runRemote(opts, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitQuota {
+		t.Fatalf("exit code %d, want %d", code, exitQuota)
+	}
+	if !bytes.Equal(out.Bytes(), httpBody) {
+		t.Fatalf("CLI relays different bytes than HTTP:\nhttp %q\ncli  %q", httpBody, out.Bytes())
+	}
+	if !bytes.Contains(out.Bytes(), []byte(`"code":"tenant_quota_exhausted"`)) {
+		t.Fatalf("refusal body misses the machine code: %s", out.Bytes())
+	}
+}

@@ -54,19 +54,27 @@ func main() {
 	node := flag.String("node", "", "fleet node name for lease ownership and metrics (default hostname-pid)")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "lease TTL granted to fleet workers when coordinating")
 	jobRetention := flag.Duration("job-retention", 0, "evict finished jobs older than this horizon (0 = keep forever)")
+	tenantMaxRunning := flag.Int("tenant-max-running", 0, "max concurrently running jobs per tenant, local + fleet (0 = unlimited)")
+	tenantMaxActive := flag.Int("tenant-max-active", 0, "max active (queued+running) jobs per tenant at admission (0 = unlimited)")
+	schedSeed := flag.Int64("sched-seed", 0, "seed for the scheduler's deterministic tie-breaker")
+	maxAttempts := flag.Int("max-attempts", 0, "default failovers before a job is quarantined as poisoned (0 = retry forever)")
 	flag.Parse()
 
 	srv, err := serve.Open(serve.Config{
-		CacheEntries: *cacheEntries,
-		Workers:      *workers,
-		Timeout:      *timeout,
-		MaxBatch:     *maxBatch,
-		DataDir:      *dataDir,
-		JobWorkers:   *jobWorkers,
-		Coordinator:  *coordinator,
-		FleetNode:    *node,
-		LeaseTTL:     *leaseTTL,
-		JobRetention: *jobRetention,
+		CacheEntries:       *cacheEntries,
+		Workers:            *workers,
+		Timeout:            *timeout,
+		MaxBatch:           *maxBatch,
+		DataDir:            *dataDir,
+		JobWorkers:         *jobWorkers,
+		Coordinator:        *coordinator,
+		FleetNode:          *node,
+		LeaseTTL:           *leaseTTL,
+		JobRetention:       *jobRetention,
+		TenantMaxRunning:   *tenantMaxRunning,
+		TenantMaxActive:    *tenantMaxActive,
+		SchedSeed:          *schedSeed,
+		DefaultMaxAttempts: *maxAttempts,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tileflow-serve:", err)

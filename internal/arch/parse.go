@@ -182,3 +182,23 @@ func FormatSpec(s *Spec) string {
 	}
 	return b.String()
 }
+
+// StructureSignature renders only the structural skeleton of an
+// architecture: the memory hierarchy's level names, each level's fanout,
+// and the direct-access edges — with capacities, bandwidths, clocking,
+// and datapath scale dropped. Two specs with the same signature accept
+// the same mapping encodings (same levels to stage at, same spatial
+// splits), which is the compatibility the warm-start library needs: a
+// checkpoint donated across such specs transfers encodings that remain
+// well-formed, while every capacity- or bandwidth-dependent number is
+// recomputed from scratch.
+func StructureSignature(s *Spec) string {
+	var b strings.Builder
+	for _, l := range s.Levels {
+		fmt.Fprintf(&b, "level %s %d\n", l.Name, l.Fanout)
+	}
+	for _, p := range s.DirectAccess {
+		fmt.Fprintf(&b, "direct %d %d\n", p[0], p[1])
+	}
+	return b.String()
+}

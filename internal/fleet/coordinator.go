@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,9 +52,24 @@ type Coordinator struct {
 	releases   atomic.Uint64
 	failovers  atomic.Uint64
 	sweepCanc  atomic.Uint64
+	sweepPois  atomic.Uint64
 	memoHits   atomic.Uint64
 	memoMiss   atomic.Uint64
 	memoPuts   atomic.Uint64
+
+	// nodes is the fleet inventory: last contact per worker node, fed by
+	// every protocol request that names its sender. Claim polls count as
+	// contact even when the queue is empty — an idle worker keeps polling,
+	// which is exactly what distinguishes "idle" from "gone".
+	nodeMu sync.Mutex
+	nodes  map[string]*nodeState
+}
+
+// nodeState is one worker node's liveness record.
+type nodeState struct {
+	lastSeen time.Time
+	claims   uint64
+	polls    uint64
 }
 
 // CoordinatorStats is a point-in-time snapshot of the protocol counters,
@@ -72,9 +89,11 @@ type CoordinatorStats struct {
 	Completes   uint64
 	Releases    uint64
 	// Failovers counts jobs re-queued by the lease sweep after their worker
-	// went silent; SweepCancels, cancel-requested jobs the sweep finalized.
+	// went silent; SweepCancels, cancel-requested jobs the sweep finalized;
+	// SweepPoisons, jobs the sweep quarantined for exhausting max_attempts.
 	Failovers    uint64
 	SweepCancels uint64
+	SweepPoisons uint64
 	// MemoHits/MemoMisses/MemoPuts count shared-cache traffic from workers.
 	MemoHits   uint64
 	MemoMisses uint64
@@ -93,6 +112,7 @@ func (c *Coordinator) Stats() CoordinatorStats {
 		Releases:        c.releases.Load(),
 		Failovers:       c.failovers.Load(),
 		SweepCancels:    c.sweepCanc.Load(),
+		SweepPoisons:    c.sweepPois.Load(),
 		MemoHits:        c.memoHits.Load(),
 		MemoMisses:      c.memoMiss.Load(),
 		MemoPuts:        c.memoPuts.Load(),
@@ -117,15 +137,87 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/fleet/complete", c.handleComplete)
 	mux.HandleFunc("POST /v1/fleet/memo/get", c.handleMemoGet)
 	mux.HandleFunc("POST /v1/fleet/memo/put", c.handleMemoPut)
+	mux.HandleFunc("GET /v1/fleet/nodes", c.handleNodes)
 	return mux
 }
 
-// Sweep re-queues jobs whose leases expired and finalizes expired jobs
-// whose cancellation was requested, reporting both counts. The composition
-// root calls it periodically; claims also sweep implicitly, so a busy fleet
-// fails over even without the timer.
-func (c *Coordinator) Sweep() (requeued, cancelled int) {
-	req, canc := c.Store.SweepExpiredLeases()
+// touchNode records contact from a worker node. Claim polls are counted
+// separately from granted claims so the inventory can show poll cadence.
+func (c *Coordinator) touchNode(node string, claimed bool) {
+	if node == "" {
+		return
+	}
+	c.nodeMu.Lock()
+	defer c.nodeMu.Unlock()
+	if c.nodes == nil {
+		c.nodes = map[string]*nodeState{}
+	}
+	st := c.nodes[node]
+	if st == nil {
+		st = &nodeState{}
+		c.nodes[node] = st
+	}
+	st.lastSeen = c.Store.Now().UTC()
+	st.polls++
+	if claimed {
+		st.claims++
+	}
+}
+
+// goneAfter is the silence threshold past which a node is reported
+// "gone" rather than "idle": three lease TTLs without any protocol
+// contact — enough for the sweep to have already failed its jobs over.
+func (c *Coordinator) goneAfter() time.Duration { return 3 * c.ttl() }
+
+// Nodes reports the fleet inventory: every worker node that ever
+// contacted this coordinator, its heartbeat age, the leases it currently
+// holds, and whether it is busy, idle, or gone. Sorted by node name.
+func (c *Coordinator) Nodes() []NodeInfo {
+	now := c.Store.Now().UTC()
+	held := map[string]int{}
+	for _, j := range c.Store.List() {
+		if j.State == jobs.Running && j.Lease != nil && j.Lease.Owner != "" {
+			held[j.Lease.Owner]++
+		}
+	}
+	c.nodeMu.Lock()
+	out := make([]NodeInfo, 0, len(c.nodes))
+	for name, st := range c.nodes {
+		age := now.Sub(st.lastSeen)
+		info := NodeInfo{
+			Node:       name,
+			LastSeen:   st.lastSeen,
+			AgeSeconds: age.Seconds(),
+			LeasesHeld: held[name],
+			Claims:     st.claims,
+			Polls:      st.polls,
+		}
+		switch {
+		case info.LeasesHeld > 0:
+			info.State = "busy"
+		case age >= c.goneAfter():
+			info.State = "gone"
+		default:
+			info.State = "idle"
+		}
+		out = append(out, info)
+	}
+	c.nodeMu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
+}
+
+func (c *Coordinator) handleNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &nodesResponse{Nodes: c.Nodes()})
+}
+
+// Sweep re-queues jobs whose leases expired, finalizes expired jobs whose
+// cancellation was requested, and quarantines jobs that exhausted their
+// failover budget, reporting all three counts. The composition root calls
+// it periodically; claims also sweep implicitly, so a busy fleet fails
+// over even without the timer.
+func (c *Coordinator) Sweep() (requeued, cancelled, poisoned int) {
+	req, canc, pois := c.Store.SweepExpiredLeases()
 	for _, j := range req {
 		c.failovers.Add(1)
 		c.event(j)
@@ -137,7 +229,11 @@ func (c *Coordinator) Sweep() (requeued, cancelled int) {
 		c.sweepCanc.Add(1)
 		c.event(j)
 	}
-	return len(req), len(canc)
+	for _, j := range pois {
+		c.sweepPois.Add(1)
+		c.event(j)
+	}
+	return len(req), len(canc), len(pois)
 }
 
 func (c *Coordinator) event(j *jobs.Job) {
@@ -157,6 +253,7 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := c.Store.ClaimNext(req.Node, c.ttl())
 	if errors.Is(err, jobs.ErrNoQueuedJob) {
+		c.touchNode(req.Node, false)
 		c.emptyClaim.Add(1)
 		w.WriteHeader(http.StatusNoContent)
 		return
@@ -165,6 +262,7 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 		writeStoreError(w, err)
 		return
 	}
+	c.touchNode(req.Node, true)
 	c.claims.Add(1)
 	c.event(j)
 	writeJSON(w, http.StatusOK, &claimResponse{Job: j})
@@ -181,6 +279,9 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		writeStoreError(w, err)
 		return
 	}
+	if j.Lease != nil {
+		c.touchNode(j.Lease.Owner, false)
+	}
 	c.renews.Add(1)
 	writeJSON(w, http.StatusOK, leaseOf(j))
 }
@@ -195,6 +296,9 @@ func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		c.countStale(err)
 		writeStoreError(w, err)
 		return
+	}
+	if j.Lease != nil {
+		c.touchNode(j.Lease.Owner, false)
 	}
 	c.checkps.Add(1)
 	c.event(j)

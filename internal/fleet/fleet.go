@@ -11,6 +11,12 @@
 //	POST /v1/fleet/complete    finalize (or release) the job under the lease
 //	POST /v1/fleet/memo/get    read the coordinator's shared fitness cache
 //	POST /v1/fleet/memo/put    write-through into the shared fitness cache
+//	GET  /v1/fleet/nodes       fleet inventory: per-node heartbeat age + state
+//
+// Claims are not strictly FIFO: the store's installed Picker (the
+// weighted-fair scheduler in internal/sched, wired by the composition
+// root) chooses which queued job each claim hands out, so fleet workers
+// obey the same priority classes and tenant quotas as local ones.
 //
 // Safety rests on the store's fencing tokens: every claim carries a token
 // that increases monotonically across the store's lifetime, every write a
@@ -136,4 +142,25 @@ type memoGetResponse struct {
 type memoPutRequest struct {
 	Key   string          `json:"key"`
 	Value json.RawMessage `json:"value"`
+}
+
+// NodeInfo is one row of the fleet inventory on GET /v1/fleet/nodes: a
+// worker node's last protocol contact (claims — even empty polls —
+// renewals, and checkpoints all count), how stale that contact is, the
+// leases it currently holds, and a coarse state: "busy" (holds leases),
+// "idle" (recent contact, no leases), or "gone" (silent for three lease
+// TTLs — its jobs have already failed over).
+type NodeInfo struct {
+	Node       string    `json:"node"`
+	LastSeen   time.Time `json:"last_seen"`
+	AgeSeconds float64   `json:"age_seconds"`
+	LeasesHeld int       `json:"leases_held"`
+	Claims     uint64    `json:"claims"`
+	Polls      uint64    `json:"polls"`
+	State      string    `json:"state"`
+}
+
+// nodesResponse answers GET /v1/fleet/nodes.
+type nodesResponse struct {
+	Nodes []NodeInfo `json:"nodes"`
 }

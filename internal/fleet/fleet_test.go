@@ -187,11 +187,11 @@ func TestFailoverHandsCheckpointToNextWorker(t *testing.T) {
 	}
 
 	// Nothing to sweep until the TTL passes.
-	if rq, cc := h.coord.Sweep(); rq != 0 || cc != 0 {
+	if rq, cc, _ := h.coord.Sweep(); rq != 0 || cc != 0 {
 		t.Fatalf("premature sweep: %d %d", rq, cc)
 	}
 	h.clk.Advance(2 * time.Minute)
-	if rq, cc := h.coord.Sweep(); rq != 1 || cc != 0 {
+	if rq, cc, _ := h.coord.Sweep(); rq != 1 || cc != 0 {
 		t.Fatalf("sweep after expiry: %d %d", rq, cc)
 	}
 	if h.coord.Stats().Failovers != 1 {

@@ -24,12 +24,16 @@ const (
 	Done      State = "done"
 	Failed    State = "failed"
 	Cancelled State = "cancelled"
+	// Poisoned is the quarantine state: the job exhausted its failover
+	// budget (MaxAttempts) without ever completing, so the store stopped
+	// re-queuing it. The failure trail records each attempt's demise.
+	Poisoned State = "poisoned"
 )
 
 // Terminal reports whether the state is final: the job will never run
 // again and its Result/Error fields are settled.
 func (s State) Terminal() bool {
-	return s == Done || s == Failed || s == Cancelled
+	return s == Done || s == Failed || s == Cancelled || s == Poisoned
 }
 
 // Job is one unit of durable work. Request, Progress, Checkpoint, and
@@ -42,6 +46,13 @@ type Job struct {
 
 	Request json.RawMessage `json:"request"`
 
+	// Tenant names the submitting principal for quota accounting; empty
+	// means the anonymous default tenant. Class is the scheduling priority
+	// class ("interactive", "batch", "bulk" — the scheduler parses it; the
+	// store only persists it so admission survives restart).
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
+
 	CreatedAt  time.Time `json:"created_at"`
 	StartedAt  time.Time `json:"started_at,omitempty"`
 	FinishedAt time.Time `json:"finished_at,omitempty"`
@@ -49,6 +60,16 @@ type Job struct {
 	// Attempts counts how many times a worker picked the job up. A value
 	// above 1 means the job survived a drain, crash, or requeue.
 	Attempts int `json:"attempts,omitempty"`
+
+	// MaxAttempts bounds failovers: when a lease expiry or crash recovery
+	// would re-queue the job for attempt MaxAttempts+1, the store instead
+	// quarantines it in state Poisoned. Zero means unlimited.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+
+	// Trail is the failure trail: one line per failover (lease expiry,
+	// crash recovery) and for the final quarantine decision, oldest first,
+	// capped at maxTrail entries.
+	Trail []string `json:"trail,omitempty"`
 
 	// Lease is the claim currently held on a running job: which worker owns
 	// it, the fencing token guarding its writes, and when the claim expires.
@@ -89,6 +110,9 @@ func (j *Job) Clone() *Job {
 	c.Progress = append(json.RawMessage(nil), j.Progress...)
 	c.Checkpoint = append(json.RawMessage(nil), j.Checkpoint...)
 	c.Result = append(json.RawMessage(nil), j.Result...)
+	if j.Trail != nil {
+		c.Trail = append([]string(nil), j.Trail...)
+	}
 	if j.Lease != nil {
 		l := *j.Lease
 		c.Lease = &l

@@ -49,26 +49,63 @@ var (
 	ErrUnknownJob = errors.New("jobs: unknown job")
 )
 
-// ClaimNext atomically claims the oldest queued job for owner: the job
+// Picker is the scheduler's dequeue hook: given ID-ordered snapshots of
+// every claimable queued job and every running job, it returns the ID of
+// the job the claim should hand out, or "" to decline the claim entirely
+// (every queued job's tenant is at its running quota, say). It runs under
+// the store lock, so it must be fast, must not call back into the store,
+// and must be deterministic — two stores replaying the same sequence of
+// claims must pick the same jobs.
+type Picker func(queued, running []*Job) string
+
+// ClaimNext atomically claims the next queued job for owner: the job
 // moves to Running with a fresh fencing token and, for ttl > 0, an expiry
 // of now+ttl. Expired leases are swept first, so a claim after a worker
-// death hands out the dead worker's job (checkpoint intact). Returns
-// ErrNoQueuedJob when the queue is empty.
+// death hands out the dead worker's job (checkpoint intact). With no
+// picker installed the oldest queued job wins (FIFO); a picker sees
+// queued and running snapshots and chooses, which is how the weighted-
+// fair scheduler and tenant quotas govern both the local worker pool and
+// fleet claims through one code path. Returns ErrNoQueuedJob when the
+// queue is empty or the picker declines.
 func (s *Store) ClaimNext(owner string, ttl time.Duration) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweepLeasesLocked()
-	ids := make([]string, 0, len(s.jobs))
-	for id, j := range s.jobs {
-		if j.State == Queued && !j.CancelRequested {
-			ids = append(ids, id)
+	queued := make([]*Job, 0, len(s.jobs))
+	running := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		switch {
+		case j.State == Queued && !j.CancelRequested:
+			queued = append(queued, j)
+		case j.State == Running:
+			running = append(running, j)
 		}
 	}
-	if len(ids) == 0 {
+	if len(queued) == 0 {
 		return nil, ErrNoQueuedJob
 	}
-	sort.Strings(ids) // oldest first: IDs are zero-padded creation order
-	return s.claimLocked(s.jobs[ids[0]], owner, ttl)
+	sort.Slice(queued, func(a, b int) bool { return queued[a].ID < queued[b].ID })
+	if s.picker == nil {
+		return s.claimLocked(queued[0], owner, ttl) // oldest first: IDs are zero-padded creation order
+	}
+	sort.Slice(running, func(a, b int) bool { return running[a].ID < running[b].ID })
+	qs := make([]*Job, len(queued))
+	for i, j := range queued {
+		qs[i] = j.Clone()
+	}
+	rs := make([]*Job, len(running))
+	for i, j := range running {
+		rs[i] = j.Clone()
+	}
+	id := s.picker(qs, rs)
+	if id == "" {
+		return nil, ErrNoQueuedJob
+	}
+	j, ok := s.jobs[id]
+	if !ok || j.State != Queued || j.CancelRequested {
+		return nil, fmt.Errorf("jobs: picker chose unclaimable job %q", id)
+	}
+	return s.claimLocked(j, owner, ttl)
 }
 
 // ClaimID claims one specific queued job (the in-process manager's path:
@@ -241,15 +278,18 @@ func (s *Store) RequestCancel(id string) (*Job, error) {
 // SweepExpiredLeases re-queues every running job whose lease TTL has
 // passed — the failover path for a crashed or partitioned worker. A job
 // whose cancellation was requested while its worker died is finalized as
-// Cancelled instead of re-queued. Returns the re-queued and cancelled
-// snapshots so the caller can emit events and notify schedulers.
-func (s *Store) SweepExpiredLeases() (requeued, cancelled []*Job) {
+// Cancelled instead of re-queued, and a job whose failover budget is
+// exhausted (Attempts >= MaxAttempts) is quarantined in state Poisoned
+// rather than handed to yet another worker. Returns the re-queued,
+// cancelled, and poisoned snapshots so the caller can emit events and
+// notify schedulers.
+func (s *Store) SweepExpiredLeases() (requeued, cancelled, poisoned []*Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sweepLeasesLocked()
 }
 
-func (s *Store) sweepLeasesLocked() (requeued, cancelled []*Job) {
+func (s *Store) sweepLeasesLocked() (requeued, cancelled, poisoned []*Job) {
 	now := s.now()
 	ids := make([]string, 0, len(s.jobs))
 	for id, j := range s.jobs {
@@ -270,12 +310,51 @@ func (s *Store) sweepLeasesLocked() (requeued, cancelled []*Job) {
 			}
 			continue
 		}
+		j.Trail = trailAppend(j.Trail, fmt.Sprintf("%s attempt %d (%s): lease expired; failing over", now.UTC().Format(time.RFC3339), j.Attempts, j.Lease.Owner))
+		if s.exhaustedLocked(j) {
+			s.poisonLocked(j)
+			if s.appendLocked(j) == nil {
+				poisoned = append(poisoned, j.Clone())
+			}
+			continue
+		}
 		s.requeueLocked(j)
 		if s.appendLocked(j) == nil {
 			requeued = append(requeued, j.Clone())
 		}
 	}
-	return requeued, cancelled
+	return requeued, cancelled, poisoned
+}
+
+// maxTrail bounds one job's retained failure trail; older entries are
+// dropped first, so the quarantine decision and the freshest failures
+// always survive.
+const maxTrail = 32
+
+func trailAppend(trail []string, entry string) []string {
+	trail = append(trail, entry)
+	if len(trail) > maxTrail {
+		trail = append([]string(nil), trail[len(trail)-maxTrail:]...)
+	}
+	return trail
+}
+
+// exhaustedLocked reports whether one more failover would exceed the
+// job's attempt budget.
+func (s *Store) exhaustedLocked(j *Job) bool {
+	return j.MaxAttempts > 0 && j.Attempts >= j.MaxAttempts
+}
+
+// poisonLocked quarantines a job that kept killing its workers (or kept
+// being killed by them): terminal state Poisoned, failure trail closed
+// with the verdict, checkpoint retained for post-mortems.
+func (s *Store) poisonLocked(j *Job) {
+	j.Trail = trailAppend(j.Trail, fmt.Sprintf("%s poisoned after %d attempts (max_attempts %d)", s.now().UTC().Format(time.RFC3339), j.Attempts, j.MaxAttempts))
+	j.State = Poisoned
+	j.Error = fmt.Sprintf("jobs: poisoned after %d failed attempts", j.Attempts)
+	j.FinishedAt = s.now().UTC()
+	j.Lease = nil
+	s.poisonSeq++
 }
 
 // SweepRetention deletes terminal jobs whose FinishedAt lies past the

@@ -87,7 +87,7 @@ func TestStaleLeaseCannotCommit(t *testing.T) {
 
 	// w1 goes silent; its lease expires and the sweep re-queues the job.
 	clk.Advance(2 * time.Minute)
-	requeued, cancelled := s.SweepExpiredLeases()
+	requeued, cancelled, _ := s.SweepExpiredLeases()
 	if len(requeued) != 1 || len(cancelled) != 0 {
 		t.Fatalf("sweep: requeued %d cancelled %d", len(requeued), len(cancelled))
 	}
@@ -166,7 +166,7 @@ func TestSweepFinalizesCancelRequestedExpiredLease(t *testing.T) {
 		t.Fatal(err)
 	}
 	clk.Advance(2 * time.Minute)
-	requeued, cancelled := s.SweepExpiredLeases()
+	requeued, cancelled, _ := s.SweepExpiredLeases()
 	if len(requeued) != 0 || len(cancelled) != 1 {
 		t.Fatalf("sweep: requeued %d cancelled %d", len(requeued), len(cancelled))
 	}

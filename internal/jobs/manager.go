@@ -56,18 +56,26 @@ const localOwner = "local"
 // window simply starts at the oldest retained event.
 const maxEventHistory = 512
 
-// Manager owns the queue and worker pool on top of a Store. Jobs found
-// queued in the store at construction (fresh submissions from a previous
-// process, or running jobs the store re-queued during crash recovery) are
-// scheduled immediately.
+// Manager owns the worker pool on top of a Store. Workers pull work by
+// claiming through Store.ClaimNext — the same scheduler-governed path
+// fleet claims use — rather than from a private FIFO list, so an
+// installed Picker (priority classes, tenant quotas) governs local
+// execution too. Jobs found queued in the store at construction (fresh
+// submissions from a previous process, or running jobs the store
+// re-queued during crash recovery) are scheduled immediately.
 type Manager struct {
 	store   *Store
 	runner  Runner
 	workers int
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// cond + wake form the scheduling signal: every event that could make
+	// a claim succeed where it previously failed (submit, requeue, job
+	// finish, remote complete) bumps wake and broadcasts; workers rescan
+	// the store whenever wake moves past what they last saw. This is what
+	// lets a quota-blocked worker sleep instead of busy-polling.
 	cond     *sync.Cond
-	queue    []string
+	wake     uint64
 	running  map[string]context.CancelCauseFunc
 	draining bool
 	closed   bool
@@ -105,11 +113,9 @@ func NewManager(store *Store, cfg Config) (*Manager, error) {
 		events:  map[string]*eventLog{},
 	}
 	m.cond = sync.NewCond(&m.mu)
-	for _, j := range store.List() {
-		if j.State == Queued {
-			m.queue = append(m.queue, j.ID)
-		}
-	}
+	// wake starts at 1 while workers start having seen 0, so each worker's
+	// first act is a store scan — that is what picks up recovered jobs.
+	m.wake = 1
 	for i := 0; i < m.workers; i++ {
 		m.wg.Add(1)
 		go m.work()
@@ -119,6 +125,14 @@ func NewManager(store *Store, cfg Config) (*Manager, error) {
 
 // Submit enqueues a new job and returns its stored snapshot.
 func (m *Manager) Submit(kind string, req json.RawMessage) (*Job, error) {
+	return m.SubmitWith(CreateSpec{Kind: kind, Request: req}, nil)
+}
+
+// SubmitWith enqueues a new job with scheduling attributes after the
+// admission check (run atomically inside the store; see CreateWith). An
+// admission refusal returns the admit error unwrapped so callers can map
+// it onto their own taxonomy (the server turns quota errors into 429s).
+func (m *Manager) SubmitWith(spec CreateSpec, admit func(active []*Job) error) (*Job, error) {
 	m.mu.Lock()
 	if m.draining || m.closed {
 		m.mu.Unlock()
@@ -126,23 +140,23 @@ func (m *Manager) Submit(kind string, req json.RawMessage) (*Job, error) {
 	}
 	m.mu.Unlock()
 
-	j, err := m.store.Create(kind, req)
+	j, err := m.store.CreateWith(spec, admit)
 	if err != nil {
 		return nil, err
 	}
 	m.emit(j)
-
-	m.mu.Lock()
-	// Re-check under the lock: a drain racing the create must not leave a
-	// queued entry for workers that are exiting.
-	if m.draining || m.closed {
-		m.mu.Unlock()
-		return j, nil // stored as queued; recovered on next start
-	}
-	m.queue = append(m.queue, j.ID)
-	m.cond.Signal()
-	m.mu.Unlock()
+	m.Kick()
 	return j, nil
+}
+
+// Kick wakes the worker pool to rescan the store for claimable work. Any
+// event that frees capacity — a submission, a requeue, a finished or
+// remotely-completed job releasing its tenant's quota — should kick.
+func (m *Manager) Kick() {
+	m.mu.Lock()
+	m.wake++
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }
 
 // Get returns a snapshot of one job.
@@ -198,26 +212,31 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 
 // Requeue schedules an already-queued job on the local worker pool — the
 // coordinator calls it when a lease sweep hands a dead fleet worker's job
-// back. A duplicate entry is harmless: the claim fails for the loser.
+// back. The id is advisory: workers rescan the whole store, and whichever
+// claim wins, wins.
 func (m *Manager) Requeue(id string) {
+	_ = id
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.draining || m.closed {
+		m.mu.Unlock()
 		return
 	}
-	m.queue = append(m.queue, id)
-	m.cond.Signal()
+	m.wake++
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }
 
 // Publish fans a job snapshot mutated outside the manager — by the fleet
 // coordinator's claim/checkpoint/complete handlers — into the job's event
 // stream, closing it when the job reached a terminal state. This is what
 // lets an SSE watcher on the coordinator follow a search executing on a
-// different node.
+// different node. A terminal snapshot also kicks the worker pool: a
+// remote completion may have freed its tenant's running quota.
 func (m *Manager) Publish(j *Job) {
 	m.emit(j)
 	if j.State.Terminal() {
 		m.closeEvents(j.ID)
+		m.Kick()
 	}
 }
 
@@ -252,19 +271,26 @@ type Stats struct {
 	Done       int
 	Failed     int
 	Cancelled  int
+	Poisoned   int
 	// CheckpointAge is the staleness of the most out-of-date checkpoint
 	// among running jobs, 0 when no running job has checkpointed yet.
 	CheckpointAge time.Duration
+	// QueueDepthByClass and QueueDepthByTenant break the queue down for
+	// the scheduler metrics; keys are the raw persisted strings.
+	QueueDepthByClass  map[string]int
+	QueueDepthByTenant map[string]int
 }
 
 // Stats derives gauges from the store, so they survive restarts.
 func (m *Manager) Stats() Stats {
 	now := m.store.Now()
-	var st Stats
+	st := Stats{QueueDepthByClass: map[string]int{}, QueueDepthByTenant: map[string]int{}}
 	for _, j := range m.store.List() {
 		switch j.State {
 		case Queued:
 			st.QueueDepth++
+			st.QueueDepthByClass[j.Class]++
+			st.QueueDepthByTenant[j.Tenant]++
 		case Running:
 			st.Running++
 			if !j.CheckpointAt.IsZero() {
@@ -278,6 +304,8 @@ func (m *Manager) Stats() Stats {
 			st.Failed++
 		case Cancelled:
 			st.Cancelled++
+		case Poisoned:
+			st.Poisoned++
 		}
 	}
 	return st
@@ -307,34 +335,53 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 }
 
-// work is one worker's loop: pop, run, finalize, repeat.
+// work is one worker's loop: wait for a wake signal, then keep claiming
+// and running jobs until the store has nothing claimable for us.
 func (m *Manager) work() {
 	defer m.wg.Done()
+	var seen uint64
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.closed {
+		for m.wake == seen && !m.closed {
 			m.cond.Wait()
 		}
 		if m.closed {
 			m.mu.Unlock()
 			return
 		}
-		id := m.queue[0]
-		m.queue = m.queue[1:]
+		seen = m.wake
 		m.mu.Unlock()
-		m.runOne(id)
+		for m.runNext() {
+		}
 	}
 }
 
-// runOne executes a single job end to end. The claim goes through the
-// same lease path fleet workers use — a process-local lease with a
-// fencing token — so every write to a running job, local or remote, is
-// guarded by the same stale-lease check.
-func (m *Manager) runOne(id string) {
-	j, err := m.store.ClaimID(id, localOwner, 0)
-	if err != nil {
-		return // claimed by a fleet worker, cancelled while queued, or gone
+// runNext claims one job through the scheduler-governed store path and
+// runs it to completion. Returns false when nothing was claimable —
+// queue empty, every queued tenant at quota, or the manager draining.
+func (m *Manager) runNext() bool {
+	m.mu.Lock()
+	if m.draining || m.closed {
+		m.mu.Unlock()
+		return false
 	}
+	m.mu.Unlock()
+	j, err := m.store.ClaimNext(localOwner, 0)
+	if err != nil {
+		return false
+	}
+	m.runOne(j)
+	// Finishing a job may unblock quota-held work for the other workers.
+	m.Kick()
+	return true
+}
+
+// runOne executes a single claimed job end to end. The claim went
+// through the same lease path fleet workers use — a process-local lease
+// with a fencing token — so every write to a running job, local or
+// remote, is guarded by the same stale-lease check.
+func (m *Manager) runOne(j *Job) {
+	id := j.ID
 	token := j.Lease.Token
 
 	ctx, cancel := context.WithCancelCause(context.Background())

@@ -36,6 +36,11 @@ type Store struct {
 	now  func() time.Time
 	jobs map[string]*Job
 	seq  uint64
+	// picker, when set, chooses which queued job ClaimNext hands out
+	// (the scheduler's dequeue hook). Nil keeps the FIFO default.
+	picker Picker
+	// poisonSeq counts quarantine transitions for metrics.
+	poisonSeq uint64
 	// leaseSeq is the fencing-token counter: monotonic across the store's
 	// whole lifetime (persisted), so a token granted before a restart can
 	// never collide with one granted after.
@@ -144,7 +149,8 @@ func (s *Store) load() error {
 // is on another node and survived this process's crash — it will keep
 // checkpointing against the recovered store. Process-local leases (zero
 // expiry) died with the process, and expired remote leases are dead by
-// definition; both re-queue, checkpoint and attempts intact.
+// definition; both re-queue, checkpoint and attempts intact — unless the
+// job has exhausted its failover budget, in which case it is quarantined.
 func (s *Store) recover() {
 	now := s.now()
 	for _, j := range s.jobs {
@@ -153,6 +159,15 @@ func (s *Store) recover() {
 		}
 		if j.Lease != nil && !j.Lease.Expires.IsZero() && now.Before(j.Lease.Expires) {
 			continue // live remote lease: the worker is still out there
+		}
+		owner := "?"
+		if j.Lease != nil {
+			owner = j.Lease.Owner
+		}
+		j.Trail = trailAppend(j.Trail, fmt.Sprintf("%s attempt %d (%s): interrupted by restart", now.UTC().Format(time.RFC3339), j.Attempts, owner))
+		if s.exhaustedLocked(j) {
+			s.poisonLocked(j)
+			continue
 		}
 		s.requeueLocked(j)
 	}
@@ -169,21 +184,71 @@ func idSeq(id string) uint64 {
 
 // Create appends a new queued job and returns a snapshot of it.
 func (s *Store) Create(kind string, req json.RawMessage) (*Job, error) {
+	return s.CreateWith(CreateSpec{Kind: kind, Request: req}, nil)
+}
+
+// CreateSpec names everything a new job carries besides its payload.
+type CreateSpec struct {
+	Kind        string
+	Request     json.RawMessage
+	Tenant      string
+	Class       string
+	MaxAttempts int
+}
+
+// CreateWith appends a new queued job after running the admission check
+// under the store lock: admit sees a snapshot of every non-terminal job
+// (ordered by ID) and a non-nil return refuses the submission with that
+// error, atomically with respect to concurrent creates and claims. This
+// is what makes per-tenant quotas race-free and — because tenant and
+// class are persisted on the record — restart-proof.
+func (s *Store) CreateWith(spec CreateSpec, admit func(active []*Job) error) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if admit != nil {
+		active := make([]*Job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			if !j.State.Terminal() {
+				active = append(active, j.Clone())
+			}
+		}
+		sort.Slice(active, func(a, b int) bool { return active[a].ID < active[b].ID })
+		if err := admit(active); err != nil {
+			return nil, err
+		}
+	}
 	s.seq++
 	j := &Job{
-		ID:        fmt.Sprintf("j%08d", s.seq),
-		Kind:      kind,
-		State:     Queued,
-		Request:   append(json.RawMessage(nil), req...),
-		CreatedAt: s.now().UTC(),
+		ID:          fmt.Sprintf("j%08d", s.seq),
+		Kind:        spec.Kind,
+		State:       Queued,
+		Request:     append(json.RawMessage(nil), spec.Request...),
+		Tenant:      spec.Tenant,
+		Class:       spec.Class,
+		MaxAttempts: spec.MaxAttempts,
+		CreatedAt:   s.now().UTC(),
 	}
 	s.jobs[j.ID] = j
 	if err := s.appendLocked(j); err != nil {
 		return nil, err
 	}
 	return j.Clone(), nil
+}
+
+// SetPicker installs the scheduler's dequeue hook (see Picker). Install
+// it before workers start claiming; nil restores FIFO.
+func (s *Store) SetPicker(p Picker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.picker = p
+}
+
+// PoisonCount reports how many quarantine transitions this store has
+// performed since open (metrics counter; not persisted).
+func (s *Store) PoisonCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poisonSeq
 }
 
 // Get returns a snapshot of one job.

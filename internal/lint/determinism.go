@@ -16,6 +16,7 @@ var DeterminismScope = []string{
 	"repro/internal/fleet",
 	"repro/internal/jobs",
 	"repro/internal/mapper",
+	"repro/internal/sched",
 	"repro/internal/yamlfe",
 }
 

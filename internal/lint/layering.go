@@ -29,6 +29,10 @@ var allowedImports = map[string][]string{
 	// value codec is injected by the composition root, so fleet must never
 	// import the mapper (or serve) directly.
 	"repro/internal/fleet": {"repro/internal/jobs", "repro/internal/memo"},
+	// sched decides which queued job runs next and who may submit; it
+	// plugs into the store as a picker callback, so it may see job records
+	// but never the runner, the mapper, or the HTTP layer.
+	"repro/internal/sched": {"repro/internal/jobs"},
 	"repro/internal/energy":    {"repro/internal/arch"},
 	"repro/internal/core":      {"repro/internal/arch", "repro/internal/energy", "repro/internal/workload"},
 	"repro/internal/notation":  {"repro/internal/core", "repro/internal/diag", "repro/internal/workload"},

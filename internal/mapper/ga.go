@@ -63,6 +63,13 @@ type TreeSearch struct {
 	// job after a format change restarts the search rather than failing).
 	Checkpoint *Checkpoint
 
+	// SeedPopulation warm-starts a fresh search: these encodings fill the
+	// initial population after the layerwise anchor (slot 0), before any
+	// random individuals. Install via WarmStart, which orders and
+	// validates donor checkpoints. Ignored when a Checkpoint resume is in
+	// effect — a resumed population already embeds its seeds.
+	SeedPopulation []EncodingState
+
 	// Narrow, when set, is called once per candidate dataflow before its
 	// MCTS tuning and returns narrowed per-factor domains for
 	// TileSearch.Domains (typically spaceck.Analyze(...).AllowedMap(),
@@ -194,8 +201,31 @@ func (s *TreeSearch) RunContext(ctx context.Context) *TreeSearchResult {
 	} else {
 		individuals = make([]*individual, pop)
 		individuals[0] = &individual{enc: LayerwiseEncoding(n)} // always seed no-fusion
-		for i := 1; i < pop; i++ {
-			individuals[i] = &individual{enc: s.randomEncoding(rng)}
+		next := 1
+		if len(s.SeedPopulation) > 0 {
+			// Warm start: donor encodings (see WarmStart) fill slots after
+			// the layerwise anchor, deduplicated post-repair. Only genotypes
+			// enter — every seed is re-evaluated under this search's own
+			// cache namespace, so no donor fitness can leak in.
+			seen := map[string]bool{individuals[0].enc.String(): true}
+			for _, es := range s.SeedPopulation {
+				if next >= pop {
+					break
+				}
+				if len(es.Target) != n || len(es.Mem) != n || len(es.Binding) != n {
+					continue
+				}
+				enc := es.encoding()
+				enc.Repair(s.Spec.NumLevels())
+				if key := enc.String(); !seen[key] {
+					seen[key] = true
+					individuals[next] = &individual{enc: enc}
+					next++
+				}
+			}
+		}
+		for ; next < pop; next++ {
+			individuals[next] = &individual{enc: s.randomEncoding(rng)}
 		}
 	}
 

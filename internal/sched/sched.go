@@ -1,0 +1,96 @@
+// Package sched is the multi-tenant scheduling layer between the server
+// and the job store: priority classes with weighted-fair (stride)
+// dequeue, per-tenant quotas, and a warm-start library that seeds new
+// searches from checkpoints of structurally identical design points.
+//
+// The scheduler plugs into jobs.Store as its Picker, so one policy
+// governs both the local worker pool and fleet /v1/fleet/claim — a bulk
+// sweep cannot starve interactive jobs no matter which node's workers
+// drain the queue. All decisions are deterministic: virtual time is pure
+// integer arithmetic advanced per pick (never the wall clock), ties
+// break by a seeded hash, and within a class the oldest job wins. Two
+// schedulers configured identically and shown the same sequence of
+// queue states pick the same jobs.
+//
+// The package imports only internal/jobs (plus stdlib); the server
+// composes it. It lives inside the determinism lint scope.
+package sched
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Class is a job's priority class. Higher-weight classes receive
+// proportionally more dequeues when the queue is contended; within a
+// class, dequeue order is FIFO.
+type Class string
+
+const (
+	// Interactive is for latency-sensitive, user-facing searches.
+	Interactive Class = "interactive"
+	// Batch is the default for unclassified work.
+	Batch Class = "batch"
+	// Bulk is for saturating sweeps that should only soak up leftover
+	// capacity.
+	Bulk Class = "bulk"
+)
+
+// classes lists every class in descending priority; iteration uses this
+// (never a map) so scheduling decisions are order-deterministic.
+var classes = []Class{Interactive, Batch, Bulk}
+
+// DefaultWeights is the stride-scheduling weight of each class: out of
+// every 21 contended dequeues, interactive takes 16, batch 4, bulk 1.
+var DefaultWeights = map[Class]int{
+	Interactive: 16,
+	Batch:       4,
+	Bulk:        1,
+}
+
+// ParseClass validates a submission's class string. Empty means Batch.
+func ParseClass(s string) (Class, error) {
+	switch c := Class(strings.ToLower(strings.TrimSpace(s))); c {
+	case "":
+		return Batch, nil
+	case Interactive, Batch, Bulk:
+		return c, nil
+	default:
+		return "", fmt.Errorf("sched: unknown class %q (want interactive, batch, or bulk)", s)
+	}
+}
+
+// ClassOf maps a persisted job class string onto a Class, defaulting to
+// Batch for anything unknown (old records, foreign writers).
+func ClassOf(s string) Class {
+	if c, err := ParseClass(s); err == nil {
+		return c
+	}
+	return Batch
+}
+
+// CodeTenantQuota is the stable machine code carried by quota
+// rejections; the server maps it onto HTTP 429 and the CLI onto its own
+// exit taxonomy, byte-identically.
+const CodeTenantQuota = "tenant_quota_exhausted"
+
+// QuotaError refuses a submission (or claim) because a tenant is at its
+// limit. It is the admission-control error the server converts to 429.
+type QuotaError struct {
+	Tenant string
+	Limit  int
+	Active int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("sched: tenant %q at quota: %d active jobs of %d allowed", e.Tenant, e.Active, e.Limit)
+}
+
+// tieHash is the seeded tie-breaker: a deterministic 64-bit hash of the
+// scheduler seed and a class name, fixed for the scheduler's lifetime.
+func tieHash(seed int64, c Class) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, c)
+	return h.Sum64()
+}

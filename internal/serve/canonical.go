@@ -81,3 +81,22 @@ func digest(s string) string {
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])
 }
+
+// warmKey is the structure-only canonical prefix used by the warm-start
+// checkpoint library: architecture levels (names/fanout, no capacities)
+// plus the workload graph's operator/tensor structure (dimension names,
+// no sizes). Two design points that differ only in tensor shapes —
+// e.g. Bert-S vs Bert-L attention on the same machine — share one key,
+// so a finished search on one can seed the GA population of the other.
+// Anything affecting fitness (shapes, capacities, options, seed) is
+// deliberately excluded: only encodings are transferred under this key,
+// never fitness values.
+func warmKey(spec *arch.Spec, g *workload.Graph) string {
+	var b strings.Builder
+	b.WriteString("tileflow/v1/warmstart\n")
+	b.WriteString("arch-structure:\n")
+	b.WriteString(arch.StructureSignature(spec))
+	b.WriteString("graph-structure:\n")
+	b.WriteString(workload.StructureSignature(g))
+	return digest(b.String())
+}

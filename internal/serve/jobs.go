@@ -14,6 +14,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/mapper"
 	"repro/internal/memo"
+	"repro/internal/sched"
 )
 
 // searchJobKind tags search jobs in the store; future job kinds dispatch
@@ -25,10 +26,10 @@ const searchJobKind = "search"
 // omitted until the first feasible candidate (its value would be +Inf,
 // which JSON cannot carry).
 type SearchProgress struct {
-	Generation  int      `json:"generation"`
-	Generations int      `json:"generations"`
-	BestCycles  *float64 `json:"best_cycles,omitempty"`
-	BestEncoding string  `json:"best_encoding,omitempty"`
+	Generation   int      `json:"generation"`
+	Generations  int      `json:"generations"`
+	BestCycles   *float64 `json:"best_cycles,omitempty"`
+	BestEncoding string   `json:"best_encoding,omitempty"`
 }
 
 // runSearchJob is the jobs.Runner for searchJobKind on this node's own
@@ -71,7 +72,20 @@ func (s *Server) runSearch(ctx context.Context, job *jobs.Job, upd func(progress
 		if cp, err := mapper.DecodeCheckpoint(job.Checkpoint); err == nil {
 			ts.Resume(cp)
 		}
+	} else if req.WarmStart && s.warm != nil {
+		// Fresh start with warm_start requested: seed the population from
+		// the best finished search sharing this point's structure-only key.
+		// Only encodings transfer — fitness is recomputed under this
+		// search's own cache namespace — so a donor can speed the search
+		// up but never corrupt it. A job resuming its own checkpoint
+		// skips this: its population is already decided.
+		if e, ok := s.warm.Get(warmKey(spec, g)); ok {
+			if cp, err := mapper.DecodeCheckpoint(e.Checkpoint); err == nil {
+				ts.WarmStart(cp)
+			}
+		}
 	}
+	var lastCP json.RawMessage
 	ts.Progress = func(p mapper.ProgressEvent) {
 		prog := SearchProgress{
 			Generation:   p.Generation,
@@ -90,6 +104,7 @@ func (s *Server) runSearch(ctx context.Context, job *jobs.Job, upd func(progress
 		if err != nil {
 			return
 		}
+		lastCP = cb
 		upd(pb, cb)
 	}
 
@@ -108,6 +123,15 @@ func (s *Server) runSearch(ctx context.Context, job *jobs.Job, upd func(progress
 	}
 	key := searchKey(spec, g, req.Population, req.Generations, req.TileRounds, req.TopK, req.Seed, opts)
 	s.cache.Put(key, resp)
+	if s.warm != nil {
+		// Offer this search's final checkpoint to the warm library; it is
+		// kept only if it beats the incumbent donor for the structure key.
+		cp := lastCP
+		if cp == nil {
+			cp = job.Checkpoint
+		}
+		s.warm.Put(warmKey(spec, g), job.ID, resp.Cycles, cp, s.store.Now().UTC())
+	}
 	b, err := json.Marshal(resp)
 	if err != nil {
 		return nil, err
@@ -115,18 +139,49 @@ func (s *Server) runSearch(ctx context.Context, job *jobs.Job, upd func(progress
 	return b, nil
 }
 
+// registerWarm re-indexes a finished search into the warm-start library —
+// used at open (rebuilding the index from the durable store) and when a
+// fleet worker completes a job remotely. Malformed records are skipped:
+// the library is an optimization, never a correctness dependency.
+func (s *Server) registerWarm(j *jobs.Job) {
+	if j.Kind != searchJobKind || len(j.Checkpoint) == 0 || len(j.Result) == 0 {
+		return
+	}
+	var req SearchRequest
+	if err := json.Unmarshal(j.Request, &req); err != nil {
+		return
+	}
+	spec, g, err := resolveArchGraph(req.Arch, req.ArchSpec, req.Workload)
+	if err != nil {
+		return
+	}
+	var res struct {
+		Cycles float64 `json:"cycles"`
+	}
+	if err := json.Unmarshal(j.Result, &res); err != nil {
+		return
+	}
+	s.warm.Put(warmKey(spec, g), j.ID, res.Cycles, j.Checkpoint, j.FinishedAt)
+}
+
 // JobJSON is the API view of a job. Result is the full SearchResponse of
 // a done job; Progress is a SearchProgress while running. The raw
 // checkpoint stays server-side — clients only see that (and when) one
 // exists.
 type JobJSON struct {
-	ID            string          `json:"id"`
-	Kind          string          `json:"kind"`
-	State         string          `json:"state"`
-	CreatedAt     time.Time       `json:"created_at"`
-	StartedAt     *time.Time      `json:"started_at,omitempty"`
-	FinishedAt    *time.Time      `json:"finished_at,omitempty"`
-	Attempts      int             `json:"attempts,omitempty"`
+	ID          string     `json:"id"`
+	Kind        string     `json:"kind"`
+	State       string     `json:"state"`
+	CreatedAt   time.Time  `json:"created_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Attempts    int        `json:"attempts,omitempty"`
+	Tenant      string     `json:"tenant,omitempty"`
+	Class       string     `json:"class,omitempty"`
+	MaxAttempts int        `json:"max_attempts,omitempty"`
+	// Trail is the failure trail of a job that has failed over: one line
+	// per interrupted attempt, plus the quarantine verdict if poisoned.
+	Trail []string `json:"trail,omitempty"`
 	// Worker names the node whose lease the job is running under; empty
 	// unless running. "local" is this process's own worker pool.
 	Worker        string          `json:"worker,omitempty"`
@@ -145,6 +200,10 @@ func NewJobJSON(j *jobs.Job) *JobJSON {
 		State:         string(j.State),
 		CreatedAt:     j.CreatedAt,
 		Attempts:      j.Attempts,
+		Tenant:        j.Tenant,
+		Class:         j.Class,
+		MaxAttempts:   j.MaxAttempts,
+		Trail:         j.Trail,
 		Progress:      j.Progress,
 		HasCheckpoint: len(j.Checkpoint) > 0,
 		Result:        j.Result,
@@ -181,13 +240,41 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	class, err := sched.ParseClass(req.Class)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Class = string(class)
+	if req.MaxAttempts < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("max_attempts must be >= 0"))
+		return
+	}
+	maxAttempts := req.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = s.cfg.DefaultMaxAttempts
+	}
 	body, err := json.Marshal(&req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.jobs.Submit(searchJobKind, body)
+	// Admission (the per-tenant active quota) runs inside the store lock,
+	// atomically with the create: two racing submissions cannot both
+	// squeeze under the limit.
+	j, err := s.jobs.SubmitWith(jobs.CreateSpec{
+		Kind:        searchJobKind,
+		Request:     body,
+		Tenant:      req.Tenant,
+		Class:       req.Class,
+		MaxAttempts: maxAttempts,
+	}, s.sched.Admit(req.Tenant))
 	if err != nil {
+		var qe *sched.QuotaError
+		if errors.As(err, &qe) {
+			s.writeErrorCode(w, http.StatusTooManyRequests, sched.CodeTenantQuota, err)
+			return
+		}
 		status := http.StatusInternalServerError
 		if errors.Is(err, jobs.ErrDraining) {
 			status = http.StatusServiceUnavailable

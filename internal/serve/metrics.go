@@ -7,6 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/sched"
 )
 
 // endpoints the request counter tracks, in stable output order.
@@ -139,10 +142,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "# HELP tileflow_jobs_cancelled_total Jobs cancelled by clients.\n")
 	fmt.Fprintf(w, "# TYPE tileflow_jobs_cancelled_total counter\n")
 	fmt.Fprintf(w, "tileflow_jobs_cancelled_total %d\n", js.Cancelled)
+	fmt.Fprintf(w, "# HELP tileflow_jobs_poisoned_total Jobs quarantined after exhausting their attempt budget.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_jobs_poisoned_total counter\n")
+	fmt.Fprintf(w, "tileflow_jobs_poisoned_total %d\n", s.store.PoisonCount())
 	fmt.Fprintf(w, "# HELP tileflow_job_checkpoint_age_seconds Staleness of the most out-of-date checkpoint among running jobs.\n")
 	fmt.Fprintf(w, "# TYPE tileflow_job_checkpoint_age_seconds gauge\n")
 	fmt.Fprintf(w, "tileflow_job_checkpoint_age_seconds %g\n", js.CheckpointAge.Seconds())
 
+	m.writeSched(w, s, js)
 	m.writeFleet(w, s)
 
 	qs, count, sum := m.latency.quantiles([]float64{0.5, 0.99})
@@ -152,6 +159,56 @@ func (m *Metrics) WritePrometheus(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds{quantile=\"0.99\"} %g\n", qs[1])
 	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds_sum %g\n", sum)
 	fmt.Fprintf(w, "tileflow_evaluate_latency_seconds_count %d\n", count)
+}
+
+// writeSched renders the scheduler, quota, and warm-start library state.
+func (m *Metrics) writeSched(w io.Writer, s *Server, js jobs.Stats) {
+	ss := s.sched.Stats()
+	schedClasses := []sched.Class{sched.Interactive, sched.Batch, sched.Bulk}
+	fmt.Fprintf(w, "# HELP tileflow_sched_picks_total Scheduler dequeues, by priority class.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_sched_picks_total counter\n")
+	for _, c := range schedClasses {
+		fmt.Fprintf(w, "tileflow_sched_picks_total{class=%q} %d\n", c, ss.Picks[c])
+	}
+	fmt.Fprintf(w, "# HELP tileflow_jobs_queue_depth_class Queued jobs, by priority class.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_jobs_queue_depth_class gauge\n")
+	depth := map[sched.Class]int{}
+	for raw, n := range js.QueueDepthByClass {
+		depth[sched.ClassOf(raw)] += n
+	}
+	for _, c := range schedClasses {
+		fmt.Fprintf(w, "tileflow_jobs_queue_depth_class{class=%q} %d\n", c, depth[c])
+	}
+	tenants := make([]string, 0, len(js.QueueDepthByTenant))
+	for t := range js.QueueDepthByTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	fmt.Fprintf(w, "# HELP tileflow_jobs_queue_depth_tenant Queued jobs, by tenant.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_jobs_queue_depth_tenant gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "tileflow_jobs_queue_depth_tenant{tenant=%q} %d\n", t, js.QueueDepthByTenant[t])
+	}
+	fmt.Fprintf(w, "# HELP tileflow_sched_quota_deferrals_total Claims declined because every queued job's tenant was at its running quota.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_sched_quota_deferrals_total counter\n")
+	fmt.Fprintf(w, "tileflow_sched_quota_deferrals_total %d\n", ss.QuotaDeferrals)
+	fmt.Fprintf(w, "# HELP tileflow_sched_quota_rejects_total Submissions refused at admission because the tenant was at its active quota.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_sched_quota_rejects_total counter\n")
+	fmt.Fprintf(w, "tileflow_sched_quota_rejects_total %d\n", ss.QuotaRejects)
+
+	ws := s.warm.Stats()
+	fmt.Fprintf(w, "# HELP tileflow_warmstart_entries Structure keys with a stored donor checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_warmstart_entries gauge\n")
+	fmt.Fprintf(w, "tileflow_warmstart_entries %d\n", ws.Entries)
+	fmt.Fprintf(w, "# HELP tileflow_warmstart_hits_total Warm-start lookups that found a donor.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_warmstart_hits_total counter\n")
+	fmt.Fprintf(w, "tileflow_warmstart_hits_total %d\n", ws.Hits)
+	fmt.Fprintf(w, "# HELP tileflow_warmstart_misses_total Warm-start lookups that found no donor.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_warmstart_misses_total counter\n")
+	fmt.Fprintf(w, "tileflow_warmstart_misses_total %d\n", ws.Misses)
+	fmt.Fprintf(w, "# HELP tileflow_warmstart_puts_total Donor checkpoints installed (new key or better cycles).\n")
+	fmt.Fprintf(w, "# TYPE tileflow_warmstart_puts_total counter\n")
+	fmt.Fprintf(w, "tileflow_warmstart_puts_total %d\n", ws.Puts)
 }
 
 // writeFleet renders the coordinator-side protocol counters, and — on a
@@ -180,6 +237,25 @@ func (m *Metrics) writeFleet(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "# HELP tileflow_fleet_failovers_total Jobs re-queued after their worker's lease expired.\n")
 	fmt.Fprintf(w, "# TYPE tileflow_fleet_failovers_total counter\n")
 	fmt.Fprintf(w, "tileflow_fleet_failovers_total %d\n", cs.Failovers)
+	fmt.Fprintf(w, "# HELP tileflow_fleet_sweep_poisons_total Jobs the lease sweep quarantined after their last allowed failover.\n")
+	fmt.Fprintf(w, "# TYPE tileflow_fleet_sweep_poisons_total counter\n")
+	fmt.Fprintf(w, "tileflow_fleet_sweep_poisons_total %d\n", cs.SweepPoisons)
+
+	// Per-node presence: the heartbeat-age gauge is what separates an idle
+	// worker (recent empty claim polls keep its age small) from a gone one
+	// (age grows without bound once it stops polling).
+	if nodes := s.coord.Nodes(); len(nodes) > 0 {
+		fmt.Fprintf(w, "# HELP tileflow_fleet_node_heartbeat_age_seconds Seconds since this node last contacted the coordinator.\n")
+		fmt.Fprintf(w, "# TYPE tileflow_fleet_node_heartbeat_age_seconds gauge\n")
+		for _, ni := range nodes {
+			fmt.Fprintf(w, "tileflow_fleet_node_heartbeat_age_seconds{node=%q,state=%q} %g\n", ni.Node, ni.State, ni.AgeSeconds)
+		}
+		fmt.Fprintf(w, "# HELP tileflow_fleet_node_leases_held Leases each known node currently holds.\n")
+		fmt.Fprintf(w, "# TYPE tileflow_fleet_node_leases_held gauge\n")
+		for _, ni := range nodes {
+			fmt.Fprintf(w, "tileflow_fleet_node_leases_held{node=%q} %d\n", ni.Node, ni.LeasesHeld)
+		}
+	}
 	fmt.Fprintf(w, "# HELP tileflow_fleet_memo_hits_total Shared-cache lookups from workers that hit.\n")
 	fmt.Fprintf(w, "# TYPE tileflow_fleet_memo_hits_total counter\n")
 	fmt.Fprintf(w, "tileflow_fleet_memo_hits_total %d\n", cs.MemoHits)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/memo"
 	"repro/internal/notation"
+	"repro/internal/sched"
 	"repro/internal/workload"
 	"repro/internal/yamlfe"
 )
@@ -67,6 +68,24 @@ type Config struct {
 	// renewal cadences (defaults 500ms and 3s; tests shrink them).
 	FleetPoll      time.Duration
 	FleetHeartbeat time.Duration
+
+	// TenantMaxRunning caps one tenant's concurrently running jobs across
+	// the local worker pool and all fleet claims. Zero means unlimited.
+	TenantMaxRunning int
+	// TenantMaxActive caps one tenant's active (queued + running) jobs at
+	// admission; past it, submissions are refused with a coded 429. Zero
+	// means unlimited.
+	TenantMaxActive int
+	// SchedSeed feeds the scheduler's deterministic tie-breaker.
+	SchedSeed int64
+	// DefaultMaxAttempts is applied to submissions that leave max_attempts
+	// unset: after that many failovers a job is quarantined as poisoned.
+	// Zero retries forever.
+	DefaultMaxAttempts int
+	// DisableScheduler keeps the store's plain FIFO dequeue instead of
+	// installing the weighted-fair scheduler; admission quotas still
+	// apply. Only the scheduled-vs-FIFO differential tests use it.
+	DisableScheduler bool
 }
 
 // Server is the concurrent evaluation service. All mutable state is the
@@ -91,6 +110,10 @@ type Server struct {
 	started  time.Time
 	store    *jobs.Store
 	jobs     *jobs.Manager
+	// sched is the weighted-fair dequeue policy + tenant accounting; warm
+	// is the checkpoint library keyed by structure-only canonical prefix.
+	sched *sched.Scheduler
+	warm  *sched.WarmStore
 
 	// coord serves the fleet peer protocol over this node's store (every
 	// node can coordinate); worker and remote are set only when
@@ -158,6 +181,27 @@ func Open(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.store = store
+	// One scheduler instance governs every dequeue path: installed as the
+	// store's Picker, it decides both local worker claims and fleet
+	// /v1/fleet/claim grants, so priority weights and tenant quotas hold
+	// across the whole fleet.
+	s.sched = sched.New(sched.Config{
+		TenantMaxRunning: cfg.TenantMaxRunning,
+		TenantMaxActive:  cfg.TenantMaxActive,
+		Seed:             cfg.SchedSeed,
+	})
+	if !cfg.DisableScheduler {
+		store.SetPicker(s.sched.Pick)
+	}
+	// The warm-start library is an in-memory index over the durable store:
+	// recovered Done jobs with checkpoints re-register here, so warm
+	// starting survives restarts without any persistence of its own.
+	s.warm = sched.NewWarmStore()
+	for _, j := range store.List() {
+		if j.State == jobs.Done {
+			s.registerWarm(j)
+		}
+	}
 	s.jobs, err = jobs.NewManager(store, jobs.Config{Workers: cfg.JobWorkers, Runner: s.runSearchJob})
 	if err != nil {
 		store.Close()
@@ -169,11 +213,18 @@ func Open(cfg Config) (*Server, error) {
 	// SSE watchers here follow searches executing on other nodes.
 	fitnessCodec := fleet.Codec{Encode: mapper.EncodeFitness, Decode: mapper.DecodeFitness}
 	s.coord = &fleet.Coordinator{
-		Store:     store,
-		TTL:       cfg.LeaseTTL,
-		Cache:     s.cache,
-		Codec:     fitnessCodec,
-		OnEvent:   func(j *jobs.Job) { s.jobs.Publish(j) },
+		Store: store,
+		TTL:   cfg.LeaseTTL,
+		Cache: s.cache,
+		Codec: fitnessCodec,
+		OnEvent: func(j *jobs.Job) {
+			s.jobs.Publish(j)
+			if j.State == jobs.Done {
+				// A fleet worker finished this search remotely; index its
+				// final checkpoint for warm starting.
+				s.registerWarm(j)
+			}
+		},
 		OnRequeue: func(id string) { s.jobs.Requeue(id) },
 	}
 	if cfg.Coordinator != "" {
@@ -247,9 +298,10 @@ func (s *Server) sweepLoop(every time.Duration) {
 	}
 }
 
-// SweepFleet re-queues jobs whose fleet leases expired (and finalizes
-// expired cancel-requested ones), returning both counts.
-func (s *Server) SweepFleet() (requeued, cancelled int) { return s.coord.Sweep() }
+// SweepFleet re-queues jobs whose fleet leases expired (finalizing
+// expired cancel-requested ones and quarantining jobs past their attempt
+// budget), returning all three counts.
+func (s *Server) SweepFleet() (requeued, cancelled, poisoned int) { return s.coord.Sweep() }
 
 // SweepRetention evicts terminal jobs older than the configured retention
 // horizon, returning how many were removed. A zero horizon keeps all.
@@ -805,6 +857,16 @@ type SearchRequest struct {
 
 	TimeoutMS int  `json:"timeout_ms,omitempty"`
 	NoCache   bool `json:"no_cache,omitempty"`
+
+	// Async-job scheduling attributes (ignored by the synchronous
+	// /v1/search endpoint): who is submitting, at which priority class,
+	// how many failovers before quarantine, and whether to seed the GA
+	// population from the best checkpoint of a structurally identical
+	// finished search.
+	Tenant      string `json:"tenant,omitempty"`
+	Class       string `json:"class,omitempty"`
+	MaxAttempts int    `json:"max_attempts,omitempty"`
+	WarmStart   bool   `json:"warm_start,omitempty"`
 }
 
 // SearchResponse reports the best mapping the search found. TimedOut marks
@@ -953,12 +1015,24 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 // diagnostics, so API clients get the same coded, positioned findings as
 // `tileflow vet`.
 type errorBody struct {
-	Error       string    `json:"error"`
+	Error string `json:"error"`
+	// Code is a stable machine-readable cause (e.g. sched.CodeTenantQuota
+	// on a 429); clients branch on it instead of parsing Error.
+	Code        string    `json:"code,omitempty"`
 	Diagnostics diag.List `json:"diagnostics,omitempty"`
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.writeErrorDiags(w, status, err, nil)
+}
+
+// writeErrorCode writes a coded error envelope. The CLI's server-submit
+// mode relays these bodies byte-for-byte, so a quota refusal renders
+// identically whether it reached the client over HTTP or through
+// `tileflow-search -json`.
+func (s *Server) writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	s.metrics.IncError()
+	s.writeJSON(w, status, &errorBody{Error: err.Error(), Code: code})
 }
 
 func (s *Server) writeErrorDiags(w http.ResponseWriter, status int, err error, diags diag.List) {

@@ -43,3 +43,43 @@ func CanonicalGraph(g *Graph) string {
 	}
 	return b.String()
 }
+
+// StructureSignature renders only the SHAPE-FREE structure of a graph:
+// operators in graph order with kind, iteration-dimension names (sizes
+// dropped), and affine accesses, plus each tensor's rank and element
+// width. Two graphs with the same signature are the same computation over
+// different tensor sizes — e.g. Bert-S and Bert-L attention. The warm-
+// start library keys donor checkpoints by this text (hashed together
+// with the architecture's structure), so a search can seed its
+// population from a structurally identical design point without ever
+// conflating the shape-specific caches, which keep using CanonicalGraph.
+func StructureSignature(g *Graph) string {
+	var b strings.Builder
+	for _, op := range g.Ops {
+		fmt.Fprintf(&b, "op %s kind=%s dims=", op.Name, op.Kind)
+		for i, d := range op.Dims {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(d.Name)
+		}
+		b.WriteString(" reads=")
+		for i, r := range op.Reads {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			b.WriteString(r.String())
+		}
+		fmt.Fprintf(&b, " write=%s\n", op.Write.String())
+	}
+	names := make([]string, 0, len(g.Tensors))
+	for name := range g.Tensors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := g.Tensors[name]
+		fmt.Fprintf(&b, "tensor %s rank=%d elem=%d\n", t.Name, len(t.Dims), t.ElemBytes)
+	}
+	return b.String()
+}
